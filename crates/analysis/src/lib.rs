@@ -1,0 +1,33 @@
+//! # pcm-analysis — statistics and report rendering for scrub experiments
+//!
+//! Small, dependency-free helpers the benchmark harness uses to turn
+//! simulation reports into the paper's tables:
+//!
+//! * [`Summary`] — mean/σ/95% CI of repeated runs;
+//! * [`percent_reduction`] / [`improvement_ratio`] — the paper's headline
+//!   metrics ("96.5% fewer UEs", "24.4× fewer scrub writes");
+//! * [`Table`] — fixed-width table and CSV rendering.
+//!
+//! # Quick start
+//!
+//! ```
+//! use pcm_analysis::{improvement_ratio, percent_reduction, Table};
+//!
+//! let mut t = Table::new(vec!["metric", "basic", "combined", "improvement"]);
+//! t.row(vec![
+//!     "scrub writes".into(),
+//!     "9.4e6".into(),
+//!     "3.9e5".into(),
+//!     format!("{:.1}x", improvement_ratio(9.4e6, 3.9e5)),
+//! ]);
+//! assert!(t.render().contains("24.1x"));
+//! assert!((percent_reduction(100.0, 3.5) - 96.5).abs() < 1e-9);
+//! ```
+
+mod hist;
+mod stats;
+mod table;
+
+pub use hist::{percentile, Histogram};
+pub use stats::{geometric_mean, improvement_ratio, percent_reduction, Summary};
+pub use table::{fmt_count, fmt_percent, fmt_ratio, Table};

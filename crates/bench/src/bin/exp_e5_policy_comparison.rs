@@ -1,0 +1,7 @@
+//! Regenerates experiment E5 (see DESIGN.md). `SCRUB_QUICK=1` for a
+//! CI-sized run.
+
+fn main() {
+    let scale = scrub_bench::Scale::from_env();
+    println!("{}", scrub_bench::experiments::e5::run(scale));
+}

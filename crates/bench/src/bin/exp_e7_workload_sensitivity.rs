@@ -1,0 +1,7 @@
+//! Regenerates experiment E7 (see DESIGN.md). `SCRUB_QUICK=1` for a
+//! CI-sized run.
+
+fn main() {
+    let scale = scrub_bench::Scale::from_env();
+    println!("{}", scrub_bench::experiments::e7::run(scale));
+}

@@ -1,0 +1,66 @@
+//! E10 — drift-parameter sensitivity: do the headline conclusions survive
+//! pessimistic/optimistic device assumptions?
+//!
+//! Paper analogue: the drift-coefficient sensitivity study.
+
+use pcm_analysis::{fmt_count, fmt_percent, fmt_ratio, improvement_ratio, percent_reduction, Table};
+use pcm_model::{DeviceConfig, DriftParams};
+use pcm_workloads::WorkloadId;
+use scrub_core::DemandTraffic;
+
+use crate::experiments::{baseline_policy, combined_policy, run_reps};
+use crate::scale::Scale;
+
+/// Drift severity multipliers swept.
+const NU_SCALES: [f64; 4] = [0.5, 1.0, 1.5, 2.0];
+/// Drift-exponent spreads swept (log-domain σ of ν).
+const SIGMAS: [f64; 2] = [0.3, 0.6];
+
+/// Runs E10 and renders its table.
+pub fn run(scale: Scale) -> String {
+    let (base_code, base_policy) = baseline_policy();
+    let (comb_code, comb_policy) = combined_policy();
+    let traffic = DemandTraffic::suite(WorkloadId::KvCache);
+    let mut out = String::from("E10: sensitivity to drift severity and spread (kv-cache)\n\n");
+    let mut table = Table::new(vec![
+        "nu_scale",
+        "sigma_ln_nu",
+        "UE_basic",
+        "UE_combined",
+        "UE_reduction",
+        "write_ratio",
+    ]);
+    for sigma in SIGMAS {
+        for nu_scale in NU_SCALES {
+            let device = DeviceConfig::builder()
+                .drift(DriftParams::new(sigma, 1.0).with_scale(nu_scale))
+                .build();
+            let b = run_reps(&scale, &device, &base_code, &base_policy, traffic, 0xE10);
+            let c = run_reps(&scale, &device, &comb_code, &comb_policy, traffic, 0xE10);
+            table.row(vec![
+                format!("{nu_scale:.1}"),
+                format!("{sigma:.1}"),
+                fmt_count(b.ue),
+                fmt_count(c.ue),
+                fmt_percent(percent_reduction(b.ue, c.ue)),
+                fmt_ratio(improvement_ratio(b.scrub_writes, c.scrub_writes)),
+            ]);
+        }
+    }
+    out.push_str(&table.render());
+    out.push_str(
+        "\nExpected shape: absolute UE counts move orders of magnitude with drift\n\
+         severity, but the combined mechanism's relative advantage persists\n\
+         across the sweep (the conclusion is not an artifact of one ν choice).\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn sweeps_cover_nominal() {
+        assert!(super::NU_SCALES.contains(&1.0));
+        assert!(super::SIGMAS.contains(&0.3));
+    }
+}

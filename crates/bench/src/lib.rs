@@ -1,0 +1,13 @@
+//! # scrub-bench — benchmark harness regenerating the paper's evaluation
+//!
+//! One module (and one binary) per experiment, E1–E12, as indexed in
+//! DESIGN.md. Each `run(scale)` returns the rendered table(s) the paper
+//! analogue reports; binaries print them. Criterion microbenches live
+//! under `benches/`.
+//!
+//! Set `SCRUB_QUICK=1` (or pass [`Scale::quick`]) for CI-sized runs.
+
+pub mod experiments;
+pub mod scale;
+
+pub use scale::Scale;

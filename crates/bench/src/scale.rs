@@ -1,0 +1,71 @@
+//! Experiment sizing: full (paper-scale) vs. quick (CI-scale).
+
+/// Sizing knobs shared by every experiment.
+///
+/// # Examples
+///
+/// ```
+/// use scrub_bench::Scale;
+/// let q = Scale::quick();
+/// let f = Scale::full();
+/// assert!(q.num_lines < f.num_lines);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scale {
+    /// Memory size in 64-byte lines.
+    pub num_lines: u32,
+    /// Simulated horizon (seconds).
+    pub horizon_s: f64,
+    /// Independent seeds averaged per configuration.
+    pub reps: u32,
+    /// Monte-Carlo cells for device-validation experiments.
+    pub mc_cells: usize,
+}
+
+impl Scale {
+    /// Paper-scale runs (tens of minutes of wall time for the full suite
+    /// on one core). Statistical weight comes from the line count × the
+    /// day-long horizon; per-configuration replication is deferred to the
+    /// seed-sweep hooks each experiment exposes.
+    pub fn full() -> Self {
+        Self {
+            num_lines: 16_384,
+            horizon_s: 86_400.0,
+            reps: 1,
+            mc_cells: 200_000,
+        }
+    }
+
+    /// CI-scale runs (seconds).
+    pub fn quick() -> Self {
+        Self {
+            num_lines: 8_192,
+            horizon_s: 12.0 * 3600.0,
+            reps: 1,
+            mc_cells: 20_000,
+        }
+    }
+
+    /// `quick()` when the `SCRUB_QUICK` environment variable is set to a
+    /// non-zero value, else `full()`.
+    pub fn from_env() -> Self {
+        match std::env::var("SCRUB_QUICK") {
+            Ok(v) if v != "0" && !v.is_empty() => Self::quick(),
+            _ => Self::full(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_is_smaller() {
+        let q = Scale::quick();
+        let f = Scale::full();
+        assert!(q.num_lines < f.num_lines);
+        assert!(q.horizon_s < f.horizon_s);
+        assert!(q.mc_cells < f.mc_cells);
+    }
+}

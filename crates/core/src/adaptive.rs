@@ -1,0 +1,300 @@
+//! Adaptive-rate scrub: per-region sweep intervals that respond to
+//! observed error pressure, trading soft-error risk against the hard-error
+//! wear and energy of scrubbing too eagerly.
+
+use pcm_memsim::{AccessResult, LineAddr, SimTime};
+
+use crate::policy::{ScrubAction, ScrubContext, ScrubPolicy};
+use crate::threshold::ThresholdScrub;
+
+/// Per-region sweep state shared by the adaptive policies.
+#[derive(Debug, Clone)]
+pub(crate) struct RegionState {
+    /// First line of the region.
+    pub start: u32,
+    /// One past the last line.
+    pub end: u32,
+    /// Next line to probe within the current pass.
+    pub cursor: u32,
+    /// When this region's next pass may begin.
+    pub next_due: SimTime,
+    /// Interval multiplier (AIMD state), bounded to
+    /// `[MIN_MULT, MAX_MULT]`.
+    pub mult: f64,
+    /// Probes issued in the current pass.
+    pub pass_probes: u64,
+    /// Persistent errors seen in the current pass.
+    pub pass_errors: u64,
+}
+
+pub(crate) const MIN_MULT: f64 = 0.25;
+pub(crate) const MAX_MULT: f64 = 4.0;
+
+/// Scheduler that owns the regions and the AIMD adaptation rule.
+#[derive(Debug, Clone)]
+pub(crate) struct RegionScheduler {
+    pub regions: Vec<RegionState>,
+    pub base_interval_s: f64,
+    /// Mean persistent errors per probed line above which a region's
+    /// interval halves.
+    pub speed_up_at: f64,
+    /// Mean below which it doubles.
+    pub slow_down_at: f64,
+    /// Region currently being swept, if any.
+    active: Option<usize>,
+}
+
+impl RegionScheduler {
+    pub fn new(num_lines: u32, num_regions: u32, base_interval_s: f64, theta: u32) -> Self {
+        assert!(num_regions >= 1 && num_regions <= num_lines, "bad region count");
+        let region_size = num_lines.div_ceil(num_regions);
+        let regions = (0..num_regions)
+            .map(|r| {
+                let start = r * region_size;
+                RegionState {
+                    start,
+                    end: ((r + 1) * region_size).min(num_lines),
+                    cursor: start,
+                    next_due: SimTime::ZERO,
+                    mult: 1.0,
+                    pass_probes: 0,
+                    pass_errors: 0,
+                }
+            })
+            .collect();
+        Self {
+            regions,
+            base_interval_s,
+            // Err toward catching errors: speed up once lines carry half
+            // the lazy-write-back budget, relax only when nearly clean.
+            speed_up_at: theta as f64 * 0.5,
+            slow_down_at: 0.25,
+            active: None,
+        }
+    }
+
+    /// Picks the next line to probe, or `None` if no region is due.
+    pub fn next_line(&mut self, now: SimTime) -> Option<LineAddr> {
+        if self.active.is_none() {
+            // Start the most overdue region, if any.
+            self.active = self
+                .regions
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.next_due <= now)
+                .min_by(|(_, a), (_, b)| {
+                    a.next_due
+                        .partial_cmp(&b.next_due)
+                        .expect("times are finite")
+                })
+                .map(|(i, _)| i);
+        }
+        let idx = self.active?;
+        let region = &mut self.regions[idx];
+        let addr = LineAddr(region.cursor);
+        region.cursor += 1;
+        if region.cursor >= region.end {
+            self.finish_pass(idx, now);
+        }
+        Some(addr)
+    }
+
+    /// Ends a region pass: adapts the multiplier from observed error
+    /// pressure and schedules the next pass.
+    fn finish_pass(&mut self, idx: usize, now: SimTime) {
+        let region = &mut self.regions[idx];
+        let per_line = if region.pass_probes == 0 {
+            0.0
+        } else {
+            region.pass_errors as f64 / region.pass_probes as f64
+        };
+        if per_line > self.speed_up_at {
+            region.mult = (region.mult * 0.5).max(MIN_MULT);
+        } else if per_line < self.slow_down_at {
+            region.mult = (region.mult * 2.0).min(MAX_MULT);
+        }
+        region.next_due = now + self.base_interval_s * region.mult;
+        region.cursor = region.start;
+        region.pass_probes = 0;
+        region.pass_errors = 0;
+        self.active = None;
+    }
+
+    /// Records a probe result for the active pass's statistics.
+    pub fn record_probe(&mut self, addr: LineAddr, persistent_bits: u32) {
+        // The probe belongs to whichever region contains the address; the
+        // active pass may already have rolled over, so locate by range.
+        if let Some(region) = self
+            .regions
+            .iter_mut()
+            .find(|r| addr.0 >= r.start && addr.0 < r.end)
+        {
+            region.pass_probes += 1;
+            region.pass_errors += persistent_bits as u64;
+        }
+    }
+
+    /// Mean interval multiplier across regions (diagnostic).
+    pub fn mean_mult(&self) -> f64 {
+        self.regions.iter().map(|r| r.mult).sum::<f64>() / self.regions.len() as f64
+    }
+}
+
+/// Adaptive-rate scrub: regions that stay clean get scrubbed up to 4×
+/// less often; regions under error pressure get scrubbed up to 4× more
+/// often. Combined with the lazy write-back threshold.
+///
+/// # Examples
+///
+/// ```
+/// use scrub_core::AdaptiveScrub;
+/// let p = AdaptiveScrub::new(900.0, 65_536, 5, 64);
+/// assert_eq!(p.num_regions(), 64);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AdaptiveScrub {
+    sched: RegionScheduler,
+    num_lines: u32,
+    theta: u32,
+}
+
+impl AdaptiveScrub {
+    /// Creates an adaptive scrubber with `num_regions` independently paced
+    /// regions over a base sweep interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if parameters are degenerate (zero lines/regions/theta,
+    /// non-positive interval, or more regions than lines).
+    pub fn new(base_interval_s: f64, num_lines: u32, theta: u32, num_regions: u32) -> Self {
+        assert!(base_interval_s > 0.0, "scrub interval must be positive");
+        assert!(num_lines > 0, "need at least one line");
+        assert!(theta >= 1, "theta must be >= 1");
+        Self {
+            sched: RegionScheduler::new(num_lines, num_regions, base_interval_s, theta),
+            num_lines,
+            theta,
+        }
+    }
+
+    /// Number of independently paced regions.
+    pub fn num_regions(&self) -> u32 {
+        self.sched.regions.len() as u32
+    }
+
+    /// Mean region interval multiplier (1.0 = base rate; >1 = relaxed).
+    pub fn mean_interval_multiplier(&self) -> f64 {
+        self.sched.mean_mult()
+    }
+}
+
+impl ScrubPolicy for AdaptiveScrub {
+    fn name(&self) -> &str {
+        "adaptive"
+    }
+
+    fn probe_gap_s(&self, _ctx: &ScrubContext<'_>) -> f64 {
+        // Slot pacing stays at the base rate; adaptation works by letting
+        // regions go idle (Idle slots consume no memory bandwidth).
+        self.sched.base_interval_s / self.num_lines as f64
+    }
+
+    fn next_action(&mut self, ctx: &ScrubContext<'_>) -> ScrubAction {
+        match self.sched.next_line(ctx.now) {
+            Some(addr) => ScrubAction::Probe(addr),
+            None => ScrubAction::Idle,
+        }
+    }
+
+    fn wants_writeback(
+        &mut self,
+        addr: LineAddr,
+        result: &AccessResult,
+        _ctx: &ScrubContext<'_>,
+    ) -> bool {
+        self.sched.record_probe(addr, result.persistent_bits);
+        ThresholdScrub::threshold_rule(self.theta, result)
+    }
+
+    fn on_demand_write(&mut self, _addr: LineAddr, _now: SimTime) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_partition_lines() {
+        let s = RegionScheduler::new(100, 7, 900.0, 4);
+        assert_eq!(s.regions.first().expect("nonempty").start, 0);
+        assert_eq!(s.regions.last().expect("nonempty").end, 100);
+        for w in s.regions.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+    }
+
+    #[test]
+    fn clean_region_slows_down() {
+        let mut s = RegionScheduler::new(10, 1, 100.0, 4);
+        let now = SimTime::from_secs(1.0);
+        for _ in 0..10 {
+            let addr = s.next_line(now).expect("due");
+            s.record_probe(addr, 0);
+        }
+        assert_eq!(s.regions[0].mult, 2.0);
+        assert!(s.regions[0].next_due > now + 199.0);
+        // Not due again until next_due.
+        assert!(s.next_line(now + 10.0).is_none());
+    }
+
+    #[test]
+    fn dirty_region_speeds_up() {
+        let mut s = RegionScheduler::new(10, 1, 100.0, 4);
+        let now = SimTime::from_secs(1.0);
+        for _ in 0..10 {
+            let addr = s.next_line(now).expect("due");
+            s.record_probe(addr, 5); // heavy error pressure
+        }
+        assert_eq!(s.regions[0].mult, 0.5);
+    }
+
+    #[test]
+    fn multiplier_stays_bounded() {
+        let mut s = RegionScheduler::new(4, 1, 1.0, 4);
+        let mut now = SimTime::from_secs(0.0);
+        for _ in 0..20 {
+            now += 1000.0;
+            for _ in 0..4 {
+                if let Some(addr) = s.next_line(now) {
+                    s.record_probe(addr, 0);
+                }
+            }
+        }
+        assert!(s.regions[0].mult <= MAX_MULT);
+        let mut s2 = RegionScheduler::new(4, 1, 1.0, 4);
+        let mut now = SimTime::from_secs(0.0);
+        for _ in 0..20 {
+            now += 1000.0;
+            for _ in 0..4 {
+                if let Some(addr) = s2.next_line(now) {
+                    s2.record_probe(addr, 9);
+                }
+            }
+        }
+        assert!(s2.regions[0].mult >= MIN_MULT);
+    }
+
+    #[test]
+    fn sweeps_cover_whole_region() {
+        let mut s = RegionScheduler::new(6, 2, 100.0, 4);
+        let now = SimTime::from_secs(1.0);
+        let mut seen = Vec::new();
+        for _ in 0..6 {
+            let a = s.next_line(now).expect("due");
+            s.record_probe(a, 0);
+            seen.push(a.0);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3, 4, 5]);
+    }
+}

@@ -1,0 +1,144 @@
+//! The baseline: DRAM-style basic scrub.
+
+use pcm_memsim::{AccessResult, LineAddr, SimTime};
+
+use crate::policy::{ScrubAction, ScrubContext, ScrubPolicy, SweepCursor};
+
+/// DRAM-heritage scrub: sweep every line once per `interval`, and write
+/// back whenever the probe finds *any* error.
+///
+/// This is the comparison baseline for every headline number in the paper:
+/// it neither exploits strong-ECC headroom (every single-bit error triggers
+/// a full write-back) nor line age (freshly written lines are probed as
+/// eagerly as week-old ones).
+///
+/// # Examples
+///
+/// ```
+/// use scrub_core::BasicScrub;
+/// let p = BasicScrub::new(900.0, 65_536);
+/// assert_eq!(p.interval_s(), 900.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BasicScrub {
+    interval_s: f64,
+    num_lines: u32,
+    cursor: SweepCursor,
+}
+
+impl BasicScrub {
+    /// Creates a basic scrubber sweeping `num_lines` once per
+    /// `interval_s` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval_s` is not positive or `num_lines` is zero.
+    pub fn new(interval_s: f64, num_lines: u32) -> Self {
+        assert!(interval_s > 0.0, "scrub interval must be positive");
+        assert!(num_lines > 0, "need at least one line");
+        Self {
+            interval_s,
+            num_lines,
+            cursor: SweepCursor::new(),
+        }
+    }
+
+    /// The full-sweep interval.
+    pub fn interval_s(&self) -> f64 {
+        self.interval_s
+    }
+}
+
+impl ScrubPolicy for BasicScrub {
+    fn name(&self) -> &str {
+        "basic"
+    }
+
+    fn probe_gap_s(&self, _ctx: &ScrubContext<'_>) -> f64 {
+        self.interval_s / self.num_lines as f64
+    }
+
+    fn next_action(&mut self, _ctx: &ScrubContext<'_>) -> ScrubAction {
+        let (addr, _) = self.cursor.advance(self.num_lines);
+        ScrubAction::Probe(addr)
+    }
+
+    fn wants_writeback(
+        &mut self,
+        _addr: LineAddr,
+        result: &AccessResult,
+        _ctx: &ScrubContext<'_>,
+    ) -> bool {
+        // Any detected error -> immediate corrective write.
+        !matches!(result.outcome, pcm_ecc::ClassifyOutcome::Clean)
+    }
+
+    fn on_demand_write(&mut self, _addr: LineAddr, _now: SimTime) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcm_ecc::{ClassifyOutcome, CodeSpec};
+    use pcm_memsim::{MemGeometry, Memory};
+    use pcm_model::DeviceConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ctx_mem() -> Memory {
+        let mut rng = StdRng::seed_from_u64(1);
+        Memory::new(
+            MemGeometry::new(16, 2),
+            DeviceConfig::default(),
+            CodeSpec::secded_line(),
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn sweeps_in_physical_order() {
+        let mem = ctx_mem();
+        let mut p = BasicScrub::new(160.0, 16);
+        let ctx = ScrubContext {
+            now: SimTime::ZERO,
+            mem: &mem,
+        };
+        for i in 0..16 {
+            assert_eq!(p.next_action(&ctx), ScrubAction::Probe(LineAddr(i)));
+        }
+        assert_eq!(p.next_action(&ctx), ScrubAction::Probe(LineAddr(0)));
+    }
+
+    #[test]
+    fn gap_is_interval_over_lines() {
+        let mem = ctx_mem();
+        let p = BasicScrub::new(160.0, 16);
+        let ctx = ScrubContext {
+            now: SimTime::ZERO,
+            mem: &mem,
+        };
+        assert!((p.probe_gap_s(&ctx) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn writes_back_on_any_error() {
+        let mem = ctx_mem();
+        let mut p = BasicScrub::new(160.0, 16);
+        let ctx = ScrubContext {
+            now: SimTime::ZERO,
+            mem: &mem,
+        };
+        let clean = AccessResult {
+            outcome: ClassifyOutcome::Clean,
+            persistent_bits: 0,
+            new_ue: false,
+        };
+        let one = AccessResult {
+            outcome: ClassifyOutcome::Corrected { bits: 1 },
+            persistent_bits: 1,
+            new_ue: false,
+        };
+        assert!(!p.wants_writeback(LineAddr(0), &clean, &ctx));
+        assert!(p.wants_writeback(LineAddr(0), &one, &ctx));
+    }
+}

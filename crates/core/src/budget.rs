@@ -1,0 +1,227 @@
+//! Budget scrub: a feedback controller that spends exactly as much
+//! scrubbing as a reliability target requires.
+//!
+//! The paper's adaptive mechanisms trade soft errors against write wear by
+//! reacting to error *counts*; this extension closes the loop on the
+//! metric operators actually contract on — uncorrectable errors per
+//! GiB-day. The sweep interval is adjusted multiplicatively: halve it when
+//! the observed UE rate exceeds the budget, relax it when the rate is
+//! comfortably below.
+
+use pcm_memsim::{AccessResult, LineAddr, SimTime};
+
+use crate::policy::{ScrubAction, ScrubContext, ScrubPolicy, SweepCursor};
+use crate::threshold::ThresholdScrub;
+
+/// Bounds on the dynamic interval, as multiples of the base interval.
+const MIN_FACTOR: f64 = 1.0 / 16.0;
+const MAX_FACTOR: f64 = 16.0;
+
+/// Feedback scrub: sweeps with a lazy write-back threshold while servoing
+/// the sweep interval onto a UE-rate budget.
+///
+/// # Examples
+///
+/// ```
+/// use scrub_core::BudgetScrub;
+/// let p = BudgetScrub::new(900.0, 65_536, 4, 10.0, 6.0 * 3600.0);
+/// assert_eq!(p.current_interval_s(), 900.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BudgetScrub {
+    base_interval_s: f64,
+    interval_s: f64,
+    num_lines: u32,
+    theta: u32,
+    /// Target uncorrectable errors per GiB-day.
+    target_ue_per_gib_day: f64,
+    /// Adjustment window length.
+    window_s: f64,
+    window_start: SimTime,
+    window_ues: u64,
+    cursor: SweepCursor,
+}
+
+impl BudgetScrub {
+    /// Creates a budget scrubber.
+    ///
+    /// * `base_interval_s` — initial sweep interval.
+    /// * `theta` — lazy write-back threshold.
+    /// * `target_ue_per_gib_day` — the reliability contract.
+    /// * `window_s` — how often the controller adjusts.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive intervals/windows/targets or `theta == 0`.
+    pub fn new(
+        base_interval_s: f64,
+        num_lines: u32,
+        theta: u32,
+        target_ue_per_gib_day: f64,
+        window_s: f64,
+    ) -> Self {
+        assert!(base_interval_s > 0.0, "interval must be positive");
+        assert!(num_lines > 0, "need at least one line");
+        assert!(theta >= 1, "theta must be >= 1");
+        assert!(target_ue_per_gib_day > 0.0, "target must be positive");
+        assert!(window_s > 0.0, "window must be positive");
+        Self {
+            base_interval_s,
+            interval_s: base_interval_s,
+            num_lines,
+            theta,
+            target_ue_per_gib_day,
+            window_s,
+            window_start: SimTime::ZERO,
+            window_ues: 0,
+            cursor: SweepCursor::new(),
+        }
+    }
+
+    /// The interval the controller is currently running at.
+    pub fn current_interval_s(&self) -> f64 {
+        self.interval_s
+    }
+
+    /// Observed UE rate in the current window, normalized to per-GiB-day.
+    fn window_rate(&self, now: SimTime) -> f64 {
+        let elapsed = now.since(self.window_start).max(1.0);
+        let gib = self.num_lines as f64 * 64.0 / (1u64 << 30) as f64;
+        self.window_ues as f64 / gib / (elapsed / 86_400.0)
+    }
+
+    fn maybe_adjust(&mut self, now: SimTime) {
+        if now.since(self.window_start) < self.window_s {
+            return;
+        }
+        let rate = self.window_rate(now);
+        let lo = self.base_interval_s * MIN_FACTOR;
+        let hi = self.base_interval_s * MAX_FACTOR;
+        if rate > self.target_ue_per_gib_day {
+            self.interval_s = (self.interval_s * 0.5).max(lo);
+        } else if rate < self.target_ue_per_gib_day * 0.25 {
+            self.interval_s = (self.interval_s * 1.5).min(hi);
+        }
+        self.window_start = now;
+        self.window_ues = 0;
+    }
+}
+
+impl ScrubPolicy for BudgetScrub {
+    fn name(&self) -> &str {
+        "budget"
+    }
+
+    fn probe_gap_s(&self, _ctx: &ScrubContext<'_>) -> f64 {
+        self.interval_s / self.num_lines as f64
+    }
+
+    fn next_action(&mut self, ctx: &ScrubContext<'_>) -> ScrubAction {
+        self.maybe_adjust(ctx.now);
+        let (addr, _) = self.cursor.advance(self.num_lines);
+        ScrubAction::Probe(addr)
+    }
+
+    fn wants_writeback(
+        &mut self,
+        _addr: LineAddr,
+        result: &AccessResult,
+        _ctx: &ScrubContext<'_>,
+    ) -> bool {
+        if result.new_ue {
+            self.window_ues += 1;
+        }
+        ThresholdScrub::threshold_rule(self.theta, result)
+    }
+
+    fn on_demand_write(&mut self, _addr: LineAddr, _now: SimTime) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcm_ecc::{ClassifyOutcome, CodeSpec};
+    use pcm_memsim::{MemGeometry, Memory};
+    use pcm_model::DeviceConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ctx_mem() -> Memory {
+        let mut rng = StdRng::seed_from_u64(7);
+        Memory::new(
+            MemGeometry::new(64, 2),
+            DeviceConfig::default(),
+            CodeSpec::bch_line(6),
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn interval_shrinks_under_ue_pressure() {
+        let mem = ctx_mem();
+        let mut p = BudgetScrub::new(900.0, 64, 4, 1.0, 100.0);
+        let ue = AccessResult {
+            outcome: ClassifyOutcome::DetectedUncorrectable,
+            persistent_bits: 9,
+            new_ue: true,
+        };
+        // Report a burst of UEs, then cross a window boundary.
+        for _ in 0..20 {
+            let ctx = ScrubContext {
+                now: SimTime::from_secs(50.0),
+                mem: &mem,
+            };
+            p.wants_writeback(LineAddr(0), &ue, &ctx);
+        }
+        let ctx = ScrubContext {
+            now: SimTime::from_secs(150.0),
+            mem: &mem,
+        };
+        p.next_action(&ctx);
+        assert!(p.current_interval_s() < 900.0, "interval should shrink");
+    }
+
+    #[test]
+    fn interval_relaxes_when_clean() {
+        let mem = ctx_mem();
+        let mut p = BudgetScrub::new(900.0, 64, 4, 1.0, 100.0);
+        for k in 1..=5u32 {
+            let ctx = ScrubContext {
+                now: SimTime::from_secs(150.0 * k as f64),
+                mem: &mem,
+            };
+            p.next_action(&ctx);
+        }
+        assert!(p.current_interval_s() > 900.0, "interval should relax");
+    }
+
+    #[test]
+    fn interval_stays_bounded() {
+        let mem = ctx_mem();
+        let mut p = BudgetScrub::new(100.0, 64, 4, 0.001, 10.0);
+        let ue = AccessResult {
+            outcome: ClassifyOutcome::DetectedUncorrectable,
+            persistent_bits: 9,
+            new_ue: true,
+        };
+        for k in 1..=50u32 {
+            let ctx = ScrubContext {
+                now: SimTime::from_secs(20.0 * k as f64),
+                mem: &mem,
+            };
+            p.wants_writeback(LineAddr(0), &ue, &ctx);
+            p.next_action(&ctx);
+        }
+        assert!(p.current_interval_s() >= 100.0 * MIN_FACTOR - 1e-9);
+        // And under permanent cleanliness it caps at MAX_FACTOR.
+        let mut q = BudgetScrub::new(100.0, 64, 4, 1000.0, 10.0);
+        for k in 1..=50u32 {
+            let ctx = ScrubContext {
+                now: SimTime::from_secs(20.0 * k as f64),
+                mem: &mem,
+            };
+            q.next_action(&ctx);
+        }
+        assert!(q.current_interval_s() <= 100.0 * MAX_FACTOR + 1e-9);
+    }
+}

@@ -1,0 +1,220 @@
+//! Declarative policy configuration, so experiments can enumerate
+//! mechanisms as data.
+
+use crate::adaptive::AdaptiveScrub;
+use crate::age_aware::AgeAwareScrub;
+use crate::basic::BasicScrub;
+use crate::combined::CombinedScrub;
+use crate::policy::ScrubPolicy;
+use crate::threshold::ThresholdScrub;
+
+/// A scrub mechanism plus its parameters, as plain data.
+///
+/// # Examples
+///
+/// ```
+/// use scrub_core::PolicyKind;
+/// let kind = PolicyKind::combined_default(900.0);
+/// let policy = kind.build(65_536).expect("combined scrubs");
+/// assert_eq!(policy.name(), "combined");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum PolicyKind {
+    /// No scrubbing at all (motivation experiments).
+    None,
+    /// DRAM-style: sweep at `interval_s`, write back on any error.
+    Basic {
+        /// Full-sweep interval (seconds).
+        interval_s: f64,
+    },
+    /// Lazy write-back at `theta` accumulated errors.
+    Threshold {
+        /// Full-sweep interval (seconds).
+        interval_s: f64,
+        /// Write-back threshold (bit errors).
+        theta: u32,
+    },
+    /// Threshold plus skipping of lines younger than `min_age_s`.
+    AgeAware {
+        /// Full-sweep interval (seconds).
+        interval_s: f64,
+        /// Write-back threshold (bit errors).
+        theta: u32,
+        /// Minimum line age worth probing (seconds).
+        min_age_s: f64,
+    },
+    /// Threshold plus per-region AIMD pacing.
+    Adaptive {
+        /// Base full-sweep interval (seconds).
+        interval_s: f64,
+        /// Write-back threshold (bit errors).
+        theta: u32,
+        /// Number of independently paced regions.
+        regions: u32,
+    },
+    /// Feedback controller servoing the sweep interval onto a UE budget
+    /// (extension mechanism).
+    Budget {
+        /// Initial sweep interval (seconds).
+        interval_s: f64,
+        /// Write-back threshold (bit errors).
+        theta: u32,
+        /// Target uncorrectable errors per GiB-day.
+        target_ue_per_gib_day: f64,
+        /// Controller adjustment window (seconds).
+        window_s: f64,
+    },
+    /// Everything together (the paper's proposed mechanism).
+    Combined {
+        /// Base full-sweep interval (seconds).
+        interval_s: f64,
+        /// Write-back threshold (bit errors).
+        theta: u32,
+        /// Number of independently paced regions.
+        regions: u32,
+        /// Minimum line age worth probing (seconds).
+        min_age_s: f64,
+    },
+}
+
+impl PolicyKind {
+    /// The evaluation's default combined configuration for a given base
+    /// interval: θ=4 (BCH-6 with a two-error guard band), 64 regions, age filter at
+    /// two-thirds of the sweep interval.
+    pub fn combined_default(interval_s: f64) -> Self {
+        PolicyKind::Combined {
+            interval_s,
+            theta: 4,
+            regions: 64,
+            min_age_s: interval_s * 2.0 / 3.0,
+        }
+    }
+
+    /// Instantiates the policy for a memory of `num_lines` lines;
+    /// `None` yields no policy.
+    pub fn build(&self, num_lines: u32) -> Option<Box<dyn ScrubPolicy>> {
+        match *self {
+            PolicyKind::None => None,
+            PolicyKind::Basic { interval_s } => {
+                Some(Box::new(BasicScrub::new(interval_s, num_lines)))
+            }
+            PolicyKind::Threshold { interval_s, theta } => {
+                Some(Box::new(ThresholdScrub::new(interval_s, num_lines, theta)))
+            }
+            PolicyKind::AgeAware {
+                interval_s,
+                theta,
+                min_age_s,
+            } => Some(Box::new(AgeAwareScrub::new(
+                interval_s, num_lines, theta, min_age_s,
+            ))),
+            PolicyKind::Adaptive {
+                interval_s,
+                theta,
+                regions,
+            } => Some(Box::new(AdaptiveScrub::new(
+                interval_s, num_lines, theta, regions,
+            ))),
+            PolicyKind::Budget {
+                interval_s,
+                theta,
+                target_ue_per_gib_day,
+                window_s,
+            } => Some(Box::new(crate::budget::BudgetScrub::new(
+                interval_s,
+                num_lines,
+                theta,
+                target_ue_per_gib_day,
+                window_s,
+            ))),
+            PolicyKind::Combined {
+                interval_s,
+                theta,
+                regions,
+                min_age_s,
+            } => Some(Box::new(CombinedScrub::new(
+                interval_s, num_lines, theta, regions, min_age_s,
+            ))),
+        }
+    }
+
+    /// Human-readable label with key parameters, for report rows.
+    pub fn label(&self) -> String {
+        match self {
+            PolicyKind::None => "none".to_string(),
+            PolicyKind::Basic { interval_s } => format!("basic(i={interval_s}s)"),
+            PolicyKind::Threshold { interval_s, theta } => {
+                format!("threshold(i={interval_s}s,th={theta})")
+            }
+            PolicyKind::AgeAware {
+                interval_s,
+                theta,
+                min_age_s,
+            } => format!("age-aware(i={interval_s}s,th={theta},age={min_age_s}s)"),
+            PolicyKind::Adaptive {
+                interval_s,
+                theta,
+                regions,
+            } => format!("adaptive(i={interval_s}s,th={theta},r={regions})"),
+            PolicyKind::Budget {
+                interval_s,
+                theta,
+                target_ue_per_gib_day,
+                window_s,
+            } => format!(
+                "budget(i={interval_s}s,th={theta},target={target_ue_per_gib_day}/GiB-day,w={window_s}s)"
+            ),
+            PolicyKind::Combined {
+                interval_s,
+                theta,
+                regions,
+                min_age_s,
+            } => format!("combined(i={interval_s}s,th={theta},r={regions},age={min_age_s}s)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_all_kinds() {
+        let kinds = [
+            PolicyKind::Basic { interval_s: 900.0 },
+            PolicyKind::Threshold {
+                interval_s: 900.0,
+                theta: 3,
+            },
+            PolicyKind::AgeAware {
+                interval_s: 900.0,
+                theta: 3,
+                min_age_s: 100.0,
+            },
+            PolicyKind::Adaptive {
+                interval_s: 900.0,
+                theta: 3,
+                regions: 8,
+            },
+            PolicyKind::Budget {
+                interval_s: 900.0,
+                theta: 3,
+                target_ue_per_gib_day: 10.0,
+                window_s: 3600.0,
+            },
+            PolicyKind::combined_default(900.0),
+        ];
+        let names = ["basic", "threshold", "age-aware", "adaptive", "budget", "combined"];
+        for (k, want) in kinds.iter().zip(names) {
+            let p = k.build(1024).expect("scrubbing kind");
+            assert_eq!(p.name(), want);
+            assert!(!k.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn none_builds_nothing() {
+        assert!(PolicyKind::None.build(1024).is_none());
+        assert_eq!(PolicyKind::None.label(), "none");
+    }
+}

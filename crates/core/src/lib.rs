@@ -1,0 +1,59 @@
+//! # scrub-core — drift-aware scrub mechanisms for error-prone memories
+//!
+//! The primary contribution of the HPCA 2012 reproduction: scrub
+//! mechanisms tailored to MLC-PCM resistance drift, which trade off soft
+//! errors (drift accumulating past ECC capability) against hard errors and
+//! energy (every corrective write-back wears cells and burns ~15× a read's
+//! energy).
+//!
+//! ## Mechanisms
+//!
+//! | Policy | Idea |
+//! |--------|------|
+//! | [`BasicScrub`] | DRAM-style baseline: sweep + write back on any error |
+//! | [`ThresholdScrub`] | lightweight detection, lazy write-back at θ errors |
+//! | [`AgeAwareScrub`] | skip lines too young to have drifted |
+//! | [`AdaptiveScrub`] | per-region AIMD sweep pacing |
+//! | [`CombinedScrub`] | all of the above (the paper's proposal) |
+//!
+//! ## Running an experiment
+//!
+//! ```
+//! use scrub_core::{DemandTraffic, PolicyKind, SimConfig, Simulation};
+//! use pcm_workloads::WorkloadId;
+//!
+//! let report = Simulation::new(
+//!     SimConfig::builder()
+//!         .num_lines(4096)
+//!         .policy(PolicyKind::combined_default(900.0))
+//!         .traffic(DemandTraffic::suite(WorkloadId::WebServe))
+//!         .horizon_s(6.0 * 3600.0)
+//!         .build(),
+//! )
+//! .run();
+//! println!("{report}");
+//! ```
+
+mod adaptive;
+mod age_aware;
+mod basic;
+mod budget;
+mod combined;
+mod config;
+mod engine;
+mod policy;
+mod report;
+mod sim;
+mod threshold;
+
+pub use adaptive::AdaptiveScrub;
+pub use age_aware::AgeAwareScrub;
+pub use basic::BasicScrub;
+pub use budget::BudgetScrub;
+pub use combined::CombinedScrub;
+pub use config::PolicyKind;
+pub use engine::{EngineStats, ScrubEngine};
+pub use policy::{ScrubAction, ScrubContext, ScrubPolicy, SweepCursor};
+pub use report::SimReport;
+pub use sim::{DemandTraffic, SimConfig, SimConfigBuilder, Simulation};
+pub use threshold::ThresholdScrub;

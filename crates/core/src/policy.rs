@@ -1,0 +1,97 @@
+//! The scrub-policy abstraction every mechanism implements.
+
+use std::fmt;
+
+use pcm_memsim::{AccessResult, LineAddr, Memory, SimTime};
+
+/// Read-only context a policy sees when deciding its next move.
+#[derive(Debug)]
+pub struct ScrubContext<'a> {
+    /// Current simulation time.
+    pub now: SimTime,
+    /// The memory being scrubbed (for line ages, geometry, code).
+    pub mem: &'a Memory,
+}
+
+/// What the policy wants to do with its next scrub slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScrubAction {
+    /// Probe this line (read + syndrome check).
+    Probe(LineAddr),
+    /// Spend the slot idle (e.g. every candidate line is too young to be
+    /// worth probing).
+    Idle,
+}
+
+/// A scrub mechanism: decides *which* lines to probe *when*, and whether a
+/// probed line earns an (expensive, wear-inducing) corrective write-back.
+///
+/// The [`crate::ScrubEngine`] drives implementations one slot at a time:
+/// `probe_gap_s` sets the pacing, `next_action` picks the victim,
+/// `on_probe` decides the write-back, and `on_demand_write` lets policies
+/// track drift-clock resets caused by program writes.
+pub trait ScrubPolicy: fmt::Debug {
+    /// Short name for reports, e.g. `"basic"`.
+    fn name(&self) -> &str;
+
+    /// Seconds between scrub slots *right now* (adaptive policies change
+    /// this over time).
+    fn probe_gap_s(&self, ctx: &ScrubContext<'_>) -> f64;
+
+    /// Chooses the next slot's action.
+    fn next_action(&mut self, ctx: &ScrubContext<'_>) -> ScrubAction;
+
+    /// Inspects a probe result; `true` requests a corrective write-back.
+    /// Uncorrectable lines are always written back by the engine (data is
+    /// restored from higher-level redundancy) regardless of this answer.
+    fn wants_writeback(
+        &mut self,
+        addr: LineAddr,
+        result: &AccessResult,
+        ctx: &ScrubContext<'_>,
+    ) -> bool;
+
+    /// Notification that a demand write refreshed `addr` at `now`.
+    fn on_demand_write(&mut self, _addr: LineAddr, _now: SimTime) {}
+}
+
+/// Round-robin sweep cursor shared by the concrete policies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SweepCursor {
+    next: u32,
+}
+
+impl SweepCursor {
+    /// Starts a sweep at line 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the current line and advances, wrapping at `num_lines`.
+    /// Also reports whether this call completed a full sweep.
+    pub fn advance(&mut self, num_lines: u32) -> (LineAddr, bool) {
+        let addr = LineAddr(self.next);
+        self.next = (self.next + 1) % num_lines;
+        (addr, self.next == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cursor_wraps_and_flags_sweep_end() {
+        let mut c = SweepCursor::new();
+        let (a0, end0) = c.advance(3);
+        assert_eq!(a0, LineAddr(0));
+        assert!(!end0);
+        let (_, end1) = c.advance(3);
+        assert!(!end1);
+        let (a2, end2) = c.advance(3);
+        assert_eq!(a2, LineAddr(2));
+        assert!(end2);
+        let (a3, _) = c.advance(3);
+        assert_eq!(a3, LineAddr(0));
+    }
+}

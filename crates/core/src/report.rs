@@ -1,0 +1,215 @@
+//! Simulation result record: everything the experiments report.
+
+use std::fmt;
+
+use pcm_memsim::MemStats;
+
+use crate::engine::EngineStats;
+
+/// Outcome of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Workload name.
+    pub workload: String,
+    /// Policy label (with parameters).
+    pub policy: String,
+    /// Line-code name.
+    pub code: String,
+    /// Simulated horizon in seconds.
+    pub horizon_s: f64,
+    /// Memory size in lines.
+    pub num_lines: u32,
+    /// Memory-side counters.
+    pub stats: MemStats,
+    /// Engine-side counters (zeroed when no scrubbing ran).
+    pub engine: EngineStats,
+    /// Scrub-attributed energy (µJ).
+    pub scrub_energy_uj: f64,
+    /// Demand-attributed energy (µJ).
+    pub demand_energy_uj: f64,
+    /// Mean line wear (writes per line).
+    pub mean_wear: f64,
+    /// Maximum line wear.
+    pub max_wear: u32,
+    /// Permanently failed cells across the memory.
+    pub worn_cells: u64,
+    /// Fraction of channel time spent on scrub traffic.
+    pub scrub_utilization: f64,
+    /// Contention-adjusted average demand-read latency (ns), from the
+    /// utilization estimate.
+    pub demand_read_latency_ns: f64,
+    /// Measured average demand-read latency (ns): service time plus the
+    /// bank-queueing delays actually suffered.
+    pub measured_read_latency_ns: f64,
+}
+
+impl SimReport {
+    /// All uncorrectable errors (detected + silent).
+    pub fn uncorrectable(&self) -> u64 {
+        self.stats.uncorrectable()
+    }
+
+    /// Scrub write-backs issued.
+    pub fn scrub_writes(&self) -> u64 {
+        self.stats.scrub_writebacks
+    }
+
+    /// Uncorrectable errors per GiB per day — a capacity- and
+    /// horizon-independent failure rate.
+    pub fn ue_per_gib_day(&self) -> f64 {
+        let gib = self.num_lines as f64 * 64.0 / (1u64 << 30) as f64;
+        let days = self.horizon_s / 86_400.0;
+        if gib <= 0.0 || days <= 0.0 {
+            0.0
+        } else {
+            self.uncorrectable() as f64 / gib / days
+        }
+    }
+
+    /// Scrub energy per line per day (nJ) — normalized for comparisons.
+    pub fn scrub_energy_nj_per_line_day(&self) -> f64 {
+        let days = self.horizon_s / 86_400.0;
+        if days <= 0.0 {
+            0.0
+        } else {
+            self.scrub_energy_uj * 1e3 / self.num_lines as f64 / days
+        }
+    }
+
+    /// Header row matching [`SimReport::csv_row`], for spreadsheet export.
+    pub fn csv_header() -> &'static str {
+        "workload,policy,code,horizon_s,num_lines,ue_total,ue_detected,ue_silent,\
+         ue_demand,scrub_probes,scrub_writebacks,demand_reads,demand_writes,\
+         wear_level_writes,corrected_bits,scrub_energy_uj,demand_energy_uj,\
+         mean_wear,max_wear,worn_cells,scrub_utilization,read_latency_ns"
+    }
+
+    /// One CSV row of this report's key figures.
+    pub fn csv_row(&self) -> String {
+        format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.3},{:.3},{:.3},{},{},{:.6},{:.1}",
+            self.workload,
+            self.policy,
+            self.code,
+            self.horizon_s,
+            self.num_lines,
+            self.uncorrectable(),
+            self.stats.detected_ue,
+            self.stats.miscorrections,
+            self.stats.demand_ue,
+            self.stats.scrub_probes,
+            self.stats.scrub_writebacks,
+            self.stats.demand_reads,
+            self.stats.demand_writes,
+            self.stats.wear_level_writes,
+            self.stats.corrected_bits,
+            self.scrub_energy_uj,
+            self.demand_energy_uj,
+            self.mean_wear,
+            self.max_wear,
+            self.worn_cells,
+            self.scrub_utilization,
+            self.measured_read_latency_ns,
+        )
+    }
+}
+
+impl fmt::Display for SimReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "[{} | {} | {}] horizon={:.1}h lines={}",
+            self.workload,
+            self.policy,
+            self.code,
+            self.horizon_s / 3600.0,
+            self.num_lines
+        )?;
+        writeln!(
+            f,
+            "  UE={} (detected={} silent={} demand-visible={})",
+            self.uncorrectable(),
+            self.stats.detected_ue,
+            self.stats.miscorrections,
+            self.stats.demand_ue
+        )?;
+        writeln!(
+            f,
+            "  scrub: probes={} writebacks={} idle-slots={} energy={:.1}uJ",
+            self.stats.scrub_probes,
+            self.stats.scrub_writebacks,
+            self.engine.idle_slots,
+            self.scrub_energy_uj
+        )?;
+        write!(
+            f,
+            "  wear: mean={:.2} max={} worn-cells={} | scrub-bw={:.2}% read-lat={:.0}ns",
+            self.mean_wear,
+            self.max_wear,
+            self.worn_cells,
+            self.scrub_utilization * 100.0,
+            self.demand_read_latency_ns
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> SimReport {
+        SimReport {
+            workload: "w".into(),
+            policy: "p".into(),
+            code: "c".into(),
+            horizon_s: 86_400.0,
+            num_lines: 1 << 24, // exactly 1 GiB of 64B lines
+            stats: MemStats {
+                detected_ue: 10,
+                miscorrections: 2,
+                scrub_writebacks: 7,
+                ..MemStats::default()
+            },
+            engine: EngineStats::default(),
+            scrub_energy_uj: 100.0,
+            demand_energy_uj: 50.0,
+            mean_wear: 1.5,
+            max_wear: 3,
+            worn_cells: 0,
+            scrub_utilization: 0.01,
+            demand_read_latency_ns: 121.0,
+            measured_read_latency_ns: 121.5,
+        }
+    }
+
+    #[test]
+    fn normalized_rates() {
+        let r = report();
+        assert_eq!(r.uncorrectable(), 12);
+        assert!((r.ue_per_gib_day() - 12.0).abs() < 1e-9);
+        assert!(r.scrub_energy_nj_per_line_day() > 0.0);
+    }
+
+    #[test]
+    fn display_mentions_key_numbers() {
+        let s = report().to_string();
+        assert!(s.contains("UE=12"));
+        assert!(s.contains("writebacks=7"));
+    }
+
+    #[test]
+    fn csv_row_matches_header_arity() {
+        let header_cols = SimReport::csv_header().split(',').count();
+        let row_cols = report().csv_row().split(',').count();
+        assert_eq!(header_cols, row_cols);
+        // No stray whitespace tokens from the multi-line header literal.
+        assert!(!SimReport::csv_header().contains("  "));
+    }
+
+    #[test]
+    fn csv_row_contains_identifiers() {
+        let row = report().csv_row();
+        assert!(row.starts_with("w,p,c,"));
+        assert!(row.contains(",12,")); // uncorrectable total appears
+    }
+}

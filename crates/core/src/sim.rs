@@ -1,0 +1,515 @@
+//! Top-level simulation: workload + memory + scrub engine, one event loop.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use pcm_ecc::CodeSpec;
+use pcm_memsim::{MemGeometry, MemOp, Memory, OpKind, ProbeKind, SimTime, TraceSource};
+use pcm_model::DeviceConfig;
+use pcm_workloads::WorkloadId;
+
+use crate::config::PolicyKind;
+use crate::engine::ScrubEngine;
+use crate::report::SimReport;
+
+/// Demand-traffic selection for a run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DemandTraffic {
+    /// No demand traffic: an idle (worst-case-drift) memory.
+    Idle,
+    /// One of the named suite workloads at a rate multiplier.
+    Suite {
+        /// Which workload.
+        id: WorkloadId,
+        /// Rate multiplier (1.0 = nominal).
+        rate_scale: f64,
+    },
+}
+
+impl DemandTraffic {
+    /// Nominal-rate suite traffic.
+    pub fn suite(id: WorkloadId) -> Self {
+        DemandTraffic::Suite {
+            id,
+            rate_scale: 1.0,
+        }
+    }
+
+    fn label(&self) -> String {
+        match self {
+            DemandTraffic::Idle => "idle".to_string(),
+            DemandTraffic::Suite { id, rate_scale } => {
+                if (*rate_scale - 1.0).abs() < 1e-12 {
+                    id.name().to_string()
+                } else {
+                    format!("{}(x{rate_scale})", id.name())
+                }
+            }
+        }
+    }
+}
+
+/// Everything a run needs, as data. Construct with
+/// [`SimConfig::builder`].
+///
+/// # Examples
+///
+/// ```
+/// use scrub_core::{DemandTraffic, PolicyKind, SimConfig, Simulation};
+/// use pcm_workloads::WorkloadId;
+///
+/// let config = SimConfig::builder()
+///     .num_lines(2048)
+///     .policy(PolicyKind::Basic { interval_s: 900.0 })
+///     .traffic(DemandTraffic::suite(WorkloadId::KvCache))
+///     .horizon_s(3600.0)
+///     .seed(7)
+///     .build();
+/// let report = Simulation::new(config).run();
+/// assert!(report.stats.scrub_probes > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Memory geometry.
+    pub geometry: MemGeometry,
+    /// Device physics.
+    pub device: DeviceConfig,
+    /// Line code.
+    pub code: CodeSpec,
+    /// Scrub mechanism.
+    pub policy: PolicyKind,
+    /// Demand traffic.
+    pub traffic: DemandTraffic,
+    /// Simulated horizon (seconds).
+    pub horizon_s: f64,
+    /// Seed for every stochastic component.
+    pub seed: u64,
+    /// Start-Gap wear leveling rotation period (writes per gap move), or
+    /// `None` to disable. See [`pcm_memsim::StartGap`].
+    pub wear_leveling: Option<u32>,
+    /// In-band scrub: a demand read observing at least this many resident
+    /// errors triggers an immediate corrective write-back (an extension
+    /// mechanism; `None` = scrub probes only).
+    pub inband_writeback_theta: Option<u32>,
+    /// How scrub probes check lines (full decode vs. CRC-first).
+    pub probe_kind: ProbeKind,
+}
+
+impl SimConfig {
+    /// Starts a builder with evaluation defaults: 64 Ki lines, nominal
+    /// MLC-2 device, BCH-6, combined policy at a 15-minute sweep,
+    /// `db-oltp` traffic, a 1-day horizon, seed 0.
+    pub fn builder() -> SimConfigBuilder {
+        SimConfigBuilder::default()
+    }
+}
+
+/// Builder for [`SimConfig`].
+#[derive(Debug, Clone)]
+pub struct SimConfigBuilder {
+    num_lines: u32,
+    banks: u32,
+    device: DeviceConfig,
+    code: CodeSpec,
+    policy: PolicyKind,
+    traffic: DemandTraffic,
+    horizon_s: f64,
+    seed: u64,
+    wear_leveling: Option<u32>,
+    inband_writeback_theta: Option<u32>,
+    probe_kind: ProbeKind,
+}
+
+impl Default for SimConfigBuilder {
+    fn default() -> Self {
+        Self {
+            num_lines: 65_536,
+            banks: 8,
+            device: DeviceConfig::default(),
+            code: CodeSpec::bch_line(6),
+            policy: PolicyKind::combined_default(900.0),
+            traffic: DemandTraffic::suite(WorkloadId::DbOltp),
+            horizon_s: 86_400.0,
+            seed: 0,
+            wear_leveling: None,
+            inband_writeback_theta: None,
+            probe_kind: ProbeKind::FullDecode,
+        }
+    }
+}
+
+impl SimConfigBuilder {
+    /// Sets the number of 64-byte lines.
+    pub fn num_lines(&mut self, n: u32) -> &mut Self {
+        self.num_lines = n;
+        self
+    }
+
+    /// Sets the bank count.
+    pub fn banks(&mut self, b: u32) -> &mut Self {
+        self.banks = b;
+        self
+    }
+
+    /// Sets the device physics.
+    pub fn device(&mut self, d: DeviceConfig) -> &mut Self {
+        self.device = d;
+        self
+    }
+
+    /// Sets the line code.
+    pub fn code(&mut self, c: CodeSpec) -> &mut Self {
+        self.code = c;
+        self
+    }
+
+    /// Sets the scrub policy.
+    pub fn policy(&mut self, p: PolicyKind) -> &mut Self {
+        self.policy = p;
+        self
+    }
+
+    /// Sets the demand traffic.
+    pub fn traffic(&mut self, t: DemandTraffic) -> &mut Self {
+        self.traffic = t;
+        self
+    }
+
+    /// Sets the simulated horizon in seconds.
+    pub fn horizon_s(&mut self, h: f64) -> &mut Self {
+        self.horizon_s = h;
+        self
+    }
+
+    /// Sets the seed.
+    pub fn seed(&mut self, s: u64) -> &mut Self {
+        self.seed = s;
+        self
+    }
+
+    /// Enables Start-Gap wear leveling with the given rotation period.
+    pub fn wear_leveling(&mut self, rotate_period: u32) -> &mut Self {
+        self.wear_leveling = Some(rotate_period);
+        self
+    }
+
+    /// Enables in-band write-back on demand reads seeing ≥ `theta` errors.
+    pub fn inband_writeback(&mut self, theta: u32) -> &mut Self {
+        self.inband_writeback_theta = Some(theta);
+        self
+    }
+
+    /// Selects the scrub-probe kind (full decode vs. CRC-first).
+    pub fn probe_kind(&mut self, kind: ProbeKind) -> &mut Self {
+        self.probe_kind = kind;
+        self
+    }
+
+    /// Finalizes the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the horizon is not positive.
+    pub fn build(&self) -> SimConfig {
+        assert!(self.horizon_s > 0.0, "horizon must be positive");
+        SimConfig {
+            geometry: MemGeometry::new(self.num_lines, self.banks),
+            device: self.device.clone(),
+            code: self.code.clone(),
+            policy: self.policy.clone(),
+            traffic: self.traffic,
+            horizon_s: self.horizon_s,
+            seed: self.seed,
+            wear_leveling: self.wear_leveling,
+            inband_writeback_theta: self.inband_writeback_theta,
+            probe_kind: self.probe_kind,
+        }
+    }
+}
+
+/// A runnable simulation instance.
+#[derive(Debug)]
+pub struct Simulation {
+    config: SimConfig,
+    memory: Memory,
+    engine: Option<ScrubEngine>,
+    rng: StdRng,
+    custom_trace: Option<Box<dyn TraceSource>>,
+}
+
+impl Simulation {
+    /// Instantiates memory, policy, and workload from a config.
+    pub fn new(config: SimConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut memory = Memory::new(
+            config.geometry,
+            config.device.clone(),
+            config.code.clone(),
+            &mut rng,
+        );
+        if let Some(period) = config.wear_leveling {
+            memory.enable_wear_leveling(period);
+        }
+        memory.set_probe_kind(config.probe_kind);
+        let engine = config
+            .policy
+            .build(config.geometry.num_lines())
+            .map(ScrubEngine::new);
+        Self {
+            config,
+            memory,
+            engine,
+            rng,
+            custom_trace: None,
+        }
+    }
+
+    /// Replaces the configured demand traffic with an arbitrary trace
+    /// source (e.g. a [`pcm_workloads::DiurnalTrace`] or a recorded
+    /// trace). The config's `traffic` field is ignored for generation but
+    /// still used for labeling unless the source provides its own name.
+    pub fn with_trace(config: SimConfig, trace: Box<dyn TraceSource>) -> Self {
+        let mut sim = Self::new(config);
+        sim.custom_trace = Some(trace);
+        sim
+    }
+
+    /// Runs to the horizon and produces the report.
+    ///
+    /// The event loop merges the demand-trace stream with scrub slots in
+    /// timestamp order, so policies see a realistic interleaving of
+    /// drift-clock resets and probes.
+    pub fn run(mut self) -> SimReport {
+        let horizon = SimTime::from_secs(self.config.horizon_s);
+        let mut trace: Option<Box<dyn TraceSource>> = match self.custom_trace.take() {
+            Some(t) => Some(t),
+            None => match self.config.traffic {
+                DemandTraffic::Idle => None,
+                DemandTraffic::Suite { id, rate_scale } => Some(Box::new(id.build(
+                    self.memory.demand_lines(),
+                    rate_scale,
+                    self.config.seed.wrapping_add(0x9E37_79B9),
+                ))),
+            },
+        };
+        let mut pending: Option<MemOp> = trace.as_mut().and_then(|t| t.next_op());
+        loop {
+            let demand_due = pending.map(|op| op.at);
+            let scrub_due = self.engine.as_ref().map(|e| e.next_slot());
+            let next_is_demand = match (demand_due, scrub_due) {
+                (Some(d), Some(s)) => d <= s,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            if next_is_demand {
+                let op = pending.expect("demand op present");
+                if op.at > horizon {
+                    pending = None;
+                    if self.engine.is_none() {
+                        break;
+                    }
+                    continue;
+                }
+                match op.kind {
+                    OpKind::Read => {
+                        let result = self.memory.demand_read(op.addr, op.at, &mut self.rng);
+                        // Optional in-band scrub: repair heavily drifted
+                        // lines the program happens to touch.
+                        if let Some(theta) = self.config.inband_writeback_theta {
+                            if result.persistent_bits >= theta
+                                || result.outcome.is_uncorrectable()
+                            {
+                                self.memory.demand_write(op.addr, op.at, &mut self.rng);
+                            }
+                        }
+                    }
+                    OpKind::Write => {
+                        self.memory.demand_write(op.addr, op.at, &mut self.rng);
+                        if let Some(e) = &mut self.engine {
+                            e.notify_demand_write(op.addr, op.at);
+                        }
+                    }
+                }
+                pending = trace.as_mut().and_then(|t| t.next_op());
+            } else {
+                let engine = self.engine.as_mut().expect("scrub slot present");
+                if engine.next_slot() > horizon {
+                    break;
+                }
+                engine.step(&mut self.memory, &mut self.rng);
+            }
+        }
+        self.into_report()
+    }
+
+    fn into_report(self) -> SimReport {
+        let window_ns = self.config.horizon_s * 1e9;
+        let bw = self.memory.bandwidth();
+        let base_read = self.memory.timing().read_ns;
+        SimReport {
+            workload: self.config.traffic.label(),
+            policy: self.config.policy.label(),
+            code: self.memory.code().name().to_string(),
+            horizon_s: self.config.horizon_s,
+            num_lines: self.config.geometry.num_lines(),
+            stats: *self.memory.stats(),
+            engine: self
+                .engine
+                .as_ref()
+                .map(|e| *e.stats())
+                .unwrap_or_default(),
+            scrub_energy_uj: self.memory.energy().scrub_total_pj() / 1e6,
+            demand_energy_uj: self.memory.energy().demand_total_pj() / 1e6,
+            mean_wear: self.memory.mean_wear(),
+            max_wear: self.memory.max_wear(),
+            worn_cells: self.memory.total_worn_cells(),
+            scrub_utilization: bw.scrub_utilization(window_ns),
+            demand_read_latency_ns: bw.demand_read_latency_ns(base_read, window_ns),
+            measured_read_latency_ns: self.memory.measured_demand_read_latency_ns(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config(policy: PolicyKind, code: CodeSpec) -> SimConfig {
+        SimConfig::builder()
+            .num_lines(1024)
+            .policy(policy)
+            .code(code)
+            .traffic(DemandTraffic::suite(WorkloadId::KvCache))
+            .horizon_s(4.0 * 3600.0)
+            .seed(11)
+            .build()
+    }
+
+    #[test]
+    fn runs_and_reports() {
+        let r = Simulation::new(quick_config(
+            PolicyKind::Basic { interval_s: 900.0 },
+            CodeSpec::secded_line(),
+        ))
+        .run();
+        // 16 sweeps over 1024 lines in 4 hours.
+        assert!(r.stats.scrub_probes >= 15 * 1024);
+        assert!(r.stats.demand_reads > 0);
+        assert!(r.scrub_energy_uj > 0.0);
+    }
+
+    #[test]
+    fn idle_traffic_runs_scrub_only() {
+        let config = SimConfig::builder()
+            .num_lines(512)
+            .policy(PolicyKind::Basic { interval_s: 1800.0 })
+            .traffic(DemandTraffic::Idle)
+            .horizon_s(3600.0)
+            .seed(12)
+            .build();
+        let r = Simulation::new(config).run();
+        assert_eq!(r.stats.demand_reads, 0);
+        assert_eq!(r.stats.demand_writes, 0);
+        assert!(r.stats.scrub_probes > 0);
+        assert_eq!(r.workload, "idle");
+    }
+
+    #[test]
+    fn no_policy_no_traffic_terminates() {
+        let config = SimConfig::builder()
+            .num_lines(64)
+            .policy(PolicyKind::None)
+            .traffic(DemandTraffic::Idle)
+            .horizon_s(100.0)
+            .seed(13)
+            .build();
+        let r = Simulation::new(config).run();
+        assert_eq!(r.stats.scrub_probes, 0);
+        assert_eq!(r.stats.demand_reads, 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            Simulation::new(quick_config(
+                PolicyKind::combined_default(900.0),
+                CodeSpec::bch_line(6),
+            ))
+            .run()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.scrub_energy_uj, b.scrub_energy_uj);
+    }
+
+    #[test]
+    fn wear_leveling_runs_and_copies() {
+        let mut b = SimConfig::builder();
+        b.num_lines(512)
+            .policy(PolicyKind::None)
+            .traffic(DemandTraffic::suite(WorkloadId::Logging))
+            .horizon_s(4.0 * 3600.0)
+            .seed(21)
+            .wear_leveling(8);
+        let r = Simulation::new(b.build()).run();
+        assert!(r.stats.wear_level_writes > 0);
+        assert_eq!(
+            r.stats.wear_level_writes,
+            r.stats.demand_writes / 8,
+            "one rotation copy per 8 demand writes"
+        );
+    }
+
+    #[test]
+    fn inband_writeback_cuts_demand_ues_without_scrub() {
+        let mk = |inband: bool| {
+            let mut b = SimConfig::builder();
+            b.num_lines(1024)
+                .code(CodeSpec::secded_line())
+                .policy(PolicyKind::None)
+                .traffic(DemandTraffic::suite(WorkloadId::WebServe))
+                .horizon_s(12.0 * 3600.0)
+                .seed(22);
+            if inband {
+                b.inband_writeback(1);
+            }
+            Simulation::new(b.build()).run()
+        };
+        let plain = mk(false);
+        let inband = mk(true);
+        assert!(
+            inband.stats.demand_ue < plain.stats.demand_ue.max(1),
+            "inband {} vs plain {}",
+            inband.stats.demand_ue,
+            plain.stats.demand_ue
+        );
+    }
+
+    #[test]
+    fn combined_beats_basic_on_writes_and_ues() {
+        let basic = Simulation::new(quick_config(
+            PolicyKind::Basic { interval_s: 900.0 },
+            CodeSpec::secded_line(),
+        ))
+        .run();
+        let combined = Simulation::new(quick_config(
+            PolicyKind::combined_default(900.0),
+            CodeSpec::bch_line(6),
+        ))
+        .run();
+        assert!(
+            combined.scrub_writes() * 4 < basic.scrub_writes().max(4),
+            "combined {} vs basic {} scrub writes",
+            combined.scrub_writes(),
+            basic.scrub_writes()
+        );
+        assert!(
+            combined.uncorrectable() <= basic.uncorrectable(),
+            "combined {} vs basic {} UEs",
+            combined.uncorrectable(),
+            basic.uncorrectable()
+        );
+    }
+}

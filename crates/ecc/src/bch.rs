@@ -1,0 +1,420 @@
+//! Bit-exact binary BCH codec: generator construction from minimal
+//! polynomials, systematic encoding, and syndrome → Berlekamp–Massey →
+//! Chien-search decoding. Supports shortened codes so a 512-bit memory
+//! line plus `10·t` parity bits rides on GF(2^10).
+
+use crate::bits::BitBuf;
+use crate::code::{DecodeOutcome, LineCode};
+use crate::gf::GfTable;
+use crate::poly::{BinPoly, GfPoly};
+
+/// A (possibly shortened) binary BCH code over GF(2^m).
+///
+/// Codeword layout is systematic with parity in the low positions:
+/// bit `i` is the coefficient of `x^i`; parity occupies `0..parity_bits`
+/// and data occupies `parity_bits..n`.
+///
+/// # Examples
+///
+/// ```
+/// use pcm_ecc::{BchCode, BitBuf, DecodeOutcome, LineCode};
+/// let code = BchCode::new(10, 4, 512);
+/// let mut data = BitBuf::zeros(512);
+/// data.set(17, true);
+/// let mut cw = code.encode(&data);
+/// cw.flip(100);
+/// cw.flip(333);
+/// assert_eq!(code.decode(&mut cw), DecodeOutcome::Corrected { bits: 2 });
+/// assert_eq!(code.extract_data(&cw), data);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BchCode {
+    gf: GfTable,
+    t: u32,
+    /// Shortened code length (data + parity).
+    n: usize,
+    data_bits: usize,
+    parity_bits: usize,
+    gen: BinPoly,
+}
+
+impl BchCode {
+    /// Constructs a `t`-error-correcting BCH code over GF(2^m), shortened
+    /// to carry `data_bits` of payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the field cannot host the requested payload
+    /// (`data_bits + deg g > 2^m − 1`) or `t == 0`.
+    pub fn new(m: u32, t: u32, data_bits: usize) -> Self {
+        assert!(t >= 1, "BCH needs t >= 1");
+        let gf = GfTable::new(m);
+        let n_full = gf.order();
+        let gen = generator_poly(&gf, t);
+        let parity_bits = gen.degree().expect("nonzero generator");
+        assert!(
+            data_bits + parity_bits <= n_full,
+            "payload {data_bits} + parity {parity_bits} exceeds code length {n_full}"
+        );
+        Self {
+            gf,
+            t,
+            n: data_bits + parity_bits,
+            data_bits,
+            parity_bits,
+            gen,
+        }
+    }
+
+    /// Codeword length in bits (shortened).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Computes the 2t syndromes of a received word; returns `None` when
+    /// all are zero (apparently clean).
+    fn syndromes(&self, recv: &BitBuf) -> Option<Vec<u16>> {
+        let mut synd = vec![0u16; 2 * self.t as usize];
+        let mut any = false;
+        for pos in recv.ones() {
+            for (j, s) in synd.iter_mut().enumerate() {
+                *s ^= self.gf.alpha_pow(pos * (j + 1));
+            }
+        }
+        for &s in &synd {
+            if s != 0 {
+                any = true;
+                break;
+            }
+        }
+        if any {
+            Some(synd)
+        } else {
+            None
+        }
+    }
+
+    /// Berlekamp–Massey: error-locator polynomial from syndromes.
+    fn berlekamp_massey(&self, synd: &[u16]) -> GfPoly {
+        let gf = &self.gf;
+        let mut sigma = GfPoly::one();
+        let mut prev = GfPoly::one();
+        let mut l = 0usize;
+        let mut m_gap = 1usize;
+        let mut b = 1u16;
+        for n_iter in 0..synd.len() {
+            let mut d = synd[n_iter];
+            for i in 1..=l {
+                d ^= gf.mul(sigma.coeff(i), synd[n_iter - i]);
+            }
+            if d == 0 {
+                m_gap += 1;
+            } else if 2 * l <= n_iter {
+                let old_sigma = sigma.clone();
+                let scale = gf.div(d, b);
+                let shift = shift_poly(&prev.scale(scale, gf), m_gap);
+                sigma = sigma.add(&shift, gf);
+                l = n_iter + 1 - l;
+                prev = old_sigma;
+                b = d;
+                m_gap = 1;
+            } else {
+                let scale = gf.div(d, b);
+                let shift = shift_poly(&prev.scale(scale, gf), m_gap);
+                sigma = sigma.add(&shift, gf);
+                m_gap += 1;
+            }
+        }
+        sigma
+    }
+
+    /// Chien search: positions `i` with `σ(α^{-i}) = 0`, over the *full*
+    /// (unshortened) length so errors "in" the shortened-away region are
+    /// caught as uncorrectable.
+    fn chien_search(&self, sigma: &GfPoly) -> Vec<usize> {
+        let order = self.gf.order();
+        let mut roots = Vec::new();
+        for i in 0..order {
+            let x = self.gf.alpha_pow(order - (i % order)); // α^{-i}
+            if sigma.eval(x, &self.gf) == 0 {
+                roots.push(i);
+            }
+        }
+        roots
+    }
+}
+
+/// Multiplies a GF polynomial by `x^k`.
+fn shift_poly(p: &GfPoly, k: usize) -> GfPoly {
+    let mut coeffs = vec![0u16; k + p.coeffs().len()];
+    for (i, &c) in p.coeffs().iter().enumerate() {
+        coeffs[k + i] = c;
+    }
+    GfPoly::from_coeffs(coeffs)
+}
+
+/// Builds the BCH generator polynomial: LCM of the minimal polynomials of
+/// `α, α³, …, α^{2t−1}` (even powers are conjugates of odd ones).
+fn generator_poly(gf: &GfTable, t: u32) -> BinPoly {
+    let order = gf.order();
+    let mut covered = vec![false; order + 1];
+    let mut gen = BinPoly::one();
+    for s in (1..2 * t as usize).step_by(2) {
+        if covered[s] {
+            continue;
+        }
+        // Conjugacy class of s under doubling mod (2^m - 1).
+        let mut class = Vec::new();
+        let mut e = s;
+        loop {
+            class.push(e);
+            if e <= order {
+                covered[e] = true;
+            }
+            e = (e * 2) % order;
+            if e == s {
+                break;
+            }
+        }
+        // Minimal polynomial: ∏ (x − α^e) — lands in GF(2).
+        let mut min_poly = GfPoly::one();
+        for &e in &class {
+            let factor = GfPoly::from_coeffs(vec![gf.alpha_pow(e), 1]);
+            min_poly = min_poly.mul(&factor, gf);
+        }
+        let mut bits = Vec::new();
+        for (i, &c) in min_poly.coeffs().iter().enumerate() {
+            assert!(c <= 1, "minimal polynomial has non-binary coefficient {c}");
+            if c == 1 {
+                bits.push(i);
+            }
+        }
+        gen = gen.mul(&BinPoly::from_coeffs(&bits));
+    }
+    gen
+}
+
+impl LineCode for BchCode {
+    fn data_bits(&self) -> usize {
+        self.data_bits
+    }
+
+    fn parity_bits(&self) -> usize {
+        self.parity_bits
+    }
+
+    fn t(&self) -> u32 {
+        self.t
+    }
+
+    fn name(&self) -> String {
+        format!("BCH-{} ({},{})", self.t, self.n, self.data_bits)
+    }
+
+    fn encode(&self, data: &BitBuf) -> BitBuf {
+        assert_eq!(data.len(), self.data_bits, "payload length mismatch");
+        // c(x) = d(x)·x^r + (d(x)·x^r mod g(x))
+        let mut shifted = BinPoly::zero();
+        for pos in data.ones() {
+            shifted = shifted.add(&BinPoly::monomial(pos + self.parity_bits));
+        }
+        let rem = shifted.rem(&self.gen);
+        let mut cw = BitBuf::zeros(self.n);
+        for pos in data.ones() {
+            cw.set(pos + self.parity_bits, true);
+        }
+        for e in rem.support() {
+            debug_assert!(e < self.parity_bits);
+            cw.set(e, true);
+        }
+        cw
+    }
+
+    fn decode(&self, received: &mut BitBuf) -> DecodeOutcome {
+        assert_eq!(received.len(), self.n, "codeword length mismatch");
+        let Some(synd) = self.syndromes(received) else {
+            return DecodeOutcome::Clean;
+        };
+        let sigma = self.berlekamp_massey(&synd);
+        let Some(deg) = sigma.degree() else {
+            return DecodeOutcome::Uncorrectable;
+        };
+        if deg > self.t as usize {
+            return DecodeOutcome::Uncorrectable;
+        }
+        let roots = self.chien_search(&sigma);
+        if roots.len() != deg {
+            return DecodeOutcome::Uncorrectable;
+        }
+        // Any root pointing into the shortened-away region means the true
+        // error pattern was beyond capability.
+        if roots.iter().any(|&pos| pos >= self.n) {
+            return DecodeOutcome::Uncorrectable;
+        }
+        for &pos in &roots {
+            received.flip(pos);
+        }
+        DecodeOutcome::Corrected {
+            bits: roots.len() as u32,
+        }
+    }
+
+    fn extract_data(&self, codeword: &BitBuf) -> BitBuf {
+        codeword.slice(self.parity_bits, self.data_bits)
+    }
+
+    fn syndromes_clean(&self, received: &BitBuf) -> bool {
+        self.syndromes(received).is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_data<R: Rng>(rng: &mut R, bits: usize) -> BitBuf {
+        let mut b = BitBuf::zeros(bits);
+        for i in 0..bits {
+            if rng.gen::<bool>() {
+                b.set(i, true);
+            }
+        }
+        b
+    }
+
+    #[test]
+    fn parity_bits_are_m_times_t_for_small_t() {
+        for t in 1..=6u32 {
+            let code = BchCode::new(10, t, 512);
+            assert_eq!(code.parity_bits(), 10 * t as usize, "t={t}");
+        }
+    }
+
+    #[test]
+    fn clean_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let code = BchCode::new(10, 3, 512);
+        for _ in 0..10 {
+            let data = random_data(&mut rng, 512);
+            let mut cw = code.encode(&data);
+            assert_eq!(code.decode(&mut cw), DecodeOutcome::Clean);
+            assert_eq!(code.extract_data(&cw), data);
+        }
+    }
+
+    #[test]
+    fn encoded_word_is_multiple_of_generator() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let code = BchCode::new(8, 2, 100);
+        let data = random_data(&mut rng, 100);
+        let cw = code.encode(&data);
+        let mut poly = BinPoly::zero();
+        for pos in cw.ones() {
+            poly = poly.add(&BinPoly::monomial(pos));
+        }
+        assert!(poly.rem(&code.gen).is_zero());
+    }
+
+    #[test]
+    fn corrects_up_to_t_random_errors() {
+        let mut rng = StdRng::seed_from_u64(23);
+        for t in [1u32, 2, 4, 6] {
+            let code = BchCode::new(10, t, 512);
+            for trial in 0..15 {
+                let data = random_data(&mut rng, 512);
+                let clean = code.encode(&data);
+                for e in 1..=t {
+                    let mut cw = clean.clone();
+                    let mut flipped = std::collections::HashSet::new();
+                    while flipped.len() < e as usize {
+                        let pos = rng.gen_range(0..code.n());
+                        if flipped.insert(pos) {
+                            cw.flip(pos);
+                        }
+                    }
+                    assert_eq!(
+                        code.decode(&mut cw),
+                        DecodeOutcome::Corrected { bits: e },
+                        "t={t} e={e} trial={trial}"
+                    );
+                    assert_eq!(code.extract_data(&cw), data);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn never_corrupts_beyond_capability_silently_claiming_clean() {
+        // t+1 errors: outcome may be Uncorrectable (usual) or a
+        // miscorrection, but never Clean and never a "corrected" word that
+        // still fails the syndrome check.
+        let mut rng = StdRng::seed_from_u64(24);
+        let code = BchCode::new(10, 2, 512);
+        for _ in 0..40 {
+            let data = random_data(&mut rng, 512);
+            let mut cw = code.encode(&data);
+            let mut flipped = std::collections::HashSet::new();
+            while flipped.len() < 3 {
+                let pos = rng.gen_range(0..code.n());
+                if flipped.insert(pos) {
+                    cw.flip(pos);
+                }
+            }
+            match code.decode(&mut cw) {
+                DecodeOutcome::Clean => panic!("3 errors decoded as clean"),
+                DecodeOutcome::Uncorrectable => {}
+                DecodeOutcome::Corrected { .. } => {
+                    // Miscorrection: must at least be a valid codeword now.
+                    assert!(code.syndromes_clean(&cw));
+                    assert_ne!(code.extract_data(&cw), data);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lightweight_detection_flags_any_single_error() {
+        let mut rng = StdRng::seed_from_u64(25);
+        let code = BchCode::new(10, 4, 512);
+        let data = random_data(&mut rng, 512);
+        let clean = code.encode(&data);
+        assert!(code.syndromes_clean(&clean));
+        for _ in 0..30 {
+            let mut cw = clean.clone();
+            cw.flip(rng.gen_range(0..code.n()));
+            assert!(!code.syndromes_clean(&cw));
+        }
+    }
+
+    #[test]
+    fn shortened_code_smaller_field() {
+        // (63, 45) t=3 code on GF(2^6), shortened to 20 data bits.
+        let code = BchCode::new(6, 3, 20);
+        let mut rng = StdRng::seed_from_u64(26);
+        let data = random_data(&mut rng, 20);
+        let mut cw = code.encode(&data);
+        cw.flip(0);
+        cw.flip(10);
+        cw.flip(25);
+        assert_eq!(code.decode(&mut cw), DecodeOutcome::Corrected { bits: 3 });
+        assert_eq!(code.extract_data(&cw), data);
+    }
+
+    #[test]
+    fn all_zero_data_roundtrip() {
+        let code = BchCode::new(10, 1, 512);
+        let data = BitBuf::zeros(512);
+        let mut cw = code.encode(&data);
+        assert_eq!(cw.count_ones(), 0); // zero word is a codeword
+        assert_eq!(code.decode(&mut cw), DecodeOutcome::Clean);
+    }
+
+    #[test]
+    #[should_panic(expected = "payload length mismatch")]
+    fn encode_rejects_wrong_length() {
+        let code = BchCode::new(10, 1, 512);
+        code.encode(&BitBuf::zeros(100));
+    }
+}

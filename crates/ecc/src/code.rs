@@ -1,0 +1,446 @@
+//! Code-level abstractions: the bit-exact [`LineCode`] trait and the
+//! statistical [`CodeSpec`] used by the memory simulator's fault engine.
+//!
+//! The simulator tracks error *counts* per line, not bit positions, so its
+//! hot path uses [`CodeSpec::classify`] — count-level semantics that are
+//! validated against the bit-exact codecs by cross-tests.
+
+use rand::Rng;
+
+use crate::bits::BitBuf;
+
+/// Result of decoding one memory line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DecodeOutcome {
+    /// Syndromes were zero: nothing to do.
+    Clean,
+    /// Errors found and corrected in place.
+    Corrected {
+        /// Number of bit errors corrected.
+        bits: u32,
+    },
+    /// Errors detected but beyond the correction capability.
+    Uncorrectable,
+}
+
+/// A bit-exact error-correcting code over a memory line.
+pub trait LineCode {
+    /// Payload size in bits.
+    fn data_bits(&self) -> usize;
+    /// Check/parity size in bits.
+    fn parity_bits(&self) -> usize;
+    /// Guaranteed correction capability (bit errors per line for
+    /// line-granularity codes; see the concrete type for interleaved
+    /// semantics).
+    fn t(&self) -> u32;
+    /// Human-readable code name, e.g. `"BCH-4 (552,512)"`.
+    fn name(&self) -> String;
+    /// Encodes `data` (length [`LineCode::data_bits`]) into a codeword of
+    /// length `data_bits + parity_bits`.
+    fn encode(&self, data: &BitBuf) -> BitBuf;
+    /// Decodes a received codeword in place, correcting what it can.
+    fn decode(&self, received: &mut BitBuf) -> DecodeOutcome;
+    /// Extracts the payload from a (corrected) codeword.
+    fn extract_data(&self, codeword: &BitBuf) -> BitBuf;
+    /// Lightweight detection: recomputes syndromes without attempting
+    /// correction. `true` means the word is (apparently) clean.
+    fn syndromes_clean(&self, received: &BitBuf) -> bool;
+}
+
+/// Count-level outcome of error classification on one line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ClassifyOutcome {
+    /// No errors present.
+    Clean,
+    /// All errors correctable.
+    Corrected {
+        /// Number of bit errors corrected.
+        bits: u32,
+    },
+    /// Errors detected but not correctable (a *detected* uncorrectable
+    /// error, DUE).
+    DetectedUncorrectable,
+    /// Decoder silently produced wrong data (silent data corruption, SDC).
+    Miscorrected,
+}
+
+impl ClassifyOutcome {
+    /// Whether the line's data survives intact after decode.
+    pub fn data_intact(self) -> bool {
+        matches!(self, ClassifyOutcome::Clean | ClassifyOutcome::Corrected { .. })
+    }
+
+    /// Whether this counts as an uncorrectable error (DUE or SDC).
+    pub fn is_uncorrectable(self) -> bool {
+        !self.data_intact()
+    }
+}
+
+/// How a code's correction capability applies across a line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CorrectionSemantics {
+    /// One code over the whole line correcting up to `t` bit errors
+    /// (BCH-style).
+    PerLine {
+        /// Correction capability in bit errors per line.
+        t: u32,
+    },
+    /// The line is split into `words` interleaved SECDED words; each word
+    /// corrects 1 and detects 2 (DRAM-heritage (72,64) layout).
+    PerWord {
+        /// Number of independently-coded words in the line.
+        words: u32,
+        /// Total coded bits per word (data + parity).
+        word_bits: u32,
+    },
+}
+
+/// Statistical description of a line code: sizes plus count-level decode
+/// semantics. This is what the memory simulator carries around.
+///
+/// # Examples
+///
+/// ```
+/// use pcm_ecc::CodeSpec;
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let bch4 = CodeSpec::bch_line(4);
+/// assert!(bch4.classify(4, &mut rng).data_intact());
+/// assert!(bch4.classify(5, &mut rng).is_uncorrectable());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CodeSpec {
+    name: String,
+    data_bits: u32,
+    parity_bits: u32,
+    semantics: CorrectionSemantics,
+    alias_prob: f64,
+}
+
+/// Data payload per memory line used throughout the evaluation (64 B).
+pub const LINE_DATA_BITS: u32 = 512;
+
+impl CodeSpec {
+    /// DRAM-heritage SECDED: eight interleaved (72,64) extended-Hamming
+    /// words per 64-byte line. 12.5% storage overhead.
+    pub fn secded_line() -> Self {
+        let words = LINE_DATA_BITS / 64;
+        Self {
+            name: "SECDED 8x(72,64)".to_string(),
+            data_bits: LINE_DATA_BITS,
+            parity_bits: words * 8,
+            semantics: CorrectionSemantics::PerWord {
+                words,
+                word_bits: 72,
+            },
+            // Fraction of the 2^8 syndrome space covered by correctable
+            // single-bit patterns: governs 3+ error miscorrection odds.
+            alias_prob: 73.0 / 256.0,
+        }
+    }
+
+    /// BCH-t over the whole 512-bit line, built on GF(2^10)
+    /// (shortened from (1023, 1023−10t)); `10·t` parity bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is 0 or greater than 16.
+    pub fn bch_line(t: u32) -> Self {
+        assert!((1..=16).contains(&t), "BCH t must be in 1..=16, got {t}");
+        let parity_bits = 10 * t;
+        let n = LINE_DATA_BITS + parity_bits;
+        Self {
+            name: format!("BCH-{t} ({n},{LINE_DATA_BITS})"),
+            data_bits: LINE_DATA_BITS,
+            parity_bits,
+            semantics: CorrectionSemantics::PerLine { t },
+            alias_prob: bounded_distance_alias_prob(n, t, parity_bits),
+        }
+    }
+
+    /// Code name for reports.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Payload bits per line.
+    pub fn data_bits(&self) -> u32 {
+        self.data_bits
+    }
+
+    /// Parity bits per line.
+    pub fn parity_bits(&self) -> u32 {
+        self.parity_bits
+    }
+
+    /// Total stored bits per line.
+    pub fn total_bits(&self) -> u32 {
+        self.data_bits + self.parity_bits
+    }
+
+    /// Storage overhead `parity/data`.
+    pub fn storage_overhead(&self) -> f64 {
+        self.parity_bits as f64 / self.data_bits as f64
+    }
+
+    /// Guaranteed per-line correction capability: the largest `e` such that
+    /// *any* pattern of `e` bit errors is corrected.
+    pub fn guaranteed_t(&self) -> u32 {
+        match self.semantics {
+            CorrectionSemantics::PerLine { t } => t,
+            // Two errors in the same word defeat SECDED, so only a single
+            // error is guaranteed line-wide.
+            CorrectionSemantics::PerWord { .. } => 1,
+        }
+    }
+
+    /// The semantics enum (for callers that want to branch on structure).
+    pub fn semantics(&self) -> CorrectionSemantics {
+        self.semantics
+    }
+
+    /// Probability that an uncorrectable pattern aliases into a
+    /// miscorrection rather than a detected failure.
+    pub fn alias_prob(&self) -> f64 {
+        self.alias_prob
+    }
+
+    /// Classifies `errors` random bit errors on the line.
+    ///
+    /// Randomness covers (a) the placement of errors into interleaved words
+    /// and (b) bounded-distance miscorrection aliasing.
+    pub fn classify<R: Rng + ?Sized>(&self, errors: u32, rng: &mut R) -> ClassifyOutcome {
+        if errors == 0 {
+            return ClassifyOutcome::Clean;
+        }
+        match self.semantics {
+            CorrectionSemantics::PerLine { t } => {
+                if errors <= t {
+                    ClassifyOutcome::Corrected { bits: errors }
+                } else if rng.gen::<f64>() < self.alias_prob {
+                    ClassifyOutcome::Miscorrected
+                } else {
+                    ClassifyOutcome::DetectedUncorrectable
+                }
+            }
+            CorrectionSemantics::PerWord { words, word_bits } => {
+                let counts = spread_errors(errors, words, word_bits, rng);
+                let mut detected = false;
+                let mut corrected_bits = 0;
+                for &c in &counts {
+                    match c {
+                        0 => {}
+                        1 => corrected_bits += 1,
+                        2 => detected = true,
+                        n if n % 2 == 1 => {
+                            // Odd >= 3: overall parity looks like a single
+                            // error; the word usually miscorrects.
+                            if rng.gen::<f64>() < self.alias_prob {
+                                return ClassifyOutcome::Miscorrected;
+                            }
+                            detected = true;
+                            let _ = n;
+                        }
+                        _ => detected = true, // even >= 4: parity flags it
+                    }
+                }
+                if detected {
+                    ClassifyOutcome::DetectedUncorrectable
+                } else {
+                    ClassifyOutcome::Corrected {
+                        bits: corrected_bits,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Whether a lightweight (syndrome-only) probe detects `errors` bit
+    /// errors. Misses only when the pattern is itself a codeword —
+    /// negligible for the sizes here, so detection is modelled as perfect
+    /// for nonzero counts.
+    pub fn detects(&self, errors: u32) -> bool {
+        errors > 0
+    }
+}
+
+/// Standard code ladder used by the experiments: SECDED then BCH-1..BCH-6.
+pub fn standard_code_ladder() -> Vec<CodeSpec> {
+    let mut v = vec![CodeSpec::secded_line()];
+    v.extend((1..=6).map(CodeSpec::bch_line));
+    v
+}
+
+/// Distributes `errors` distinct bit positions over `words` words of
+/// `word_bits` bits each (sampling without replacement), returning the
+/// per-word counts.
+fn spread_errors<R: Rng + ?Sized>(
+    errors: u32,
+    words: u32,
+    word_bits: u32,
+    rng: &mut R,
+) -> Vec<u32> {
+    let total = (words * word_bits) as usize;
+    let e = (errors as usize).min(total);
+    let mut counts = vec![0u32; words as usize];
+    let mut chosen = std::collections::HashSet::with_capacity(e);
+    while chosen.len() < e {
+        let pos = rng.gen_range(0..total);
+        if chosen.insert(pos) {
+            counts[pos / word_bits as usize] += 1;
+        }
+    }
+    counts
+}
+
+/// Estimates the probability that a beyond-capability error pattern lands
+/// in some correctable coset (bounded-distance miscorrection):
+/// `Σ_{i<=t} C(n,i) / 2^parity`.
+fn bounded_distance_alias_prob(n: u32, t: u32, parity_bits: u32) -> f64 {
+    let mut covered = 0.0f64;
+    for i in 0..=t {
+        covered += ln_choose(n, i).exp();
+    }
+    (covered * (-(parity_bits as f64) * std::f64::consts::LN_2).exp()).min(1.0)
+}
+
+fn ln_choose(n: u32, k: u32) -> f64 {
+    let mut s = 0.0;
+    for i in 0..k {
+        s += ((n - i) as f64).ln() - ((i + 1) as f64).ln();
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn secded_sizes() {
+        let s = CodeSpec::secded_line();
+        assert_eq!(s.data_bits(), 512);
+        assert_eq!(s.parity_bits(), 64);
+        assert_eq!(s.total_bits(), 576);
+        assert!((s.storage_overhead() - 0.125).abs() < 1e-12);
+        assert_eq!(s.guaranteed_t(), 1);
+    }
+
+    #[test]
+    fn bch_sizes_scale_with_t() {
+        for t in 1..=6 {
+            let c = CodeSpec::bch_line(t);
+            assert_eq!(c.parity_bits(), 10 * t);
+            assert_eq!(c.guaranteed_t(), t);
+        }
+    }
+
+    #[test]
+    fn classify_zero_is_clean() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for c in standard_code_ladder() {
+            assert_eq!(c.classify(0, &mut rng), ClassifyOutcome::Clean);
+        }
+    }
+
+    #[test]
+    fn bch_classify_boundary() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let c = CodeSpec::bch_line(3);
+        for e in 1..=3 {
+            assert_eq!(c.classify(e, &mut rng), ClassifyOutcome::Corrected { bits: e });
+        }
+        for _ in 0..50 {
+            assert!(c.classify(4, &mut rng).is_uncorrectable());
+        }
+    }
+
+    #[test]
+    fn bch_alias_prob_is_tiny() {
+        // 100 parity bits vs ~2^71 patterns of weight <=10: ~1.6e-9.
+        let c = CodeSpec::bch_line(10);
+        assert!(c.alias_prob() < 1e-6, "alias {}", c.alias_prob());
+        // Weaker codes alias much more readily (BCH-2: ~0.14), and the
+        // alias probability falls monotonically with code strength.
+        let ladder: Vec<f64> = (1..=8).map(|t| CodeSpec::bch_line(t).alias_prob()).collect();
+        assert!(ladder[1] > 0.05 && ladder[1] < 0.5, "BCH-2 alias {}", ladder[1]);
+        for w in ladder.windows(2) {
+            assert!(w[1] < w[0], "alias prob not decreasing: {ladder:?}");
+        }
+    }
+
+    #[test]
+    fn secded_single_errors_always_corrected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let c = CodeSpec::secded_line();
+        for _ in 0..200 {
+            assert_eq!(c.classify(1, &mut rng), ClassifyOutcome::Corrected { bits: 1 });
+        }
+    }
+
+    #[test]
+    fn secded_two_errors_mostly_survive_spread() {
+        // Two errors usually land in different words (7/8 of the time
+        // roughly) and are each corrected; same-word doubles are detected.
+        let mut rng = StdRng::seed_from_u64(4);
+        let c = CodeSpec::secded_line();
+        let mut corrected = 0;
+        let mut detected = 0;
+        for _ in 0..4000 {
+            match c.classify(2, &mut rng) {
+                ClassifyOutcome::Corrected { .. } => corrected += 1,
+                ClassifyOutcome::DetectedUncorrectable => detected += 1,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        let frac_detected = detected as f64 / 4000.0;
+        // Same-word probability = 71/575 ≈ 0.1235.
+        assert!(
+            (frac_detected - 71.0 / 575.0).abs() < 0.03,
+            "detected fraction {frac_detected}"
+        );
+        assert!(corrected > 0);
+    }
+
+    #[test]
+    fn secded_many_errors_fail() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let c = CodeSpec::secded_line();
+        let mut failures = 0;
+        for _ in 0..500 {
+            if c.classify(8, &mut rng).is_uncorrectable() {
+                failures += 1;
+            }
+        }
+        // With 8 errors over 8 words a same-word pair is very likely.
+        assert!(failures > 450, "only {failures}/500 uncorrectable");
+    }
+
+    #[test]
+    fn ladder_is_ordered_by_strength() {
+        let ladder = standard_code_ladder();
+        assert_eq!(ladder.len(), 7);
+        for w in ladder.windows(2) {
+            assert!(w[0].guaranteed_t() <= w[1].guaranteed_t());
+        }
+    }
+
+    #[test]
+    fn spread_conserves_errors() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for e in [1u32, 3, 8, 20] {
+            let counts = spread_errors(e, 8, 72, &mut rng);
+            assert_eq!(counts.iter().sum::<u32>(), e);
+        }
+    }
+
+    #[test]
+    fn outcome_predicates() {
+        assert!(ClassifyOutcome::Clean.data_intact());
+        assert!(ClassifyOutcome::Corrected { bits: 2 }.data_intact());
+        assert!(ClassifyOutcome::DetectedUncorrectable.is_uncorrectable());
+        assert!(ClassifyOutcome::Miscorrected.is_uncorrectable());
+    }
+}

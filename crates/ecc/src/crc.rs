@@ -1,0 +1,134 @@
+//! CRC-32 line checksum: the cheapest possible "is anything wrong here?"
+//! probe.
+//!
+//! A scrub probe that only needs *detection* can check a 32-bit CRC
+//! instead of running the full BCH syndrome/locator pipeline; the full
+//! decoder is invoked only when the CRC trips. This is the "lightweight
+//! error detection operation" lever of the paper's abstract, taken to its
+//! cheapest point.
+
+use crate::bits::BitBuf;
+
+/// Reflected CRC-32 (IEEE 802.3, polynomial `0xEDB88320`).
+///
+/// # Examples
+///
+/// ```
+/// use pcm_ecc::Crc32;
+/// let crc = Crc32::new();
+/// // The classical check value for "123456789".
+/// assert_eq!(crc.checksum_bytes(b"123456789"), 0xCBF4_3926);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    table: [u32; 256],
+}
+
+impl Crc32 {
+    /// Builds the byte-wise lookup table.
+    pub fn new() -> Self {
+        let mut table = [0u32; 256];
+        for (i, entry) in table.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *entry = c;
+        }
+        Self { table }
+    }
+
+    /// CRC-32 of a byte slice.
+    pub fn checksum_bytes(&self, bytes: &[u8]) -> u32 {
+        let mut c = 0xFFFF_FFFFu32;
+        for &b in bytes {
+            c = self.table[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        }
+        !c
+    }
+
+    /// CRC-32 of a bit buffer (bits packed little-endian into bytes; a
+    /// trailing partial byte is zero-padded).
+    pub fn checksum(&self, bits: &BitBuf) -> u32 {
+        let mut bytes = vec![0u8; bits.len().div_ceil(8)];
+        for i in 0..bits.len() {
+            if bits.get(i) {
+                bytes[i / 8] |= 1 << (i % 8);
+            }
+        }
+        self.checksum_bytes(&bytes)
+    }
+
+    /// Whether `received` still matches a stored checksum.
+    pub fn verify(&self, received: &BitBuf, stored: u32) -> bool {
+        self.checksum(received) == stored
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn reference_vectors() {
+        let crc = Crc32::new();
+        assert_eq!(crc.checksum_bytes(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc.checksum_bytes(b""), 0x0000_0000);
+        assert_eq!(crc.checksum_bytes(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn detects_every_single_bit_flip() {
+        let crc = Crc32::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut data = BitBuf::zeros(512);
+        for i in 0..512 {
+            if rng.gen::<bool>() {
+                data.set(i, true);
+            }
+        }
+        let stored = crc.checksum(&data);
+        assert!(crc.verify(&data, stored));
+        for pos in (0..512).step_by(17) {
+            let mut dirty = data.clone();
+            dirty.flip(pos);
+            assert!(!crc.verify(&dirty, stored), "missed flip at {pos}");
+        }
+    }
+
+    #[test]
+    fn detects_random_multibit_patterns() {
+        let crc = Crc32::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let data = BitBuf::zeros(576);
+        let stored = crc.checksum(&data);
+        for _ in 0..500 {
+            let mut dirty = data.clone();
+            let e = rng.gen_range(1..10);
+            let mut seen = std::collections::HashSet::new();
+            while seen.len() < e {
+                let pos = rng.gen_range(0..576);
+                if seen.insert(pos) {
+                    dirty.flip(pos);
+                }
+            }
+            assert!(!crc.verify(&dirty, stored));
+        }
+    }
+
+    #[test]
+    fn bitbuf_and_byte_paths_agree() {
+        let crc = Crc32::new();
+        let bytes = [0xDE, 0xAD, 0xBE, 0xEF];
+        let bits = BitBuf::from_bytes(&bytes, 32);
+        assert_eq!(crc.checksum(&bits), crc.checksum_bytes(&bytes));
+    }
+}

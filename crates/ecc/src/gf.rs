@@ -1,0 +1,227 @@
+//! Finite-field arithmetic over GF(2^m), 3 ≤ m ≤ 13, via log/antilog tables.
+
+/// Primitive polynomials for GF(2^m), index = m (entries below 3 unused).
+const PRIMITIVE_POLYS: [u32; 14] = [
+    0, 0, 0, 0b1011, 0x13, 0x25, 0x43, 0x89, 0x11D, 0x211, 0x409, 0x805, 0x1053, 0x201B,
+];
+
+/// Arithmetic tables for GF(2^m).
+///
+/// Elements are represented as `u16` polynomial-basis values in
+/// `0..2^m`; addition is XOR, multiplication goes through log/antilog
+/// tables built from a primitive element α.
+///
+/// # Examples
+///
+/// ```
+/// use pcm_ecc::GfTable;
+/// let gf = GfTable::new(4);
+/// let a = 0b0110;
+/// let inv = gf.inv(a);
+/// assert_eq!(gf.mul(a, inv), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GfTable {
+    m: u32,
+    size: usize,
+    /// `exp[i] = α^i`, doubled so `mul` skips a modulo.
+    exp: Vec<u16>,
+    /// `log[x]` for x in 1..2^m; log[0] is a sentinel.
+    log: Vec<u32>,
+}
+
+impl GfTable {
+    /// Builds tables for GF(2^m).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `3 <= m <= 13`.
+    pub fn new(m: u32) -> Self {
+        assert!((3..=13).contains(&m), "GF(2^m) supported for m in 3..=13, got {m}");
+        let size = 1usize << m;
+        let poly = PRIMITIVE_POLYS[m as usize];
+        let order = size - 1;
+        let mut exp = vec![0u16; 2 * order];
+        let mut log = vec![0u32; size];
+        let mut x = 1u32;
+        for i in 0..order {
+            exp[i] = x as u16;
+            log[x as usize] = i as u32;
+            x <<= 1;
+            if x & (1 << m) != 0 {
+                x ^= poly;
+            }
+        }
+        for i in 0..order {
+            exp[order + i] = exp[i];
+        }
+        Self { m, size, exp, log }
+    }
+
+    /// Field extension degree m.
+    pub fn m(&self) -> u32 {
+        self.m
+    }
+
+    /// Multiplicative order `2^m − 1`.
+    pub fn order(&self) -> usize {
+        self.size - 1
+    }
+
+    /// `α^i` for `i` taken modulo the group order.
+    #[inline]
+    pub fn alpha_pow(&self, i: usize) -> u16 {
+        self.exp[i % self.order()]
+    }
+
+    /// Discrete log of a nonzero element.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero.
+    #[inline]
+    pub fn log(&self, x: u16) -> u32 {
+        assert!(x != 0, "log of zero");
+        self.log[x as usize]
+    }
+
+    /// Field addition (= subtraction) is XOR.
+    #[inline]
+    pub fn add(&self, a: u16, b: u16) -> u16 {
+        a ^ b
+    }
+
+    /// Field multiplication.
+    #[inline]
+    pub fn mul(&self, a: u16, b: u16) -> u16 {
+        if a == 0 || b == 0 {
+            0
+        } else {
+            self.exp[(self.log[a as usize] + self.log[b as usize]) as usize]
+        }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero.
+    #[inline]
+    pub fn inv(&self, a: u16) -> u16 {
+        assert!(a != 0, "inverse of zero");
+        self.exp[self.order() - self.log[a as usize] as usize]
+    }
+
+    /// Division `a / b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b == 0`.
+    #[inline]
+    pub fn div(&self, a: u16, b: u16) -> u16 {
+        assert!(b != 0, "division by zero");
+        if a == 0 {
+            0
+        } else {
+            let diff = self.order() as u32 + self.log[a as usize] - self.log[b as usize];
+            self.exp[(diff as usize) % self.order()]
+        }
+    }
+
+    /// `a^e` with exponent reduced modulo the group order.
+    pub fn pow(&self, a: u16, e: u64) -> u16 {
+        if a == 0 {
+            return if e == 0 { 1 } else { 0 };
+        }
+        let l = (self.log[a as usize] as u64 * (e % self.order() as u64)) % self.order() as u64;
+        self.exp[l as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exp_log_roundtrip_all_ms() {
+        for m in 3..=13u32 {
+            let gf = GfTable::new(m);
+            for x in 1..(1u32 << m) as u16 {
+                assert_eq!(gf.alpha_pow(gf.log(x) as usize), x, "m={m} x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn alpha_generates_whole_group() {
+        // Primitivity check: α^i distinct for i < 2^m − 1.
+        for m in [3u32, 8, 10, 13] {
+            let gf = GfTable::new(m);
+            let mut seen = vec![false; 1 << m];
+            for i in 0..gf.order() {
+                let v = gf.alpha_pow(i) as usize;
+                assert!(!seen[v], "m={m}: repeat at i={i}");
+                seen[v] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn mul_inverse_identity() {
+        let gf = GfTable::new(10);
+        for x in 1..1024u16 {
+            assert_eq!(gf.mul(x, gf.inv(x)), 1, "x={x}");
+        }
+    }
+
+    #[test]
+    fn mul_is_commutative_and_distributive() {
+        let gf = GfTable::new(6);
+        for a in 0..64u16 {
+            for b in 0..64u16 {
+                assert_eq!(gf.mul(a, b), gf.mul(b, a));
+                let c = 37;
+                assert_eq!(
+                    gf.mul(a, gf.add(b, c)),
+                    gf.add(gf.mul(a, b), gf.mul(a, c)),
+                    "a={a} b={b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        let gf = GfTable::new(8);
+        let a = 0x53;
+        let mut acc = 1u16;
+        for e in 0..20u64 {
+            assert_eq!(gf.pow(a, e), acc, "e={e}");
+            acc = gf.mul(acc, a);
+        }
+    }
+
+    #[test]
+    fn div_roundtrip() {
+        let gf = GfTable::new(5);
+        for a in 0..32u16 {
+            for b in 1..32u16 {
+                assert_eq!(gf.mul(gf.div(a, b), b), a);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_absorbs() {
+        let gf = GfTable::new(4);
+        for x in 0..16u16 {
+            assert_eq!(gf.mul(x, 0), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inverse of zero")]
+    fn inv_zero_panics() {
+        GfTable::new(4).inv(0);
+    }
+}

@@ -1,0 +1,365 @@
+//! Bit-exact extended Hamming SECDED (72,64) — the DRAM-heritage baseline
+//! code — and its eight-word 64-byte line wrapper.
+
+use crate::bits::BitBuf;
+use crate::code::{DecodeOutcome, LineCode};
+
+const WORD_DATA: usize = 64;
+const WORD_CODED: usize = 72;
+/// Hamming syndrome bits (positions 1..=71 need 7 bits).
+const SYND_BITS: usize = 7;
+
+/// Extended Hamming (72,64): corrects one bit error per word, detects two.
+///
+/// Layout (classical): position 0 holds the overall parity; positions
+/// `2^j` for `j < 7` hold the Hamming parity bits; the remaining 64
+/// positions hold data in ascending order.
+///
+/// # Examples
+///
+/// ```
+/// use pcm_ecc::{BitBuf, DecodeOutcome, LineCode, Secded72};
+/// let code = Secded72::new();
+/// let mut data = BitBuf::zeros(64);
+/// data.set(5, true);
+/// let mut cw = code.encode(&data);
+/// cw.flip(40);
+/// assert_eq!(code.decode(&mut cw), DecodeOutcome::Corrected { bits: 1 });
+/// assert_eq!(code.extract_data(&cw), data);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Secded72;
+
+impl Secded72 {
+    /// Creates the code (stateless).
+    pub fn new() -> Self {
+        Secded72
+    }
+
+    /// Positions 1..=71 that are not powers of two, in ascending order:
+    /// where the 64 data bits live.
+    fn data_positions() -> impl Iterator<Item = usize> {
+        (1..WORD_CODED).filter(|p| !p.is_power_of_two())
+    }
+
+    /// Hamming syndrome over positions 1..=71 plus the overall parity of
+    /// all 72 bits.
+    fn syndrome(cw: &BitBuf) -> (usize, bool) {
+        let mut s = 0usize;
+        let mut overall = false;
+        for pos in 0..WORD_CODED {
+            if cw.get(pos) {
+                s ^= pos;
+                overall = !overall;
+            }
+        }
+        (s, overall)
+    }
+}
+
+impl LineCode for Secded72 {
+    fn data_bits(&self) -> usize {
+        WORD_DATA
+    }
+
+    fn parity_bits(&self) -> usize {
+        WORD_CODED - WORD_DATA
+    }
+
+    fn t(&self) -> u32 {
+        1
+    }
+
+    fn name(&self) -> String {
+        "SECDED (72,64)".to_string()
+    }
+
+    fn encode(&self, data: &BitBuf) -> BitBuf {
+        assert_eq!(data.len(), WORD_DATA, "payload length mismatch");
+        let mut cw = BitBuf::zeros(WORD_CODED);
+        for (i, pos) in Self::data_positions().enumerate() {
+            if data.get(i) {
+                cw.set(pos, true);
+            }
+        }
+        // Hamming parity bits: p_j makes the XOR of positions with bit j
+        // set equal zero.
+        let (s0, _) = Self::syndrome(&cw);
+        for j in 0..SYND_BITS {
+            if (s0 >> j) & 1 == 1 {
+                cw.set(1 << j, true);
+            }
+        }
+        // Overall parity makes the whole word even.
+        let (_, overall) = Self::syndrome(&cw);
+        if overall {
+            cw.set(0, true);
+        }
+        debug_assert_eq!(Self::syndrome(&cw), (0, false));
+        cw
+    }
+
+    fn decode(&self, received: &mut BitBuf) -> DecodeOutcome {
+        assert_eq!(received.len(), WORD_CODED, "codeword length mismatch");
+        let (s, overall) = Self::syndrome(received);
+        match (s, overall) {
+            (0, false) => DecodeOutcome::Clean,
+            (0, true) => {
+                // Error in the overall parity bit itself.
+                received.flip(0);
+                DecodeOutcome::Corrected { bits: 1 }
+            }
+            (s, true) => {
+                if s < WORD_CODED {
+                    received.flip(s);
+                    DecodeOutcome::Corrected { bits: 1 }
+                } else {
+                    // Syndrome points outside the word: >=3 errors.
+                    DecodeOutcome::Uncorrectable
+                }
+            }
+            (_, false) => DecodeOutcome::Uncorrectable, // double error
+        }
+    }
+
+    fn extract_data(&self, codeword: &BitBuf) -> BitBuf {
+        let mut data = BitBuf::zeros(WORD_DATA);
+        for (i, pos) in Self::data_positions().enumerate() {
+            if codeword.get(pos) {
+                data.set(i, true);
+            }
+        }
+        data
+    }
+
+    fn syndromes_clean(&self, received: &BitBuf) -> bool {
+        Self::syndrome(received) == (0, false)
+    }
+}
+
+/// Eight concatenated SECDED (72,64) words protecting one 64-byte line —
+/// the "basic scrub" baseline's code organization.
+///
+/// # Examples
+///
+/// ```
+/// use pcm_ecc::{BitBuf, DecodeOutcome, LineCode, SecdedLine};
+/// let code = SecdedLine::new();
+/// assert_eq!(code.data_bits(), 512);
+/// assert_eq!(code.parity_bits(), 64);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SecdedLine {
+    word: Secded72,
+}
+
+const LINE_WORDS: usize = 8;
+
+impl SecdedLine {
+    /// Creates the line code.
+    pub fn new() -> Self {
+        SecdedLine { word: Secded72 }
+    }
+}
+
+impl LineCode for SecdedLine {
+    fn data_bits(&self) -> usize {
+        WORD_DATA * LINE_WORDS
+    }
+
+    fn parity_bits(&self) -> usize {
+        (WORD_CODED - WORD_DATA) * LINE_WORDS
+    }
+
+    fn t(&self) -> u32 {
+        1 // guaranteed only one per line (two may collide in one word)
+    }
+
+    fn name(&self) -> String {
+        "SECDED 8x(72,64)".to_string()
+    }
+
+    fn encode(&self, data: &BitBuf) -> BitBuf {
+        assert_eq!(data.len(), self.data_bits(), "payload length mismatch");
+        let mut cw = BitBuf::zeros(WORD_CODED * LINE_WORDS);
+        for w in 0..LINE_WORDS {
+            let word_data = data.slice(w * WORD_DATA, WORD_DATA);
+            let word_cw = self.word.encode(&word_data);
+            for i in 0..WORD_CODED {
+                if word_cw.get(i) {
+                    cw.set(w * WORD_CODED + i, true);
+                }
+            }
+        }
+        cw
+    }
+
+    fn decode(&self, received: &mut BitBuf) -> DecodeOutcome {
+        assert_eq!(
+            received.len(),
+            WORD_CODED * LINE_WORDS,
+            "codeword length mismatch"
+        );
+        let mut total = 0u32;
+        let mut any_uncorrectable = false;
+        for w in 0..LINE_WORDS {
+            let mut word_cw = received.slice(w * WORD_CODED, WORD_CODED);
+            match self.word.decode(&mut word_cw) {
+                DecodeOutcome::Clean => {}
+                DecodeOutcome::Corrected { bits } => {
+                    total += bits;
+                    for i in 0..WORD_CODED {
+                        let v = word_cw.get(i);
+                        if received.get(w * WORD_CODED + i) != v {
+                            received.set(w * WORD_CODED + i, v);
+                        }
+                    }
+                }
+                DecodeOutcome::Uncorrectable => any_uncorrectable = true,
+            }
+        }
+        if any_uncorrectable {
+            DecodeOutcome::Uncorrectable
+        } else if total == 0 {
+            DecodeOutcome::Clean
+        } else {
+            DecodeOutcome::Corrected { bits: total }
+        }
+    }
+
+    fn extract_data(&self, codeword: &BitBuf) -> BitBuf {
+        let mut data = BitBuf::zeros(self.data_bits());
+        for w in 0..LINE_WORDS {
+            let word_cw = codeword.slice(w * WORD_CODED, WORD_CODED);
+            let word_data = self.word.extract_data(&word_cw);
+            for i in 0..WORD_DATA {
+                if word_data.get(i) {
+                    data.set(w * WORD_DATA + i, true);
+                }
+            }
+        }
+        data
+    }
+
+    fn syndromes_clean(&self, received: &BitBuf) -> bool {
+        (0..LINE_WORDS).all(|w| {
+            self.word
+                .syndromes_clean(&received.slice(w * WORD_CODED, WORD_CODED))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_data<R: Rng>(rng: &mut R, bits: usize) -> BitBuf {
+        let mut b = BitBuf::zeros(bits);
+        for i in 0..bits {
+            if rng.gen::<bool>() {
+                b.set(i, true);
+            }
+        }
+        b
+    }
+
+    #[test]
+    fn clean_roundtrip_word() {
+        let code = Secded72::new();
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..50 {
+            let data = random_data(&mut rng, 64);
+            let mut cw = code.encode(&data);
+            assert_eq!(code.decode(&mut cw), DecodeOutcome::Clean);
+            assert_eq!(code.extract_data(&cw), data);
+        }
+    }
+
+    #[test]
+    fn corrects_every_single_bit_position() {
+        let code = Secded72::new();
+        let mut rng = StdRng::seed_from_u64(32);
+        let data = random_data(&mut rng, 64);
+        let clean = code.encode(&data);
+        for pos in 0..72 {
+            let mut cw = clean.clone();
+            cw.flip(pos);
+            assert_eq!(
+                code.decode(&mut cw),
+                DecodeOutcome::Corrected { bits: 1 },
+                "pos {pos}"
+            );
+            assert_eq!(code.extract_data(&cw), data, "pos {pos}");
+        }
+    }
+
+    #[test]
+    fn detects_every_double_error() {
+        let code = Secded72::new();
+        let mut rng = StdRng::seed_from_u64(33);
+        let data = random_data(&mut rng, 64);
+        let clean = code.encode(&data);
+        for a in 0..72 {
+            for b in (a + 1)..72 {
+                let mut cw = clean.clone();
+                cw.flip(a);
+                cw.flip(b);
+                assert_eq!(
+                    code.decode(&mut cw),
+                    DecodeOutcome::Uncorrectable,
+                    "pair ({a},{b})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn line_corrects_one_error_per_word() {
+        let code = SecdedLine::new();
+        let mut rng = StdRng::seed_from_u64(34);
+        let data = random_data(&mut rng, 512);
+        let mut cw = code.encode(&data);
+        // One error in each of the 8 words: all corrected.
+        for w in 0..8 {
+            cw.flip(w * 72 + 7 * w + 3);
+        }
+        assert_eq!(code.decode(&mut cw), DecodeOutcome::Corrected { bits: 8 });
+        assert_eq!(code.extract_data(&cw), data);
+    }
+
+    #[test]
+    fn line_fails_on_same_word_double() {
+        let code = SecdedLine::new();
+        let mut rng = StdRng::seed_from_u64(35);
+        let data = random_data(&mut rng, 512);
+        let mut cw = code.encode(&data);
+        cw.flip(144 + 3);
+        cw.flip(144 + 40);
+        assert_eq!(code.decode(&mut cw), DecodeOutcome::Uncorrectable);
+    }
+
+    #[test]
+    fn line_lightweight_detection() {
+        let code = SecdedLine::new();
+        let mut rng = StdRng::seed_from_u64(36);
+        let data = random_data(&mut rng, 512);
+        let clean = code.encode(&data);
+        assert!(code.syndromes_clean(&clean));
+        let mut dirty = clean.clone();
+        dirty.flip(500);
+        assert!(!code.syndromes_clean(&dirty));
+    }
+
+    #[test]
+    fn sizes() {
+        let w = Secded72::new();
+        assert_eq!(w.data_bits(), 64);
+        assert_eq!(w.parity_bits(), 8);
+        let l = SecdedLine::new();
+        assert_eq!(l.data_bits(), 512);
+        assert_eq!(l.parity_bits(), 64);
+        assert_eq!(l.t(), 1);
+    }
+}

@@ -1,0 +1,232 @@
+//! Bit interleaving across multiple codewords: converts burst errors
+//! (e.g. a failed column driver clobbering adjacent cells) into isolated
+//! errors each sub-code can correct.
+
+use crate::bits::BitBuf;
+use crate::code::{DecodeOutcome, LineCode};
+
+/// `k`-way bit interleaving of a base code.
+///
+/// Data and codeword bits are distributed round-robin over `k` instances
+/// of the base code, so a contiguous burst of length `L` lands at most
+/// `⌈L/k⌉` errors in any one instance. With a BCH-t base, bursts up to
+/// `k·t` are always corrected.
+///
+/// # Examples
+///
+/// ```
+/// use pcm_ecc::{BchCode, BitBuf, DecodeOutcome, Interleaved, LineCode};
+/// let code = Interleaved::new(BchCode::new(8, 2, 128), 4);
+/// assert_eq!(code.data_bits(), 512);
+/// let data = BitBuf::zeros(512);
+/// let mut cw = code.encode(&data);
+/// // An 8-bit burst: 2 errors per sub-code, within BCH-2 capability.
+/// for i in 100..108 {
+///     cw.flip(i);
+/// }
+/// assert_eq!(code.decode(&mut cw), DecodeOutcome::Corrected { bits: 8 });
+/// ```
+#[derive(Debug, Clone)]
+pub struct Interleaved<C> {
+    base: C,
+    k: usize,
+}
+
+impl<C: LineCode> Interleaved<C> {
+    /// Interleaves `k` instances of `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(base: C, k: usize) -> Self {
+        assert!(k >= 1, "interleaving factor must be at least 1");
+        Self { base, k }
+    }
+
+    /// The interleaving factor.
+    pub fn factor(&self) -> usize {
+        self.k
+    }
+
+    /// Longest burst guaranteed correctable.
+    pub fn burst_capability(&self) -> u32 {
+        self.base.t() * self.k as u32
+    }
+
+    fn split(&self, whole: &BitBuf, unit: usize) -> Vec<BitBuf> {
+        let mut parts = vec![BitBuf::zeros(unit); self.k];
+        for i in 0..whole.len() {
+            if whole.get(i) {
+                parts[i % self.k].set(i / self.k, true);
+            }
+        }
+        parts
+    }
+
+    fn join(&self, parts: &[BitBuf], total: usize) -> BitBuf {
+        let mut whole = BitBuf::zeros(total);
+        for i in 0..total {
+            if parts[i % self.k].get(i / self.k) {
+                whole.set(i, true);
+            }
+        }
+        whole
+    }
+}
+
+impl<C: LineCode> LineCode for Interleaved<C> {
+    fn data_bits(&self) -> usize {
+        self.base.data_bits() * self.k
+    }
+
+    fn parity_bits(&self) -> usize {
+        self.base.parity_bits() * self.k
+    }
+
+    fn t(&self) -> u32 {
+        // Guaranteed for arbitrary (non-burst) patterns: t errors could
+        // all land in one sub-code.
+        self.base.t()
+    }
+
+    fn name(&self) -> String {
+        format!("{}x interleaved {}", self.k, self.base.name())
+    }
+
+    fn encode(&self, data: &BitBuf) -> BitBuf {
+        assert_eq!(data.len(), self.data_bits(), "payload length mismatch");
+        let parts = self.split(data, self.base.data_bits());
+        let coded: Vec<BitBuf> = parts.iter().map(|p| self.base.encode(p)).collect();
+        self.join(&coded, self.data_bits() + self.parity_bits())
+    }
+
+    fn decode(&self, received: &mut BitBuf) -> DecodeOutcome {
+        assert_eq!(
+            received.len(),
+            self.data_bits() + self.parity_bits(),
+            "codeword length mismatch"
+        );
+        let mut parts = self.split(received, self.base.data_bits() + self.base.parity_bits());
+        let mut total = 0u32;
+        let mut failed = false;
+        for p in &mut parts {
+            match self.base.decode(p) {
+                DecodeOutcome::Clean => {}
+                DecodeOutcome::Corrected { bits } => total += bits,
+                DecodeOutcome::Uncorrectable => failed = true,
+            }
+        }
+        *received = self.join(&parts, received.len());
+        if failed {
+            DecodeOutcome::Uncorrectable
+        } else if total == 0 {
+            DecodeOutcome::Clean
+        } else {
+            DecodeOutcome::Corrected { bits: total }
+        }
+    }
+
+    fn extract_data(&self, codeword: &BitBuf) -> BitBuf {
+        let parts = self.split(codeword, self.base.data_bits() + self.base.parity_bits());
+        let datas: Vec<BitBuf> = parts.iter().map(|p| self.base.extract_data(p)).collect();
+        self.join(&datas, self.data_bits())
+    }
+
+    fn syndromes_clean(&self, received: &BitBuf) -> bool {
+        self.split(received, self.base.data_bits() + self.base.parity_bits())
+            .iter()
+            .all(|p| self.base.syndromes_clean(p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bch::BchCode;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_data(rng: &mut StdRng, bits: usize) -> BitBuf {
+        let mut b = BitBuf::zeros(bits);
+        for i in 0..bits {
+            if rng.gen::<bool>() {
+                b.set(i, true);
+            }
+        }
+        b
+    }
+
+    #[test]
+    fn clean_roundtrip() {
+        let code = Interleaved::new(BchCode::new(8, 2, 128), 4);
+        let mut rng = StdRng::seed_from_u64(1);
+        let data = random_data(&mut rng, 512);
+        let mut cw = code.encode(&data);
+        assert_eq!(code.decode(&mut cw), DecodeOutcome::Clean);
+        assert_eq!(code.extract_data(&cw), data);
+    }
+
+    #[test]
+    fn corrects_max_length_burst() {
+        let code = Interleaved::new(BchCode::new(8, 2, 128), 4);
+        let mut rng = StdRng::seed_from_u64(2);
+        let data = random_data(&mut rng, 512);
+        let clean = code.encode(&data);
+        let burst = code.burst_capability() as usize; // 8
+        for start in [0usize, 77, 500] {
+            let mut cw = clean.clone();
+            for i in start..start + burst {
+                cw.flip(i);
+            }
+            assert_eq!(
+                code.decode(&mut cw),
+                DecodeOutcome::Corrected {
+                    bits: burst as u32
+                },
+                "burst at {start}"
+            );
+            assert_eq!(code.extract_data(&cw), data, "burst at {start}");
+        }
+    }
+
+    #[test]
+    fn burst_past_capability_fails_or_detects() {
+        let code = Interleaved::new(BchCode::new(8, 1, 128), 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let data = random_data(&mut rng, 256);
+        let mut cw = code.encode(&data);
+        // Burst of 6 > capability 2·1: some sub-code gets 3 errors.
+        for i in 10..16 {
+            cw.flip(i);
+        }
+        match code.decode(&mut cw) {
+            DecodeOutcome::Clean => panic!("burst decoded clean"),
+            DecodeOutcome::Uncorrectable => {}
+            DecodeOutcome::Corrected { .. } => {
+                assert_ne!(code.extract_data(&cw), data, "silent success impossible");
+            }
+        }
+    }
+
+    #[test]
+    fn lightweight_detection_composes() {
+        let code = Interleaved::new(BchCode::new(8, 2, 128), 4);
+        let mut rng = StdRng::seed_from_u64(4);
+        let data = random_data(&mut rng, 512);
+        let clean = code.encode(&data);
+        assert!(code.syndromes_clean(&clean));
+        let mut dirty = clean.clone();
+        dirty.flip(3);
+        assert!(!code.syndromes_clean(&dirty));
+    }
+
+    #[test]
+    fn sizes_scale_with_factor() {
+        let code = Interleaved::new(BchCode::new(8, 2, 100), 3);
+        assert_eq!(code.data_bits(), 300);
+        assert_eq!(code.parity_bits(), 3 * 16);
+        assert_eq!(code.t(), 2);
+        assert_eq!(code.burst_capability(), 6);
+        assert!(code.name().contains("3x interleaved"));
+    }
+}

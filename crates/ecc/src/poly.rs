@@ -1,0 +1,357 @@
+//! Polynomial algebra: binary polynomials (for BCH generators and
+//! systematic encoding) and polynomials over GF(2^m) (for decoding).
+
+use crate::gf::GfTable;
+
+/// A polynomial over GF(2), little-endian bit-packed (bit `i` of word
+/// `i/64` is the coefficient of `x^i`).
+///
+/// Equality ignores trailing zero words, so values produced by different
+/// operation chains compare by mathematical value.
+///
+/// # Examples
+///
+/// ```
+/// use pcm_ecc::BinPoly;
+/// let a = BinPoly::from_coeffs(&[0, 1]);   // x
+/// let b = BinPoly::from_coeffs(&[0, 1, 3]); // x^3 + x + 1
+/// let p = a.mul(&b);
+/// assert_eq!(p.degree(), Some(4));
+/// ```
+#[derive(Debug, Clone, Eq)]
+pub struct BinPoly {
+    words: Vec<u64>,
+}
+
+impl PartialEq for BinPoly {
+    fn eq(&self, other: &Self) -> bool {
+        let n = self.words.len().max(other.words.len());
+        (0..n).all(|i| {
+            self.words.get(i).copied().unwrap_or(0) == other.words.get(i).copied().unwrap_or(0)
+        })
+    }
+}
+
+impl BinPoly {
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        Self { words: vec![] }
+    }
+
+    /// The constant polynomial 1.
+    pub fn one() -> Self {
+        Self { words: vec![1] }
+    }
+
+    /// Builds a polynomial with coefficients at the given exponents.
+    pub fn from_coeffs(exps: &[usize]) -> Self {
+        let mut p = Self::zero();
+        for &e in exps {
+            p.set(e);
+        }
+        p
+    }
+
+    /// `x^e`.
+    pub fn monomial(e: usize) -> Self {
+        let mut p = Self::zero();
+        p.set(e);
+        p
+    }
+
+    fn set(&mut self, e: usize) {
+        let w = e / 64;
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        self.words[w] ^= 1u64 << (e % 64);
+    }
+
+    /// Coefficient of `x^e`.
+    pub fn coeff(&self, e: usize) -> bool {
+        let w = e / 64;
+        w < self.words.len() && (self.words[w] >> (e % 64)) & 1 == 1
+    }
+
+    /// Degree, or `None` for the zero polynomial.
+    pub fn degree(&self) -> Option<usize> {
+        for (i, &w) in self.words.iter().enumerate().rev() {
+            if w != 0 {
+                return Some(i * 64 + 63 - w.leading_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Whether this is the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Sum (= difference) over GF(2).
+    pub fn add(&self, other: &BinPoly) -> BinPoly {
+        let n = self.words.len().max(other.words.len());
+        let mut words = vec![0u64; n];
+        for (i, w) in words.iter_mut().enumerate() {
+            *w = self.words.get(i).copied().unwrap_or(0) ^ other.words.get(i).copied().unwrap_or(0);
+        }
+        BinPoly { words }
+    }
+
+    /// Carry-less product.
+    pub fn mul(&self, other: &BinPoly) -> BinPoly {
+        let (Some(da), Some(db)) = (self.degree(), other.degree()) else {
+            return BinPoly::zero();
+        };
+        let mut out = BinPoly::zero();
+        out.words.resize((da + db) / 64 + 1, 0);
+        for ea in 0..=da {
+            if !self.coeff(ea) {
+                continue;
+            }
+            // XOR `other` shifted left by `ea` into `out`.
+            let word_shift = ea / 64;
+            let bit_shift = ea % 64;
+            for (i, &w) in other.words.iter().enumerate() {
+                if w == 0 {
+                    continue;
+                }
+                out.words[i + word_shift] ^= w << bit_shift;
+                if bit_shift != 0 && i + word_shift + 1 < out.words.len() {
+                    out.words[i + word_shift + 1] ^= w >> (64 - bit_shift);
+                }
+            }
+        }
+        out
+    }
+
+    /// Remainder of `self` modulo `divisor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    pub fn rem(&self, divisor: &BinPoly) -> BinPoly {
+        let dd = divisor.degree().expect("division by zero polynomial");
+        let mut r = self.clone();
+        while let Some(dr) = r.degree() {
+            if dr < dd {
+                break;
+            }
+            let shift = dr - dd;
+            // r ^= divisor << shift
+            let word_shift = shift / 64;
+            let bit_shift = shift % 64;
+            let needed = (dr / 64) + 1;
+            if r.words.len() < needed {
+                r.words.resize(needed, 0);
+            }
+            for (i, &w) in divisor.words.iter().enumerate() {
+                if w == 0 {
+                    continue;
+                }
+                r.words[i + word_shift] ^= w << bit_shift;
+                if bit_shift != 0 && i + word_shift + 1 < r.words.len() {
+                    r.words[i + word_shift + 1] ^= w >> (64 - bit_shift);
+                }
+            }
+        }
+        r
+    }
+
+    /// Exponents with nonzero coefficients, ascending.
+    pub fn support(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        for (wi, &w) in self.words.iter().enumerate() {
+            let mut bits = w;
+            while bits != 0 {
+                out.push(wi * 64 + bits.trailing_zeros() as usize);
+                bits &= bits - 1;
+            }
+        }
+        out
+    }
+}
+
+/// A polynomial over GF(2^m), coefficients little-endian
+/// (`coeffs[i]` multiplies `x^i`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GfPoly {
+    coeffs: Vec<u16>,
+}
+
+impl GfPoly {
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        Self { coeffs: vec![] }
+    }
+
+    /// The constant polynomial 1.
+    pub fn one() -> Self {
+        Self { coeffs: vec![1] }
+    }
+
+    /// Builds from explicit coefficients (little-endian); trailing zeros
+    /// are trimmed.
+    pub fn from_coeffs(coeffs: Vec<u16>) -> Self {
+        let mut p = Self { coeffs };
+        p.trim();
+        p
+    }
+
+    fn trim(&mut self) {
+        while self.coeffs.last() == Some(&0) {
+            self.coeffs.pop();
+        }
+    }
+
+    /// Degree, or `None` for zero.
+    pub fn degree(&self) -> Option<usize> {
+        if self.coeffs.is_empty() {
+            None
+        } else {
+            Some(self.coeffs.len() - 1)
+        }
+    }
+
+    /// Coefficient of `x^i` (zero beyond the stored length).
+    pub fn coeff(&self, i: usize) -> u16 {
+        self.coeffs.get(i).copied().unwrap_or(0)
+    }
+
+    /// The coefficient slice (little-endian, trimmed).
+    pub fn coeffs(&self) -> &[u16] {
+        &self.coeffs
+    }
+
+    /// Polynomial sum.
+    pub fn add(&self, other: &GfPoly, _gf: &GfTable) -> GfPoly {
+        let n = self.coeffs.len().max(other.coeffs.len());
+        let mut coeffs = vec![0u16; n];
+        for (i, c) in coeffs.iter_mut().enumerate() {
+            *c = self.coeff(i) ^ other.coeff(i);
+        }
+        GfPoly::from_coeffs(coeffs)
+    }
+
+    /// Polynomial product.
+    pub fn mul(&self, other: &GfPoly, gf: &GfTable) -> GfPoly {
+        let (Some(da), Some(db)) = (self.degree(), other.degree()) else {
+            return GfPoly::zero();
+        };
+        let mut coeffs = vec![0u16; da + db + 1];
+        for (i, &a) in self.coeffs.iter().enumerate() {
+            if a == 0 {
+                continue;
+            }
+            for (j, &b) in other.coeffs.iter().enumerate() {
+                if b != 0 {
+                    coeffs[i + j] ^= gf.mul(a, b);
+                }
+            }
+        }
+        GfPoly::from_coeffs(coeffs)
+    }
+
+    /// Multiplies every coefficient by a scalar.
+    pub fn scale(&self, s: u16, gf: &GfTable) -> GfPoly {
+        GfPoly::from_coeffs(self.coeffs.iter().map(|&c| gf.mul(c, s)).collect())
+    }
+
+    /// Evaluates at `x` by Horner's rule.
+    pub fn eval(&self, x: u16, gf: &GfTable) -> u16 {
+        let mut acc = 0u16;
+        for &c in self.coeffs.iter().rev() {
+            acc = gf.mul(acc, x) ^ c;
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binpoly_mul_known_product() {
+        // (x+1)(x^2+x+1) = x^3 + 1 over GF(2)
+        let a = BinPoly::from_coeffs(&[0, 1]);
+        let b = BinPoly::from_coeffs(&[0, 1, 2]);
+        let p = a.mul(&b);
+        assert_eq!(p.support(), vec![0, 3]);
+    }
+
+    #[test]
+    fn binpoly_mul_across_word_boundary() {
+        let a = BinPoly::monomial(63);
+        let b = BinPoly::from_coeffs(&[0, 1]);
+        let p = a.mul(&b); // x^64 + x^63
+        assert_eq!(p.support(), vec![63, 64]);
+    }
+
+    #[test]
+    fn binpoly_rem_basic() {
+        // x^3 + 1 mod (x+1) = 0 since x+1 divides it.
+        let p = BinPoly::from_coeffs(&[0, 3]);
+        let d = BinPoly::from_coeffs(&[0, 1]);
+        assert!(p.rem(&d).is_zero());
+        // x^2 mod (x+1): x^2 = (x+1)(x+1) + 1 -> remainder 1.
+        let r = BinPoly::monomial(2).rem(&d);
+        assert_eq!(r.support(), vec![0]);
+    }
+
+    #[test]
+    fn binpoly_rem_matches_mul_roundtrip() {
+        // (q*d + r) mod d == r for r with deg < deg d.
+        let d = BinPoly::from_coeffs(&[0, 2, 5]);
+        let q = BinPoly::from_coeffs(&[1, 3, 70]);
+        let r = BinPoly::from_coeffs(&[0, 4]);
+        let p = q.mul(&d).add(&r);
+        assert_eq!(p.rem(&d), r);
+    }
+
+    #[test]
+    fn binpoly_degree_and_zero() {
+        assert_eq!(BinPoly::zero().degree(), None);
+        assert_eq!(BinPoly::monomial(100).degree(), Some(100));
+        assert!(BinPoly::from_coeffs(&[5, 5]).is_zero());
+    }
+
+    #[test]
+    fn gfpoly_eval_horner() {
+        let gf = GfTable::new(4);
+        // p(x) = x^2 + 3x + 5 at x=2: 4 ^ mul(3,2) ^ 5
+        let p = GfPoly::from_coeffs(vec![5, 3, 1]);
+        let want = gf.mul(2, 2) ^ gf.mul(3, 2) ^ 5;
+        assert_eq!(p.eval(2, &gf), want);
+    }
+
+    #[test]
+    fn gfpoly_mul_degree_adds() {
+        let gf = GfTable::new(6);
+        let a = GfPoly::from_coeffs(vec![1, 7, 0, 9]);
+        let b = GfPoly::from_coeffs(vec![3, 0, 5]);
+        let p = a.mul(&b, &gf);
+        assert_eq!(p.degree(), Some(5));
+    }
+
+    #[test]
+    fn gfpoly_root_product_form() {
+        // (x - α)(x - α²) has roots α, α².
+        let gf = GfTable::new(5);
+        let a1 = gf.alpha_pow(1);
+        let a2 = gf.alpha_pow(2);
+        let f1 = GfPoly::from_coeffs(vec![a1, 1]);
+        let f2 = GfPoly::from_coeffs(vec![a2, 1]);
+        let p = f1.mul(&f2, &gf);
+        assert_eq!(p.eval(a1, &gf), 0);
+        assert_eq!(p.eval(a2, &gf), 0);
+        assert_ne!(p.eval(gf.alpha_pow(3), &gf), 0);
+    }
+
+    #[test]
+    fn gfpoly_trim() {
+        let p = GfPoly::from_coeffs(vec![1, 2, 0, 0]);
+        assert_eq!(p.degree(), Some(1));
+        assert_eq!(p.coeffs(), &[1, 2]);
+    }
+}

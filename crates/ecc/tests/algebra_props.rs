@@ -1,0 +1,88 @@
+//! Property-based tests of the finite-field and polynomial algebra the
+//! BCH codec rests on.
+
+use proptest::prelude::*;
+
+use pcm_ecc::{BinPoly, GfPoly, GfTable};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Field axioms on random triples for a mid-sized field.
+    #[test]
+    fn gf_field_axioms(a in 0u16..1024, b in 0u16..1024, c in 0u16..1024) {
+        let gf = GfTable::new(10);
+        // Associativity and commutativity of multiplication.
+        prop_assert_eq!(gf.mul(a, gf.mul(b, c)), gf.mul(gf.mul(a, b), c));
+        prop_assert_eq!(gf.mul(a, b), gf.mul(b, a));
+        // Distributivity.
+        prop_assert_eq!(gf.mul(a, b ^ c), gf.mul(a, b) ^ gf.mul(a, c));
+        // Multiplicative inverses.
+        if a != 0 {
+            prop_assert_eq!(gf.mul(a, gf.inv(a)), 1);
+            prop_assert_eq!(gf.div(gf.mul(a, b), a), b);
+        }
+    }
+
+    /// Frobenius: squaring is a field automorphism in characteristic 2.
+    #[test]
+    fn gf_frobenius(a in 0u16..256, b in 0u16..256) {
+        let gf = GfTable::new(8);
+        let sq = |x: u16| gf.mul(x, x);
+        prop_assert_eq!(sq(a ^ b), sq(a) ^ sq(b));
+    }
+
+    /// Binary polynomial ring laws on random supports.
+    #[test]
+    fn binpoly_ring_laws(
+        xs in proptest::collection::vec(0usize..128, 0..12),
+        ys in proptest::collection::vec(0usize..128, 0..12),
+        zs in proptest::collection::vec(0usize..64, 1..8),
+    ) {
+        let a = BinPoly::from_coeffs(&xs);
+        let b = BinPoly::from_coeffs(&ys);
+        let d = BinPoly::from_coeffs(&zs);
+        // Addition is commutative and self-inverse.
+        prop_assert_eq!(a.add(&b), b.add(&a));
+        prop_assert!(a.add(&a).is_zero());
+        // Multiplication commutes and distributes.
+        prop_assert_eq!(a.mul(&b), b.mul(&a));
+        prop_assert_eq!(a.mul(&b.add(&d)), a.mul(&b).add(&a.mul(&d)));
+    }
+
+    /// Division law: (q·d + r) mod d == r mod d.
+    #[test]
+    fn binpoly_remainder_law(
+        qs in proptest::collection::vec(0usize..100, 0..10),
+        ds in proptest::collection::vec(0usize..40, 1..8),
+        rs in proptest::collection::vec(0usize..39, 0..6),
+    ) {
+        let q = BinPoly::from_coeffs(&qs);
+        let d = BinPoly::from_coeffs(&ds);
+        prop_assume!(!d.is_zero());
+        let r = BinPoly::from_coeffs(&rs);
+        let p = q.mul(&d).add(&r);
+        prop_assert_eq!(p.rem(&d), r.rem(&d));
+    }
+
+    /// Evaluation is a ring homomorphism: (f·g)(x) = f(x)·g(x) and
+    /// (f+g)(x) = f(x)+g(x).
+    #[test]
+    fn gfpoly_eval_homomorphism(
+        fs in proptest::collection::vec(0u16..64, 0..6),
+        gs in proptest::collection::vec(0u16..64, 0..6),
+        x in 0u16..64,
+    ) {
+        let gf = GfTable::new(6);
+        let f = GfPoly::from_coeffs(fs);
+        let g = GfPoly::from_coeffs(gs);
+        prop_assert_eq!(
+            f.mul(&g, &gf).eval(x, &gf),
+            gf.mul(f.eval(x, &gf), g.eval(x, &gf))
+        );
+        prop_assert_eq!(
+            f.add(&g, &gf).eval(x, &gf),
+            f.eval(x, &gf) ^ g.eval(x, &gf)
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! Per-bank service timing: measured queueing delay between demand and
+//! scrub operations that target the same bank.
+
+use crate::geometry::{LineAddr, MemGeometry};
+
+/// Tracks when each bank becomes free, yielding measured queueing delays.
+///
+/// # Examples
+///
+/// ```
+/// use pcm_memsim::BankTimer;
+/// let mut bt = BankTimer::new(2);
+/// // Two back-to-back ops on bank 0: the second waits.
+/// assert_eq!(bt.issue(0, 1000.0, 500.0), 0.0);
+/// assert_eq!(bt.issue(0, 1200.0, 500.0), 300.0);
+/// // Bank 1 is free.
+/// assert_eq!(bt.issue(1, 1200.0, 500.0), 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BankTimer {
+    busy_until_ns: Vec<f64>,
+}
+
+impl BankTimer {
+    /// Creates timers for `banks` banks, all idle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks == 0`.
+    pub fn new(banks: u32) -> Self {
+        assert!(banks > 0, "need at least one bank");
+        Self {
+            busy_until_ns: vec![0.0; banks as usize],
+        }
+    }
+
+    /// Issues an operation of `dur_ns` on `bank` at absolute time
+    /// `at_ns`; returns the queueing delay it suffered (0 when the bank
+    /// was idle).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range.
+    pub fn issue(&mut self, bank: u32, at_ns: f64, dur_ns: f64) -> f64 {
+        let b = &mut self.busy_until_ns[bank as usize];
+        let start = at_ns.max(*b);
+        *b = start + dur_ns;
+        start - at_ns
+    }
+
+    /// Convenience: issues against the bank an address maps to.
+    pub fn issue_addr(
+        &mut self,
+        geom: &MemGeometry,
+        addr: LineAddr,
+        at_ns: f64,
+        dur_ns: f64,
+    ) -> f64 {
+        self.issue(geom.bank_of(addr), at_ns, dur_ns)
+    }
+
+    /// When the given bank frees up.
+    pub fn busy_until_ns(&self, bank: u32) -> f64 {
+        self.busy_until_ns[bank as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_bank_no_delay() {
+        let mut bt = BankTimer::new(4);
+        assert_eq!(bt.issue(2, 5000.0, 100.0), 0.0);
+        assert_eq!(bt.busy_until_ns(2), 5100.0);
+    }
+
+    #[test]
+    fn queueing_chains() {
+        let mut bt = BankTimer::new(1);
+        assert_eq!(bt.issue(0, 0.0, 1000.0), 0.0);
+        assert_eq!(bt.issue(0, 100.0, 1000.0), 900.0);
+        assert_eq!(bt.issue(0, 100.0, 1000.0), 1900.0);
+        // After the backlog clears, no delay again.
+        assert_eq!(bt.issue(0, 10_000.0, 1000.0), 0.0);
+    }
+
+    #[test]
+    fn banks_are_independent() {
+        let mut bt = BankTimer::new(2);
+        bt.issue(0, 0.0, 1e9);
+        assert_eq!(bt.issue(1, 10.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn addr_mapping_used() {
+        let geom = MemGeometry::new(16, 4);
+        let mut bt = BankTimer::new(4);
+        bt.issue_addr(&geom, LineAddr(5), 0.0, 100.0); // bank 1
+        assert!(bt.busy_until_ns(1) > 0.0);
+        assert_eq!(bt.busy_until_ns(0), 0.0);
+    }
+}

@@ -1,0 +1,340 @@
+//! The stochastic fault engine: exact lazy evolution of per-line drift and
+//! wear failures.
+//!
+//! For a line with `n` live cells at some level, the number that have
+//! persistently drift-failed by age `t` is `Binomial(n, p(t))` with `p`
+//! monotone. Given `b₁` failures known at age `t₁`, the count at `t₂ > t₁`
+//! is `b₁ + Binomial(n − b₁, (p(t₂)−p(t₁))/(1−p(t₁)))` — exact for
+//! independent cells and O(1) per update. Wear failures use the same
+//! machinery with the lognormal endurance CDF over the write count.
+
+use rand::Rng;
+
+use pcm_model::math::sample_binomial;
+use pcm_model::{DeviceConfig, DriftModel, EnduranceSpec};
+
+use crate::line::{LineState, MAX_LEVELS};
+use crate::time::SimTime;
+
+/// Evolves [`LineState`]s under drift, read noise, and wear.
+///
+/// # Examples
+///
+/// ```
+/// use pcm_memsim::{FaultEngine, SimTime};
+/// use pcm_model::DeviceConfig;
+/// use rand::SeedableRng;
+///
+/// let engine = FaultEngine::new(&DeviceConfig::default(), 288);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+/// let mut line = engine.fresh_line(SimTime::ZERO, &mut rng);
+/// // A day later the line has accumulated some persistent drift errors.
+/// let errs = engine.advance(&mut line, SimTime::from_secs(86_400.0), &mut rng);
+/// assert!(errs >= 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultEngine {
+    model: DriftModel,
+    endurance: EnduranceSpec,
+    cells_per_line: u32,
+    num_levels: usize,
+    /// Probability a stuck cell conflicts with fresh random data.
+    conflict_prob: f64,
+    /// Occupancy distribution of data cells over levels (random data →
+    /// uniform).
+    level_probs: Vec<f64>,
+}
+
+impl FaultEngine {
+    /// Builds an engine for `cells_per_line` cells of the given device
+    /// (cells = coded line bits / bits-per-cell).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device has more than [`MAX_LEVELS`] levels or
+    /// `cells_per_line` is zero.
+    pub fn new(device: &DeviceConfig, cells_per_line: u32) -> Self {
+        let num_levels = device.stack().num_levels();
+        assert!(
+            num_levels <= MAX_LEVELS,
+            "fault engine supports up to {MAX_LEVELS} levels"
+        );
+        assert!(cells_per_line > 0, "need at least one cell per line");
+        Self {
+            model: device.drift_model(),
+            endurance: *device.endurance(),
+            cells_per_line,
+            num_levels,
+            conflict_prob: 1.0 - 1.0 / num_levels as f64,
+            level_probs: vec![1.0 / num_levels as f64; num_levels],
+        }
+    }
+
+    /// The analytic drift model in use.
+    pub fn model(&self) -> &DriftModel {
+        &self.model
+    }
+
+    /// Cells per line.
+    pub fn cells_per_line(&self) -> u32 {
+        self.cells_per_line
+    }
+
+    /// Samples the level occupancy of `live` cells holding random data.
+    fn sample_occupancy<R: Rng + ?Sized>(&self, live: u32, rng: &mut R) -> [u16; MAX_LEVELS] {
+        let counts =
+            pcm_model::math::sample_multinomial(rng, live, &self.level_probs);
+        let mut occ = [0u16; MAX_LEVELS];
+        for (i, &c) in counts.iter().enumerate() {
+            occ[i] = c as u16;
+        }
+        occ
+    }
+
+    /// A brand-new line programmed at `now` (wear starts at one write).
+    pub fn fresh_line<R: Rng + ?Sized>(&self, now: SimTime, rng: &mut R) -> LineState {
+        let mut line = LineState::fresh(now, self.sample_occupancy(self.cells_per_line, rng));
+        line.wear = 1;
+        line
+    }
+
+    /// Applies a (re)write at `now`: resets the drift clock and failures,
+    /// re-rolls data occupancy, advances wear, and may permanently fail
+    /// cells whose endurance is exhausted.
+    pub fn on_write<R: Rng + ?Sized>(&self, line: &mut LineState, now: SimTime, rng: &mut R) {
+        let w1 = line.wear;
+        line.wear = line.wear.saturating_add(1);
+        // Wear failures: incremental binomial over the endurance CDF.
+        let susceptible = self.cells_per_line - line.worn_cells as u32;
+        if susceptible > 0 {
+            let f1 = self.endurance.fail_cdf(w1 as u64);
+            let f2 = self.endurance.fail_cdf(line.wear as u64);
+            let dp = if f1 >= 1.0 { 1.0 } else { ((f2 - f1) / (1.0 - f1)).clamp(0.0, 1.0) };
+            line.worn_cells += sample_binomial(rng, susceptible, dp) as u16;
+        }
+        // Fresh data pattern over the remaining live cells.
+        let live = self.cells_per_line - line.worn_cells as u32;
+        line.occupancy = self.sample_occupancy(live, rng);
+        line.drift_failed = [0; MAX_LEVELS];
+        line.last_write = now;
+        line.last_eval = now;
+        line.ue_recorded = false;
+        // Each stuck cell disagrees with the new data w.p. (L-1)/L; a
+        // disagreement costs 1 bit (2/3 of cases) or 2 bits (1/3) under
+        // Gray coding.
+        let conflicts = sample_binomial(rng, line.worn_cells as u32, self.conflict_prob);
+        let double_bit = sample_binomial(rng, conflicts, 1.0 / 3.0);
+        line.worn_conflict_bits = (conflicts + double_bit) as u16;
+    }
+
+    /// Advances the line's persistent drift failures to `now` and returns
+    /// the total persistent bit-error count.
+    pub fn advance<R: Rng + ?Sized>(
+        &self,
+        line: &mut LineState,
+        now: SimTime,
+        rng: &mut R,
+    ) -> u32 {
+        if now > line.last_eval {
+            let age1 = line.last_eval.since(line.last_write);
+            let age2 = now.since(line.last_write);
+            for lv in 0..self.num_levels {
+                let alive = line.occupancy[lv] - line.drift_failed[lv];
+                if alive == 0 {
+                    continue;
+                }
+                let p1 = self.model.p_up(lv, age1);
+                let p2 = self.model.p_up(lv, age2);
+                if p2 <= p1 {
+                    continue;
+                }
+                let dp = if p1 >= 1.0 {
+                    0.0
+                } else {
+                    ((p2 - p1) / (1.0 - p1)).clamp(0.0, 1.0)
+                };
+                line.drift_failed[lv] += sample_binomial(rng, alive as u32, dp) as u16;
+            }
+            line.last_eval = now;
+        }
+        line.persistent_bit_errors()
+    }
+
+    /// Transient (sensing-noise) bit errors for one read at `now`.
+    /// Independent across reads; does not mutate persistent state.
+    pub fn transient_errors<R: Rng + ?Sized>(
+        &self,
+        line: &LineState,
+        now: SimTime,
+        rng: &mut R,
+    ) -> u32 {
+        let age = line.age_at(now);
+        let mut errs = 0u32;
+        for lv in 0..self.num_levels {
+            let alive = (line.occupancy[lv] - line.drift_failed[lv]) as u32;
+            if alive == 0 {
+                continue;
+            }
+            let p = self.model.p_transient_fast(lv, age);
+            if p > 0.0 {
+                errs += sample_binomial(rng, alive, p);
+            }
+        }
+        errs
+    }
+
+    /// Total bit errors a read at `now` observes: persistent (advanced to
+    /// `now`) plus a fresh transient draw.
+    pub fn read_errors<R: Rng + ?Sized>(
+        &self,
+        line: &mut LineState,
+        now: SimTime,
+        rng: &mut R,
+    ) -> u32 {
+        let persistent = self.advance(line, now, rng);
+        persistent + self.transient_errors(line, now, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn engine() -> FaultEngine {
+        FaultEngine::new(&DeviceConfig::default(), 288)
+    }
+
+    #[test]
+    fn fresh_line_has_no_errors() {
+        let e = engine();
+        let mut rng = StdRng::seed_from_u64(51);
+        let line = e.fresh_line(SimTime::ZERO, &mut rng);
+        assert_eq!(line.persistent_bit_errors(), 0);
+        assert_eq!(line.live_cells(), 288);
+        assert_eq!(line.wear, 1);
+    }
+
+    #[test]
+    fn drift_failures_monotone_under_advance() {
+        let e = engine();
+        let mut rng = StdRng::seed_from_u64(52);
+        let mut line = e.fresh_line(SimTime::ZERO, &mut rng);
+        let mut prev = 0;
+        for hours in [1u64, 4, 12, 24, 72, 168] {
+            let errs = e.advance(&mut line, SimTime::from_secs(hours as f64 * 3600.0), &mut rng);
+            assert!(errs >= prev, "errors decreased: {prev} -> {errs}");
+            prev = errs;
+        }
+        assert!(prev > 0, "week-old line should have drift errors");
+    }
+
+    #[test]
+    fn advance_is_idempotent_at_same_time() {
+        let e = engine();
+        let mut rng = StdRng::seed_from_u64(53);
+        let mut line = e.fresh_line(SimTime::ZERO, &mut rng);
+        let t = SimTime::from_secs(86_400.0);
+        let a = e.advance(&mut line, t, &mut rng);
+        let b = e.advance(&mut line, t, &mut rng);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn write_resets_drift_errors() {
+        let e = engine();
+        let mut rng = StdRng::seed_from_u64(54);
+        let mut line = e.fresh_line(SimTime::ZERO, &mut rng);
+        e.advance(&mut line, SimTime::from_secs(604_800.0), &mut rng);
+        assert!(line.persistent_bit_errors() > 0);
+        e.on_write(&mut line, SimTime::from_secs(604_800.0), &mut rng);
+        assert_eq!(line.drift_failed, [0; 4]);
+        assert_eq!(line.age_at(SimTime::from_secs(604_800.0)), 0.0);
+        assert_eq!(line.wear, 2);
+    }
+
+    #[test]
+    fn incremental_matches_direct_distribution() {
+        // Advancing 0 -> t in one step vs. many steps must produce the
+        // same error distribution (mean within sampling noise).
+        let e = engine();
+        let mut rng = StdRng::seed_from_u64(55);
+        let t_final = SimTime::from_secs(86_400.0);
+        let reps = 3000;
+        let mut one_step = 0u64;
+        let mut many_steps = 0u64;
+        for _ in 0..reps {
+            let mut a = e.fresh_line(SimTime::ZERO, &mut rng);
+            one_step += e.advance(&mut a, t_final, &mut rng) as u64;
+            let mut b = e.fresh_line(SimTime::ZERO, &mut rng);
+            for k in 1..=8 {
+                e.advance(&mut b, SimTime::from_secs(86_400.0 * k as f64 / 8.0), &mut rng);
+            }
+            many_steps += b.persistent_bit_errors() as u64;
+        }
+        let m1 = one_step as f64 / reps as f64;
+        let m2 = many_steps as f64 / reps as f64;
+        assert!(
+            (m1 - m2).abs() < 0.15 * m1.max(1.0),
+            "one-step mean {m1} vs incremental mean {m2}"
+        );
+    }
+
+    #[test]
+    fn mean_matches_analytic_expectation() {
+        let e = engine();
+        let mut rng = StdRng::seed_from_u64(56);
+        let t = SimTime::from_secs(86_400.0);
+        let reps = 2000;
+        let mut total = 0u64;
+        for _ in 0..reps {
+            let mut line = e.fresh_line(SimTime::ZERO, &mut rng);
+            total += e.advance(&mut line, t, &mut rng) as u64;
+        }
+        let measured = total as f64 / reps as f64;
+        let expected: f64 = (0..4)
+            .map(|lv| 288.0 / 4.0 * e.model().p_up(lv, 86_400.0))
+            .sum();
+        assert!(
+            (measured - expected).abs() < 0.05 * expected + 0.2,
+            "measured {measured} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn wear_failures_appear_with_writes() {
+        let dev = DeviceConfig::builder()
+            .endurance(EnduranceSpec::new(100.0, 0.3))
+            .build();
+        let e = FaultEngine::new(&dev, 288);
+        let mut rng = StdRng::seed_from_u64(57);
+        let mut line = e.fresh_line(SimTime::ZERO, &mut rng);
+        for i in 0..400u32 {
+            e.on_write(&mut line, SimTime::from_secs(i as f64), &mut rng);
+        }
+        assert!(
+            line.worn_cells > 250,
+            "after 400 writes vs 100-write endurance, most cells dead; got {}",
+            line.worn_cells
+        );
+        assert!(line.worn_conflict_bits > 0);
+        assert_eq!(
+            line.live_cells() + line.worn_cells as u32,
+            288,
+            "live + worn must conserve cells"
+        );
+    }
+
+    #[test]
+    fn transient_errors_are_rare_on_fresh_lines() {
+        let e = engine();
+        let mut rng = StdRng::seed_from_u64(58);
+        let line = e.fresh_line(SimTime::ZERO, &mut rng);
+        let mut total = 0;
+        for _ in 0..2000 {
+            total += e.transient_errors(&line, SimTime::from_secs(1.0), &mut rng);
+        }
+        assert!(total < 20, "fresh transient errors too common: {total}");
+    }
+}

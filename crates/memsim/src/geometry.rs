@@ -1,0 +1,134 @@
+//! Memory geometry: capacity, line size, bank organization.
+
+/// Address of one memory line (cache-line-sized ECC granule).
+///
+/// # Examples
+///
+/// ```
+/// use pcm_memsim::LineAddr;
+/// let a = LineAddr(7);
+/// assert_eq!(a.index(), 7);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LineAddr(pub u32);
+
+impl LineAddr {
+    /// The line index as a usize for table lookups.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "L{:#x}", self.0)
+    }
+}
+
+/// Physical organization of the simulated memory.
+///
+/// # Examples
+///
+/// ```
+/// use pcm_memsim::MemGeometry;
+/// let g = MemGeometry::new(1 << 16, 8);
+/// assert_eq!(g.num_lines(), 65536);
+/// assert_eq!(g.capacity_bytes(), 65536 * 64);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemGeometry {
+    num_lines: u32,
+    banks: u32,
+    line_bytes: u32,
+}
+
+impl MemGeometry {
+    /// Creates a geometry of `num_lines` 64-byte lines across `banks`
+    /// banks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_lines` or `banks` is zero.
+    pub fn new(num_lines: u32, banks: u32) -> Self {
+        assert!(num_lines > 0, "need at least one line");
+        assert!(banks > 0, "need at least one bank");
+        Self {
+            num_lines,
+            banks,
+            line_bytes: 64,
+        }
+    }
+
+    /// A small default suitable for tests: 4096 lines (256 KiB), 4 banks.
+    pub fn small() -> Self {
+        Self::new(4096, 4)
+    }
+
+    /// Number of lines.
+    pub fn num_lines(&self) -> u32 {
+        self.num_lines
+    }
+
+    /// Number of banks.
+    pub fn banks(&self) -> u32 {
+        self.banks
+    }
+
+    /// Data bytes per line.
+    pub fn line_bytes(&self) -> u32 {
+        self.line_bytes
+    }
+
+    /// Total data capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.num_lines as u64 * self.line_bytes as u64
+    }
+
+    /// Bank an address maps to (low-order interleaving).
+    pub fn bank_of(&self, addr: LineAddr) -> u32 {
+        addr.0 % self.banks
+    }
+
+    /// Whether an address is within this memory.
+    pub fn contains(&self, addr: LineAddr) -> bool {
+        addr.0 < self.num_lines
+    }
+
+    /// Iterates all line addresses in physical order.
+    pub fn iter_lines(&self) -> impl Iterator<Item = LineAddr> {
+        (0..self.num_lines).map(LineAddr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_math() {
+        let g = MemGeometry::new(1024, 8);
+        assert_eq!(g.capacity_bytes(), 1024 * 64);
+        assert_eq!(g.bank_of(LineAddr(13)), 13 % 8);
+    }
+
+    #[test]
+    fn contains_bounds() {
+        let g = MemGeometry::new(10, 2);
+        assert!(g.contains(LineAddr(9)));
+        assert!(!g.contains(LineAddr(10)));
+    }
+
+    #[test]
+    fn iteration_covers_all() {
+        let g = MemGeometry::new(5, 1);
+        let v: Vec<_> = g.iter_lines().collect();
+        assert_eq!(v.len(), 5);
+        assert_eq!(v[4], LineAddr(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one line")]
+    fn rejects_empty() {
+        MemGeometry::new(0, 1);
+    }
+}

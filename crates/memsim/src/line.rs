@@ -1,0 +1,91 @@
+//! Per-line simulator state.
+
+use crate::time::SimTime;
+
+/// Maximum levels the line-state arrays accommodate (MLC-2).
+pub const MAX_LEVELS: usize = 4;
+
+/// Stochastic state of one memory line.
+///
+/// The fault engine keeps per-line error state *lazily*: drift failures are
+/// only advanced when the line is actually touched (read, probed, or
+/// written), using exact conditional binomial increments. This is what lets
+/// a million-line memory simulate in seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LineState {
+    /// When the line's cells were last (re)programmed — the drift clock.
+    pub last_write: SimTime,
+    /// Time up to which `drift_failed` has been advanced.
+    pub last_eval: SimTime,
+    /// Live (non-worn) cells per level, from the last write's data pattern.
+    pub occupancy: [u16; MAX_LEVELS],
+    /// Live cells per level whose noiseless resistance has drifted across
+    /// their upper sense boundary (persistent soft errors).
+    pub drift_failed: [u16; MAX_LEVELS],
+    /// Lifetime write count (wear).
+    pub wear: u32,
+    /// Permanently failed (stuck-at) cells.
+    pub worn_cells: u16,
+    /// Worn cells whose stuck level conflicts with the current data, in
+    /// *bit errors* (an MLC-2 conflict costs 1 or 2 bits).
+    pub worn_conflict_bits: u16,
+    /// Whether an uncorrectable error has already been recorded for the
+    /// current write epoch (dedupes repeated discovery of the same UE).
+    pub ue_recorded: bool,
+}
+
+impl LineState {
+    /// A line as it looks immediately after being programmed at `now` with
+    /// the given level occupancy.
+    pub fn fresh(now: SimTime, occupancy: [u16; MAX_LEVELS]) -> Self {
+        Self {
+            last_write: now,
+            last_eval: now,
+            occupancy,
+            drift_failed: [0; MAX_LEVELS],
+            wear: 0,
+            worn_cells: 0,
+            worn_conflict_bits: 0,
+            ue_recorded: false,
+        }
+    }
+
+    /// Age of the current data (seconds since last write) at `now`.
+    pub fn age_at(&self, now: SimTime) -> f64 {
+        now.since(self.last_write)
+    }
+
+    /// Persistent bit errors currently known on the line (drift failures
+    /// are 1 bit each by Gray coding; worn conflicts carry their own bit
+    /// count).
+    pub fn persistent_bit_errors(&self) -> u32 {
+        self.drift_failed.iter().map(|&c| c as u32).sum::<u32>() + self.worn_conflict_bits as u32
+    }
+
+    /// Total live cells.
+    pub fn live_cells(&self) -> u32 {
+        self.occupancy.iter().map(|&c| c as u32).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_line_is_clean() {
+        let l = LineState::fresh(SimTime::from_secs(5.0), [10, 10, 10, 10]);
+        assert_eq!(l.persistent_bit_errors(), 0);
+        assert_eq!(l.live_cells(), 40);
+        assert_eq!(l.age_at(SimTime::from_secs(8.0)), 3.0);
+        assert!(!l.ue_recorded);
+    }
+
+    #[test]
+    fn persistent_errors_sum_components() {
+        let mut l = LineState::fresh(SimTime::ZERO, [64; 4]);
+        l.drift_failed = [1, 2, 3, 0];
+        l.worn_conflict_bits = 4;
+        assert_eq!(l.persistent_bit_errors(), 10);
+    }
+}

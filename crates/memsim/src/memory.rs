@@ -1,0 +1,623 @@
+//! The simulated main memory: line array + fault engine + ECC + ledgers.
+
+use rand::Rng;
+
+use pcm_ecc::{ClassifyOutcome, CodeSpec};
+use pcm_model::DeviceConfig;
+
+use crate::bank::BankTimer;
+use crate::energy::EnergyLedger;
+use crate::fault::FaultEngine;
+use crate::geometry::{LineAddr, MemGeometry};
+use crate::line::LineState;
+use crate::stats::MemStats;
+use crate::time::SimTime;
+use crate::timing::{BandwidthTracker, TimingModel};
+use crate::wear_level::StartGap;
+
+/// How scrub probes check a line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProbeKind {
+    /// Every probe runs the full ECC decode (syndromes + locator).
+    #[default]
+    FullDecode,
+    /// Two-phase lightweight probe: a CRC check first; the full decode
+    /// runs only when the CRC trips. Saves decode energy on the (common)
+    /// clean lines at no loss of detection.
+    CrcThenDecode,
+}
+
+/// Result of a demand read or scrub probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessResult {
+    /// How the decoder classified the line.
+    pub outcome: ClassifyOutcome,
+    /// Persistent bit errors resident on the line (excludes the transient
+    /// draw of this read).
+    pub persistent_bits: u32,
+    /// Whether this access recorded a *new* uncorrectable error (first
+    /// discovery for the current write epoch).
+    pub new_ue: bool,
+}
+
+/// A PCM main memory at line granularity.
+///
+/// Combines geometry, the stochastic fault engine, a line code, and
+/// energy/timing/statistics ledgers. All operations take the current
+/// [`SimTime`] and a caller RNG, keeping the whole simulation
+/// deterministic under a fixed seed.
+///
+/// # Examples
+///
+/// ```
+/// use pcm_memsim::{LineAddr, Memory, MemGeometry, SimTime};
+/// use pcm_ecc::CodeSpec;
+/// use pcm_model::DeviceConfig;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+/// let mut mem = Memory::new(
+///     MemGeometry::small(),
+///     DeviceConfig::default(),
+///     CodeSpec::bch_line(4),
+///     &mut rng,
+/// );
+/// let r = mem.demand_read(LineAddr(17), SimTime::from_secs(1.0), &mut rng);
+/// assert!(r.outcome.data_intact());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Memory {
+    geom: MemGeometry,
+    device: DeviceConfig,
+    code: CodeSpec,
+    engine: FaultEngine,
+    lines: Vec<LineState>,
+    stats: MemStats,
+    energy: EnergyLedger,
+    timing: TimingModel,
+    bandwidth: BandwidthTracker,
+    mlc: bool,
+    wear_leveler: Option<StartGap>,
+    probe_kind: ProbeKind,
+    banks: BankTimer,
+    demand_read_delay_ns_sum: f64,
+}
+
+impl Memory {
+    /// Builds a memory whose lines were all written at time zero.
+    pub fn new<R: Rng + ?Sized>(
+        geom: MemGeometry,
+        device: DeviceConfig,
+        code: CodeSpec,
+        rng: &mut R,
+    ) -> Self {
+        let bits_per_cell = device.stack().bits_per_cell();
+        let cells = code.total_bits().div_ceil(bits_per_cell);
+        let engine = FaultEngine::new(&device, cells);
+        let lines = (0..geom.num_lines())
+            .map(|_| engine.fresh_line(SimTime::ZERO, rng))
+            .collect();
+        let mlc = bits_per_cell > 1;
+        Self {
+            geom,
+            device,
+            code,
+            engine,
+            lines,
+            stats: MemStats::default(),
+            energy: EnergyLedger::default(),
+            timing: TimingModel::default(),
+            bandwidth: BandwidthTracker::default(),
+            mlc,
+            wear_leveler: None,
+            probe_kind: ProbeKind::FullDecode,
+            banks: BankTimer::new(geom.banks()),
+            demand_read_delay_ns_sum: 0.0,
+        }
+    }
+
+    /// Measured mean demand-read latency (service time plus queueing
+    /// delays actually suffered behind scrub/demand traffic on the same
+    /// bank), in nanoseconds.
+    pub fn measured_demand_read_latency_ns(&self) -> f64 {
+        let service = self.timing.read_ns + self.timing.decode_ns(self.code.guaranteed_t());
+        if self.stats.demand_reads == 0 {
+            service
+        } else {
+            service + self.demand_read_delay_ns_sum / self.stats.demand_reads as f64
+        }
+    }
+
+    /// Selects how scrub probes check lines (see [`ProbeKind`]).
+    pub fn set_probe_kind(&mut self, kind: ProbeKind) {
+        self.probe_kind = kind;
+    }
+
+    /// The probe kind in force.
+    pub fn probe_kind(&self) -> ProbeKind {
+        self.probe_kind
+    }
+
+    /// Enables Start-Gap wear leveling: demand addresses become *logical*
+    /// (one line is sacrificed as the rotating gap) and the mapping shifts
+    /// every `rotate_period` demand writes. Scrub continues to address
+    /// physical lines — it maintains the array, not the data view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the memory has fewer than two lines.
+    pub fn enable_wear_leveling(&mut self, rotate_period: u32) {
+        self.wear_leveler = Some(StartGap::new(self.geom.num_lines(), rotate_period));
+    }
+
+    /// The number of lines demand traffic may address (one fewer than
+    /// physical when wear leveling is on).
+    pub fn demand_lines(&self) -> u32 {
+        match &self.wear_leveler {
+            Some(sg) => sg.logical_lines(),
+            None => self.geom.num_lines(),
+        }
+    }
+
+    /// Translates a demand (logical) address to a physical line.
+    fn demand_to_physical(&self, addr: LineAddr) -> LineAddr {
+        match &self.wear_leveler {
+            Some(sg) => sg.map(addr),
+            None => addr,
+        }
+    }
+
+    /// Advances the wear leveler after a demand write, paying for the
+    /// rotation copy when one occurs.
+    fn rotate_wear_leveler<R: Rng + ?Sized>(&mut self, now: SimTime, rng: &mut R) {
+        let Some(sg) = &mut self.wear_leveler else {
+            return;
+        };
+        if let Some(copied_to) = sg.on_write() {
+            // The displaced line's contents are rewritten into the old gap
+            // slot: one extra array write of fresh data.
+            self.engine
+                .on_write(&mut self.lines[copied_to.index()], now, rng);
+            self.stats.wear_level_writes += 1;
+            let e = self.device.energy();
+            self.energy
+                .add_demand_write(e.line_write_pj(self.code.total_bits(), self.mlc) + e.encode_pj);
+            self.bandwidth.add_demand_ns(self.timing.write_ns(self.mlc));
+        }
+    }
+
+    /// The geometry in force.
+    pub fn geometry(&self) -> &MemGeometry {
+        &self.geom
+    }
+
+    /// The device configuration in force.
+    pub fn device(&self) -> &DeviceConfig {
+        &self.device
+    }
+
+    /// The line code in force.
+    pub fn code(&self) -> &CodeSpec {
+        &self.code
+    }
+
+    /// The fault engine (for policies that consult the drift model).
+    pub fn fault_engine(&self) -> &FaultEngine {
+        &self.engine
+    }
+
+    /// Accumulated counters.
+    pub fn stats(&self) -> &MemStats {
+        &self.stats
+    }
+
+    /// Accumulated energy.
+    pub fn energy(&self) -> &EnergyLedger {
+        &self.energy
+    }
+
+    /// Channel-time tracker.
+    pub fn bandwidth(&self) -> &BandwidthTracker {
+        &self.bandwidth
+    }
+
+    /// The timing model.
+    pub fn timing(&self) -> &TimingModel {
+        &self.timing
+    }
+
+    /// Immutable view of a line's state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range.
+    pub fn line(&self, addr: LineAddr) -> &LineState {
+        &self.lines[addr.index()]
+    }
+
+    /// Mean wear (writes) across all lines.
+    pub fn mean_wear(&self) -> f64 {
+        self.lines.iter().map(|l| l.wear as f64).sum::<f64>() / self.lines.len() as f64
+    }
+
+    /// Maximum wear across all lines.
+    pub fn max_wear(&self) -> u32 {
+        self.lines.iter().map(|l| l.wear).max().unwrap_or(0)
+    }
+
+    /// Total permanently worn cells across the memory.
+    pub fn total_worn_cells(&self) -> u64 {
+        self.lines.iter().map(|l| l.worn_cells as u64).sum()
+    }
+
+    /// Per-line wear counts (for distribution analyses, e.g. wear-leveling
+    /// flatness histograms).
+    pub fn wear_values(&self) -> Vec<u32> {
+        self.lines.iter().map(|l| l.wear).collect()
+    }
+
+    /// Per-line data ages at `now`, in seconds (the drift-exposure
+    /// distribution scrub policies are fighting).
+    pub fn age_values(&self, now: SimTime) -> Vec<f64> {
+        self.lines.iter().map(|l| l.age_at(now)).collect()
+    }
+
+    fn decode_line<R: Rng + ?Sized>(
+        &mut self,
+        addr: LineAddr,
+        now: SimTime,
+        rng: &mut R,
+        demand: bool,
+    ) -> AccessResult {
+        let line = &mut self.lines[addr.index()];
+        let persistent = self.engine.advance(line, now, rng);
+        let transient = self.engine.transient_errors(line, now, rng);
+        let outcome = self.code.classify(persistent + transient, rng);
+        if let ClassifyOutcome::Corrected { bits } = outcome {
+            self.stats.corrected_bits += bits as u64;
+        }
+        let mut new_ue = false;
+        if outcome.is_uncorrectable() && !line.ue_recorded {
+            line.ue_recorded = true;
+            new_ue = true;
+            match outcome {
+                ClassifyOutcome::Miscorrected => self.stats.miscorrections += 1,
+                _ => self.stats.detected_ue += 1,
+            }
+            if demand {
+                self.stats.demand_ue += 1;
+            }
+        }
+        AccessResult {
+            outcome,
+            persistent_bits: persistent,
+            new_ue,
+        }
+    }
+
+    /// Serves a demand read: array read + decode, no write-back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range.
+    pub fn demand_read<R: Rng + ?Sized>(
+        &mut self,
+        addr: LineAddr,
+        now: SimTime,
+        rng: &mut R,
+    ) -> AccessResult {
+        assert!(
+            addr.0 < self.demand_lines(),
+            "address {addr} out of demand range"
+        );
+        let addr = self.demand_to_physical(addr);
+        let result = self.decode_line(addr, now, rng, true);
+        self.stats.demand_reads += 1;
+        let e = self.device.energy();
+        self.energy.add_demand_read(e.line_read_pj(self.code.total_bits()));
+        self.energy.add_demand_decode(e.decode_pj(self.code.guaranteed_t()));
+        let dur = self.timing.read_ns + self.timing.decode_ns(self.code.guaranteed_t());
+        self.bandwidth.add_demand_ns(dur);
+        let delay = self
+            .banks
+            .issue_addr(&self.geom, addr, now.secs() * 1e9, dur);
+        self.demand_read_delay_ns_sum += delay;
+        result
+    }
+
+    /// Serves a demand write: reprograms the line (resetting its drift
+    /// clock) and pays MLC write energy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range.
+    pub fn demand_write<R: Rng + ?Sized>(&mut self, addr: LineAddr, now: SimTime, rng: &mut R) {
+        assert!(
+            addr.0 < self.demand_lines(),
+            "address {addr} out of demand range"
+        );
+        let addr = self.demand_to_physical(addr);
+        let had_worn = self.lines[addr.index()].worn_cells > 0;
+        self.engine.on_write(&mut self.lines[addr.index()], now, rng);
+        if !had_worn && self.lines[addr.index()].worn_cells > 0 {
+            self.stats.lines_with_worn_cells += 1;
+        }
+        self.stats.demand_writes += 1;
+        let e = self.device.energy();
+        self.energy
+            .add_demand_write(e.line_write_pj(self.code.total_bits(), self.mlc) + e.encode_pj);
+        self.bandwidth.add_demand_ns(self.timing.write_ns(self.mlc));
+        self.banks
+            .issue_addr(&self.geom, addr, now.secs() * 1e9, self.timing.write_ns(self.mlc));
+        self.rotate_wear_leveler(now, rng);
+    }
+
+    /// Issues a scrub probe: array read + decode *only* (the lightweight
+    /// detection operation). Never writes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range.
+    pub fn scrub_probe<R: Rng + ?Sized>(
+        &mut self,
+        addr: LineAddr,
+        now: SimTime,
+        rng: &mut R,
+    ) -> AccessResult {
+        assert!(self.geom.contains(addr), "address {addr} out of range");
+        let result = self.decode_line(addr, now, rng, false);
+        self.stats.scrub_probes += 1;
+        let e = self.device.energy();
+        self.energy.add_scrub_probe(e.line_read_pj(self.code.total_bits()));
+        let t = self.code.guaranteed_t();
+        let decode_pj = match self.probe_kind {
+            ProbeKind::FullDecode => e.decode_pj(t),
+            ProbeKind::CrcThenDecode => {
+                // CRC always; full decode only when something is wrong.
+                if matches!(result.outcome, ClassifyOutcome::Clean) {
+                    e.crc_check_pj
+                } else {
+                    e.crc_check_pj + e.decode_pj(t)
+                }
+            }
+        };
+        self.energy.add_scrub_decode(decode_pj);
+        let dur = self.timing.read_ns + self.timing.decode_ns(t);
+        self.bandwidth.add_scrub_ns(dur);
+        self.banks.issue_addr(&self.geom, addr, now.secs() * 1e9, dur);
+        result
+    }
+
+    /// Issues a scrub write-back: reprograms the line with corrected data,
+    /// clearing accumulated soft errors at the cost of write energy and
+    /// wear.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range.
+    pub fn scrub_writeback<R: Rng + ?Sized>(
+        &mut self,
+        addr: LineAddr,
+        now: SimTime,
+        rng: &mut R,
+    ) {
+        assert!(self.geom.contains(addr), "address {addr} out of range");
+        let had_worn = self.lines[addr.index()].worn_cells > 0;
+        self.engine.on_write(&mut self.lines[addr.index()], now, rng);
+        if !had_worn && self.lines[addr.index()].worn_cells > 0 {
+            self.stats.lines_with_worn_cells += 1;
+        }
+        self.stats.scrub_writebacks += 1;
+        let e = self.device.energy();
+        self.energy
+            .add_scrub_writeback(e.line_write_pj(self.code.total_bits(), self.mlc) + e.encode_pj);
+        self.bandwidth.add_scrub_ns(self.timing.write_ns(self.mlc));
+        self.banks
+            .issue_addr(&self.geom, addr, now.secs() * 1e9, self.timing.write_ns(self.mlc));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mem(code: CodeSpec, rng: &mut StdRng) -> Memory {
+        Memory::new(MemGeometry::new(256, 4), DeviceConfig::default(), code, rng)
+    }
+
+    #[test]
+    fn fresh_memory_reads_clean() {
+        let mut rng = StdRng::seed_from_u64(61);
+        let mut m = mem(CodeSpec::bch_line(4), &mut rng);
+        for i in 0..256 {
+            let r = m.demand_read(LineAddr(i), SimTime::from_secs(1.0), &mut rng);
+            assert!(r.outcome.data_intact(), "line {i}: {:?}", r.outcome);
+        }
+        assert_eq!(m.stats().demand_reads, 256);
+        assert_eq!(m.stats().uncorrectable(), 0);
+    }
+
+    #[test]
+    fn old_memory_with_secded_sees_ues() {
+        let mut rng = StdRng::seed_from_u64(62);
+        let mut m = mem(CodeSpec::secded_line(), &mut rng);
+        let week = SimTime::from_secs(604_800.0);
+        let mut ues = 0;
+        for i in 0..256 {
+            if m.demand_read(LineAddr(i), week, &mut rng).new_ue {
+                ues += 1;
+            }
+        }
+        assert!(ues > 100, "week-old SECDED memory should be riddled with UEs, got {ues}");
+    }
+
+    #[test]
+    fn strong_ecc_survives_where_secded_fails() {
+        let mut rng = StdRng::seed_from_u64(63);
+        let hour = SimTime::from_secs(3600.0);
+        let mut weak = mem(CodeSpec::secded_line(), &mut rng);
+        let mut strong = mem(CodeSpec::bch_line(6), &mut rng);
+        let mut weak_ues = 0;
+        let mut strong_ues = 0;
+        for i in 0..256 {
+            weak_ues += weak.demand_read(LineAddr(i), hour, &mut rng).new_ue as u32;
+            strong_ues += strong.demand_read(LineAddr(i), hour, &mut rng).new_ue as u32;
+        }
+        assert!(
+            strong_ues * 4 < weak_ues.max(4),
+            "BCH-6 ({strong_ues}) should beat SECDED ({weak_ues})"
+        );
+    }
+
+    #[test]
+    fn writeback_clears_soft_errors() {
+        let mut rng = StdRng::seed_from_u64(64);
+        let mut m = mem(CodeSpec::bch_line(4), &mut rng);
+        let day = SimTime::from_secs(86_400.0);
+        let a = LineAddr(7);
+        let before = m.scrub_probe(a, day, &mut rng);
+        assert!(before.persistent_bits > 0);
+        m.scrub_writeback(a, day, &mut rng);
+        let after = m.scrub_probe(a, day + 1.0, &mut rng);
+        assert_eq!(after.persistent_bits, 0);
+        assert_eq!(m.stats().scrub_writebacks, 1);
+    }
+
+    #[test]
+    fn ue_deduplicated_per_epoch() {
+        let mut rng = StdRng::seed_from_u64(65);
+        let mut m = mem(CodeSpec::secded_line(), &mut rng);
+        let week = SimTime::from_secs(604_800.0);
+        // Find a UE line, then probe it again: no double count.
+        let mut target = None;
+        for i in 0..256 {
+            if m.scrub_probe(LineAddr(i), week, &mut rng).new_ue {
+                target = Some(LineAddr(i));
+                break;
+            }
+        }
+        let t = target.expect("some line must be uncorrectable after a week");
+        let ue_before = m.stats().uncorrectable();
+        let again = m.scrub_probe(t, week + 10.0, &mut rng);
+        assert!(!again.new_ue);
+        assert_eq!(m.stats().uncorrectable(), ue_before);
+        // After a write-back the epoch resets and a future UE counts anew.
+        m.scrub_writeback(t, week + 20.0, &mut rng);
+        assert!(!m.line(t).ue_recorded);
+    }
+
+    #[test]
+    fn energy_flows_to_right_buckets() {
+        let mut rng = StdRng::seed_from_u64(66);
+        let mut m = mem(CodeSpec::bch_line(2), &mut rng);
+        let t = SimTime::from_secs(10.0);
+        m.demand_read(LineAddr(0), t, &mut rng);
+        m.demand_write(LineAddr(1), t, &mut rng);
+        m.scrub_probe(LineAddr(2), t, &mut rng);
+        m.scrub_writeback(LineAddr(3), t, &mut rng);
+        assert!(m.energy().demand_total_pj() > 0.0);
+        assert!(m.energy().scrub_total_pj() > 0.0);
+        assert!(m.energy().scrub_writeback_pj() > m.energy().scrub_probe_pj());
+    }
+
+    #[test]
+    fn wear_tracks_writes() {
+        let mut rng = StdRng::seed_from_u64(67);
+        let mut m = mem(CodeSpec::bch_line(2), &mut rng);
+        for _ in 0..10 {
+            m.demand_write(LineAddr(5), SimTime::from_secs(1.0), &mut rng);
+        }
+        assert_eq!(m.line(LineAddr(5)).wear, 11); // 1 initial + 10 demand
+        assert_eq!(m.max_wear(), 11);
+        assert!(m.mean_wear() > 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of demand range")]
+    fn read_out_of_range_panics() {
+        let mut rng = StdRng::seed_from_u64(68);
+        let mut m = mem(CodeSpec::bch_line(2), &mut rng);
+        m.demand_read(LineAddr(9999), SimTime::from_secs(1.0), &mut rng);
+    }
+
+    #[test]
+    fn crc_probe_mode_saves_decode_energy_on_clean_lines() {
+        let mut rng = StdRng::seed_from_u64(72);
+        let t = SimTime::from_secs(1.0); // fresh memory: everything clean
+        let mut full = mem(CodeSpec::bch_line(6), &mut rng);
+        let mut cheap = mem(CodeSpec::bch_line(6), &mut rng);
+        cheap.set_probe_kind(ProbeKind::CrcThenDecode);
+        for i in 0..256 {
+            full.scrub_probe(LineAddr(i), t, &mut rng);
+            cheap.scrub_probe(LineAddr(i), t, &mut rng);
+        }
+        assert!(
+            cheap.energy().scrub_decode_pj() < full.energy().scrub_decode_pj() / 3.0,
+            "crc {} vs full {}",
+            cheap.energy().scrub_decode_pj(),
+            full.energy().scrub_decode_pj()
+        );
+    }
+
+    #[test]
+    fn crc_probe_mode_pays_decode_on_dirty_lines() {
+        let mut rng = StdRng::seed_from_u64(73);
+        let week = SimTime::from_secs(604_800.0); // heavily drifted
+        let mut m = mem(CodeSpec::bch_line(6), &mut rng);
+        m.set_probe_kind(ProbeKind::CrcThenDecode);
+        let crc_only = m.device().energy().crc_check_pj;
+        for i in 0..256 {
+            m.scrub_probe(LineAddr(i), week, &mut rng);
+        }
+        // Most week-old lines are dirty: decode energy well above CRC-only.
+        assert!(m.energy().scrub_decode_pj() > crc_only * 256.0 * 2.0);
+    }
+
+    #[test]
+    fn wear_leveling_shrinks_demand_space_and_rotates() {
+        let mut rng = StdRng::seed_from_u64(69);
+        let mut m = mem(CodeSpec::bch_line(2), &mut rng);
+        m.enable_wear_leveling(4);
+        assert_eq!(m.demand_lines(), 255);
+        for i in 0..40u32 {
+            m.demand_write(LineAddr(0), SimTime::from_secs(i as f64), &mut rng);
+        }
+        // 40 demand writes at period 4 => 10 rotation copies.
+        assert_eq!(m.stats().wear_level_writes, 10);
+        assert_eq!(m.stats().demand_writes, 40);
+    }
+
+    #[test]
+    fn wear_leveling_spreads_hot_line_wear() {
+        let mut rng = StdRng::seed_from_u64(70);
+        let horizon = 4000u32;
+        // Without leveling: all wear lands on one physical line.
+        let mut plain = mem(CodeSpec::bch_line(2), &mut rng);
+        for i in 0..horizon {
+            plain.demand_write(LineAddr(7), SimTime::from_secs(i as f64), &mut rng);
+        }
+        // With leveling (fast rotation for test speed): wear spreads.
+        let mut leveled = mem(CodeSpec::bch_line(2), &mut rng);
+        leveled.enable_wear_leveling(2);
+        for i in 0..horizon {
+            leveled.demand_write(LineAddr(7), SimTime::from_secs(i as f64), &mut rng);
+        }
+        assert!(
+            (leveled.max_wear() as f64) < plain.max_wear() as f64 * 0.5,
+            "leveled max wear {} vs plain {}",
+            leveled.max_wear(),
+            plain.max_wear()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of demand range")]
+    fn wear_leveling_rejects_the_sacrificed_line() {
+        let mut rng = StdRng::seed_from_u64(71);
+        let mut m = mem(CodeSpec::bch_line(2), &mut rng);
+        m.enable_wear_leveling(4);
+        m.demand_read(LineAddr(255), SimTime::from_secs(1.0), &mut rng);
+    }
+}

@@ -1,0 +1,58 @@
+//! Event counters for everything the experiments report.
+
+/// Counters accumulated by a [`crate::Memory`] over a simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemStats {
+    /// Demand line reads served.
+    pub demand_reads: u64,
+    /// Demand line writes served.
+    pub demand_writes: u64,
+    /// Scrub probes (read + syndrome check) issued.
+    pub scrub_probes: u64,
+    /// Scrub write-backs (corrective rewrites) issued.
+    pub scrub_writebacks: u64,
+    /// Total bit errors corrected by ECC across all decodes.
+    pub corrected_bits: u64,
+    /// Detected-uncorrectable error events (deduplicated per line per
+    /// write epoch).
+    pub detected_ue: u64,
+    /// Silent-miscorrection events (deduplicated likewise).
+    pub miscorrections: u64,
+    /// Uncorrectable errors first encountered by *demand* reads — the ones
+    /// a running program actually consumes.
+    pub demand_ue: u64,
+    /// Lines that currently contain at least one permanently worn cell.
+    pub lines_with_worn_cells: u64,
+    /// Extra line writes issued by the wear-leveling rotation copies.
+    pub wear_level_writes: u64,
+}
+
+impl MemStats {
+    /// All uncorrectable-error events (DUE + SDC).
+    pub fn uncorrectable(&self) -> u64 {
+        self.detected_ue + self.miscorrections
+    }
+
+    /// Total line writes from any source (demand + scrub).
+    pub fn total_writes(&self) -> u64 {
+        self.demand_writes + self.scrub_writebacks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates() {
+        let s = MemStats {
+            detected_ue: 3,
+            miscorrections: 2,
+            demand_writes: 10,
+            scrub_writebacks: 5,
+            ..MemStats::default()
+        };
+        assert_eq!(s.uncorrectable(), 5);
+        assert_eq!(s.total_writes(), 15);
+    }
+}

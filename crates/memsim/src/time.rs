@@ -1,0 +1,106 @@
+//! Simulation time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, in seconds since simulation start.
+///
+/// Drift physics runs on wall-clock seconds, so time is a plain `f64`
+/// wrapped for type safety.
+///
+/// # Examples
+///
+/// ```
+/// use pcm_memsim::SimTime;
+/// let t = SimTime::ZERO + 3600.0;
+/// assert_eq!(t.secs(), 3600.0);
+/// assert!(t > SimTime::ZERO);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// Simulation start.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Builds from seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative or non-finite input.
+    pub fn from_secs(s: f64) -> Self {
+        assert!(s.is_finite() && s >= 0.0, "SimTime must be finite and >= 0, got {s}");
+        SimTime(s)
+    }
+
+    /// Seconds since simulation start.
+    pub fn secs(self) -> f64 {
+        self.0
+    }
+
+    /// Elapsed seconds since `earlier` (clamped at zero).
+    pub fn since(self, earlier: SimTime) -> f64 {
+        (self.0 - earlier.0).max(0.0)
+    }
+}
+
+impl Add<f64> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: f64) -> SimTime {
+        SimTime::from_secs(self.0 + rhs)
+    }
+}
+
+impl AddAssign<f64> for SimTime {
+    fn add_assign(&mut self, rhs: f64) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = f64;
+    fn sub(self, rhs: SimTime) -> f64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 86_400.0 {
+            write!(f, "{:.2}d", self.0 / 86_400.0)
+        } else if self.0 >= 3600.0 {
+            write!(f, "{:.2}h", self.0 / 3600.0)
+        } else if self.0 >= 60.0 {
+            write!(f, "{:.2}m", self.0 / 60.0)
+        } else {
+            write!(f, "{:.2}s", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_secs(10.0) + 5.0;
+        assert_eq!(t.secs(), 15.0);
+        assert_eq!(t - SimTime::from_secs(10.0), 5.0);
+        assert_eq!(t.since(SimTime::from_secs(20.0)), 0.0);
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(SimTime::from_secs(30.0).to_string(), "30.00s");
+        assert_eq!(SimTime::from_secs(90.0).to_string(), "1.50m");
+        assert_eq!(SimTime::from_secs(7200.0).to_string(), "2.00h");
+        assert_eq!(SimTime::from_secs(172_800.0).to_string(), "2.00d");
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_negative() {
+        SimTime::from_secs(-1.0);
+    }
+}

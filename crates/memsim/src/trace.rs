@@ -1,0 +1,71 @@
+//! Memory access traces: the interface between workload generators and the
+//! simulation loop.
+
+use crate::geometry::LineAddr;
+use crate::time::SimTime;
+
+/// Kind of demand access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Line read.
+    Read,
+    /// Line write.
+    Write,
+}
+
+/// One timestamped demand access.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemOp {
+    /// When the access is issued.
+    pub at: SimTime,
+    /// Read or write.
+    pub kind: OpKind,
+    /// Target line.
+    pub addr: LineAddr,
+}
+
+impl MemOp {
+    /// Convenience constructor for a read.
+    pub fn read(at: SimTime, addr: LineAddr) -> Self {
+        Self {
+            at,
+            kind: OpKind::Read,
+            addr,
+        }
+    }
+
+    /// Convenience constructor for a write.
+    pub fn write(at: SimTime, addr: LineAddr) -> Self {
+        Self {
+            at,
+            kind: OpKind::Write,
+            addr,
+        }
+    }
+}
+
+/// Anything that produces a time-ordered stream of demand accesses.
+///
+/// Generators must yield non-decreasing timestamps; the simulation loop
+/// asserts this.
+pub trait TraceSource: std::fmt::Debug {
+    /// Produces the next access, or `None` when the trace is exhausted.
+    fn next_op(&mut self) -> Option<MemOp>;
+
+    /// A short name for reports.
+    fn name(&self) -> &str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let r = MemOp::read(SimTime::from_secs(1.0), LineAddr(3));
+        assert_eq!(r.kind, OpKind::Read);
+        let w = MemOp::write(SimTime::from_secs(2.0), LineAddr(4));
+        assert_eq!(w.kind, OpKind::Write);
+        assert!(w.at > r.at);
+    }
+}

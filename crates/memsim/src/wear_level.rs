@@ -1,0 +1,179 @@
+//! Start-Gap wear leveling (Qureshi et al., MICRO 2009) — the standard
+//! PCM wear-leveling companion the scrub paper assumes underneath it.
+//!
+//! One spare ("gap") physical line rotates through the address space;
+//! every `rotate_period` writes the gap moves down by one, slowly shifting
+//! the logical→physical mapping so write-hot logical lines do not pin
+//! write-hot physical cells forever.
+
+use crate::geometry::LineAddr;
+
+/// Start-Gap logical→physical remapper over `physical_lines` lines
+/// (serving `physical_lines − 1` logical lines).
+///
+/// # Examples
+///
+/// ```
+/// use pcm_memsim::{LineAddr, StartGap};
+/// let mut sg = StartGap::new(8, 4);
+/// let before = sg.map(LineAddr(3));
+/// for _ in 0..4 { sg.on_write(); } // one rotation step
+/// let after = sg.map(LineAddr(3));
+/// assert!(before != after || sg.gap() != 7);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StartGap {
+    physical_lines: u32,
+    /// Current physical position of the gap line.
+    gap: u32,
+    /// Rotation origin: how many full gap sweeps have completed.
+    start: u32,
+    /// Writes since the last gap movement.
+    writes_since_move: u32,
+    /// Gap moves after this many writes.
+    rotate_period: u32,
+}
+
+impl StartGap {
+    /// Creates a start-gap mapper with the gap initially at the last
+    /// physical line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `physical_lines < 2` or `rotate_period == 0`.
+    pub fn new(physical_lines: u32, rotate_period: u32) -> Self {
+        assert!(physical_lines >= 2, "start-gap needs at least two lines");
+        assert!(rotate_period > 0, "rotate period must be positive");
+        Self {
+            physical_lines,
+            gap: physical_lines - 1,
+            start: 0,
+            writes_since_move: 0,
+            rotate_period,
+        }
+    }
+
+    /// Logical lines served (`physical − 1`).
+    pub fn logical_lines(&self) -> u32 {
+        self.physical_lines - 1
+    }
+
+    /// Current gap position (physical).
+    pub fn gap(&self) -> u32 {
+        self.gap
+    }
+
+    /// Maps a logical address to its current physical line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logical` is out of the logical range.
+    pub fn map(&self, logical: LineAddr) -> LineAddr {
+        assert!(
+            logical.0 < self.logical_lines(),
+            "logical address {logical} out of range"
+        );
+        // Classic start-gap (Qureshi et al.): with N logical lines over
+        // N+1 physical slots, physical = (logical + start) mod N, bumped
+        // past the gap when it lands at or beyond it.
+        let n = self.logical_lines();
+        let base = (logical.0 + self.start) % n;
+        let phys = if base >= self.gap { base + 1 } else { base };
+        LineAddr(phys)
+    }
+
+    /// Records a write; every `rotate_period` writes the gap moves one
+    /// slot (a real controller would copy the displaced line's contents —
+    /// the caller is told so it can charge that write).
+    ///
+    /// Returns the physical line that was copied into the old gap slot, if
+    /// a rotation happened on this write.
+    pub fn on_write(&mut self) -> Option<LineAddr> {
+        self.writes_since_move += 1;
+        if self.writes_since_move < self.rotate_period {
+            return None;
+        }
+        self.writes_since_move = 0;
+        // Move the gap down one slot; the line occupying the new gap
+        // position is copied into the old gap slot (the returned write
+        // destination). When the gap has swept the whole array it wraps to
+        // the top and the start rotates.
+        let old_gap = self.gap;
+        if self.gap == 0 {
+            self.gap = self.physical_lines - 1;
+            self.start = (self.start + 1) % self.logical_lines();
+        } else {
+            self.gap -= 1;
+        }
+        Some(LineAddr(old_gap))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn assert_bijective(sg: &StartGap) {
+        let mut seen = HashSet::new();
+        for l in 0..sg.logical_lines() {
+            let p = sg.map(LineAddr(l));
+            assert!(p.0 < sg.physical_lines, "physical out of range");
+            assert_ne!(p.0, sg.gap, "mapped onto the gap");
+            assert!(seen.insert(p.0), "collision at logical {l}");
+        }
+    }
+
+    #[test]
+    fn mapping_is_bijective_at_every_rotation() {
+        let mut sg = StartGap::new(16, 1);
+        // Drive through several full gap sweeps.
+        for step in 0..100 {
+            assert_bijective(&sg);
+            sg.on_write();
+            let _ = step;
+        }
+    }
+
+    #[test]
+    fn rotation_period_respected() {
+        let mut sg = StartGap::new(8, 5);
+        for i in 0..4 {
+            assert_eq!(sg.on_write(), None, "write {i}");
+        }
+        assert!(sg.on_write().is_some(), "5th write rotates");
+        assert_eq!(sg.on_write(), None, "counter reset");
+    }
+
+    #[test]
+    fn gap_sweeps_entire_array() {
+        let mut sg = StartGap::new(8, 1);
+        let mut positions = HashSet::new();
+        for _ in 0..8 {
+            positions.insert(sg.gap());
+            sg.on_write();
+        }
+        assert_eq!(positions.len(), 8, "gap should visit every slot");
+    }
+
+    #[test]
+    fn mapping_eventually_moves_every_logical_line() {
+        let mut sg = StartGap::new(8, 1);
+        let initial: Vec<u32> = (0..7).map(|l| sg.map(LineAddr(l)).0).collect();
+        // One full sweep plus start bump: mappings must have shifted.
+        for _ in 0..16 {
+            sg.on_write();
+        }
+        let moved = (0..7)
+            .filter(|&l| sg.map(LineAddr(l)).0 != initial[l as usize])
+            .count();
+        assert!(moved >= 6, "only {moved}/7 lines moved after full sweeps");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_gap_address() {
+        let sg = StartGap::new(4, 1);
+        sg.map(LineAddr(3)); // only 3 logical lines: 0..=2
+    }
+}

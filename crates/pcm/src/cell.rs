@@ -1,0 +1,294 @@
+//! Monte-Carlo model of a single PCM cell.
+//!
+//! Used for ground-truth validation of the analytic [`crate::DriftModel`]
+//! (experiment E1) and for the small cell-exact array simulations; the
+//! million-line memory simulator uses the analytic model instead.
+
+use rand::Rng;
+
+use crate::device::DeviceConfig;
+use crate::math::{sample_lognormal, sample_normal, sample_truncated_normal};
+use crate::threshold::Thresholds;
+
+/// One PCM cell with explicit programmed state, drift exponent, wear, and
+/// (possibly) a permanent stuck-at failure.
+///
+/// # Examples
+///
+/// ```
+/// use pcm_model::{Cell, DeviceConfig};
+/// use rand::SeedableRng;
+/// let dev = DeviceConfig::default();
+/// let th = dev.thresholds();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let mut cell = Cell::new();
+/// cell.write(2, 0.0, &dev, &mut rng);
+/// // Immediately after write the cell almost surely reads back correctly.
+/// assert_eq!(cell.read(0.5, &dev, &th, &mut rng), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cell {
+    level: usize,
+    /// Programmed `log₁₀R` at write time.
+    x0: f64,
+    /// This cell's drift exponent for the current programmed state.
+    nu: f64,
+    /// Simulation time of the last write (seconds).
+    written_at_s: f64,
+    /// Lifetime program-cycle count.
+    wear: u64,
+    /// Sampled writes-to-failure for this cell.
+    endurance_limit: u64,
+    /// Permanent stuck-at level once the cell wears out.
+    stuck_at: Option<usize>,
+}
+
+impl Cell {
+    /// A fresh, unprogrammed cell (reads as level 0 until written). The
+    /// endurance limit is sampled on first write.
+    pub fn new() -> Self {
+        Self {
+            level: 0,
+            x0: 0.0,
+            nu: 0.0,
+            written_at_s: 0.0,
+            wear: 0,
+            endurance_limit: u64::MAX,
+            stuck_at: None,
+        }
+    }
+
+    /// Programs the cell to `level` at simulation time `now_s`.
+    ///
+    /// Samples fresh programming noise and a fresh drift exponent (each
+    /// SET/RESET re-randomizes the amorphous phase), increments wear, and —
+    /// if the sampled endurance limit is exceeded — freezes the cell
+    /// stuck-at its current level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is out of range for the device's stack.
+    pub fn write<R: Rng + ?Sized>(
+        &mut self,
+        level: usize,
+        now_s: f64,
+        dev: &DeviceConfig,
+        rng: &mut R,
+    ) {
+        let stack = dev.stack();
+        assert!(level < stack.num_levels(), "level {level} out of range");
+        if self.wear == 0 {
+            // First write: sample this cell's lifetime.
+            let e = dev.endurance();
+            let lt = sample_lognormal(rng, e.median_writes.ln(), e.sigma_ln);
+            self.endurance_limit = lt.min(u64::MAX as f64 / 2.0) as u64;
+        }
+        self.wear += 1;
+        if self.stuck_at.is_some() {
+            return; // writes to a dead cell do not take
+        }
+        if self.wear > self.endurance_limit {
+            self.stuck_at = Some(self.level);
+            return;
+        }
+        let spec = stack.level(level);
+        let noise = dev.noise();
+        self.level = level;
+        self.x0 = match noise.verify_half_band {
+            Some(h) => sample_truncated_normal(rng, spec.log_r, noise.sigma_write, h),
+            None => sample_normal(rng, spec.log_r, noise.sigma_write),
+        };
+        let nu_med = spec.nu_median * dev.drift().nu_scale;
+        self.nu = if nu_med <= 0.0 {
+            0.0
+        } else if dev.drift().sigma_ln_nu == 0.0 {
+            nu_med
+        } else {
+            sample_lognormal(rng, nu_med.ln(), dev.drift().sigma_ln_nu)
+        };
+        self.written_at_s = now_s;
+    }
+
+    /// Noiseless drifted `log₁₀R` at simulation time `now_s`.
+    pub fn log_r_at(&self, now_s: f64, dev: &DeviceConfig) -> f64 {
+        let age = (now_s - self.written_at_s).max(0.0);
+        self.x0 + self.nu * dev.drift().log_time_factor(age)
+    }
+
+    /// Senses the cell at `now_s`: drifted resistance plus fresh read noise,
+    /// classified against `thresholds`. Stuck cells return their frozen
+    /// level.
+    pub fn read<R: Rng + ?Sized>(
+        &self,
+        now_s: f64,
+        dev: &DeviceConfig,
+        thresholds: &Thresholds,
+        rng: &mut R,
+    ) -> usize {
+        if let Some(lv) = self.stuck_at {
+            return lv;
+        }
+        let sr = dev.noise().sigma_read;
+        let eps = if sr > 0.0 {
+            sample_normal(rng, 0.0, sr)
+        } else {
+            0.0
+        };
+        let y = self.log_r_at(now_s, dev) + eps;
+        match dev.sensing() {
+            crate::drift::SensingMode::Fixed => thresholds.classify(y),
+            crate::drift::SensingMode::AgeCompensated => {
+                let age = (now_s - self.written_at_s).max(0.0);
+                let shifts: Vec<f64> = (0..dev.stack().num_levels() - 1)
+                    .map(|lv| {
+                        crate::drift::raw_boundary_shift(
+                            dev.stack(),
+                            dev.noise(),
+                            dev.drift(),
+                            thresholds,
+                            dev.sensing(),
+                            lv,
+                            age,
+                        )
+                    })
+                    .collect();
+                thresholds.classify_shifted(y, &shifts)
+            }
+        }
+    }
+
+    /// The level this cell was last programmed to.
+    pub fn programmed_level(&self) -> usize {
+        self.level
+    }
+
+    /// Lifetime write count.
+    pub fn wear(&self) -> u64 {
+        self.wear
+    }
+
+    /// Whether the cell has permanently failed, and at which level it froze.
+    pub fn stuck_at(&self) -> Option<usize> {
+        self.stuck_at
+    }
+
+    /// Simulation time of the last successful write.
+    pub fn written_at_s(&self) -> f64 {
+        self.written_at_s
+    }
+}
+
+impl Default for Cell {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fresh_write_reads_back() {
+        let dev = DeviceConfig::default();
+        let th = dev.thresholds();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut misreads = 0;
+        for lv in 0..4 {
+            for _ in 0..500 {
+                let mut c = Cell::new();
+                c.write(lv, 100.0, &dev, &mut rng);
+                if c.read(100.5, &dev, &th, &mut rng) != lv {
+                    misreads += 1;
+                }
+            }
+        }
+        assert!(misreads <= 2, "{misreads} fresh misreads out of 2000");
+    }
+
+    #[test]
+    fn drift_moves_resistance_up() {
+        let dev = DeviceConfig::default();
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut c = Cell::new();
+        c.write(2, 0.0, &dev, &mut rng);
+        let r_early = c.log_r_at(1.0, &dev);
+        let r_late = c.log_r_at(1e6, &dev);
+        assert!(r_late > r_early);
+    }
+
+    #[test]
+    fn rewrite_resets_drift_clock() {
+        let dev = DeviceConfig::default();
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut c = Cell::new();
+        c.write(2, 0.0, &dev, &mut rng);
+        let drifted = c.log_r_at(1e7, &dev);
+        c.write(2, 1e7, &dev, &mut rng);
+        let fresh = c.log_r_at(1e7 + 1.0, &dev);
+        // Fresh write sits near the target again (within 6σ_w),
+        // while the drifted value had wandered far above.
+        assert!((fresh - 5.0).abs() < 0.6);
+        assert!(drifted > fresh);
+    }
+
+    #[test]
+    fn age_compensated_sensing_fixes_drifted_reads() {
+        use crate::drift::SensingMode;
+        let fixed_dev = DeviceConfig::default();
+        let comp_dev = DeviceConfig::builder()
+            .sensing(SensingMode::AgeCompensated)
+            .build();
+        let th = fixed_dev.thresholds();
+        let mut rng = StdRng::seed_from_u64(16);
+        let day = 86_400.0;
+        let (mut fixed_miss, mut comp_miss) = (0, 0);
+        for _ in 0..4000 {
+            let mut c = Cell::new();
+            c.write(2, 0.0, &fixed_dev, &mut rng);
+            if c.read(day, &fixed_dev, &th, &mut rng) != 2 {
+                fixed_miss += 1;
+            }
+            // Same physical cell state, read through compensated sensing.
+            if c.read(day, &comp_dev, &th, &mut rng) != 2 {
+                comp_miss += 1;
+            }
+        }
+        assert!(
+            comp_miss * 3 < fixed_miss.max(3),
+            "compensated {comp_miss} vs fixed {fixed_miss} misreads"
+        );
+    }
+
+    #[test]
+    fn wear_accumulates_and_kills() {
+        let dev = DeviceConfig::builder()
+            .endurance(crate::EnduranceSpec::new(50.0, 0.1))
+            .build();
+        let mut rng = StdRng::seed_from_u64(14);
+        let mut c = Cell::new();
+        for i in 0..200 {
+            c.write(i % 4, i as f64, &dev, &mut rng);
+        }
+        assert_eq!(c.wear(), 200);
+        assert!(c.stuck_at().is_some(), "cell should have worn out");
+    }
+
+    #[test]
+    fn stuck_cell_ignores_writes() {
+        let dev = DeviceConfig::builder()
+            .endurance(crate::EnduranceSpec::new(10.0, 0.01))
+            .build();
+        let th = dev.thresholds();
+        let mut rng = StdRng::seed_from_u64(15);
+        let mut c = Cell::new();
+        for i in 0..100 {
+            c.write(1, i as f64, &dev, &mut rng);
+        }
+        let frozen = c.stuck_at().expect("worn out");
+        c.write(3, 1000.0, &dev, &mut rng);
+        assert_eq!(c.read(1001.0, &dev, &th, &mut rng), frozen);
+    }
+}

@@ -1,0 +1,213 @@
+//! Whole-device configuration: levels + noise + drift + thresholds +
+//! energy + endurance, assembled through a builder.
+
+use crate::drift::{DriftModel, DriftParams, SensingMode};
+use crate::endurance::EnduranceSpec;
+use crate::energy::EnergyParams;
+use crate::level::LevelStack;
+use crate::noise::NoiseParams;
+use crate::threshold::{ThresholdPlacement, Thresholds};
+
+/// Complete PCM device description.
+///
+/// Construct via [`DeviceConfig::builder`]; the default configuration is the
+/// evaluation's nominal 2-bit MLC device with midpoint thresholds.
+///
+/// # Examples
+///
+/// ```
+/// use pcm_model::{DeviceConfig, ThresholdPlacement};
+/// let dev = DeviceConfig::builder()
+///     .threshold_placement(ThresholdPlacement::drift_aware_default())
+///     .build();
+/// assert_eq!(dev.stack().num_levels(), 4);
+/// let model = dev.drift_model();
+/// assert!(model.p_up(2, 3600.0) < 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceConfig {
+    stack: LevelStack,
+    noise: NoiseParams,
+    drift: DriftParams,
+    placement: ThresholdPlacement,
+    energy: EnergyParams,
+    endurance: EnduranceSpec,
+    sensing: SensingMode,
+}
+
+impl DeviceConfig {
+    /// Starts a builder preloaded with the nominal MLC-2 device.
+    pub fn builder() -> DeviceConfigBuilder {
+        DeviceConfigBuilder::default()
+    }
+
+    /// The level stack.
+    pub fn stack(&self) -> &LevelStack {
+        &self.stack
+    }
+
+    /// Noise parameters.
+    pub fn noise(&self) -> &NoiseParams {
+        &self.noise
+    }
+
+    /// Drift-exponent distribution parameters.
+    pub fn drift(&self) -> &DriftParams {
+        &self.drift
+    }
+
+    /// Threshold placement strategy.
+    pub fn placement(&self) -> &ThresholdPlacement {
+        &self.placement
+    }
+
+    /// Energy parameters.
+    pub fn energy(&self) -> &EnergyParams {
+        &self.energy
+    }
+
+    /// Endurance distribution.
+    pub fn endurance(&self) -> &EnduranceSpec {
+        &self.endurance
+    }
+
+    /// Sensing mode (fixed vs. time-aware).
+    pub fn sensing(&self) -> SensingMode {
+        self.sensing
+    }
+
+    /// Materializes the sense thresholds for this configuration.
+    pub fn thresholds(&self) -> Thresholds {
+        self.placement.build(&self.stack, &self.noise, self.drift.t0_s)
+    }
+
+    /// Builds the analytic drift model (precomputes LUTs; construction is
+    /// the expensive step, evaluation is cheap).
+    pub fn drift_model(&self) -> DriftModel {
+        DriftModel::with_sensing(
+            self.stack.clone(),
+            self.noise,
+            self.thresholds(),
+            self.drift,
+            self.sensing,
+        )
+    }
+}
+
+impl Default for DeviceConfig {
+    fn default() -> Self {
+        DeviceConfig::builder().build()
+    }
+}
+
+/// Builder for [`DeviceConfig`].
+#[derive(Debug, Clone)]
+pub struct DeviceConfigBuilder {
+    stack: LevelStack,
+    noise: NoiseParams,
+    drift: DriftParams,
+    placement: ThresholdPlacement,
+    energy: EnergyParams,
+    endurance: EnduranceSpec,
+    sensing: SensingMode,
+}
+
+impl Default for DeviceConfigBuilder {
+    fn default() -> Self {
+        Self {
+            stack: LevelStack::standard_mlc2(),
+            noise: NoiseParams::default(),
+            drift: DriftParams::default(),
+            placement: ThresholdPlacement::Midpoint,
+            energy: EnergyParams::default(),
+            endurance: EnduranceSpec::default(),
+            sensing: SensingMode::Fixed,
+        }
+    }
+}
+
+impl DeviceConfigBuilder {
+    /// Sets the level stack.
+    pub fn stack(&mut self, stack: LevelStack) -> &mut Self {
+        self.stack = stack;
+        self
+    }
+
+    /// Sets noise parameters.
+    pub fn noise(&mut self, noise: NoiseParams) -> &mut Self {
+        self.noise = noise;
+        self
+    }
+
+    /// Sets drift parameters.
+    pub fn drift(&mut self, drift: DriftParams) -> &mut Self {
+        self.drift = drift;
+        self
+    }
+
+    /// Sets the threshold placement strategy.
+    pub fn threshold_placement(&mut self, placement: ThresholdPlacement) -> &mut Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Sets energy parameters.
+    pub fn energy(&mut self, energy: EnergyParams) -> &mut Self {
+        self.energy = energy;
+        self
+    }
+
+    /// Sets the endurance distribution.
+    pub fn endurance(&mut self, endurance: EnduranceSpec) -> &mut Self {
+        self.endurance = endurance;
+        self
+    }
+
+    /// Sets the sensing mode (fixed vs. time-aware).
+    pub fn sensing(&mut self, sensing: SensingMode) -> &mut Self {
+        self.sensing = sensing;
+        self
+    }
+
+    /// Finalizes the configuration.
+    pub fn build(&self) -> DeviceConfig {
+        DeviceConfig {
+            stack: self.stack.clone(),
+            noise: self.noise,
+            drift: self.drift,
+            placement: self.placement.clone(),
+            energy: self.energy,
+            endurance: self.endurance,
+            sensing: self.sensing,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_device_is_mlc2_midpoint() {
+        let dev = DeviceConfig::default();
+        assert_eq!(dev.stack().num_levels(), 4);
+        assert_eq!(dev.thresholds().bounds(), &[3.5, 4.5, 5.5]);
+    }
+
+    #[test]
+    fn builder_overrides_stick() {
+        let dev = DeviceConfig::builder()
+            .stack(LevelStack::standard_slc())
+            .endurance(EnduranceSpec::nominal())
+            .build();
+        assert_eq!(dev.stack().num_levels(), 2);
+        assert_eq!(dev.endurance().median_writes, 1e8);
+    }
+
+    #[test]
+    fn drift_model_roundtrip() {
+        let dev = DeviceConfig::default();
+        let m = dev.drift_model();
+        assert_eq!(m.stack().num_levels(), 4);
+    }
+}

@@ -1,0 +1,114 @@
+//! Write-endurance (hard-error) model.
+//!
+//! PCM cells wear out: after some number of SET/RESET cycles a cell fails
+//! permanently (stuck-at). Cell lifetimes are lognormally distributed around
+//! a process median. Because scrubbing *writes* lines back, scrub policy
+//! directly feeds this model — the soft-vs-hard error tradeoff the paper's
+//! adaptive mechanisms navigate.
+
+use crate::math::norm_cdf;
+
+/// Lognormal cell-endurance distribution.
+///
+/// `F(w) = Φ((ln w − ln median)/σ)` gives the probability that a given cell
+/// has failed after `w` writes — monotone nondecreasing in `w`, so the same
+/// incremental-binomial machinery that tracks drift failures tracks wear
+/// failures.
+///
+/// # Examples
+///
+/// ```
+/// use pcm_model::EnduranceSpec;
+/// let e = EnduranceSpec::default();
+/// assert!(e.fail_cdf(1_000) < 1e-6);
+/// assert!((e.fail_cdf(e.median_writes as u64) - 0.5).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnduranceSpec {
+    /// Median writes-to-failure of a cell.
+    pub median_writes: f64,
+    /// Lognormal shape parameter (spread of `ln` lifetime).
+    pub sigma_ln: f64,
+}
+
+impl EnduranceSpec {
+    /// Creates a spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `median_writes` or `sigma_ln` is not positive.
+    pub fn new(median_writes: f64, sigma_ln: f64) -> Self {
+        assert!(median_writes > 0.0, "median endurance must be positive");
+        assert!(sigma_ln > 0.0, "endurance sigma must be positive");
+        Self {
+            median_writes,
+            sigma_ln,
+        }
+    }
+
+    /// The paper-era nominal: 10⁸ writes median, σ_ln = 0.25.
+    pub fn nominal() -> Self {
+        Self::new(1e8, 0.25)
+    }
+
+    /// Accelerated endurance for feasible simulation horizons (10⁶ median).
+    /// The soft-vs-hard tradeoff shape is invariant to this scaling; see
+    /// DESIGN.md "Substitutions".
+    pub fn accelerated() -> Self {
+        Self::new(1e6, 0.25)
+    }
+
+    /// Probability a cell has failed by `writes` program cycles.
+    pub fn fail_cdf(&self, writes: u64) -> f64 {
+        if writes == 0 {
+            return 0.0;
+        }
+        let z = ((writes as f64).ln() - self.median_writes.ln()) / self.sigma_ln;
+        norm_cdf(z)
+    }
+}
+
+impl Default for EnduranceSpec {
+    fn default() -> Self {
+        Self::accelerated()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_is_monotone() {
+        let e = EnduranceSpec::default();
+        let mut prev = 0.0;
+        for k in 0..40 {
+            let w = 10u64.pow(1 + k / 6) + (k as u64 % 6) * 10u64.pow(k / 6);
+            let p = e.fail_cdf(w);
+            assert!(p >= prev, "w={w}");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn median_is_half() {
+        let e = EnduranceSpec::new(5e5, 0.3);
+        assert!((e.fail_cdf(500_000) - 0.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn zero_writes_never_fail() {
+        assert_eq!(EnduranceSpec::default().fail_cdf(0), 0.0);
+    }
+
+    #[test]
+    fn nominal_vs_accelerated() {
+        assert!(EnduranceSpec::nominal().median_writes > EnduranceSpec::accelerated().median_writes);
+    }
+
+    #[test]
+    #[should_panic(expected = "median endurance must be positive")]
+    fn rejects_zero_median() {
+        EnduranceSpec::new(0.0, 0.2);
+    }
+}

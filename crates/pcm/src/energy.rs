@@ -1,0 +1,103 @@
+//! Device-level energy parameters.
+//!
+//! Values are representative numbers from the MLC-PCM literature; every
+//! experiment treats them as configuration, and only energy *ratios*
+//! between policies are claimed by the reproduction.
+
+/// Per-operation energy costs, in picojoules.
+///
+/// # Examples
+///
+/// ```
+/// use pcm_model::EnergyParams;
+/// let e = EnergyParams::default();
+/// // An MLC line write costs far more than a read: that asymmetry is why
+/// // avoiding scrub write-backs saves so much energy.
+/// assert!(e.line_write_pj(512, true) > 5.0 * e.line_read_pj(512));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyParams {
+    /// Array read energy per bit (pJ).
+    pub read_pj_per_bit: f64,
+    /// MLC write energy per bit (pJ), averaged over the iterative
+    /// program-and-verify loop.
+    pub write_mlc_pj_per_bit: f64,
+    /// SLC write energy per bit (pJ) — single-shot programming.
+    pub write_slc_pj_per_bit: f64,
+    /// Fixed per-line ECC syndrome-computation energy (pJ).
+    pub decode_base_pj: f64,
+    /// Additional decode energy per unit of correction capability `t` (pJ),
+    /// modelling the Berlekamp–Massey/Chien hardware activity.
+    pub decode_per_t_pj: f64,
+    /// Per-line ECC encode energy (pJ).
+    pub encode_pj: f64,
+    /// Per-line CRC check energy (pJ) — the cheapest detection probe.
+    pub crc_check_pj: f64,
+}
+
+impl EnergyParams {
+    /// Energy to read a line of `bits` data bits (pJ), excluding decode.
+    pub fn line_read_pj(&self, bits: u32) -> f64 {
+        self.read_pj_per_bit * bits as f64
+    }
+
+    /// Energy to write a line of `bits` data bits (pJ); `mlc` selects the
+    /// iterative MLC path vs. the single-shot SLC path.
+    pub fn line_write_pj(&self, bits: u32, mlc: bool) -> f64 {
+        let per_bit = if mlc {
+            self.write_mlc_pj_per_bit
+        } else {
+            self.write_slc_pj_per_bit
+        };
+        per_bit * bits as f64
+    }
+
+    /// ECC decode energy for a code correcting up to `t` errors (pJ).
+    pub fn decode_pj(&self, t: u32) -> f64 {
+        self.decode_base_pj + self.decode_per_t_pj * t as f64
+    }
+}
+
+impl Default for EnergyParams {
+    fn default() -> Self {
+        Self {
+            read_pj_per_bit: 2.0,
+            write_mlc_pj_per_bit: 30.0,
+            write_slc_pj_per_bit: 12.0,
+            decode_base_pj: 50.0,
+            decode_per_t_pj: 25.0,
+            encode_pj: 60.0,
+            crc_check_pj: 15.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_have_write_read_asymmetry() {
+        let e = EnergyParams::default();
+        assert!(e.write_mlc_pj_per_bit / e.read_pj_per_bit >= 10.0);
+        assert!(e.write_slc_pj_per_bit < e.write_mlc_pj_per_bit);
+    }
+
+    #[test]
+    fn decode_scales_with_t() {
+        let e = EnergyParams::default();
+        assert!(e.decode_pj(6) > e.decode_pj(1));
+        assert_eq!(e.decode_pj(0), e.decode_base_pj);
+        // CRC must be cheaper than any full decode for the two-phase
+        // probe to make sense.
+        assert!(e.crc_check_pj < e.decode_base_pj);
+    }
+
+    #[test]
+    fn line_energies_scale_with_bits() {
+        let e = EnergyParams::default();
+        assert_eq!(e.line_read_pj(1024), 2.0 * e.line_read_pj(512));
+        assert_eq!(e.line_write_pj(512, true), 512.0 * 30.0);
+        assert_eq!(e.line_write_pj(512, false), 512.0 * 12.0);
+    }
+}

@@ -1,0 +1,205 @@
+//! Multi-level cell geometry: resistance levels, bit mapping, and the
+//! Gray-code guarantee that adjacent-level misreads corrupt exactly one bit.
+
+/// One programmable resistance level of an MLC cell.
+///
+/// Resistances are carried in `log₁₀(Ω)` ("decades") because programming
+/// noise, sensing noise and drift are all (log-)additive in that domain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LevelSpec {
+    /// Target programmed resistance, `log₁₀(Ω)`.
+    pub log_r: f64,
+    /// Median drift exponent ν for cells programmed to this level.
+    /// Crystalline (low-resistance) levels barely drift; amorphous levels
+    /// drift hardest.
+    pub nu_median: f64,
+}
+
+impl LevelSpec {
+    /// Creates a level with the given target `log₁₀` resistance and median
+    /// drift exponent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `log_r` is not finite or `nu_median` is negative.
+    pub fn new(log_r: f64, nu_median: f64) -> Self {
+        assert!(log_r.is_finite(), "level log_r must be finite");
+        assert!(
+            nu_median >= 0.0 && nu_median.is_finite(),
+            "drift exponent median must be finite and >= 0"
+        );
+        Self { log_r, nu_median }
+    }
+}
+
+/// The level stack of an MLC (or SLC) cell, lowest resistance first.
+///
+/// # Examples
+///
+/// ```
+/// use pcm_model::LevelStack;
+/// let stack = LevelStack::standard_mlc2();
+/// assert_eq!(stack.num_levels(), 4);
+/// assert_eq!(stack.bits_per_cell(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelStack {
+    levels: Vec<LevelSpec>,
+}
+
+impl LevelStack {
+    /// Builds a stack from explicit levels (must be ≥2, strictly increasing
+    /// in resistance, and a power of two in count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two levels are given, the count is not a power
+    /// of two, or resistances are not strictly increasing.
+    pub fn new(levels: Vec<LevelSpec>) -> Self {
+        assert!(levels.len() >= 2, "need at least two levels");
+        assert!(
+            levels.len().is_power_of_two(),
+            "level count must be a power of two, got {}",
+            levels.len()
+        );
+        for w in levels.windows(2) {
+            assert!(
+                w[0].log_r < w[1].log_r,
+                "levels must be strictly increasing in resistance"
+            );
+        }
+        Self { levels }
+    }
+
+    /// The standard 2-bit MLC stack used throughout the reproduction:
+    /// levels at 10³..10⁶ Ω with literature drift exponents
+    /// (ν̄ = 0.001, 0.02, 0.06, 0.10 from crystalline to amorphous).
+    pub fn standard_mlc2() -> Self {
+        Self::new(vec![
+            LevelSpec::new(3.0, 0.001),
+            LevelSpec::new(4.0, 0.02),
+            LevelSpec::new(5.0, 0.06),
+            LevelSpec::new(6.0, 0.10),
+        ])
+    }
+
+    /// A single-level-cell stack (1 bit/cell): SET at 10³ Ω, RESET at 10⁶ Ω.
+    /// The wide separation makes SLC effectively drift-immune, matching the
+    /// paper's use of SLC as a drift-free refuge.
+    pub fn standard_slc() -> Self {
+        Self::new(vec![LevelSpec::new(3.0, 0.001), LevelSpec::new(6.0, 0.10)])
+    }
+
+    /// Number of levels.
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Bits stored per cell (`log₂` of the level count).
+    pub fn bits_per_cell(&self) -> u32 {
+        self.levels.len().trailing_zeros()
+    }
+
+    /// The level specs, lowest resistance first.
+    pub fn levels(&self) -> &[LevelSpec] {
+        &self.levels
+    }
+
+    /// Spec for one level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is out of range.
+    pub fn level(&self, level: usize) -> LevelSpec {
+        self.levels[level]
+    }
+
+    /// Gray codeword stored by a cell programmed to `level`, so that
+    /// adjacent-level misreads corrupt exactly one bit.
+    pub fn gray_code(&self, level: usize) -> u32 {
+        assert!(level < self.levels.len(), "level {level} out of range");
+        (level ^ (level >> 1)) as u32
+    }
+
+    /// Level that stores a given Gray codeword (inverse of
+    /// [`LevelStack::gray_code`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code` is not a valid codeword for this stack.
+    pub fn level_for_gray(&self, code: u32) -> usize {
+        let mut level = code as usize;
+        let mut shift = 1;
+        while (level >> shift) != 0 {
+            level ^= level >> shift;
+            shift <<= 1;
+        }
+        assert!(level < self.levels.len(), "gray code {code} out of range");
+        level
+    }
+
+    /// Number of data bits that differ when a cell written at `actual` is
+    /// read back as `observed`.
+    pub fn bit_errors(&self, actual: usize, observed: usize) -> u32 {
+        (self.gray_code(actual) ^ self.gray_code(observed)).count_ones()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_mlc2_shape() {
+        let s = LevelStack::standard_mlc2();
+        assert_eq!(s.num_levels(), 4);
+        assert_eq!(s.bits_per_cell(), 2);
+        assert!(s.level(0).nu_median < s.level(3).nu_median);
+    }
+
+    #[test]
+    fn slc_shape() {
+        let s = LevelStack::standard_slc();
+        assert_eq!(s.num_levels(), 2);
+        assert_eq!(s.bits_per_cell(), 1);
+    }
+
+    #[test]
+    fn gray_adjacent_levels_differ_by_one_bit() {
+        let s = LevelStack::standard_mlc2();
+        for l in 0..3 {
+            assert_eq!(s.bit_errors(l, l + 1), 1, "levels {l}->{}", l + 1);
+        }
+    }
+
+    #[test]
+    fn gray_roundtrip() {
+        let s = LevelStack::standard_mlc2();
+        for l in 0..4 {
+            assert_eq!(s.level_for_gray(s.gray_code(l)), l);
+        }
+    }
+
+    #[test]
+    fn gray_double_jump_costs_two_bits_at_most() {
+        let s = LevelStack::standard_mlc2();
+        assert!(s.bit_errors(0, 2) <= 2);
+        assert_eq!(s.bit_errors(1, 3), 2); // 01 -> 10
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_unsorted_levels() {
+        LevelStack::new(vec![LevelSpec::new(4.0, 0.1), LevelSpec::new(3.0, 0.1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_three_levels() {
+        LevelStack::new(vec![
+            LevelSpec::new(3.0, 0.0),
+            LevelSpec::new(4.0, 0.0),
+            LevelSpec::new(5.0, 0.0),
+        ]);
+    }
+}

@@ -1,0 +1,51 @@
+//! # pcm-model — MLC/SLC phase-change-memory device model
+//!
+//! The error-source substrate for the HPCA 2012 scrub-mechanisms
+//! reproduction: multi-level-cell geometry, programming/sensing noise,
+//! **resistance drift** (the dominant MLC-PCM soft-error mechanism),
+//! write-endurance wear-out (the hard-error mechanism scrub writes
+//! aggravate), and device energy parameters.
+//!
+//! Two complementary views of the same physics are provided:
+//!
+//! * [`DriftModel`] — analytic per-level misread probabilities `p(t)` as a
+//!   function of cell age, fast enough to drive a multi-gigabyte
+//!   line-granularity memory simulation.
+//! * [`CellArray`] — cell-exact Monte-Carlo arrays used as ground truth to
+//!   validate the analytic model (experiment E1).
+//!
+//! # Quick start
+//!
+//! ```
+//! use pcm_model::DeviceConfig;
+//!
+//! let dev = DeviceConfig::default(); // nominal 2-bit MLC PCM
+//! let model = dev.drift_model();
+//!
+//! // Probability that a cell programmed to level 2 has persistently
+//! // drifted across its sense boundary one hour after being written:
+//! let p = model.p_up(2, 3600.0);
+//! assert!(p > 0.0 && p < 1.0);
+//! ```
+
+pub mod math;
+
+mod array;
+mod cell;
+mod device;
+mod drift;
+mod endurance;
+mod energy;
+mod level;
+mod noise;
+mod threshold;
+
+pub use array::{ArrayReadReport, CellArray};
+pub use cell::Cell;
+pub use device::{DeviceConfig, DeviceConfigBuilder};
+pub use drift::{DriftModel, DriftParams, SensingMode};
+pub use endurance::EnduranceSpec;
+pub use energy::EnergyParams;
+pub use level::{LevelSpec, LevelStack};
+pub use noise::NoiseParams;
+pub use threshold::{ThresholdPlacement, Thresholds};

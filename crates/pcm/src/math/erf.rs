@@ -1,0 +1,233 @@
+//! Special functions: error function family and normal distribution tails.
+//!
+//! Implemented in-tree (no external math crate) with relative accuracy good
+//! enough for the deep tails that drift-error modelling needs (misread
+//! probabilities down to ~1e-300 keep meaningful relative error).
+
+/// Complementary error function `erfc(x)` with fractional error below
+/// `1.2e-7` everywhere (Chebyshev-fitted rational approximation).
+///
+/// Relative (not absolute) accuracy is what matters here: drift soft-error
+/// probabilities live deep in the normal tail.
+///
+/// # Examples
+///
+/// ```
+/// let e = pcm_model::math::erfc(0.0);
+/// assert!((e - 1.0).abs() < 1e-6);
+/// ```
+pub fn erfc(x: f64) -> f64 {
+    let z = x.abs();
+    let t = 1.0 / (1.0 + 0.5 * z);
+    let ans = t
+        * (-z * z - 1.265_512_23
+            + t * (1.000_023_68
+                + t * (0.374_091_96
+                    + t * (0.096_784_18
+                        + t * (-0.186_288_06
+                            + t * (0.278_868_07
+                                + t * (-1.135_203_98
+                                    + t * (1.488_515_87
+                                        + t * (-0.822_152_23 + t * 0.170_872_77)))))))))
+        .exp();
+    if x >= 0.0 {
+        ans
+    } else {
+        2.0 - ans
+    }
+}
+
+/// Error function `erf(x)`.
+///
+/// # Examples
+///
+/// ```
+/// assert!(pcm_model::math::erf(10.0) > 0.999_999);
+/// assert!((pcm_model::math::erf(0.0)).abs() < 1e-6);
+/// ```
+pub fn erf(x: f64) -> f64 {
+    1.0 - erfc(x)
+}
+
+const FRAC_1_SQRT_2: f64 = std::f64::consts::FRAC_1_SQRT_2;
+
+/// Standard normal cumulative distribution function `Φ(x)`.
+///
+/// # Examples
+///
+/// ```
+/// let half = pcm_model::math::norm_cdf(0.0);
+/// assert!((half - 0.5).abs() < 1e-7);
+/// ```
+pub fn norm_cdf(x: f64) -> f64 {
+    0.5 * erfc(-x * FRAC_1_SQRT_2)
+}
+
+/// Standard normal upper-tail probability `Q(x) = 1 − Φ(x)`.
+///
+/// Computed via `erfc` so it keeps relative accuracy for large `x`
+/// (e.g. `Q(8) ≈ 6.2e-16` rather than rounding to zero).
+///
+/// # Examples
+///
+/// ```
+/// let q = pcm_model::math::norm_sf(3.0);
+/// assert!((q - 1.349_898e-3).abs() / q < 1e-4);
+/// ```
+pub fn norm_sf(x: f64) -> f64 {
+    0.5 * erfc(x * FRAC_1_SQRT_2)
+}
+
+/// Standard normal probability density function `φ(x)`.
+pub fn norm_pdf(x: f64) -> f64 {
+    const INV_SQRT_2PI: f64 = 0.398_942_280_401_432_7;
+    INV_SQRT_2PI * (-0.5 * x * x).exp()
+}
+
+/// Inverse of the standard normal CDF (the probit function).
+///
+/// Acklam's rational approximation with one Halley refinement step;
+/// absolute error below 1e-9 over `p ∈ (0, 1)`.
+///
+/// # Panics
+///
+/// Panics if `p` is outside the open interval `(0, 1)`.
+///
+/// # Examples
+///
+/// ```
+/// let x = pcm_model::math::norm_ppf(0.975);
+/// assert!((x - 1.959_964).abs() < 1e-4);
+/// ```
+pub fn norm_ppf(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "norm_ppf requires p in (0,1), got {p}");
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_69e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.024_25;
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+    // One Halley refinement step.
+    let e = norm_cdf(x) - p;
+    let u = e * (2.0 * std::f64::consts::PI).sqrt() * (0.5 * x * x).exp();
+    x - u / (1.0 + 0.5 * x * u)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erfc_reference_values() {
+        // Reference values from tabulated erfc.
+        let cases = [
+            (0.0, 1.0),
+            (0.5, 0.479_500_122_186_953_5),
+            (1.0, 0.157_299_207_050_285_13),
+            (2.0, 4.677_734_981_063_127e-3),
+            (3.0, 2.209_049_699_858_544e-5),
+        ];
+        for (x, want) in cases {
+            let got = erfc(x);
+            assert!(
+                (got - want).abs() / want < 1e-6,
+                "erfc({x}) = {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn erfc_symmetry() {
+        for i in 0..100 {
+            let x = -3.0 + 0.06 * i as f64;
+            let s = erfc(x) + erfc(-x);
+            assert!((s - 2.0).abs() < 1e-7, "erfc symmetry at {x}: {s}");
+        }
+    }
+
+    #[test]
+    fn norm_tail_relative_accuracy() {
+        // Q(6) = 9.8659e-10: deep tail keeps relative accuracy.
+        let q6 = norm_sf(6.0);
+        assert!((q6 - 9.865_9e-10).abs() / q6 < 1e-3, "Q(6) = {q6}");
+        let q8 = norm_sf(8.0);
+        assert!((q8 - 6.22e-16).abs() / q8 < 1e-2, "Q(8) = {q8}");
+    }
+
+    #[test]
+    fn cdf_sf_complement() {
+        for i in 0..200 {
+            let x = -5.0 + 0.05 * i as f64;
+            let s = norm_cdf(x) + norm_sf(x);
+            // Exactly 1 by the erfc symmetry branch except at x == 0,
+            // where the raw approximation's ~3e-8 bias shows.
+            assert!((s - 1.0).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn ppf_roundtrip() {
+        for i in 1..100 {
+            let p = i as f64 / 100.0;
+            let x = norm_ppf(p);
+            assert!((norm_cdf(x) - p).abs() < 1e-7, "roundtrip at p={p}");
+        }
+    }
+
+    #[test]
+    fn ppf_tails() {
+        let x = norm_ppf(1e-9);
+        assert!((norm_cdf(x) - 1e-9).abs() / 1e-9 < 1e-3);
+        assert!(x < -5.9 && x > -6.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "norm_ppf requires p in (0,1)")]
+    fn ppf_rejects_zero() {
+        norm_ppf(0.0);
+    }
+
+    #[test]
+    fn pdf_peak_and_symmetry() {
+        assert!((norm_pdf(0.0) - 0.398_942_280_401_432_7).abs() < 1e-12);
+        assert!((norm_pdf(1.3) - norm_pdf(-1.3)).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,198 @@
+//! Gauss–Hermite quadrature for integrating smooth functions against a
+//! Gaussian weight, used to marginalize the stochastic drift exponent.
+//!
+//! Nodes and weights are computed at construction by Newton iteration on the
+//! (physicists') Hermite polynomial recurrence, so no tables are baked in and
+//! any order can be requested.
+
+/// A Gauss–Hermite quadrature rule of a given order.
+///
+/// Integrates `∫ f(x) e^{-x²} dx` as `Σ wᵢ f(xᵢ)`. The helper
+/// [`GaussHermite::expect_normal`] rescales this to an expectation under a
+/// `N(μ, σ²)` distribution.
+///
+/// # Examples
+///
+/// ```
+/// use pcm_model::math::GaussHermite;
+/// let gh = GaussHermite::new(32);
+/// // E[z²] under the standard normal is 1.
+/// let m2 = gh.expect_normal(0.0, 1.0, |z| z * z);
+/// assert!((m2 - 1.0).abs() < 1e-10);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaussHermite {
+    nodes: Vec<f64>,
+    weights: Vec<f64>,
+}
+
+impl GaussHermite {
+    /// Builds a rule with `order` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order == 0` or `order > 512` (higher orders lose accuracy
+    /// to floating-point cancellation in the recurrence).
+    pub fn new(order: usize) -> Self {
+        assert!(
+            (1..=512).contains(&order),
+            "Gauss-Hermite order must be in 1..=512, got {order}"
+        );
+        let n = order;
+        let mut nodes = vec![0.0f64; n];
+        let mut weights = vec![0.0f64; n];
+        let m = n.div_ceil(2);
+        // Initial guesses follow the classical asymptotic formulas
+        // (Numerical Recipes §4.6), refined by Newton iteration.
+        let mut z = 0.0f64;
+        for i in 0..m {
+            z = match i {
+                0 => (2.0 * n as f64 + 1.0).sqrt() - 1.855_75 * (2.0 * n as f64 + 1.0).powf(-1.0 / 6.0),
+                1 => z - 1.14 * (n as f64).powf(0.426) / z,
+                2 => 1.86 * z - 0.86 * nodes[0],
+                3 => 1.91 * z - 0.91 * nodes[1],
+                _ => 2.0 * z - nodes[i - 2],
+            };
+            let mut pp = 0.0;
+            for _ in 0..200 {
+                // Evaluate H_n via the orthonormal recurrence.
+                let mut p1 = std::f64::consts::PI.powf(-0.25);
+                let mut p2 = 0.0;
+                for j in 0..n {
+                    let p3 = p2;
+                    p2 = p1;
+                    p1 = z * (2.0 / (j as f64 + 1.0)).sqrt() * p2
+                        - (j as f64 / (j as f64 + 1.0)).sqrt() * p3;
+                }
+                pp = (2.0 * n as f64).sqrt() * p2;
+                let z1 = z;
+                z = z1 - p1 / pp;
+                if (z - z1).abs() < 1e-14 {
+                    break;
+                }
+            }
+            nodes[i] = z;
+            nodes[n - 1 - i] = -z;
+            let w = 2.0 / (pp * pp);
+            weights[i] = w;
+            weights[n - 1 - i] = w;
+        }
+        // Store in ascending node order for cache-friendly iteration.
+        let mut idx: Vec<usize> = (0..n).collect();
+        idx.sort_by(|&a, &b| nodes[a].partial_cmp(&nodes[b]).expect("finite nodes"));
+        let nodes_sorted: Vec<f64> = idx.iter().map(|&i| nodes[i]).collect();
+        let weights_sorted: Vec<f64> = idx.iter().map(|&i| weights[i]).collect();
+        Self {
+            nodes: nodes_sorted,
+            weights: weights_sorted,
+        }
+    }
+
+    /// Number of nodes in the rule.
+    pub fn order(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Raw nodes `xᵢ` (ascending).
+    pub fn nodes(&self) -> &[f64] {
+        &self.nodes
+    }
+
+    /// Raw weights `wᵢ` matching [`GaussHermite::nodes`].
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// `∫ f(x) e^{-x²} dx ≈ Σ wᵢ f(xᵢ)`.
+    pub fn integrate<F: FnMut(f64) -> f64>(&self, mut f: F) -> f64 {
+        self.nodes
+            .iter()
+            .zip(&self.weights)
+            .map(|(&x, &w)| w * f(x))
+            .sum()
+    }
+
+    /// Expectation `E[f(Z)]` for `Z ~ N(mu, sigma²)`.
+    ///
+    /// Uses the substitution `z = mu + sigma·√2·x`.
+    pub fn expect_normal<F: FnMut(f64) -> f64>(&self, mu: f64, sigma: f64, mut f: F) -> f64 {
+        const INV_SQRT_PI: f64 = 0.564_189_583_547_756_3;
+        let s = sigma * std::f64::consts::SQRT_2;
+        INV_SQRT_PI * self.integrate(|x| f(mu + s * x))
+    }
+
+    /// Expectation `E[f(V)]` for `ln V ~ N(ln_median, sigma_ln²)`,
+    /// i.e. `V` lognormal with the given log-domain parameters.
+    pub fn expect_lognormal<F: FnMut(f64) -> f64>(
+        &self,
+        ln_median: f64,
+        sigma_ln: f64,
+        mut f: F,
+    ) -> f64 {
+        self.expect_normal(ln_median, sigma_ln, |z| f(z.exp()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_sum_to_sqrt_pi() {
+        for order in [4, 16, 32, 64, 128] {
+            let gh = GaussHermite::new(order);
+            let s: f64 = gh.weights().iter().sum();
+            assert!(
+                (s - std::f64::consts::PI.sqrt()).abs() < 1e-10,
+                "order {order}: weight sum {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn nodes_are_symmetric_and_sorted() {
+        let gh = GaussHermite::new(33);
+        let n = gh.nodes();
+        for w in n.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        for i in 0..n.len() {
+            assert!((n[i] + n[n.len() - 1 - i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn normal_moments() {
+        let gh = GaussHermite::new(40);
+        assert!((gh.expect_normal(2.0, 3.0, |z| z) - 2.0).abs() < 1e-10);
+        assert!((gh.expect_normal(2.0, 3.0, |z| (z - 2.0).powi(2)) - 9.0).abs() < 1e-9);
+        // 4th central moment of N(0,σ²) is 3σ⁴.
+        assert!((gh.expect_normal(0.0, 2.0, |z| z.powi(4)) - 48.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn lognormal_mean() {
+        // E[V] = exp(μ + σ²/2) for lognormal.
+        let gh = GaussHermite::new(64);
+        let (mu, sigma) = (-2.3f64, 0.4f64);
+        let want = (mu + sigma * sigma / 2.0).exp();
+        let got = gh.expect_lognormal(mu, sigma, |v| v);
+        assert!((got - want).abs() / want < 1e-10, "got {got}, want {want}");
+    }
+
+    #[test]
+    fn polynomial_exactness() {
+        // An order-n rule integrates polynomials up to degree 2n-1 exactly.
+        let gh = GaussHermite::new(6);
+        // ∫ x^10 e^{-x²} dx = Γ(11/2) = 945/32·√π... degree 10 < 2·6 = 12.
+        let want = 945.0 / 32.0 * std::f64::consts::PI.sqrt();
+        let got = gh.integrate(|x| x.powi(10));
+        assert!((got - want).abs() / want < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "Gauss-Hermite order")]
+    fn rejects_zero_order() {
+        GaussHermite::new(0);
+    }
+}

@@ -1,0 +1,318 @@
+//! Random sampling primitives used throughout the simulator.
+//!
+//! All samplers take a caller-provided [`rand::Rng`] so every stochastic
+//! component of the system is reproducible from a seed (the workspace-wide
+//! determinism invariant).
+
+use rand::Rng;
+
+use super::erf::norm_ppf;
+
+/// Samples a standard normal deviate via the polar Box–Muller method.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let z = pcm_model::math::sample_std_normal(&mut rng);
+/// assert!(z.is_finite());
+/// ```
+pub fn sample_std_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u: f64 = rng.gen_range(-1.0..1.0);
+        let v: f64 = rng.gen_range(-1.0..1.0);
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// Samples `N(mu, sigma²)`.
+pub fn sample_normal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    mu + sigma * sample_std_normal(rng)
+}
+
+/// Samples a normal truncated to `[mu - half_width, mu + half_width]` by
+/// rejection; models program-and-verify loops that retry until the cell
+/// lands inside the verify band.
+///
+/// # Panics
+///
+/// Panics if `half_width <= 0` or acceptance would be hopeless
+/// (`half_width < 0.05·sigma`).
+pub fn sample_truncated_normal<R: Rng + ?Sized>(
+    rng: &mut R,
+    mu: f64,
+    sigma: f64,
+    half_width: f64,
+) -> f64 {
+    assert!(half_width > 0.0, "truncation half-width must be positive");
+    assert!(
+        half_width >= 0.05 * sigma,
+        "truncation band too narrow for rejection sampling"
+    );
+    loop {
+        let x = sample_normal(rng, mu, sigma);
+        if (x - mu).abs() <= half_width {
+            return x;
+        }
+    }
+}
+
+/// Samples a lognormal with median `exp(ln_median)` — i.e.
+/// `ln X ~ N(ln_median, sigma_ln²)`.
+pub fn sample_lognormal<R: Rng + ?Sized>(rng: &mut R, ln_median: f64, sigma_ln: f64) -> f64 {
+    sample_normal(rng, ln_median, sigma_ln).exp()
+}
+
+/// Samples `Binomial(n, p)` exactly.
+///
+/// Strategy: for small expected counts, geometric waiting-time skipping
+/// (expected `O(np + 1)` work — the common case for rare drift failures);
+/// otherwise a normal cut-off inversion is avoided in favour of the
+/// waiting-time method seeded from whichever of `p`/`1−p` is smaller, which
+/// keeps worst-case work `O(n·min(p,1−p) + 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let k = pcm_model::math::sample_binomial(&mut rng, 100, 0.0);
+/// assert_eq!(k, 0);
+/// let k = pcm_model::math::sample_binomial(&mut rng, 100, 1.0);
+/// assert_eq!(k, 100);
+/// ```
+pub fn sample_binomial<R: Rng + ?Sized>(rng: &mut R, n: u32, p: f64) -> u32 {
+    assert!((0.0..=1.0).contains(&p), "binomial p out of [0,1]: {p}");
+    if n == 0 || p <= 0.0 {
+        return 0;
+    }
+    if p >= 1.0 {
+        return n;
+    }
+    if p <= 0.5 {
+        binomial_waiting(rng, n, p)
+    } else {
+        n - binomial_waiting(rng, n, 1.0 - p)
+    }
+}
+
+/// Waiting-time binomial sampler for `p ≤ 0.5`: draws geometric gaps between
+/// successes. Exact, expected cost `O(np + 1)`.
+fn binomial_waiting<R: Rng + ?Sized>(rng: &mut R, n: u32, p: f64) -> u32 {
+    debug_assert!(p > 0.0 && p <= 0.5);
+    let log_q = (1.0 - p).ln();
+    if log_q == 0.0 {
+        // p below ~2^-53: `1 - p` rounded to 1. The success probability of
+        // the whole experiment is n·p < 1e-13 — sample that single event
+        // instead of dividing by zero (which would yield n successes).
+        return u32::from(rng.gen::<f64>() < n as f64 * p);
+    }
+    let mut successes = 0u32;
+    let mut trials_used = 0u64;
+    let n64 = n as u64;
+    loop {
+        // Geometric(p) gap: number of failures before the next success.
+        let u: f64 = loop {
+            let u = rng.gen::<f64>();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        let gap = (u.ln() / log_q).floor() as u64 + 1;
+        trials_used += gap;
+        if trials_used > n64 {
+            return successes;
+        }
+        successes += 1;
+    }
+}
+
+/// Samples a multinomial allocation of `n` trials over `probs` categories by
+/// sequential conditional binomials. `probs` must sum to ≈1.
+///
+/// # Panics
+///
+/// Panics if `probs` is empty, contains negatives, or sums far from 1.
+pub fn sample_multinomial<R: Rng + ?Sized>(rng: &mut R, n: u32, probs: &[f64]) -> Vec<u32> {
+    assert!(!probs.is_empty(), "multinomial needs at least one category");
+    let total: f64 = probs.iter().sum();
+    assert!(
+        (total - 1.0).abs() < 1e-6,
+        "multinomial probabilities sum to {total}, want 1"
+    );
+    assert!(
+        probs.iter().all(|&p| p >= 0.0),
+        "multinomial probabilities must be nonnegative"
+    );
+    let mut out = Vec::with_capacity(probs.len());
+    let mut remaining_n = n;
+    let mut remaining_p = 1.0f64;
+    for (i, &p) in probs.iter().enumerate() {
+        if i == probs.len() - 1 {
+            out.push(remaining_n);
+            break;
+        }
+        let cond = if remaining_p <= 0.0 {
+            0.0
+        } else {
+            (p / remaining_p).clamp(0.0, 1.0)
+        };
+        let k = sample_binomial(rng, remaining_n, cond);
+        out.push(k);
+        remaining_n -= k;
+        remaining_p -= p;
+    }
+    out
+}
+
+/// Samples without replacement: picks `k` distinct indices from `0..n`
+/// (Floyd's algorithm), returned in unspecified order.
+///
+/// # Panics
+///
+/// Panics if `k > n`.
+pub fn sample_distinct_indices<R: Rng + ?Sized>(rng: &mut R, n: usize, k: usize) -> Vec<usize> {
+    assert!(k <= n, "cannot sample {k} distinct from {n}");
+    let mut chosen = std::collections::HashSet::with_capacity(k);
+    let mut out = Vec::with_capacity(k);
+    for j in (n - k)..n {
+        let t = rng.gen_range(0..=j);
+        let pick = if chosen.contains(&t) { j } else { t };
+        chosen.insert(pick);
+        out.push(pick);
+    }
+    out
+}
+
+/// Deviate from `N(mu, sigma²)` computed by inversion from a single uniform —
+/// useful when exactly one RNG draw per sample is required for
+/// counter-based reproducibility.
+pub fn sample_normal_inv<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    let u: f64 = loop {
+        let u = rng.gen::<f64>();
+        if u > 0.0 && u < 1.0 {
+            break u;
+        }
+    };
+    mu + sigma * norm_ppf(u)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn binomial_mean_and_variance() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let (n, p, reps) = (200u32, 0.07, 20_000);
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        for _ in 0..reps {
+            let k = sample_binomial(&mut rng, n, p) as f64;
+            sum += k;
+            sumsq += k * k;
+        }
+        let mean = sum / reps as f64;
+        let var = sumsq / reps as f64 - mean * mean;
+        let want_mean = n as f64 * p;
+        let want_var = n as f64 * p * (1.0 - p);
+        assert!((mean - want_mean).abs() < 0.15, "mean {mean} want {want_mean}");
+        assert!((var - want_var).abs() < 0.6, "var {var} want {want_var}");
+    }
+
+    #[test]
+    fn binomial_high_p_symmetry() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let mut sum = 0u64;
+        for _ in 0..10_000 {
+            sum += sample_binomial(&mut rng, 50, 0.9) as u64;
+        }
+        let mean = sum as f64 / 10_000.0;
+        assert!((mean - 45.0).abs() < 0.2, "mean {mean}");
+    }
+
+    #[test]
+    fn binomial_subnormal_p_returns_zero() {
+        // Regression: p so small that ln(1-p) == 0 used to return n.
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..1000 {
+            assert_eq!(sample_binomial(&mut rng, 288, 1e-323), 0);
+            assert_eq!(sample_binomial(&mut rng, 288, 1e-17), 0);
+        }
+    }
+
+    #[test]
+    fn binomial_bounds() {
+        let mut rng = StdRng::seed_from_u64(44);
+        for _ in 0..1000 {
+            let k = sample_binomial(&mut rng, 17, 0.3);
+            assert!(k <= 17);
+        }
+    }
+
+    #[test]
+    fn multinomial_totals_and_means() {
+        let mut rng = StdRng::seed_from_u64(45);
+        let probs = [0.1, 0.2, 0.3, 0.4];
+        let mut sums = [0u64; 4];
+        for _ in 0..5_000 {
+            let ks = sample_multinomial(&mut rng, 100, &probs);
+            assert_eq!(ks.iter().sum::<u32>(), 100);
+            for (s, k) in sums.iter_mut().zip(&ks) {
+                *s += *k as u64;
+            }
+        }
+        for (i, s) in sums.iter().enumerate() {
+            let mean = *s as f64 / 5_000.0;
+            let want = 100.0 * probs[i];
+            assert!((mean - want).abs() < 0.5, "cat {i}: mean {mean} want {want}");
+        }
+    }
+
+    #[test]
+    fn truncated_normal_respects_band() {
+        let mut rng = StdRng::seed_from_u64(46);
+        for _ in 0..2000 {
+            let x = sample_truncated_normal(&mut rng, 5.0, 0.2, 0.3);
+            assert!((x - 5.0).abs() <= 0.3);
+        }
+    }
+
+    #[test]
+    fn distinct_indices_are_distinct() {
+        let mut rng = StdRng::seed_from_u64(47);
+        for _ in 0..100 {
+            let v = sample_distinct_indices(&mut rng, 50, 20);
+            let set: std::collections::HashSet<_> = v.iter().collect();
+            assert_eq!(set.len(), 20);
+            assert!(v.iter().all(|&i| i < 50));
+        }
+    }
+
+    #[test]
+    fn lognormal_median() {
+        let mut rng = StdRng::seed_from_u64(48);
+        let mut vals: Vec<f64> = (0..9_999)
+            .map(|_| sample_lognormal(&mut rng, (0.04f64).ln(), 0.4))
+            .collect();
+        vals.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let median = vals[vals.len() / 2];
+        assert!((median - 0.04).abs() / 0.04 < 0.05, "median {median}");
+    }
+
+    #[test]
+    fn normal_inv_matches_moments() {
+        let mut rng = StdRng::seed_from_u64(49);
+        let mut sum = 0.0;
+        for _ in 0..20_000 {
+            sum += sample_normal_inv(&mut rng, 1.5, 0.5);
+        }
+        assert!((sum / 20_000.0 - 1.5).abs() < 0.02);
+    }
+}

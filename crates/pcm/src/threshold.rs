@@ -1,0 +1,238 @@
+//! Read-threshold placement between resistance levels.
+//!
+//! Where the sense thresholds sit determines how much drift a level can
+//! absorb before misreading. The paper-relevant options are the naive
+//! midpoint placement and a drift-aware placement that skews each boundary
+//! upward toward the expected drifted position of the level below it.
+
+use crate::level::LevelStack;
+use crate::noise::NoiseParams;
+
+/// Strategy for placing the `num_levels − 1` sense thresholds.
+#[derive(Debug, Clone, PartialEq)]
+#[derive(Default)]
+pub enum ThresholdPlacement {
+    /// Each boundary at the midpoint (in decades) between adjacent level
+    /// targets. What a drift-oblivious DRAM-heritage controller would do.
+    #[default]
+    Midpoint,
+    /// Each boundary shifted up by the median drift the *lower* level will
+    /// have accumulated at `reference_age_s` seconds, clamped so freshly
+    /// written upper-level cells keep a `margin_sigmas`·σ_w guard band.
+    DriftAware {
+        /// Cell age (seconds since write) the placement is optimized for.
+        reference_age_s: f64,
+        /// Guard band, in multiples of σ_w, below the upper level's target.
+        margin_sigmas: f64,
+    },
+    /// Fully custom boundaries (decades), strictly increasing, one fewer
+    /// than the number of levels.
+    Custom(Vec<f64>),
+}
+
+impl ThresholdPlacement {
+    /// Drift-aware placement with the defaults used in the evaluation:
+    /// optimized for a 1-hour scrub window with a 4σ guard band.
+    pub fn drift_aware_default() -> Self {
+        ThresholdPlacement::DriftAware {
+            reference_age_s: 3600.0,
+            margin_sigmas: 4.0,
+        }
+    }
+
+    /// Materializes concrete thresholds for a level stack.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `Custom` placement has the wrong arity or is not strictly
+    /// increasing, or if a `DriftAware` placement has a non-positive
+    /// reference age.
+    pub fn build(&self, stack: &LevelStack, noise: &NoiseParams, t0_s: f64) -> Thresholds {
+        let levels = stack.levels();
+        let bounds: Vec<f64> = match self {
+            ThresholdPlacement::Midpoint => levels
+                .windows(2)
+                .map(|w| 0.5 * (w[0].log_r + w[1].log_r))
+                .collect(),
+            ThresholdPlacement::DriftAware {
+                reference_age_s,
+                margin_sigmas,
+            } => {
+                assert!(
+                    *reference_age_s > 0.0,
+                    "drift-aware reference age must be positive"
+                );
+                assert!(*margin_sigmas >= 0.0, "margin must be nonnegative");
+                let l_ref = (reference_age_s / t0_s).max(1.0).log10();
+                levels
+                    .windows(2)
+                    .map(|w| {
+                        let mid = 0.5 * (w[0].log_r + w[1].log_r);
+                        let ceiling = w[1].log_r - margin_sigmas * noise.sigma_write;
+                        (mid + w[0].nu_median * l_ref).clamp(mid, ceiling.max(mid))
+                    })
+                    .collect()
+            }
+            ThresholdPlacement::Custom(bounds) => {
+                assert_eq!(
+                    bounds.len(),
+                    levels.len() - 1,
+                    "custom thresholds need exactly num_levels-1 boundaries"
+                );
+                for w in bounds.windows(2) {
+                    assert!(w[0] < w[1], "custom thresholds must be strictly increasing");
+                }
+                bounds.clone()
+            }
+        };
+        Thresholds { bounds }
+    }
+}
+
+
+/// Concrete sense thresholds (decades), one between each adjacent level
+/// pair.
+///
+/// # Examples
+///
+/// ```
+/// use pcm_model::{LevelStack, NoiseParams, ThresholdPlacement};
+/// let stack = LevelStack::standard_mlc2();
+/// let th = ThresholdPlacement::Midpoint.build(&stack, &NoiseParams::default(), 1.0);
+/// assert_eq!(th.classify(3.2), 0);
+/// assert_eq!(th.classify(4.7), 2);
+/// assert_eq!(th.classify(9.9), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Thresholds {
+    bounds: Vec<f64>,
+}
+
+impl Thresholds {
+    /// The boundary values (decades), ascending.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Upper sense boundary of `level`, or `None` for the top level.
+    pub fn upper(&self, level: usize) -> Option<f64> {
+        self.bounds.get(level).copied()
+    }
+
+    /// Lower sense boundary of `level`, or `None` for the bottom level.
+    pub fn lower(&self, level: usize) -> Option<f64> {
+        if level == 0 {
+            None
+        } else {
+            self.bounds.get(level - 1).copied()
+        }
+    }
+
+    /// Classifies an observed `log₁₀` resistance into a level index.
+    pub fn classify(&self, log_r: f64) -> usize {
+        self.bounds.partition_point(|&b| b <= log_r)
+    }
+
+    /// Classifies against per-boundary upward shifts (time-aware sensing):
+    /// boundary `i` is compared at `bounds[i] + shifts[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shifts` has the wrong arity or the shifted boundaries
+    /// are not nondecreasing.
+    pub fn classify_shifted(&self, log_r: f64, shifts: &[f64]) -> usize {
+        assert_eq!(shifts.len(), self.bounds.len(), "shift arity mismatch");
+        let mut level = 0;
+        let mut prev = f64::NEG_INFINITY;
+        for (b, s) in self.bounds.iter().zip(shifts) {
+            let edge = b + s;
+            assert!(edge >= prev, "shifted boundaries out of order");
+            prev = edge;
+            if log_r >= edge {
+                level += 1;
+            }
+        }
+        level
+    }
+
+    /// Number of levels these thresholds separate.
+    pub fn num_levels(&self) -> usize {
+        self.bounds.len() + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mlc() -> LevelStack {
+        LevelStack::standard_mlc2()
+    }
+
+    #[test]
+    fn midpoint_bounds() {
+        let th = ThresholdPlacement::Midpoint.build(&mlc(), &NoiseParams::default(), 1.0);
+        assert_eq!(th.bounds(), &[3.5, 4.5, 5.5]);
+        assert_eq!(th.num_levels(), 4);
+    }
+
+    #[test]
+    fn classify_edges() {
+        let th = ThresholdPlacement::Midpoint.build(&mlc(), &NoiseParams::default(), 1.0);
+        assert_eq!(th.classify(3.5), 1); // boundary belongs to the level above
+        assert_eq!(th.classify(3.499_999), 0);
+        assert_eq!(th.classify(-10.0), 0);
+        assert_eq!(th.classify(100.0), 3);
+    }
+
+    #[test]
+    fn drift_aware_raises_bounds() {
+        let mid = ThresholdPlacement::Midpoint.build(&mlc(), &NoiseParams::default(), 1.0);
+        let da = ThresholdPlacement::drift_aware_default().build(&mlc(), &NoiseParams::default(), 1.0);
+        for (m, d) in mid.bounds().iter().zip(da.bounds()) {
+            assert!(d >= m, "drift-aware bound {d} below midpoint {m}");
+        }
+        // Level-1 boundary moves noticeably (nu_median = 0.02 over ~3.56
+        // decades); the level-2 boundary wants to move 0.21 but clamps at
+        // the 4 sigma guard band below level 3 (6.0 - 0.4 = 5.6).
+        assert!(da.bounds()[1] > mid.bounds()[1] + 0.05);
+        assert!((da.bounds()[2] - 5.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drift_aware_respects_guard_band() {
+        let stack = mlc();
+        let noise = NoiseParams::default();
+        let da = ThresholdPlacement::DriftAware {
+            reference_age_s: 1e9, // absurdly long: clamp must kick in
+            margin_sigmas: 4.0,
+        }
+        .build(&stack, &noise, 1.0);
+        for (i, b) in da.bounds().iter().enumerate() {
+            let ceiling = stack.level(i + 1).log_r - 4.0 * noise.sigma_write;
+            assert!(*b <= ceiling + 1e-12, "bound {i} exceeds guard band");
+        }
+    }
+
+    #[test]
+    fn upper_lower_navigation() {
+        let th = ThresholdPlacement::Midpoint.build(&mlc(), &NoiseParams::default(), 1.0);
+        assert_eq!(th.lower(0), None);
+        assert_eq!(th.upper(3), None);
+        assert_eq!(th.upper(0), Some(3.5));
+        assert_eq!(th.lower(3), Some(5.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "custom thresholds need exactly")]
+    fn custom_arity_checked() {
+        ThresholdPlacement::Custom(vec![3.5, 4.5]).build(&mlc(), &NoiseParams::default(), 1.0);
+    }
+
+    #[test]
+    fn custom_roundtrip() {
+        let th = ThresholdPlacement::Custom(vec![3.6, 4.6, 5.6])
+            .build(&mlc(), &NoiseParams::default(), 1.0);
+        assert_eq!(th.bounds(), &[3.6, 4.6, 5.6]);
+    }
+}

@@ -1,0 +1,387 @@
+//! The synthetic trace generator: address pattern × read/write mix ×
+//! arrival process, all seed-deterministic.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use pcm_memsim::{LineAddr, MemOp, OpKind, SimTime, TraceSource};
+
+use crate::zipf::Zipf;
+
+/// Spatial access pattern over the line address space.
+#[derive(Debug, Clone)]
+pub enum AddrPattern {
+    /// Uniform random lines.
+    Uniform,
+    /// Zipfian popularity with the given skew; ranks are scattered over
+    /// the address space by a fixed odd-multiplier permutation so hot
+    /// lines don't cluster in one bank.
+    Zipf {
+        /// Skew exponent (0.99 ≈ classic OLTP).
+        theta: f64,
+    },
+    /// Sequential sweep that wraps around (streaming scans).
+    Sequential,
+    /// Sequential scan bursts interleaved with zipfian point accesses
+    /// (OLAP-style).
+    ScanPoint {
+        /// Length of each sequential burst.
+        scan_len: u32,
+        /// Zipf skew of the point accesses.
+        theta: f64,
+    },
+}
+
+/// Arrival-time process for accesses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Fixed spacing `1/rate`.
+    Periodic,
+    /// Poisson arrivals (exponential gaps) at the same mean rate.
+    Poisson,
+    /// Bursts of `burst_len` back-to-back accesses separated by idle gaps
+    /// so the long-run mean rate is preserved.
+    Bursty {
+        /// Accesses per burst.
+        burst_len: u32,
+        /// Idle time between bursts as a multiple of the busy time.
+        idle_ratio: f64,
+    },
+}
+
+/// A deterministic synthetic demand-trace generator.
+///
+/// # Examples
+///
+/// ```
+/// use pcm_workloads::{AddrPattern, ArrivalProcess, SyntheticTrace};
+/// use pcm_memsim::TraceSource;
+///
+/// let mut t = SyntheticTrace::builder("toy", 1024)
+///     .rate_ops_per_sec(100.0)
+///     .read_fraction(0.5)
+///     .pattern(AddrPattern::Uniform)
+///     .seed(7)
+///     .build();
+/// let op = t.next_op().expect("infinite trace");
+/// assert!(op.addr.index() < 1024);
+/// ```
+#[derive(Debug)]
+pub struct SyntheticTrace {
+    name: String,
+    num_lines: u32,
+    rate: f64,
+    read_frac: f64,
+    pattern: AddrPattern,
+    arrivals: ArrivalProcess,
+    rng: StdRng,
+    now: SimTime,
+    zipf: Option<Zipf>,
+    seq_pos: u32,
+    scan_remaining: u32,
+    burst_remaining: u32,
+}
+
+impl SyntheticTrace {
+    /// Starts a builder for a trace over `num_lines` lines.
+    pub fn builder(name: &str, num_lines: u32) -> SyntheticTraceBuilder {
+        SyntheticTraceBuilder {
+            name: name.to_string(),
+            num_lines,
+            rate: 1000.0,
+            read_frac: 0.7,
+            pattern: AddrPattern::Uniform,
+            arrivals: ArrivalProcess::Poisson,
+            seed: 0,
+        }
+    }
+
+    /// Long-run mean access rate (ops/s).
+    pub fn rate_ops_per_sec(&self) -> f64 {
+        self.rate
+    }
+
+    /// Fraction of accesses that are reads.
+    pub fn read_fraction(&self) -> f64 {
+        self.read_frac
+    }
+
+    /// Scatters a popularity rank over the address space.
+    fn scatter(&self, rank: u32) -> u32 {
+        // Odd multiplier => bijection modulo any power-of-two-free n too,
+        // via 64-bit arithmetic then reduction.
+        ((rank as u64).wrapping_mul(2_654_435_761) % self.num_lines as u64) as u32
+    }
+
+    fn next_addr(&mut self) -> LineAddr {
+        let addr = match &self.pattern {
+            AddrPattern::Uniform => self.rng.gen_range(0..self.num_lines),
+            AddrPattern::Zipf { .. } => {
+                let rank = self.zipf.as_ref().expect("zipf built").sample(&mut self.rng) as u32;
+                self.scatter(rank)
+            }
+            AddrPattern::Sequential => {
+                let a = self.seq_pos;
+                self.seq_pos = (self.seq_pos + 1) % self.num_lines;
+                a
+            }
+            AddrPattern::ScanPoint { scan_len, .. } => {
+                if self.scan_remaining > 0 {
+                    self.scan_remaining -= 1;
+                    let a = self.seq_pos;
+                    self.seq_pos = (self.seq_pos + 1) % self.num_lines;
+                    a
+                } else {
+                    // Alternate: one zipf point access, then a new scan.
+                    self.scan_remaining = *scan_len;
+                    let rank =
+                        self.zipf.as_ref().expect("zipf built").sample(&mut self.rng) as u32;
+                    self.scatter(rank)
+                }
+            }
+        };
+        LineAddr(addr)
+    }
+
+    fn advance_clock(&mut self) {
+        let mean_gap = 1.0 / self.rate;
+        let dt = match self.arrivals {
+            ArrivalProcess::Periodic => mean_gap,
+            ArrivalProcess::Poisson => {
+                let u: f64 = loop {
+                    let u = self.rng.gen::<f64>();
+                    if u > 0.0 {
+                        break u;
+                    }
+                };
+                -u.ln() * mean_gap
+            }
+            ArrivalProcess::Bursty {
+                burst_len,
+                idle_ratio,
+            } => {
+                let short_gap = mean_gap / (1.0 + idle_ratio);
+                if self.burst_remaining == 0 {
+                    // Idle gap sized so one full cycle (gap + burst) spans
+                    // exactly `burst_len · mean_gap`, preserving the rate.
+                    self.burst_remaining = burst_len.saturating_sub(1);
+                    burst_len as f64 * mean_gap
+                        - burst_len.saturating_sub(1) as f64 * short_gap
+                } else {
+                    self.burst_remaining -= 1;
+                    short_gap
+                }
+            }
+        };
+        self.now += dt;
+    }
+}
+
+impl TraceSource for SyntheticTrace {
+    fn next_op(&mut self) -> Option<MemOp> {
+        self.advance_clock();
+        let kind = if self.rng.gen::<f64>() < self.read_frac {
+            OpKind::Read
+        } else {
+            OpKind::Write
+        };
+        let addr = self.next_addr();
+        Some(MemOp {
+            at: self.now,
+            kind,
+            addr,
+        })
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Builder for [`SyntheticTrace`].
+#[derive(Debug, Clone)]
+pub struct SyntheticTraceBuilder {
+    name: String,
+    num_lines: u32,
+    rate: f64,
+    read_frac: f64,
+    pattern: AddrPattern,
+    arrivals: ArrivalProcess,
+    seed: u64,
+}
+
+impl SyntheticTraceBuilder {
+    /// Sets the long-run mean access rate in line ops per second.
+    pub fn rate_ops_per_sec(mut self, rate: f64) -> Self {
+        assert!(rate > 0.0, "rate must be positive");
+        self.rate = rate;
+        self
+    }
+
+    /// Sets the fraction of accesses that are reads.
+    pub fn read_fraction(mut self, f: f64) -> Self {
+        assert!((0.0..=1.0).contains(&f), "read fraction must be in [0,1]");
+        self.read_frac = f;
+        self
+    }
+
+    /// Sets the address pattern.
+    pub fn pattern(mut self, p: AddrPattern) -> Self {
+        self.pattern = p;
+        self
+    }
+
+    /// Sets the arrival process.
+    pub fn arrivals(mut self, a: ArrivalProcess) -> Self {
+        self.arrivals = a;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Finalizes the generator.
+    pub fn build(self) -> SyntheticTrace {
+        let zipf = match &self.pattern {
+            AddrPattern::Zipf { theta } | AddrPattern::ScanPoint { theta, .. } => {
+                Some(Zipf::new(self.num_lines as usize, *theta))
+            }
+            _ => None,
+        };
+        SyntheticTrace {
+            name: self.name,
+            num_lines: self.num_lines,
+            rate: self.rate,
+            read_frac: self.read_frac,
+            pattern: self.pattern,
+            arrivals: self.arrivals,
+            rng: StdRng::seed_from_u64(self.seed),
+            now: SimTime::ZERO,
+            zipf,
+            seq_pos: 0,
+            scan_remaining: 0,
+            burst_remaining: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamps_are_nondecreasing() {
+        let mut t = SyntheticTrace::builder("t", 100)
+            .rate_ops_per_sec(10.0)
+            .build();
+        let mut prev = SimTime::ZERO;
+        for _ in 0..1000 {
+            let op = t.next_op().expect("infinite");
+            assert!(op.at >= prev);
+            prev = op.at;
+        }
+    }
+
+    #[test]
+    fn mean_rate_respected() {
+        for arrivals in [
+            ArrivalProcess::Periodic,
+            ArrivalProcess::Poisson,
+            ArrivalProcess::Bursty {
+                burst_len: 10,
+                idle_ratio: 3.0,
+            },
+        ] {
+            let mut t = SyntheticTrace::builder("t", 100)
+                .rate_ops_per_sec(100.0)
+                .arrivals(arrivals)
+                .seed(5)
+                .build();
+            let n = 20_000;
+            let mut last = SimTime::ZERO;
+            for _ in 0..n {
+                last = t.next_op().expect("infinite").at;
+            }
+            let measured = n as f64 / last.secs();
+            assert!(
+                (measured - 100.0).abs() < 15.0,
+                "{arrivals:?}: measured rate {measured}"
+            );
+        }
+    }
+
+    #[test]
+    fn read_fraction_respected() {
+        let mut t = SyntheticTrace::builder("t", 100)
+            .read_fraction(0.8)
+            .seed(6)
+            .build();
+        let mut reads = 0;
+        for _ in 0..10_000 {
+            if t.next_op().expect("infinite").kind == OpKind::Read {
+                reads += 1;
+            }
+        }
+        let f = reads as f64 / 10_000.0;
+        assert!((f - 0.8).abs() < 0.02, "read fraction {f}");
+    }
+
+    #[test]
+    fn sequential_sweeps_in_order() {
+        let mut t = SyntheticTrace::builder("t", 10)
+            .pattern(AddrPattern::Sequential)
+            .build();
+        let addrs: Vec<u32> = (0..12).map(|_| t.next_op().expect("inf").addr.0).collect();
+        assert_eq!(addrs[..10], (0..10).collect::<Vec<u32>>()[..]);
+        assert_eq!(addrs[10], 0); // wraps
+    }
+
+    #[test]
+    fn zipf_concentrates_accesses() {
+        let mut t = SyntheticTrace::builder("t", 1000)
+            .pattern(AddrPattern::Zipf { theta: 1.2 })
+            .seed(7)
+            .build();
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..10_000 {
+            *counts.entry(t.next_op().expect("inf").addr).or_insert(0u32) += 1;
+        }
+        let mut freqs: Vec<u32> = counts.values().copied().collect();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        let top10: u32 = freqs.iter().take(10).sum();
+        assert!(
+            top10 > 4000,
+            "top-10 lines should dominate a theta=1.2 zipf, got {top10}/10000"
+        );
+    }
+
+    #[test]
+    fn addresses_in_range() {
+        let mut t = SyntheticTrace::builder("t", 33)
+            .pattern(AddrPattern::ScanPoint {
+                scan_len: 5,
+                theta: 0.9,
+            })
+            .build();
+        for _ in 0..500 {
+            assert!(t.next_op().expect("inf").addr.0 < 33);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let collect = || {
+            let mut t = SyntheticTrace::builder("t", 64).seed(42).build();
+            (0..100)
+                .map(|_| {
+                    let op = t.next_op().expect("inf");
+                    (op.addr.0, op.kind == OpKind::Read)
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(collect(), collect());
+    }
+}

@@ -1,0 +1,203 @@
+//! Phased (diurnal) traffic: a workload whose intensity follows a
+//! repeating schedule — the regime where adaptive scrub pacing shines,
+//! since drift pressure follows the write lull.
+
+use pcm_memsim::{MemOp, SimTime, TraceSource};
+
+use crate::generator::SyntheticTrace;
+use crate::suite::WorkloadId;
+
+/// One segment of the repeating schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Phase {
+    /// Segment length in seconds.
+    pub duration_s: f64,
+    /// Rate multiplier applied to ops whose timestamp falls in this
+    /// segment (0 = fully idle).
+    pub rate_multiplier: f64,
+}
+
+/// Wraps a generator with a repeating intensity schedule by *thinning*:
+/// ops landing in a phase with multiplier `m < 1` are kept with
+/// probability `m` (deterministically, via a counter), preserving
+/// timestamps and address structure.
+///
+/// # Examples
+///
+/// ```
+/// use pcm_workloads::{DiurnalTrace, Phase, WorkloadId};
+/// use pcm_memsim::TraceSource;
+///
+/// let mut t = DiurnalTrace::day_night(WorkloadId::DbOltp, 1024, 7, 3600.0, 0.1);
+/// assert!(t.next_op().is_some());
+/// ```
+#[derive(Debug)]
+pub struct DiurnalTrace {
+    name: String,
+    inner: SyntheticTrace,
+    phases: Vec<Phase>,
+    period_s: f64,
+    /// Deterministic thinning accumulator per phase.
+    keep_credit: Vec<f64>,
+}
+
+impl DiurnalTrace {
+    /// Wraps `inner` with a repeating schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phases` is empty, any duration is non-positive, or any
+    /// multiplier is outside `[0, 1]` (thinning cannot add traffic).
+    pub fn new(inner: SyntheticTrace, phases: Vec<Phase>) -> Self {
+        assert!(!phases.is_empty(), "need at least one phase");
+        for p in &phases {
+            assert!(p.duration_s > 0.0, "phase duration must be positive");
+            assert!(
+                (0.0..=1.0).contains(&p.rate_multiplier),
+                "thinning multiplier must be in [0,1]"
+            );
+        }
+        let period_s = phases.iter().map(|p| p.duration_s).sum();
+        let name = format!("diurnal({})", pcm_memsim::TraceSource::name(&inner));
+        let keep_credit = vec![0.0; phases.len()];
+        Self {
+            name,
+            inner,
+            phases,
+            period_s,
+            keep_credit,
+        }
+    }
+
+    /// Classic two-phase day/night pattern: `busy_s` seconds at full rate
+    /// then `busy_s` at `night_multiplier`.
+    pub fn day_night(
+        id: WorkloadId,
+        num_lines: u32,
+        seed: u64,
+        busy_s: f64,
+        night_multiplier: f64,
+    ) -> Self {
+        let inner = id.build(num_lines, 1.0, seed);
+        Self::new(
+            inner,
+            vec![
+                Phase {
+                    duration_s: busy_s,
+                    rate_multiplier: 1.0,
+                },
+                Phase {
+                    duration_s: busy_s,
+                    rate_multiplier: night_multiplier,
+                },
+            ],
+        )
+    }
+
+    /// Index of the phase containing time `t`.
+    fn phase_of(&self, t: SimTime) -> usize {
+        let mut pos = t.secs() % self.period_s;
+        for (i, p) in self.phases.iter().enumerate() {
+            if pos < p.duration_s {
+                return i;
+            }
+            pos -= p.duration_s;
+        }
+        self.phases.len() - 1
+    }
+}
+
+impl TraceSource for DiurnalTrace {
+    fn next_op(&mut self) -> Option<MemOp> {
+        loop {
+            let op = self.inner.next_op()?;
+            let idx = self.phase_of(op.at);
+            let m = self.phases[idx].rate_multiplier;
+            // Deterministic thinning: accumulate credit, emit when >= 1.
+            self.keep_credit[idx] += m;
+            if self.keep_credit[idx] >= 1.0 {
+                self.keep_credit[idx] -= 1.0;
+                return Some(op);
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn night_phase_is_thinner() {
+        let mut t = DiurnalTrace::day_night(WorkloadId::KvCache, 1024, 3, 1800.0, 0.1);
+        let mut day = 0u32;
+        let mut night = 0u32;
+        for _ in 0..20_000 {
+            let Some(op) = t.next_op() else { break };
+            if op.at.secs() % 3600.0 < 1800.0 {
+                day += 1;
+            } else {
+                night += 1;
+            }
+        }
+        assert!(
+            night * 5 < day,
+            "night ({night}) should be ~10x thinner than day ({day})"
+        );
+        assert!(night > 0, "night should not be fully silent");
+    }
+
+    #[test]
+    fn zero_multiplier_silences_phase() {
+        let inner = WorkloadId::KvCache.build(256, 1.0, 4);
+        let mut t = DiurnalTrace::new(
+            inner,
+            vec![
+                Phase {
+                    duration_s: 100.0,
+                    rate_multiplier: 1.0,
+                },
+                Phase {
+                    duration_s: 100.0,
+                    rate_multiplier: 0.0,
+                },
+            ],
+        );
+        for _ in 0..5000 {
+            let op = t.next_op().expect("infinite");
+            assert!(
+                op.at.secs() % 200.0 < 100.0,
+                "op leaked into the silent phase at {}",
+                op.at
+            );
+        }
+    }
+
+    #[test]
+    fn timestamps_stay_ordered() {
+        let mut t = DiurnalTrace::day_night(WorkloadId::Stream, 512, 5, 60.0, 0.3);
+        let mut prev = SimTime::ZERO;
+        for _ in 0..2000 {
+            let op = t.next_op().expect("infinite");
+            assert!(op.at >= prev);
+            prev = op.at;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "thinning multiplier")]
+    fn rejects_amplification() {
+        let inner = WorkloadId::KvCache.build(64, 1.0, 6);
+        DiurnalTrace::new(
+            inner,
+            vec![Phase {
+                duration_s: 10.0,
+                rate_multiplier: 2.0,
+            }],
+        );
+    }
+}

@@ -1,0 +1,211 @@
+//! Trace recording, replay, and composition utilities.
+
+use pcm_memsim::{MemOp, TraceSource};
+
+/// A pre-recorded, replayable trace.
+///
+/// Useful for capturing a stochastic generator's output once and feeding
+/// the identical access stream to several simulator configurations (true
+/// apples-to-apples comparisons), or for loading externally produced
+/// traces.
+///
+/// # Examples
+///
+/// ```
+/// use pcm_workloads::{RecordedTrace, WorkloadId};
+/// use pcm_memsim::TraceSource;
+///
+/// let mut gen = WorkloadId::KvCache.build(1024, 1.0, 9);
+/// let recorded = RecordedTrace::capture("kv-snap", &mut gen, 100);
+/// assert_eq!(recorded.len(), 100);
+/// let mut replay = recorded.clone();
+/// assert!(replay.next_op().is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct RecordedTrace {
+    name: String,
+    ops: Vec<MemOp>,
+    pos: usize,
+}
+
+impl RecordedTrace {
+    /// Builds a trace from explicit ops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if timestamps are not nondecreasing.
+    pub fn new(name: &str, ops: Vec<MemOp>) -> Self {
+        for w in ops.windows(2) {
+            assert!(w[0].at <= w[1].at, "recorded trace must be time-ordered");
+        }
+        Self {
+            name: name.to_string(),
+            ops,
+            pos: 0,
+        }
+    }
+
+    /// Captures the next `n` ops from a live source.
+    pub fn capture(name: &str, source: &mut dyn TraceSource, n: usize) -> Self {
+        let ops: Vec<MemOp> = (0..n).filter_map(|_| source.next_op()).collect();
+        Self::new(name, ops)
+    }
+
+    /// Number of ops in the recording.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the recording is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Rewinds the replay cursor.
+    pub fn rewind(&mut self) {
+        self.pos = 0;
+    }
+
+    /// The raw ops.
+    pub fn ops(&self) -> &[MemOp] {
+        &self.ops
+    }
+}
+
+impl TraceSource for RecordedTrace {
+    fn next_op(&mut self) -> Option<MemOp> {
+        let op = self.ops.get(self.pos).copied();
+        if op.is_some() {
+            self.pos += 1;
+        }
+        op
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Merges two trace sources into one time-ordered stream (e.g. a
+/// foreground workload plus a background checkpointing task).
+#[derive(Debug)]
+pub struct MergedTrace<A, B> {
+    name: String,
+    a: A,
+    b: B,
+    pending_a: Option<MemOp>,
+    pending_b: Option<MemOp>,
+}
+
+impl<A: TraceSource, B: TraceSource> MergedTrace<A, B> {
+    /// Creates the merged stream.
+    pub fn new(mut a: A, mut b: B) -> Self {
+        let pending_a = a.next_op();
+        let pending_b = b.next_op();
+        let name = format!("{}+{}", a.name(), b.name());
+        Self {
+            name,
+            a,
+            b,
+            pending_a,
+            pending_b,
+        }
+    }
+}
+
+impl<A: TraceSource, B: TraceSource> TraceSource for MergedTrace<A, B> {
+    fn next_op(&mut self) -> Option<MemOp> {
+        let take_a = match (self.pending_a, self.pending_b) {
+            (Some(x), Some(y)) => x.at <= y.at,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => return None,
+        };
+        if take_a {
+            let op = self.pending_a.take();
+            self.pending_a = self.a.next_op();
+            op
+        } else {
+            let op = self.pending_b.take();
+            self.pending_b = self.b.next_op();
+            op
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::WorkloadId;
+    use pcm_memsim::{LineAddr, SimTime};
+
+    #[test]
+    fn capture_and_replay_identical() {
+        let mut gen = WorkloadId::DbOltp.build(512, 1.0, 3);
+        let rec = RecordedTrace::capture("snap", &mut gen, 50);
+        let mut r1 = rec.clone();
+        let mut r2 = rec.clone();
+        for _ in 0..50 {
+            assert_eq!(r1.next_op(), r2.next_op());
+        }
+        assert!(r1.next_op().is_none(), "exhausted after len ops");
+    }
+
+    #[test]
+    fn rewind_restarts() {
+        let mut gen = WorkloadId::Stream.build(128, 1.0, 4);
+        let mut rec = RecordedTrace::capture("snap", &mut gen, 10);
+        let first = rec.next_op();
+        while rec.next_op().is_some() {}
+        rec.rewind();
+        assert_eq!(rec.next_op(), first);
+    }
+
+    #[test]
+    fn merged_stream_is_time_ordered() {
+        let a = WorkloadId::KvCache.build(256, 1.0, 5);
+        let b = WorkloadId::Batch.build(256, 1.0, 6);
+        let mut m = MergedTrace::new(a, b);
+        let mut prev = SimTime::ZERO;
+        for _ in 0..500 {
+            let op = m.next_op().expect("both infinite");
+            assert!(op.at >= prev);
+            prev = op.at;
+        }
+        assert_eq!(m.name(), "kv-cache+batch");
+    }
+
+    #[test]
+    fn merged_drains_finite_sources() {
+        let a = RecordedTrace::new(
+            "a",
+            vec![MemOp::read(SimTime::from_secs(1.0), LineAddr(0))],
+        );
+        let b = RecordedTrace::new(
+            "b",
+            vec![
+                MemOp::read(SimTime::from_secs(0.5), LineAddr(1)),
+                MemOp::read(SimTime::from_secs(2.0), LineAddr(2)),
+            ],
+        );
+        let mut m = MergedTrace::new(a, b);
+        let order: Vec<u32> = std::iter::from_fn(|| m.next_op()).map(|o| o.addr.0).collect();
+        assert_eq!(order, vec![1, 0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn rejects_disordered_recording() {
+        RecordedTrace::new(
+            "bad",
+            vec![
+                MemOp::read(SimTime::from_secs(2.0), LineAddr(0)),
+                MemOp::read(SimTime::from_secs(1.0), LineAddr(1)),
+            ],
+        );
+    }
+}

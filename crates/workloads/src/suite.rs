@@ -1,0 +1,180 @@
+//! The named eight-workload suite standing in for the paper's benchmark
+//! traces.
+//!
+//! Each workload is defined by the two properties scrub policies actually
+//! interact with (DESIGN.md "Substitutions"): the distribution of
+//! time-since-last-write across lines (drift clock resets), and the demand
+//! bandwidth the scrubber must share. Rates are per-gigabyte-scaled so the
+//! same suite exercises any memory size.
+
+use crate::generator::{AddrPattern, ArrivalProcess, SyntheticTrace};
+
+/// Identifiers for the standard suite, in canonical order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadId {
+    /// OLTP-style: zipf 0.99, 70% reads, steady Poisson traffic.
+    DbOltp,
+    /// OLAP-style: long scans plus zipf point lookups, 90% reads.
+    DbOlap,
+    /// Web serving: hot zipf 1.1, 95% reads.
+    WebServe,
+    /// Log/journal: 40% reads, zipf writes churn a hot set.
+    Logging,
+    /// Streaming scan: sequential, 90% reads, high rate.
+    Stream,
+    /// HPC checkpoint-like: bursty, 50/50 mix.
+    Batch,
+    /// Key-value cache: uniform, 80% reads.
+    KvCache,
+    /// Cold archive: tiny uniform traffic — drift's worst case, since
+    /// demand writes almost never refresh lines.
+    Archive,
+}
+
+impl WorkloadId {
+    /// All suite members in canonical order.
+    pub fn all() -> [WorkloadId; 8] {
+        [
+            WorkloadId::DbOltp,
+            WorkloadId::DbOlap,
+            WorkloadId::WebServe,
+            WorkloadId::Logging,
+            WorkloadId::Stream,
+            WorkloadId::Batch,
+            WorkloadId::KvCache,
+            WorkloadId::Archive,
+        ]
+    }
+
+    /// The canonical short name.
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadId::DbOltp => "db-oltp",
+            WorkloadId::DbOlap => "db-olap",
+            WorkloadId::WebServe => "web-serve",
+            WorkloadId::Logging => "logging",
+            WorkloadId::Stream => "stream",
+            WorkloadId::Batch => "batch",
+            WorkloadId::KvCache => "kv-cache",
+            WorkloadId::Archive => "archive",
+        }
+    }
+
+    /// Builds the generator for this workload over `num_lines` lines.
+    ///
+    /// `rate_scale` multiplies the nominal access rate (1.0 = nominal);
+    /// `seed` controls all stochastic choices.
+    pub fn build(self, num_lines: u32, rate_scale: f64, seed: u64) -> SyntheticTrace {
+        assert!(rate_scale > 0.0, "rate scale must be positive");
+        // Nominal rates in ops/s per 64Ki lines (4 MiB), scaled linearly
+        // with capacity so per-line touch frequency is size-invariant.
+        let per_64k = num_lines as f64 / 65_536.0;
+        let b = SyntheticTrace::builder(self.name(), num_lines).seed(seed);
+        let b = match self {
+            WorkloadId::DbOltp => b
+                .rate_ops_per_sec(200.0 * per_64k * rate_scale)
+                .read_fraction(0.70)
+                .pattern(AddrPattern::Zipf { theta: 0.99 })
+                .arrivals(ArrivalProcess::Poisson),
+            WorkloadId::DbOlap => b
+                .rate_ops_per_sec(300.0 * per_64k * rate_scale)
+                .read_fraction(0.90)
+                .pattern(AddrPattern::ScanPoint {
+                    scan_len: 256,
+                    theta: 0.9,
+                })
+                .arrivals(ArrivalProcess::Poisson),
+            WorkloadId::WebServe => b
+                .rate_ops_per_sec(150.0 * per_64k * rate_scale)
+                .read_fraction(0.95)
+                .pattern(AddrPattern::Zipf { theta: 1.1 })
+                .arrivals(ArrivalProcess::Poisson),
+            WorkloadId::Logging => b
+                .rate_ops_per_sec(120.0 * per_64k * rate_scale)
+                .read_fraction(0.40)
+                .pattern(AddrPattern::Zipf { theta: 0.8 })
+                .arrivals(ArrivalProcess::Poisson),
+            WorkloadId::Stream => b
+                .rate_ops_per_sec(400.0 * per_64k * rate_scale)
+                .read_fraction(0.90)
+                .pattern(AddrPattern::Sequential)
+                .arrivals(ArrivalProcess::Periodic),
+            WorkloadId::Batch => b
+                .rate_ops_per_sec(100.0 * per_64k * rate_scale)
+                .read_fraction(0.50)
+                .pattern(AddrPattern::Uniform)
+                .arrivals(ArrivalProcess::Bursty {
+                    burst_len: 64,
+                    idle_ratio: 9.0,
+                }),
+            WorkloadId::KvCache => b
+                .rate_ops_per_sec(180.0 * per_64k * rate_scale)
+                .read_fraction(0.80)
+                .pattern(AddrPattern::Uniform)
+                .arrivals(ArrivalProcess::Poisson),
+            WorkloadId::Archive => b
+                .rate_ops_per_sec(4.0 * per_64k * rate_scale)
+                .read_fraction(0.85)
+                .pattern(AddrPattern::Uniform)
+                .arrivals(ArrivalProcess::Poisson),
+        };
+        b.build()
+    }
+}
+
+impl std::fmt::Display for WorkloadId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcm_memsim::{OpKind, TraceSource};
+
+    #[test]
+    fn all_eight_build_and_stream() {
+        for id in WorkloadId::all() {
+            let mut t = id.build(4096, 1.0, 1);
+            assert_eq!(t.name(), id.name());
+            for _ in 0..100 {
+                let op = t.next_op().expect("infinite");
+                assert!(op.addr.index() < 4096, "{id}");
+            }
+        }
+    }
+
+    #[test]
+    fn archive_is_much_colder_than_stream() {
+        let archive = WorkloadId::Archive.build(65_536, 1.0, 2);
+        let stream = WorkloadId::Stream.build(65_536, 1.0, 2);
+        assert!(archive.rate_ops_per_sec() * 50.0 < stream.rate_ops_per_sec());
+    }
+
+    #[test]
+    fn logging_is_write_heavy() {
+        let mut t = WorkloadId::Logging.build(4096, 1.0, 3);
+        let mut writes = 0;
+        for _ in 0..5000 {
+            if t.next_op().expect("inf").kind == OpKind::Write {
+                writes += 1;
+            }
+        }
+        assert!(writes > 2500, "logging writes {writes}/5000");
+    }
+
+    #[test]
+    fn rates_scale_with_capacity() {
+        let small = WorkloadId::DbOltp.build(65_536, 1.0, 4);
+        let big = WorkloadId::DbOltp.build(131_072, 1.0, 4);
+        assert!((big.rate_ops_per_sec() / small.rate_ops_per_sec() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names: std::collections::HashSet<_> =
+            WorkloadId::all().iter().map(|w| w.name()).collect();
+        assert_eq!(names.len(), 8);
+    }
+}

@@ -1,0 +1,132 @@
+//! Zipfian rank sampling via an exact precomputed CDF.
+
+use rand::Rng;
+
+/// Samples ranks `0..n` with probability `∝ 1/(rank+1)^theta`.
+///
+/// Built once per workload (O(n) table), then O(log n) per sample by
+/// binary-searching the CDF — exact, with no rejection-envelope
+/// approximations.
+///
+/// # Examples
+///
+/// ```
+/// use pcm_workloads::Zipf;
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let z = Zipf::new(1000, 0.99);
+/// let r = z.sample(&mut rng);
+/// assert!(r < 1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+    theta: f64,
+}
+
+impl Zipf {
+    /// Builds a sampler over `n` ranks with exponent `theta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta < 0`.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "zipf needs at least one rank");
+        assert!(theta >= 0.0, "zipf exponent must be nonnegative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Self { cdf, theta }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// The skew exponent.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Draws a rank (0 = hottest).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Probability mass of a rank.
+    pub fn pmf(&self, rank: usize) -> f64 {
+        assert!(rank < self.cdf.len(), "rank out of range");
+        if rank == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[rank] - self.cdf[rank - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(500, 0.99);
+        let s: f64 = (0..500).map(|r| z.pmf(r)).sum();
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rank_zero_is_hottest() {
+        let z = Zipf::new(100, 1.2);
+        for r in 1..100 {
+            assert!(z.pmf(0) > z.pmf(r));
+        }
+    }
+
+    #[test]
+    fn theta_zero_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        for r in 0..10 {
+            assert!((z.pmf(r) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empirical_frequencies_match_pmf() {
+        let z = Zipf::new(50, 0.9);
+        let mut rng = StdRng::seed_from_u64(71);
+        let mut counts = [0u32; 50];
+        let reps = 100_000;
+        for _ in 0..reps {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for r in [0usize, 1, 5, 20] {
+            let emp = counts[r] as f64 / reps as f64;
+            let want = z.pmf(r);
+            assert!(
+                (emp - want).abs() < 0.01 + 0.1 * want,
+                "rank {r}: emp {emp} want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn samples_in_range() {
+        let z = Zipf::new(7, 2.0);
+        let mut rng = StdRng::seed_from_u64(72);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 7);
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Drift playground: poke the device model directly — print misread
+//! probabilities over time for each level and threshold placement, and
+//! cross-check against a Monte-Carlo cell array.
+//!
+//! ```bash
+//! cargo run --release --example drift_playground
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use scrubsim::analysis::Table;
+use scrubsim::device::{CellArray, DeviceConfig, ThresholdPlacement};
+
+fn main() {
+    let ages: [(f64, &str); 6] = [
+        (1.0, "1s"),
+        (60.0, "1min"),
+        (3600.0, "1h"),
+        (21_600.0, "6h"),
+        (86_400.0, "1d"),
+        (604_800.0, "1w"),
+    ];
+
+    for (placement, label) in [
+        (ThresholdPlacement::Midpoint, "midpoint thresholds"),
+        (
+            ThresholdPlacement::drift_aware_default(),
+            "drift-aware thresholds",
+        ),
+    ] {
+        let dev = DeviceConfig::builder().threshold_placement(placement).build();
+        let model = dev.drift_model();
+        println!("== {label} (bounds {:?}) ==\n", model.thresholds().bounds());
+        let mut table = Table::new(vec!["age", "L0", "L1", "L2", "L3", "line_exp_errors"]);
+        for (age, age_label) in ages {
+            let probs: Vec<f64> = (0..4).map(|lv| model.p_misread(lv, age)).collect();
+            // Expected persistent+transient errors on a 288-cell line with
+            // uniform data.
+            let expected: f64 = probs.iter().map(|p| p * 72.0).sum();
+            table.row(vec![
+                age_label.to_string(),
+                format!("{:.2e}", probs[0]),
+                format!("{:.2e}", probs[1]),
+                format!("{:.2e}", probs[2]),
+                format!("{:.2e}", probs[3]),
+                format!("{expected:.2}"),
+            ]);
+        }
+        println!("{}", table.render());
+    }
+
+    // Monte-Carlo sanity check at one point.
+    println!("Monte-Carlo cross-check (level 2, one day, 100k cells):");
+    let dev = DeviceConfig::default();
+    let model = dev.drift_model();
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut arr = CellArray::new(dev, 100_000);
+    arr.program_all(2, 0.0, &mut rng);
+    let mc = arr.misread_fraction_for_level(2, 86_400.0, &mut rng);
+    let analytic = model.p_misread(2, 86_400.0);
+    println!("  analytic {analytic:.4e}   monte-carlo {mc:.4e}");
+}

@@ -1,0 +1,82 @@
+//! Lifetime study: how scrub policy choices shift the soft-vs-hard error
+//! balance over a device's life — the interactive version of the paper's
+//! soft/hard tradeoff experiment.
+//!
+//! Uses an accelerated-endurance device (documented substitution: real PCM
+//! endures ~10^8 writes; scaling endurance down makes wear-out observable
+//! in a day of simulated time without changing the tradeoff's shape).
+//!
+//! ```bash
+//! cargo run --release --example lifetime_study
+//! ```
+
+use scrubsim::analysis::{fmt_count, Table};
+use scrubsim::prelude::*;
+
+fn main() {
+    let horizon_s = 86_400.0;
+    // Median endurance ~216 writes: an eager every-minute scrubber writes
+    // each line ~140 times a day under nominal drift (it only writes back
+    // probes that find errors) and the write-back spiral does the rest,
+    // so only the aggressive end wears out.
+    let device = DeviceConfig::builder()
+        .endurance(EnduranceSpec::new(horizon_s / 400.0, 0.25))
+        .build();
+
+    println!("soft vs hard errors over one simulated day (accelerated endurance)\n");
+    let mut table = Table::new(vec![
+        "policy",
+        "UEs",
+        "worn cells (hard)",
+        "scrub writes",
+        "mean wear",
+    ]);
+    let configs: Vec<(&str, PolicyKind)> = vec![
+        ("basic @1min", PolicyKind::Basic { interval_s: 60.0 }),
+        ("basic @15min", PolicyKind::Basic { interval_s: 900.0 }),
+        ("basic @4h", PolicyKind::Basic { interval_s: 14_400.0 }),
+        (
+            "threshold @15min",
+            PolicyKind::Threshold {
+                interval_s: 900.0,
+                theta: 3,
+            },
+        ),
+        (
+            "adaptive @15min",
+            PolicyKind::Adaptive {
+                interval_s: 900.0,
+                theta: 3,
+                regions: 64,
+            },
+        ),
+    ];
+    for (label, policy) in configs {
+        let report = Simulation::new(
+            SimConfig::builder()
+                .num_lines(1 << 14)
+                .device(device.clone())
+                .code(CodeSpec::bch_line(4))
+                .policy(policy)
+                .traffic(DemandTraffic::suite(WorkloadId::KvCache))
+                .horizon_s(horizon_s)
+                .seed(3)
+                .build(),
+        )
+        .run();
+        table.row(vec![
+            label.to_string(),
+            fmt_count(report.uncorrectable() as f64),
+            fmt_count(report.worn_cells as f64),
+            fmt_count(report.scrub_writes() as f64),
+            format!("{:.1}", report.mean_wear),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "Reading the table: a U-curve. At 1-minute sweeps wear-out dominates\n\
+         (stuck cells trigger a write-back spiral and UEs explode); at 4-hour\n\
+         sweeps drift dominates. Lazy and adaptive mechanisms get soft-error\n\
+         protection near the fixed optimum with 20x fewer writes."
+    );
+}

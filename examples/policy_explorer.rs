@@ -1,0 +1,107 @@
+//! Policy explorer: sweep every scrub mechanism over a chosen workload
+//! and print a comparison table — the interactive version of the paper's
+//! policy-comparison experiment.
+//!
+//! ```bash
+//! cargo run --release --example policy_explorer [workload]
+//! ```
+//!
+//! `workload` is one of `db-oltp`, `db-olap`, `web-serve`, `logging`,
+//! `stream`, `batch`, `kv-cache`, `archive` (default: `db-oltp`).
+
+use scrubsim::analysis::{fmt_count, Table};
+use scrubsim::prelude::*;
+
+fn parse_workload(arg: Option<&str>) -> WorkloadId {
+    let name = arg.unwrap_or("db-oltp");
+    WorkloadId::all()
+        .into_iter()
+        .find(|w| w.name() == name)
+        .unwrap_or_else(|| {
+            eprintln!("unknown workload {name:?}; using db-oltp");
+            WorkloadId::DbOltp
+        })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let workload = parse_workload(args.get(1).map(String::as_str));
+
+    let interval = 900.0;
+    let theta = 4;
+    let configs: Vec<(&str, CodeSpec, PolicyKind)> = vec![
+        ("no scrub", CodeSpec::secded_line(), PolicyKind::None),
+        (
+            "basic+SECDED",
+            CodeSpec::secded_line(),
+            PolicyKind::Basic {
+                interval_s: interval,
+            },
+        ),
+        (
+            "basic+BCH6",
+            CodeSpec::bch_line(6),
+            PolicyKind::Basic {
+                interval_s: interval,
+            },
+        ),
+        (
+            "threshold+BCH6",
+            CodeSpec::bch_line(6),
+            PolicyKind::Threshold {
+                interval_s: interval,
+                theta,
+            },
+        ),
+        (
+            "age-aware+BCH6",
+            CodeSpec::bch_line(6),
+            PolicyKind::AgeAware {
+                interval_s: interval,
+                theta,
+                min_age_s: interval * 2.0 / 3.0,
+            },
+        ),
+        (
+            "adaptive+BCH6",
+            CodeSpec::bch_line(6),
+            PolicyKind::Adaptive {
+                interval_s: interval,
+                theta,
+                regions: 64,
+            },
+        ),
+        (
+            "combined+BCH6",
+            CodeSpec::bch_line(6),
+            PolicyKind::combined_default(interval),
+        ),
+    ];
+
+    println!("policy comparison on {workload} (16Ki lines, 1 simulated day)\n");
+    let mut table = Table::new(vec![
+        "policy", "UEs", "demand_UEs", "scrub_writes", "energy_uJ", "wear",
+    ]);
+    for (label, code, policy) in configs {
+        let report = Simulation::new(
+            SimConfig::builder()
+                .num_lines(1 << 14)
+                .code(code)
+                .policy(policy)
+                .traffic(DemandTraffic::suite(workload))
+                .horizon_s(86_400.0)
+                .seed(7)
+                .build(),
+        )
+        .run();
+        table.row(vec![
+            label.to_string(),
+            fmt_count(report.uncorrectable() as f64),
+            fmt_count(report.stats.demand_ue as f64),
+            fmt_count(report.scrub_writes() as f64),
+            fmt_count(report.scrub_energy_uj),
+            format!("{:.2}", report.mean_wear),
+        ]);
+    }
+    println!("{}", table.render());
+}

@@ -1,0 +1,35 @@
+//! Quickstart: simulate a PCM memory under the paper's combined scrub
+//! mechanism and print the report.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use scrubsim::prelude::*;
+
+fn main() {
+    // A 16 MiB MLC-PCM memory (262144 64-byte lines), BCH-6 per line,
+    // the paper's combined scrub mechanism, serving a key-value-cache
+    // workload for one simulated day.
+    let config = SimConfig::builder()
+        .num_lines(1 << 16)
+        .code(CodeSpec::bch_line(6))
+        .policy(PolicyKind::combined_default(900.0))
+        .traffic(DemandTraffic::suite(WorkloadId::KvCache))
+        .horizon_s(86_400.0)
+        .seed(42)
+        .build();
+
+    println!("simulating one day of kv-cache traffic with combined scrub...\n");
+    let report = Simulation::new(config).run();
+    println!("{report}");
+
+    println!(
+        "\nuncorrectable-error rate: {:.3} per GiB-day",
+        report.ue_per_gib_day()
+    );
+    println!(
+        "scrub energy: {:.2} nJ per line per day",
+        report.scrub_energy_nj_per_line_day()
+    );
+}

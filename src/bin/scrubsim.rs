@@ -1,0 +1,134 @@
+//! `scrubsim` — run one scrub simulation from the command line.
+//!
+//! ```bash
+//! scrubsim [--lines N] [--code secded|bch-T] [--policy NAME] \
+//!          [--workload NAME|idle] [--hours H] [--interval SECS] [--seed S]
+//! ```
+//!
+//! Policies: `none`, `basic`, `threshold`, `age-aware`, `adaptive`,
+//! `combined` (default). Workloads: the 8-name suite (see `--help`).
+
+use scrubsim::prelude::*;
+
+struct Args {
+    lines: u32,
+    code: CodeSpec,
+    policy_name: String,
+    workload: Option<WorkloadId>,
+    hours: f64,
+    interval_s: f64,
+    seed: u64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: scrubsim [--lines N] [--code secded|bch-1..bch-16] [--policy NAME]\n\
+         \x20               [--workload NAME|idle] [--hours H] [--interval SECS] [--seed S]\n\
+         policies:  none basic threshold age-aware adaptive combined\n\
+         workloads: db-oltp db-olap web-serve logging stream batch kv-cache archive idle"
+    );
+    std::process::exit(2);
+}
+
+fn parse_code(s: &str) -> Option<CodeSpec> {
+    if s == "secded" {
+        return Some(CodeSpec::secded_line());
+    }
+    let t = s.strip_prefix("bch-")?.parse::<u32>().ok()?;
+    if (1..=16).contains(&t) {
+        Some(CodeSpec::bch_line(t))
+    } else {
+        None
+    }
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        lines: 1 << 14,
+        code: CodeSpec::bch_line(6),
+        policy_name: "combined".to_string(),
+        workload: Some(WorkloadId::DbOltp),
+        hours: 24.0,
+        interval_s: 900.0,
+        seed: 0,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().cloned().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--lines" => args.lines = value().parse().unwrap_or_else(|_| usage()),
+            "--code" => args.code = parse_code(&value()).unwrap_or_else(|| usage()),
+            "--policy" => args.policy_name = value(),
+            "--workload" => {
+                let v = value();
+                args.workload = if v == "idle" {
+                    None
+                } else {
+                    Some(
+                        WorkloadId::all()
+                            .into_iter()
+                            .find(|w| w.name() == v)
+                            .unwrap_or_else(|| usage()),
+                    )
+                };
+            }
+            "--hours" => args.hours = value().parse().unwrap_or_else(|_| usage()),
+            "--interval" => args.interval_s = value().parse().unwrap_or_else(|_| usage()),
+            "--seed" => args.seed = value().parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let theta = args.code.guaranteed_t().saturating_sub(2).max(1);
+    let policy = match args.policy_name.as_str() {
+        "none" => PolicyKind::None,
+        "basic" => PolicyKind::Basic {
+            interval_s: args.interval_s,
+        },
+        "threshold" => PolicyKind::Threshold {
+            interval_s: args.interval_s,
+            theta,
+        },
+        "age-aware" => PolicyKind::AgeAware {
+            interval_s: args.interval_s,
+            theta,
+            min_age_s: args.interval_s * 2.0 / 3.0,
+        },
+        "adaptive" => PolicyKind::Adaptive {
+            interval_s: args.interval_s,
+            theta,
+            regions: 64,
+        },
+        "combined" => PolicyKind::Combined {
+            interval_s: args.interval_s,
+            theta,
+            regions: 64,
+            min_age_s: args.interval_s * 2.0 / 3.0,
+        },
+        _ => usage(),
+    };
+    let traffic = match args.workload {
+        Some(id) => DemandTraffic::suite(id),
+        None => DemandTraffic::Idle,
+    };
+    let config = SimConfig::builder()
+        .num_lines(args.lines)
+        .code(args.code)
+        .policy(policy)
+        .traffic(traffic)
+        .horizon_s(args.hours * 3600.0)
+        .seed(args.seed)
+        .build();
+    let report = Simulation::new(config).run();
+    println!("{report}");
+    println!(
+        "\nUE rate: {:.3}/GiB-day   scrub energy: {:.2} nJ/line-day",
+        report.ue_per_gib_day(),
+        report.scrub_energy_nj_per_line_day()
+    );
+}

@@ -1,0 +1,208 @@
+//! Cross-crate integration tests: whole simulations, conservation laws,
+//! and policy orderings the paper's conclusions rest on.
+
+use scrubsim::prelude::*;
+
+fn base_config() -> scrubsim::scrub::SimConfigBuilder {
+    let mut b = SimConfig::builder();
+    b.num_lines(2048)
+        .traffic(DemandTraffic::suite(WorkloadId::KvCache))
+        .horizon_s(6.0 * 3600.0)
+        .seed(1234);
+    b
+}
+
+#[test]
+fn energy_ledger_is_conserved() {
+    let report = Simulation::new(
+        base_config()
+            .code(CodeSpec::bch_line(6))
+            .policy(PolicyKind::combined_default(900.0))
+            .build(),
+    )
+    .run();
+    // Scrub + demand components are the only energy sinks; both nonzero.
+    assert!(report.scrub_energy_uj > 0.0);
+    assert!(report.demand_energy_uj > 0.0);
+}
+
+#[test]
+fn probes_match_engine_slots() {
+    let report = Simulation::new(
+        base_config()
+            .code(CodeSpec::bch_line(6))
+            .policy(PolicyKind::Basic { interval_s: 900.0 })
+            .build(),
+    )
+    .run();
+    // Basic never idles: every engine probe slot is a memory probe.
+    assert_eq!(report.engine.idle_slots, 0);
+    assert_eq!(report.engine.probe_slots, report.stats.scrub_probes);
+    // Write-backs recorded by the engine equal the memory's count.
+    assert_eq!(
+        report.engine.policy_writebacks + report.engine.forced_writebacks,
+        report.stats.scrub_writebacks
+    );
+}
+
+#[test]
+fn no_scrub_accumulates_more_demand_ues_than_scrubbed() {
+    let unscrubbed = Simulation::new(
+        base_config()
+            .code(CodeSpec::secded_line())
+            .policy(PolicyKind::None)
+            .horizon_s(12.0 * 3600.0)
+            .build(),
+    )
+    .run();
+    let scrubbed = Simulation::new(
+        base_config()
+            .code(CodeSpec::secded_line())
+            .policy(PolicyKind::Basic { interval_s: 900.0 })
+            .horizon_s(12.0 * 3600.0)
+            .build(),
+    )
+    .run();
+    assert!(
+        scrubbed.stats.demand_ue < unscrubbed.stats.demand_ue.max(1),
+        "scrubbed {} vs unscrubbed {} demand UEs",
+        scrubbed.stats.demand_ue,
+        unscrubbed.stats.demand_ue
+    );
+}
+
+#[test]
+fn policy_ladder_improves_write_traffic_monotonically() {
+    // basic -> threshold -> combined must strictly shrink scrub writes.
+    let run = |code: CodeSpec, policy: PolicyKind| {
+        Simulation::new(base_config().code(code).policy(policy).build())
+            .run()
+            .scrub_writes()
+    };
+    let basic = run(
+        CodeSpec::bch_line(6),
+        PolicyKind::Basic { interval_s: 900.0 },
+    );
+    let threshold = run(
+        CodeSpec::bch_line(6),
+        PolicyKind::Threshold {
+            interval_s: 900.0,
+            theta: 4,
+        },
+    );
+    let combined = run(CodeSpec::bch_line(6), PolicyKind::combined_default(900.0));
+    assert!(
+        basic > threshold,
+        "threshold ({threshold}) must write less than basic ({basic})"
+    );
+    assert!(
+        combined <= threshold,
+        "combined ({combined}) must not write more than threshold ({threshold})"
+    );
+}
+
+#[test]
+fn stronger_code_reduces_ues_at_same_policy() {
+    let run = |code: CodeSpec| {
+        Simulation::new(
+            base_config()
+                .code(code)
+                .policy(PolicyKind::Basic { interval_s: 1800.0 })
+                .build(),
+        )
+        .run()
+        .uncorrectable()
+    };
+    let secded = run(CodeSpec::secded_line());
+    let bch2 = run(CodeSpec::bch_line(2));
+    let bch6 = run(CodeSpec::bch_line(6));
+    assert!(secded > bch2, "SECDED {secded} vs BCH-2 {bch2}");
+    assert!(bch2 >= bch6, "BCH-2 {bch2} vs BCH-6 {bch6}");
+}
+
+#[test]
+fn reports_are_deterministic_and_seed_sensitive() {
+    let mk = |seed: u64| {
+        Simulation::new(
+            base_config()
+                .code(CodeSpec::bch_line(4))
+                .policy(PolicyKind::combined_default(900.0))
+                .seed(seed)
+                .build(),
+        )
+        .run()
+    };
+    let a = mk(7);
+    let b = mk(7);
+    let c = mk(8);
+    assert_eq!(a.stats, b.stats, "same seed, same result");
+    assert_ne!(
+        (a.stats.scrub_writebacks, a.stats.corrected_bits),
+        (c.stats.scrub_writebacks, c.stats.corrected_bits),
+        "different seed should perturb stochastic outcomes"
+    );
+}
+
+#[test]
+fn archive_workload_is_drifts_worst_case() {
+    let run = |id: WorkloadId| {
+        Simulation::new(
+            base_config()
+                .code(CodeSpec::secded_line())
+                .policy(PolicyKind::None)
+                .traffic(DemandTraffic::suite(id))
+                .horizon_s(12.0 * 3600.0)
+                .build(),
+        )
+        .run()
+    };
+    let archive = run(WorkloadId::Archive);
+    let logging = run(WorkloadId::Logging);
+    // Logging's write churn refreshes drift clocks; archive's doesn't.
+    // Compare per-demand-read UE discovery rates.
+    let archive_rate = archive.stats.demand_ue as f64 / archive.stats.demand_reads.max(1) as f64;
+    let logging_rate = logging.stats.demand_ue as f64 / logging.stats.demand_reads.max(1) as f64;
+    assert!(
+        archive_rate > logging_rate,
+        "archive {archive_rate} vs logging {logging_rate}"
+    );
+}
+
+#[test]
+fn slc_memory_is_effectively_drift_immune() {
+    // SLC's two levels sit 3 decades apart: drift cannot bridge them in
+    // any realistic horizon, so even unscrubbed SLC stays clean where
+    // MLC-2 is riddled with errors.
+    let mk = |stack: LevelStack| {
+        Simulation::new(
+            base_config()
+                .device(DeviceConfig::builder().stack(stack).build())
+                .code(CodeSpec::secded_line())
+                .policy(PolicyKind::None)
+                .horizon_s(24.0 * 3600.0)
+                .build(),
+        )
+        .run()
+    };
+    let slc = mk(LevelStack::standard_slc());
+    let mlc = mk(LevelStack::standard_mlc2());
+    assert_eq!(slc.uncorrectable(), 0, "SLC should never UE from drift");
+    assert!(mlc.uncorrectable() > 100, "MLC control must show drift UEs");
+}
+
+#[test]
+fn scrub_utilization_scales_with_rate() {
+    let run = |interval_s: f64| {
+        Simulation::new(
+            base_config()
+                .code(CodeSpec::secded_line())
+                .policy(PolicyKind::Basic { interval_s })
+                .build(),
+        )
+        .run()
+        .scrub_utilization
+    };
+    let fast = run(300.0);
+    let slow = run(3600.0);
+    assert!(fast > slow * 2.0, "fast {fast} vs slow {slow}");
+}

@@ -1,0 +1,176 @@
+//! End-to-end tests of the extension mechanisms (DESIGN.md "Extension
+//! mechanisms"): time-aware sensing, CRC-first probes, wear leveling,
+//! in-band scrub, the budget controller, and temperature scaling.
+
+use scrubsim::prelude::*;
+
+fn base(seed: u64) -> scrubsim::scrub::SimConfigBuilder {
+    let mut b = SimConfig::builder();
+    b.num_lines(2048)
+        .code(CodeSpec::bch_line(6))
+        .policy(PolicyKind::combined_default(900.0))
+        .traffic(DemandTraffic::suite(WorkloadId::WebServe))
+        .horizon_s(8.0 * 3600.0)
+        .seed(seed);
+    b
+}
+
+#[test]
+fn time_aware_sensing_reduces_writebacks_end_to_end() {
+    let fixed = Simulation::new(base(31).build()).run();
+    let compensated = Simulation::new(
+        base(31)
+            .device(
+                DeviceConfig::builder()
+                    .sensing(SensingMode::AgeCompensated)
+                    .build(),
+            )
+            .build(),
+    )
+    .run();
+    // Compensated sensing sees far fewer persistent errors, so the lazy
+    // threshold triggers far less often.
+    assert!(
+        compensated.scrub_writes() * 2 < fixed.scrub_writes().max(2),
+        "compensated {} vs fixed {} write-backs",
+        compensated.scrub_writes(),
+        fixed.scrub_writes()
+    );
+    assert!(compensated.uncorrectable() <= fixed.uncorrectable());
+}
+
+#[test]
+fn crc_probes_cut_scrub_energy_end_to_end() {
+    let full = Simulation::new(base(32).build()).run();
+    let crc = Simulation::new(base(32).probe_kind(ProbeKind::CrcThenDecode).build()).run();
+    assert!(
+        crc.scrub_energy_uj < full.scrub_energy_uj,
+        "crc {} vs full {} uJ",
+        crc.scrub_energy_uj,
+        full.scrub_energy_uj
+    );
+    // Same policy decisions: identical probes and write-backs.
+    assert_eq!(crc.stats.scrub_probes, full.stats.scrub_probes);
+    assert_eq!(crc.stats.scrub_writebacks, full.stats.scrub_writebacks);
+}
+
+#[test]
+fn wear_leveling_flattens_wear_under_skewed_writes() {
+    let mk = |leveled: bool, seed: u64| {
+        let mut b = SimConfig::builder();
+        b.num_lines(1024)
+            .code(CodeSpec::bch_line(4))
+            .policy(PolicyKind::None)
+            .traffic(DemandTraffic::suite(WorkloadId::Logging)) // zipf writes
+            .horizon_s(24.0 * 3600.0)
+            .seed(seed);
+        if leveled {
+            b.wear_leveling(16);
+        }
+        Simulation::new(b.build()).run()
+    };
+    let plain = mk(false, 33);
+    let leveled = mk(true, 33);
+    assert!(
+        (leveled.max_wear as f64) < plain.max_wear as f64 * 0.7,
+        "leveled max wear {} vs plain {}",
+        leveled.max_wear,
+        plain.max_wear
+    );
+    assert!(leveled.stats.wear_level_writes > 0);
+}
+
+#[test]
+fn budget_policy_spends_less_than_fixed_when_target_is_loose() {
+    let fixed = Simulation::new(
+        base(34)
+            .policy(PolicyKind::Threshold {
+                interval_s: 900.0,
+                theta: 4,
+            })
+            .build(),
+    )
+    .run();
+    let budget = Simulation::new(
+        base(34)
+            .policy(PolicyKind::Budget {
+                interval_s: 900.0,
+                theta: 4,
+                target_ue_per_gib_day: 1e6, // effectively "anything goes"
+                window_s: 1800.0,
+            })
+            .build(),
+    )
+    .run();
+    // With a loose budget the controller relaxes the sweep and probes less.
+    assert!(
+        budget.stats.scrub_probes < fixed.stats.scrub_probes,
+        "budget {} vs fixed {} probes",
+        budget.stats.scrub_probes,
+        fixed.stats.scrub_probes
+    );
+}
+
+#[test]
+fn budget_policy_tightens_under_strict_target() {
+    let loose = Simulation::new(
+        base(35)
+            .code(CodeSpec::secded_line())
+            .policy(PolicyKind::Budget {
+                interval_s: 3600.0,
+                theta: 1,
+                // 2048 lines is ~1e-4 GiB, so even one UE per window is a
+                // ~4e5/GiB-day rate; "loose" must sit far above that.
+                target_ue_per_gib_day: 1e10,
+                window_s: 1800.0,
+            })
+            .build(),
+    )
+    .run();
+    let strict = Simulation::new(
+        base(35)
+            .code(CodeSpec::secded_line())
+            .policy(PolicyKind::Budget {
+                interval_s: 3600.0,
+                theta: 1,
+                target_ue_per_gib_day: 0.5,
+                window_s: 1800.0,
+            })
+            .build(),
+    )
+    .run();
+    assert!(
+        strict.stats.scrub_probes > loose.stats.scrub_probes,
+        "strict {} vs loose {} probes",
+        strict.stats.scrub_probes,
+        loose.stats.scrub_probes
+    );
+    assert!(strict.uncorrectable() <= loose.uncorrectable());
+}
+
+#[test]
+fn temperature_scales_error_rates_end_to_end() {
+    let at = |temp_c: f64, seed: u64| {
+        let mut b = SimConfig::builder();
+        b.num_lines(2048)
+            .device(
+                DeviceConfig::builder()
+                    .drift(DriftParams::default().with_temperature_c(temp_c))
+                    .build(),
+            )
+            .code(CodeSpec::secded_line())
+            .policy(PolicyKind::None)
+            .traffic(DemandTraffic::suite(WorkloadId::Archive))
+            .horizon_s(12.0 * 3600.0)
+            .seed(seed);
+        Simulation::new(b.build()).run()
+    };
+    let cool = at(0.0, 36);
+    let hot = at(85.0, 36);
+    assert!(
+        hot.stats.demand_ue > cool.stats.demand_ue,
+        "hot {} vs cool {} demand UEs",
+        hot.stats.demand_ue,
+        cool.stats.demand_ue
+    );
+}

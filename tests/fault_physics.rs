@@ -1,0 +1,128 @@
+//! Integration tests tying the statistical fault engine back to the
+//! cell-exact Monte-Carlo device model: the two implementations of the
+//! same physics must agree.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use scrubsim::device::{CellArray, DeviceConfig, EnduranceSpec};
+use scrubsim::memsim::{FaultEngine, SimTime};
+
+#[test]
+fn engine_mean_errors_match_cell_exact_model() {
+    // Program a cell-exact array and an engine-modelled population with
+    // the same device, age both a day, compare mean bit errors per line.
+    let dev = DeviceConfig::default();
+    let mut rng = StdRng::seed_from_u64(41);
+    let cells_per_line = 288usize;
+    let lines = 400usize;
+
+    // Cell-exact: one big array, uniform data.
+    let mut arr = CellArray::new(dev.clone(), cells_per_line * lines);
+    arr.program_uniform(0.0, &mut rng);
+    let report = arr.read_all(86_400.0, &mut rng);
+    let mc_mean = report.bit_errors as f64 / lines as f64;
+
+    // Engine: the same population as per-line states.
+    let engine = FaultEngine::new(&dev, cells_per_line as u32);
+    let mut total = 0u64;
+    for _ in 0..lines {
+        let mut line = engine.fresh_line(SimTime::ZERO, &mut rng);
+        total += engine.read_errors(&mut line, SimTime::from_secs(86_400.0), &mut rng) as u64;
+    }
+    let engine_mean = total as f64 / lines as f64;
+
+    let rel = (mc_mean - engine_mean).abs() / mc_mean.max(1e-9);
+    assert!(
+        rel < 0.15,
+        "cell-exact mean {mc_mean} vs engine mean {engine_mean} (rel {rel})"
+    );
+}
+
+#[test]
+fn engine_wear_failures_match_endurance_cdf() {
+    // After W writes, the worn-cell fraction must track F(W).
+    let spec = EnduranceSpec::new(200.0, 0.3);
+    let dev = DeviceConfig::builder().endurance(spec).build();
+    let engine = FaultEngine::new(&dev, 288);
+    let mut rng = StdRng::seed_from_u64(42);
+    let writes = 260u32;
+    let lines = 300;
+    let mut worn = 0u64;
+    for _ in 0..lines {
+        let mut line = engine.fresh_line(SimTime::ZERO, &mut rng);
+        for w in 0..writes {
+            engine.on_write(&mut line, SimTime::from_secs(w as f64 + 1.0), &mut rng);
+        }
+        worn += line.worn_cells as u64;
+    }
+    let measured = worn as f64 / (lines * 288) as f64;
+    let expected = spec.fail_cdf(writes as u64 + 1);
+    assert!(
+        (measured - expected).abs() < 0.05,
+        "worn fraction {measured} vs F({writes}) = {expected}"
+    );
+}
+
+#[test]
+fn hot_lines_do_not_spuriously_wear_out() {
+    // Regression for the subnormal-binomial bug: a line written tens of
+    // thousands of times against 1e6-median endurance must stay intact.
+    let dev = DeviceConfig::default(); // accelerated: 1e6 median
+    let engine = FaultEngine::new(&dev, 288);
+    let mut rng = StdRng::seed_from_u64(43);
+    let mut line = engine.fresh_line(SimTime::ZERO, &mut rng);
+    for w in 0..20_000u32 {
+        engine.on_write(&mut line, SimTime::from_secs(w as f64), &mut rng);
+    }
+    assert_eq!(
+        line.worn_cells, 0,
+        "20k writes against 1e6-median endurance wore out {} cells",
+        line.worn_cells
+    );
+    assert_eq!(line.worn_conflict_bits, 0);
+}
+
+#[test]
+fn rewrite_brings_line_back_to_clean_distribution() {
+    let dev = DeviceConfig::default();
+    let engine = FaultEngine::new(&dev, 288);
+    let mut rng = StdRng::seed_from_u64(44);
+    let week = SimTime::from_secs(604_800.0);
+    let mut dirty = 0u64;
+    for _ in 0..200 {
+        let mut line = engine.fresh_line(SimTime::ZERO, &mut rng);
+        engine.advance(&mut line, week, &mut rng);
+        engine.on_write(&mut line, week, &mut rng);
+        // Immediately after rewrite: persistent errors must be zero.
+        assert_eq!(line.persistent_bit_errors(), 0);
+        // And shortly after, still (almost always) clean.
+        dirty += u64::from(engine.read_errors(&mut line, week + 10.0, &mut rng) > 0);
+    }
+    assert!(dirty <= 5, "{dirty}/200 freshly rewritten lines showed errors");
+}
+
+#[test]
+fn drift_aware_thresholds_help_in_the_engine_too() {
+    use scrubsim::device::ThresholdPlacement;
+    let mut rng = StdRng::seed_from_u64(45);
+    let day = SimTime::from_secs(86_400.0);
+    let mut means = Vec::new();
+    for placement in [
+        ThresholdPlacement::Midpoint,
+        ThresholdPlacement::drift_aware_default(),
+    ] {
+        let dev = DeviceConfig::builder().threshold_placement(placement).build();
+        let engine = FaultEngine::new(&dev, 288);
+        let mut total = 0u64;
+        for _ in 0..300 {
+            let mut line = engine.fresh_line(SimTime::ZERO, &mut rng);
+            total += engine.advance(&mut line, day, &mut rng) as u64;
+        }
+        means.push(total as f64 / 300.0);
+    }
+    assert!(
+        means[1] < means[0] / 2.0,
+        "drift-aware {means:?} should at least halve day-old errors"
+    );
+}

@@ -1,0 +1,232 @@
+//! Property-based tests of the invariants DESIGN.md calls out:
+//! drift monotonicity, incremental-binomial consistency, BCH round-trips,
+//! Gray-code structure, and sampler laws.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use scrubsim::device::{DeviceConfig, DriftParams, LevelStack, NoiseParams, ThresholdPlacement};
+use scrubsim::ecc::{BchCode, BitBuf, DecodeOutcome, LineCode};
+use scrubsim::memsim::{FaultEngine, SimTime};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// p_up is monotone nondecreasing in age for every level, under any
+    /// sane noise/drift parameterization.
+    #[test]
+    fn p_up_monotone_for_random_devices(
+        sigma_w in 0.05f64..0.2,
+        sigma_r in 0.0f64..0.05,
+        sigma_nu in 0.0f64..0.6,
+        nu_scale in 0.0f64..2.5,
+        t_lo in 1.0f64..1e4,
+        factor in 1.01f64..1e3,
+    ) {
+        let dev = DeviceConfig::builder()
+            .noise(NoiseParams::new(sigma_w, sigma_r))
+            .drift(DriftParams::new(sigma_nu, 1.0).with_scale(nu_scale))
+            .build();
+        let model = dev.drift_model();
+        let t_hi = t_lo * factor;
+        for level in 0..4 {
+            let lo = model.p_up(level, t_lo);
+            let hi = model.p_up(level, t_hi);
+            prop_assert!(hi >= lo - 1e-12,
+                "level {level}: p_up({t_lo}) = {lo} > p_up({t_hi}) = {hi}");
+            prop_assert!((0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi));
+        }
+    }
+
+    /// Advancing a line's faults is consistent regardless of how the time
+    /// interval is subdivided (the incremental-binomial law, in means).
+    #[test]
+    fn fault_advance_subdivision_invariance(
+        steps in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let dev = DeviceConfig::default();
+        let engine = FaultEngine::new(&dev, 288);
+        let horizon = 86_400.0;
+        let reps = 60;
+        let mut one = 0u64;
+        let mut many = 0u64;
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..reps {
+            let mut a = engine.fresh_line(SimTime::ZERO, &mut rng);
+            one += engine.advance(&mut a, SimTime::from_secs(horizon), &mut rng) as u64;
+            let mut b = engine.fresh_line(SimTime::ZERO, &mut rng);
+            for k in 1..=steps {
+                engine.advance(
+                    &mut b,
+                    SimTime::from_secs(horizon * k as f64 / steps as f64),
+                    &mut rng,
+                );
+            }
+            many += b.persistent_bit_errors() as u64;
+        }
+        let m1 = one as f64 / reps as f64;
+        let m2 = many as f64 / reps as f64;
+        // Loose bound: 60 reps of a mean-5 count have stderr ~0.4.
+        prop_assert!((m1 - m2).abs() < 1.6 + 0.3 * m1,
+            "one-shot {m1} vs {steps}-step {m2}");
+    }
+
+    /// Drift failures never decrease and never exceed occupancy.
+    #[test]
+    fn fault_counts_bounded_and_monotone(seed in 0u64..500) {
+        let dev = DeviceConfig::default();
+        let engine = FaultEngine::new(&dev, 288);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut line = engine.fresh_line(SimTime::ZERO, &mut rng);
+        let mut prev = 0u32;
+        for hours in [1u64, 6, 24, 96, 400] {
+            let e = engine.advance(
+                &mut line,
+                SimTime::from_secs(hours as f64 * 3600.0),
+                &mut rng,
+            );
+            prop_assert!(e >= prev);
+            prev = e;
+            for lv in 0..4 {
+                prop_assert!(line.drift_failed[lv] <= line.occupancy[lv]);
+            }
+        }
+    }
+
+    /// BCH corrects any error pattern up to t, for random payloads,
+    /// pattern weights, and code strengths.
+    #[test]
+    fn bch_roundtrip_any_pattern(
+        t in 1u32..6,
+        seed in 0u64..10_000,
+    ) {
+        let code = BchCode::new(10, t, 512);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut data = BitBuf::zeros(512);
+        for i in 0..512 {
+            if rng.gen::<bool>() {
+                data.set(i, true);
+            }
+        }
+        let clean = code.encode(&data);
+        let e = rng.gen_range(0..=t);
+        let mut cw = clean.clone();
+        let mut flipped = std::collections::HashSet::new();
+        while (flipped.len() as u32) < e {
+            let pos = rng.gen_range(0..code.n());
+            if flipped.insert(pos) {
+                cw.flip(pos);
+            }
+        }
+        let outcome = code.decode(&mut cw);
+        if e == 0 {
+            prop_assert_eq!(outcome, DecodeOutcome::Clean);
+        } else {
+            prop_assert_eq!(outcome, DecodeOutcome::Corrected { bits: e });
+        }
+        prop_assert_eq!(code.extract_data(&cw), data);
+    }
+
+    /// Gray codes of adjacent levels differ in exactly one bit for any
+    /// power-of-two stack size.
+    #[test]
+    fn gray_adjacency(bits in 1u32..3) {
+        let stack = match bits {
+            1 => LevelStack::standard_slc(),
+            _ => LevelStack::standard_mlc2(),
+        };
+        for l in 0..stack.num_levels() - 1 {
+            prop_assert_eq!(stack.bit_errors(l, l + 1), 1);
+        }
+    }
+
+    /// Threshold classification is consistent: classify() is the inverse
+    /// of the band the resistance falls in.
+    #[test]
+    fn threshold_classify_partition(log_r in 0.0f64..9.0) {
+        let stack = LevelStack::standard_mlc2();
+        let th = ThresholdPlacement::Midpoint.build(&stack, &NoiseParams::default(), 1.0);
+        let level = th.classify(log_r);
+        prop_assert!(level < 4);
+        if let Some(up) = th.upper(level) {
+            prop_assert!(log_r < up);
+        }
+        if let Some(dn) = th.lower(level) {
+            prop_assert!(log_r >= dn);
+        }
+    }
+
+    /// Binomial sampling respects bounds and degenerate inputs for any p.
+    #[test]
+    fn binomial_bounds_hold(n in 0u32..2000, p in 0.0f64..1.0, seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let k = scrubsim::device::math::sample_binomial(&mut rng, n, p);
+        prop_assert!(k <= n);
+    }
+
+    /// CodeSpec classification laws: zero errors are always clean; counts
+    /// within guaranteed capability are always corrected in full; counts
+    /// beyond a per-line code's capability are never silently clean.
+    #[test]
+    fn code_spec_classification_laws(t in 1u32..8, e in 0u32..20, seed in 0u64..200) {
+        use scrubsim::ecc::{ClassifyOutcome, CodeSpec};
+        let code = CodeSpec::bch_line(t);
+        let mut rng = StdRng::seed_from_u64(seed);
+        match code.classify(e, &mut rng) {
+            ClassifyOutcome::Clean => prop_assert_eq!(e, 0),
+            ClassifyOutcome::Corrected { bits } => {
+                prop_assert!(e >= 1 && e <= t);
+                prop_assert_eq!(bits, e);
+            }
+            ClassifyOutcome::DetectedUncorrectable | ClassifyOutcome::Miscorrected => {
+                prop_assert!(e > t);
+            }
+        }
+    }
+
+    /// Start-Gap stays a bijection from logical onto physical-minus-gap
+    /// after any number of rotations.
+    #[test]
+    fn start_gap_bijective(
+        physical in 2u32..64,
+        period in 1u32..5,
+        writes in 0u32..300,
+    ) {
+        use scrubsim::memsim::{LineAddr, StartGap};
+        let mut sg = StartGap::new(physical, period);
+        for _ in 0..writes {
+            sg.on_write();
+        }
+        let mut seen = std::collections::HashSet::new();
+        for l in 0..sg.logical_lines() {
+            let p = sg.map(LineAddr(l));
+            prop_assert!(p.0 < physical);
+            prop_assert!(p.0 != sg.gap(), "logical {l} mapped onto the gap");
+            prop_assert!(seen.insert(p.0), "collision at logical {l}");
+        }
+    }
+
+    /// Diurnal thinning never reorders time and never amplifies traffic:
+    /// over any op budget, the thinned stream is a subsequence in time.
+    #[test]
+    fn diurnal_thinning_preserves_order(mult in 0.0f64..1.0, seed in 0u64..100) {
+        use scrubsim::workloads::{DiurnalTrace, Phase, WorkloadId};
+        use scrubsim::memsim::{SimTime, TraceSource};
+        let inner = WorkloadId::KvCache.build(256, 1.0, seed);
+        let mut t = DiurnalTrace::new(
+            inner,
+            vec![
+                Phase { duration_s: 100.0, rate_multiplier: 1.0 },
+                Phase { duration_s: 100.0, rate_multiplier: mult },
+            ],
+        );
+        let mut prev = SimTime::ZERO;
+        for _ in 0..300 {
+            let op = t.next_op().expect("infinite");
+            prop_assert!(op.at >= prev);
+            prev = op.at;
+        }
+    }
+}
