@@ -176,7 +176,7 @@ mod tests {
     fn formatting_helpers() {
         assert_eq!(fmt_count(0.0), "0");
         assert_eq!(fmt_count(42.0), "42");
-        assert_eq!(fmt_count(2.71828), "2.718");
+        assert_eq!(fmt_count(2.71548), "2.715");
         assert_eq!(fmt_count(1.5e7), "1.50e7");
         assert_eq!(fmt_ratio(24.42), "24.4x");
         assert_eq!(fmt_ratio(f64::INFINITY), "inf");

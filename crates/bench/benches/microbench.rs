@@ -107,19 +107,18 @@ fn bench_sim_throughput(c: &mut Criterion) {
     c.bench_function("scrub_sweep_4k_lines_basic", |b| {
         b.iter_batched(
             || {
-                let mut rng = StdRng::seed_from_u64(4);
                 let mem = Memory::new(
                     MemGeometry::new(4096, 8),
                     DeviceConfig::default(),
                     CodeSpec::secded_line(),
-                    &mut rng,
+                    4,
                 );
                 let engine = ScrubEngine::new(Box::new(BasicScrub::new(4096.0, 4096)));
-                (mem, engine, rng)
+                (mem, engine)
             },
-            |(mut mem, mut engine, mut rng)| {
+            |(mut mem, mut engine)| {
                 for _ in 0..4096 {
-                    engine.step(&mut mem, &mut rng);
+                    engine.step(&mut mem);
                 }
                 std::hint::black_box(mem.stats().scrub_probes)
             },
@@ -129,21 +128,19 @@ fn bench_sim_throughput(c: &mut Criterion) {
     c.bench_function("scrub_sweep_4k_lines_combined", |b| {
         b.iter_batched(
             || {
-                let mut rng = StdRng::seed_from_u64(5);
                 let mem = Memory::new(
                     MemGeometry::new(4096, 8),
                     DeviceConfig::default(),
                     CodeSpec::bch_line(6),
-                    &mut rng,
+                    5,
                 );
-                let engine = ScrubEngine::new(Box::new(CombinedScrub::new(
-                    4096.0, 4096, 5, 16, 600.0,
-                )));
-                (mem, engine, rng)
+                let engine =
+                    ScrubEngine::new(Box::new(CombinedScrub::new(4096.0, 4096, 5, 16, 600.0)));
+                (mem, engine)
             },
-            |(mut mem, mut engine, mut rng)| {
+            |(mut mem, mut engine)| {
                 for _ in 0..4096 {
-                    engine.step(&mut mem, &mut rng);
+                    engine.step(&mut mem);
                 }
                 std::hint::black_box(mem.stats().scrub_probes)
             },
@@ -154,24 +151,23 @@ fn bench_sim_throughput(c: &mut Criterion) {
         use pcm_memsim::{OpKind, TraceSource};
         b.iter_batched(
             || {
-                let mut rng = StdRng::seed_from_u64(6);
                 let mem = Memory::new(
                     MemGeometry::new(4096, 8),
                     DeviceConfig::default(),
                     CodeSpec::bch_line(6),
-                    &mut rng,
+                    6,
                 );
                 let trace = WorkloadId::DbOltp.build(4096, 1.0, 7);
-                (mem, trace, rng)
+                (mem, trace)
             },
-            |(mut mem, mut trace, mut rng)| {
+            |(mut mem, mut trace)| {
                 for _ in 0..10_000 {
                     let op = trace.next_op().expect("infinite");
                     match op.kind {
                         OpKind::Read => {
-                            mem.demand_read(op.addr, op.at, &mut rng);
+                            mem.demand_read(op.addr, op.at);
                         }
-                        OpKind::Write => mem.demand_write(op.addr, op.at, &mut rng),
+                        OpKind::Write => mem.demand_write(op.addr, op.at),
                     }
                 }
                 std::hint::black_box(mem.stats().demand_reads)

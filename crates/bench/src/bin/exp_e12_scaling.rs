@@ -1,7 +1,7 @@
-//! Regenerates experiment E12 (see DESIGN.md). `SCRUB_QUICK=1` for a
-//! CI-sized run.
+//! Regenerates experiment E12 (see DESIGN.md). `SCRUB_QUICK=1` or
+//! `--quick` for a CI-sized run; `--threads N` bounds the worker pool.
+//! Writes wall-clock and scale to `BENCH_e12.json`.
 
 fn main() {
-    let scale = scrub_bench::Scale::from_env();
-    println!("{}", scrub_bench::experiments::e12::run(scale));
+    scrub_bench::runner::main("e12", scrub_bench::experiments::e12::run);
 }

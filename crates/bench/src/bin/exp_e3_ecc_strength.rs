@@ -1,7 +1,7 @@
-//! Regenerates experiment E3 (see DESIGN.md). `SCRUB_QUICK=1` for a
-//! CI-sized run.
+//! Regenerates experiment E3 (see DESIGN.md). `SCRUB_QUICK=1` or
+//! `--quick` for a CI-sized run; `--threads N` bounds the worker pool.
+//! Writes wall-clock and scale to `BENCH_e3.json`.
 
 fn main() {
-    let scale = scrub_bench::Scale::from_env();
-    println!("{}", scrub_bench::experiments::e3::run(scale));
+    scrub_bench::runner::main("e3", scrub_bench::experiments::e3::run);
 }

@@ -1,7 +1,8 @@
-//! Regenerates experiment E6 (see DESIGN.md). `SCRUB_QUICK=1` for a
-//! CI-sized run.
+//! Regenerates experiment E6 (see DESIGN.md). `SCRUB_QUICK=1` or
+//! `--quick` for a CI-sized run; `--threads N` bounds the worker pool.
+//! Writes wall-clock, thread count, and headline metrics to
+//! `BENCH_e6.json`.
 
 fn main() {
-    let scale = scrub_bench::Scale::from_env();
-    println!("{}", scrub_bench::experiments::e6::run(scale));
+    scrub_bench::runner::main_with("e6", scrub_bench::experiments::e6::run_with_metrics);
 }

@@ -1,7 +1,7 @@
-//! Regenerates extension experiment X1 (see DESIGN.md). `SCRUB_QUICK=1`
-//! for a CI-sized run.
+//! Regenerates experiment X1 (see DESIGN.md). `SCRUB_QUICK=1` or
+//! `--quick` for a CI-sized run; `--threads N` bounds the worker pool.
+//! Writes wall-clock and scale to `BENCH_x1.json`.
 
 fn main() {
-    let scale = scrub_bench::Scale::from_env();
-    println!("{}", scrub_bench::experiments::x1::run(scale));
+    scrub_bench::runner::main("x1", scrub_bench::experiments::x1::run);
 }

@@ -28,7 +28,13 @@ pub fn run(scale: Scale) -> String {
     let model = dev.drift_model();
     let mut rng = StdRng::seed_from_u64(0xE1);
     let mut out = String::from("E1: drift misread probability — analytic vs Monte Carlo\n\n");
-    let mut table = Table::new(vec!["level", "age", "p_analytic", "p_monte_carlo", "rel_err"]);
+    let mut table = Table::new(vec![
+        "level",
+        "age",
+        "p_analytic",
+        "p_monte_carlo",
+        "rel_err",
+    ]);
     for level in 0..4usize {
         let mut arr = CellArray::new(dev.clone(), scale.mc_cells);
         arr.program_all(level, 0.0, &mut rng);

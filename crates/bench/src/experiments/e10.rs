@@ -3,7 +3,9 @@
 //!
 //! Paper analogue: the drift-coefficient sensitivity study.
 
-use pcm_analysis::{fmt_count, fmt_percent, fmt_ratio, improvement_ratio, percent_reduction, Table};
+use pcm_analysis::{
+    fmt_count, fmt_percent, fmt_ratio, improvement_ratio, percent_reduction, Table,
+};
 use pcm_model::{DeviceConfig, DriftParams};
 use pcm_workloads::WorkloadId;
 use scrub_core::DemandTraffic;

@@ -27,9 +27,8 @@ const INTERVALS: [(f64, &str); 5] = [
 pub fn run(scale: Scale) -> String {
     let dev = DeviceConfig::default();
     let code = CodeSpec::secded_line();
-    let mut out = String::from(
-        "E2: basic scrub + SECDED under drift (idle memory, worst case)\n\n",
-    );
+    let mut out =
+        String::from("E2: basic scrub + SECDED under drift (idle memory, worst case)\n\n");
     let mut table = Table::new(vec![
         "interval",
         "UEs",

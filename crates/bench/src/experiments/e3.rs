@@ -20,9 +20,7 @@ const INTERVAL_S: f64 = 900.0;
 pub fn run(scale: Scale) -> String {
     let dev = DeviceConfig::default();
     let traffic = DemandTraffic::suite(WorkloadId::DbOltp);
-    let mut out = String::from(
-        "E3: ECC strength ladder (db-oltp, 15min sweep)\n\n",
-    );
+    let mut out = String::from("E3: ECC strength ladder (db-oltp, 15min sweep)\n\n");
     let mut table = Table::new(vec![
         "code",
         "overhead",

@@ -7,7 +7,7 @@ use pcm_ecc::CodeSpec;
 use pcm_model::DeviceConfig;
 use scrub_core::PolicyKind;
 
-use crate::experiments::run_suite;
+use crate::experiments::{run_suite, Metrics};
 use crate::scale::Scale;
 
 const INTERVAL_S: f64 = 900.0;
@@ -64,12 +64,37 @@ pub fn roster() -> Vec<(&'static str, CodeSpec, PolicyKind)> {
     ]
 }
 
+/// Runs the whole roster, suite-averaged.
+pub fn compute(scale: Scale) -> Vec<(&'static str, Metrics)> {
+    let dev = DeviceConfig::default();
+    roster()
+        .into_iter()
+        .map(|(label, code, policy)| (label, run_suite(&scale, &dev, &code, &policy, 0xE5)))
+        .collect()
+}
+
 /// Runs E5 and renders its table.
 pub fn run(scale: Scale) -> String {
-    let dev = DeviceConfig::default();
-    let mut out = String::from(
-        "E5: scrub mechanism comparison (averaged over the 8-workload suite)\n\n",
-    );
+    render(&compute(scale))
+}
+
+/// Runs E5 once, returning the rendered table plus per-policy headline
+/// metrics for the `BENCH_e5.json` record.
+pub fn run_with_metrics(scale: Scale) -> (String, Vec<(String, f64)>) {
+    let rows = compute(scale);
+    let mut metrics = Vec::new();
+    for (label, m) in &rows {
+        metrics.push((format!("{label}.ue"), m.ue));
+        metrics.push((format!("{label}.scrub_writes"), m.scrub_writes));
+        metrics.push((format!("{label}.scrub_energy_uj"), m.scrub_energy_uj));
+    }
+    (render(&rows), metrics)
+}
+
+/// Renders the comparison table.
+fn render(rows: &[(&'static str, Metrics)]) -> String {
+    let mut out =
+        String::from("E5: scrub mechanism comparison (averaged over the 8-workload suite)\n\n");
     let mut table = Table::new(vec![
         "policy",
         "UEs",
@@ -79,8 +104,7 @@ pub fn run(scale: Scale) -> String {
         "energy_uJ",
         "mean_wear",
     ]);
-    for (label, code, policy) in roster() {
-        let m = run_suite(&scale, &dev, &code, &policy, 0xE5);
+    for (label, m) in rows {
         table.row(vec![
             label.to_string(),
             fmt_count(m.ue),

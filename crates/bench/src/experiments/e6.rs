@@ -5,7 +5,9 @@
 //! uncorrectable errors, **24.4×** fewer scrub writes, **37.8%** less
 //! scrub energy.
 
-use pcm_analysis::{fmt_count, fmt_percent, fmt_ratio, improvement_ratio, percent_reduction, Table};
+use pcm_analysis::{
+    fmt_count, fmt_percent, fmt_ratio, improvement_ratio, percent_reduction, Table,
+};
 use pcm_model::DeviceConfig;
 
 use crate::experiments::{baseline_policy, combined_policy, run_suite, Metrics};
@@ -50,9 +52,35 @@ pub fn compute(scale: Scale) -> Headline {
 
 /// Runs E6 and renders its table, with paper-reported targets inline.
 pub fn run(scale: Scale) -> String {
+    render(&compute(scale))
+}
+
+/// Runs E6 once, returning the rendered table plus the headline metrics
+/// for the `BENCH_e6.json` record.
+pub fn run_with_metrics(scale: Scale) -> (String, Vec<(String, f64)>) {
     let h = compute(scale);
+    let metrics = vec![
+        ("ue_reduction_pct".to_string(), h.ue_reduction_pct()),
+        ("write_ratio".to_string(), h.write_ratio()),
+        ("energy_reduction_pct".to_string(), h.energy_reduction_pct()),
+        ("basic_ue".to_string(), h.basic.ue),
+        ("combined_ue".to_string(), h.combined.ue),
+        ("basic_scrub_writes".to_string(), h.basic.scrub_writes),
+        ("combined_scrub_writes".to_string(), h.combined.scrub_writes),
+    ];
+    (render(&h), metrics)
+}
+
+/// Renders the headline comparison table.
+fn render(h: &Headline) -> String {
     let mut out = String::from("E6: headline — combined mechanism vs DRAM-style basic scrub\n\n");
-    let mut table = Table::new(vec!["metric", "basic+SECDED", "combined+BCH6", "improvement", "paper"]);
+    let mut table = Table::new(vec![
+        "metric",
+        "basic+SECDED",
+        "combined+BCH6",
+        "improvement",
+        "paper",
+    ]);
     table.row(vec![
         "uncorrectable errors".into(),
         fmt_count(h.basic.ue),
@@ -78,7 +106,10 @@ pub fn run(scale: Scale) -> String {
         "mean line wear".into(),
         format!("{:.2}", h.basic.mean_wear),
         format!("{:.2}", h.combined.mean_wear),
-        fmt_percent(percent_reduction_safe(h.basic.mean_wear, h.combined.mean_wear)),
+        fmt_percent(percent_reduction_safe(
+            h.basic.mean_wear,
+            h.combined.mean_wear,
+        )),
         "(not reported)".into(),
     ]);
     out.push_str(&table.render());
@@ -107,7 +138,11 @@ mod tests {
             mc_cells: 100,
         };
         let h = compute(scale);
-        assert!(h.ue_reduction_pct() > 50.0, "UE reduction {}", h.ue_reduction_pct());
+        assert!(
+            h.ue_reduction_pct() > 50.0,
+            "UE reduction {}",
+            h.ue_reduction_pct()
+        );
         assert!(h.write_ratio() > 3.0, "write ratio {}", h.write_ratio());
         assert!(
             h.energy_reduction_pct() > 0.0,

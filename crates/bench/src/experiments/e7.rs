@@ -2,7 +2,9 @@
 //!
 //! Paper analogue: the per-benchmark bar charts.
 
-use pcm_analysis::{fmt_count, fmt_percent, fmt_ratio, improvement_ratio, percent_reduction, Table};
+use pcm_analysis::{
+    fmt_count, fmt_percent, fmt_ratio, improvement_ratio, percent_reduction, Table,
+};
 use pcm_model::DeviceConfig;
 use pcm_workloads::WorkloadId;
 use scrub_core::DemandTraffic;

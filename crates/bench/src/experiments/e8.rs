@@ -40,9 +40,8 @@ pub fn run(scale: Scale) -> String {
         .build();
     let code = CodeSpec::bch_line(4);
     let traffic = DemandTraffic::suite(WorkloadId::KvCache);
-    let mut out = String::from(
-        "E8: soft vs hard errors across scrub rates (accelerated endurance)\n\n",
-    );
+    let mut out =
+        String::from("E8: soft vs hard errors across scrub rates (accelerated endurance)\n\n");
     let mut table = Table::new(vec![
         "interval",
         "UEs",

@@ -5,6 +5,9 @@
 //! `experiments` bench target runs them all in quick mode.
 
 pub mod e1;
+pub mod e10;
+pub mod e11;
+pub mod e12;
 pub mod e2;
 pub mod e3;
 pub mod e4;
@@ -13,9 +16,6 @@ pub mod e6;
 pub mod e7;
 pub mod e8;
 pub mod e9;
-pub mod e10;
-pub mod e11;
-pub mod e12;
 pub mod x1;
 
 use pcm_ecc::CodeSpec;
@@ -25,7 +25,11 @@ use scrub_core::{DemandTraffic, PolicyKind, SimConfig, SimReport, Simulation};
 
 use crate::scale::Scale;
 
-/// Builds and runs one simulation.
+/// Builds and runs one simulation on `threads` bank-sweep workers.
+///
+/// Results are bit-identical for every thread count (the simulator's
+/// determinism contract), so the split between outer job-level and inner
+/// bank-level parallelism is purely a scheduling decision.
 pub(crate) fn run_sim(
     scale: &Scale,
     device: DeviceConfig,
@@ -33,6 +37,7 @@ pub(crate) fn run_sim(
     policy: PolicyKind,
     traffic: DemandTraffic,
     seed: u64,
+    threads: usize,
 ) -> SimReport {
     let config = SimConfig::builder()
         .num_lines(scale.num_lines)
@@ -42,8 +47,18 @@ pub(crate) fn run_sim(
         .traffic(traffic)
         .horizon_s(scale.horizon_s)
         .seed(seed)
+        .threads(threads)
         .build();
     Simulation::new(config).run()
+}
+
+/// Splits a thread budget between outer (job fan-out) and inner (per-bank
+/// sweep) parallelism: with more than one independent job, the outer level
+/// gets the whole budget and each simulation runs its sweeps inline.
+fn split_threads(budget: usize, jobs: usize) -> (usize, usize) {
+    let outer = budget.max(1).min(jobs.max(1));
+    let inner = if outer > 1 { 1 } else { budget.max(1) };
+    (outer, inner)
 }
 
 /// Aggregated metrics over repeated seeds (averages).
@@ -92,7 +107,8 @@ impl Metrics {
     }
 }
 
-/// Runs a configuration once per rep seed and aggregates.
+/// Runs a configuration once per rep seed and aggregates, fanning the
+/// rep jobs out over [`scrub_exec::default_threads`] workers.
 pub(crate) fn run_reps(
     scale: &Scale,
     device: &DeviceConfig,
@@ -101,8 +117,32 @@ pub(crate) fn run_reps(
     traffic: DemandTraffic,
     base_seed: u64,
 ) -> Metrics {
-    let reports: Vec<SimReport> = (0..scale.reps)
-        .map(|rep| {
+    run_reps_threads(
+        scale,
+        device,
+        code,
+        policy,
+        traffic,
+        base_seed,
+        scrub_exec::default_threads(),
+    )
+}
+
+/// [`run_reps`] with an explicit thread budget. Each rep's seed depends
+/// only on `(base_seed, rep)`, so the aggregate is bit-identical for every
+/// budget; `par_map` additionally returns reports in rep order.
+pub fn run_reps_threads(
+    scale: &Scale,
+    device: &DeviceConfig,
+    code: &CodeSpec,
+    policy: &PolicyKind,
+    traffic: DemandTraffic,
+    base_seed: u64,
+    threads: usize,
+) -> Metrics {
+    let (outer, inner) = split_threads(threads, scale.reps as usize);
+    let reports: Vec<SimReport> =
+        scrub_exec::par_map(outer, (0..scale.reps).collect(), |_, rep| {
             run_sim(
                 scale,
                 device.clone(),
@@ -110,13 +150,14 @@ pub(crate) fn run_reps(
                 policy.clone(),
                 traffic,
                 base_seed + rep as u64 * 1000,
+                inner,
             )
-        })
-        .collect();
+        });
     Metrics::of(&reports)
 }
 
-/// Averages a metric across the whole workload suite.
+/// Averages a metric across the whole workload suite, fanning the
+/// `workload × rep` grid out over [`scrub_exec::default_threads`] workers.
 pub(crate) fn run_suite(
     scale: &Scale,
     device: &DeviceConfig,
@@ -124,19 +165,54 @@ pub(crate) fn run_suite(
     policy: &PolicyKind,
     base_seed: u64,
 ) -> Metrics {
-    let per_workload: Vec<Metrics> = WorkloadId::all()
+    run_suite_threads(
+        scale,
+        device,
+        code,
+        policy,
+        base_seed,
+        scrub_exec::default_threads(),
+    )
+}
+
+/// [`run_suite`] with an explicit thread budget.
+///
+/// The whole `workload × rep` grid is flattened into one job list so the
+/// pool stays busy even when `reps == 1`. Every job's seed is a pure
+/// function of `(base_seed, rep)` and its RNG streams of `(seed, bank)`,
+/// so results are independent of scheduling; reports are regrouped by
+/// workload in suite order before averaging (f64 accumulation order is
+/// part of the determinism contract).
+pub fn run_suite_threads(
+    scale: &Scale,
+    device: &DeviceConfig,
+    code: &CodeSpec,
+    policy: &PolicyKind,
+    base_seed: u64,
+    threads: usize,
+) -> Metrics {
+    let workloads = WorkloadId::all();
+    let jobs: Vec<(WorkloadId, u32)> = workloads
         .iter()
-        .map(|&id| {
-            run_reps(
-                scale,
-                device,
-                code,
-                policy,
-                DemandTraffic::suite(id),
-                base_seed,
-            )
-        })
+        .flat_map(|&id| (0..scale.reps).map(move |rep| (id, rep)))
         .collect();
+    let (outer, inner) = split_threads(threads, jobs.len());
+    let reports: Vec<SimReport> = scrub_exec::par_map(outer, jobs, |_, (id, rep)| {
+        run_sim(
+            scale,
+            device.clone(),
+            code.clone(),
+            policy.clone(),
+            DemandTraffic::suite(id),
+            base_seed + rep as u64 * 1000,
+            inner,
+        )
+    });
+    let per_workload: Vec<Metrics> = reports
+        .chunks(scale.reps as usize)
+        .map(Metrics::of)
+        .collect();
+    assert_eq!(per_workload.len(), workloads.len());
     let n = per_workload.len() as f64;
     let mut m = Metrics::default();
     for w in &per_workload {
@@ -157,7 +233,10 @@ pub(crate) fn run_suite(
 /// The evaluation's baseline configuration: DRAM-style basic scrub over
 /// SECDED at a 15-minute sweep.
 pub(crate) fn baseline_policy() -> (CodeSpec, PolicyKind) {
-    (CodeSpec::secded_line(), PolicyKind::Basic { interval_s: 900.0 })
+    (
+        CodeSpec::secded_line(),
+        PolicyKind::Basic { interval_s: 900.0 },
+    )
 }
 
 /// The paper's combined mechanism over BCH-6 at the same base sweep.

@@ -54,7 +54,14 @@ pub fn run(scale: Scale) -> String {
     let rows: Vec<(&str, SimReport)> = vec![
         (
             "combined (paper)",
-            run_one(&scale, nominal.clone(), ProbeKind::FullDecode, None, None, 0xA1),
+            run_one(
+                &scale,
+                nominal.clone(),
+                ProbeKind::FullDecode,
+                None,
+                None,
+                0xA1,
+            ),
         ),
         (
             "+time-aware sensing",
@@ -62,20 +69,33 @@ pub fn run(scale: Scale) -> String {
         ),
         (
             "+CRC-first probes",
-            run_one(&scale, nominal.clone(), ProbeKind::CrcThenDecode, None, None, 0xA1),
+            run_one(
+                &scale,
+                nominal.clone(),
+                ProbeKind::CrcThenDecode,
+                None,
+                None,
+                0xA1,
+            ),
         ),
         (
             "+start-gap leveling",
-            run_one(&scale, nominal.clone(), ProbeKind::FullDecode, Some(8), None, 0xA1),
+            run_one(
+                &scale,
+                nominal.clone(),
+                ProbeKind::FullDecode,
+                Some(8),
+                None,
+                0xA1,
+            ),
         ),
         (
             "+in-band scrub",
             run_one(&scale, nominal, ProbeKind::FullDecode, None, Some(4), 0xA1),
         ),
     ];
-    let mut out = String::from(
-        "X1: extension mechanisms on top of the combined scrub (web-serve)\n\n",
-    );
+    let mut out =
+        String::from("X1: extension mechanisms on top of the combined scrub (web-serve)\n\n");
     let mut table = Table::new(vec![
         "config",
         "UEs",

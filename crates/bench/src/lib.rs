@@ -8,6 +8,7 @@
 //! Set `SCRUB_QUICK=1` (or pass [`Scale::quick`]) for CI-sized runs.
 
 pub mod experiments;
+pub mod runner;
 pub mod scale;
 
 pub use scale::Scale;

@@ -1,0 +1,176 @@
+//! Shared entry point for the `exp_*` binaries: flag parsing, wall-clock
+//! timing, and the machine-readable `BENCH_<exp>.json` record.
+//!
+//! Every experiment binary funnels through [`main`] (or [`main_with`] when
+//! it can report headline metrics without recomputation), which
+//!
+//! 1. parses `--threads N`, `--quick`, `--full`, and `--bench-out PATH`,
+//! 2. resolves the worker pool (flag > `SCRUBSIM_THREADS` > machine),
+//! 3. runs the experiment and prints its tables to stdout, and
+//! 4. writes a small JSON record — experiment id, thread count, wall-clock
+//!    seconds, scale, and any headline metrics — next to the working
+//!    directory (stderr announces the path, keeping stdout diffable).
+
+use std::time::Instant;
+
+use crate::scale::Scale;
+
+struct Opts {
+    threads: Option<usize>,
+    scale: Option<Scale>,
+    bench_out: Option<String>,
+}
+
+fn usage(exp: &str) -> ! {
+    eprintln!(
+        "usage: exp_{exp} [--threads N] [--quick|--full] [--bench-out PATH]\n\
+         \x20 --threads N     worker pool size (default: $SCRUBSIM_THREADS or all cores)\n\
+         \x20 --quick         CI-sized scale (same as SCRUB_QUICK=1)\n\
+         \x20 --full          paper-sized scale (overrides SCRUB_QUICK)\n\
+         \x20 --bench-out P   where to write the JSON record (default: BENCH_{exp}.json)"
+    );
+    std::process::exit(2);
+}
+
+fn parse_opts(exp: &str) -> Opts {
+    let mut opts = Opts {
+        threads: None,
+        scale: None,
+        bench_out: None,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().cloned().unwrap_or_else(|| usage(exp));
+        match flag.as_str() {
+            "--threads" => {
+                let n: usize = value().parse().unwrap_or_else(|_| usage(exp));
+                if n == 0 {
+                    usage(exp);
+                }
+                opts.threads = Some(n);
+            }
+            "--quick" => opts.scale = Some(Scale::quick()),
+            "--full" => opts.scale = Some(Scale::full()),
+            "--bench-out" => opts.bench_out = Some(value()),
+            _ => usage(exp),
+        }
+    }
+    opts
+}
+
+/// Renders one f64 as JSON (finite numbers only; anything else is null).
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_record(
+    exp: &str,
+    threads: usize,
+    wall_s: f64,
+    scale: &Scale,
+    metrics: &[(String, f64)],
+) -> String {
+    let metric_fields: Vec<String> = metrics
+        .iter()
+        .map(|(k, v)| format!("    \"{}\": {}", json_escape(k), json_f64(*v)))
+        .collect();
+    format!(
+        "{{\n  \"experiment\": \"{}\",\n  \"threads\": {},\n  \"wall_s\": {},\n  \
+         \"scale\": {{\n    \"num_lines\": {},\n    \"horizon_s\": {},\n    \
+         \"reps\": {},\n    \"mc_cells\": {}\n  }},\n  \"metrics\": {{\n{}\n  }}\n}}\n",
+        json_escape(exp),
+        threads,
+        json_f64(wall_s),
+        scale.num_lines,
+        json_f64(scale.horizon_s),
+        scale.reps,
+        scale.mc_cells,
+        metric_fields.join(",\n")
+    )
+}
+
+/// Runs an experiment binary that has no cheap headline metrics.
+pub fn main(exp: &'static str, run: fn(Scale) -> String) {
+    main_with(exp, |scale| (run(scale), Vec::new()));
+}
+
+/// Runs an experiment binary whose closure also returns `(name, value)`
+/// headline metrics for the JSON record (computed in the same pass as the
+/// rendered tables — never by re-running the experiment).
+pub fn main_with<F>(exp: &'static str, run: F)
+where
+    F: FnOnce(Scale) -> (String, Vec<(String, f64)>),
+{
+    let opts = parse_opts(exp);
+    if let Some(n) = opts.threads {
+        scrub_exec::set_default_threads(n);
+    }
+    let threads = scrub_exec::default_threads();
+    let scale = opts.scale.unwrap_or_else(Scale::from_env);
+    let started = Instant::now();
+    let (output, metrics) = run(scale);
+    let wall_s = started.elapsed().as_secs_f64();
+    println!("{output}");
+    let record = render_record(exp, threads, wall_s, &scale, &metrics);
+    let path = opts
+        .bench_out
+        .unwrap_or_else(|| format!("BENCH_{exp}.json"));
+    match std::fs::write(&path, &record) {
+        Ok(()) => eprintln!("[{exp}] {wall_s:.2}s on {threads} thread(s); record: {path}"),
+        Err(e) => eprintln!("[{exp}] could not write {path}: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_is_valid_shape() {
+        let scale = Scale::quick();
+        let rec = render_record(
+            "e6",
+            4,
+            1.25,
+            &scale,
+            &[("ue_reduction_pct".to_string(), 96.5)],
+        );
+        assert!(rec.contains("\"experiment\": \"e6\""));
+        assert!(rec.contains("\"threads\": 4"));
+        assert!(rec.contains("\"ue_reduction_pct\": 96.5"));
+        // Balanced braces — cheap sanity check on the hand-rolled JSON.
+        let open = rec.matches('{').count();
+        let close = rec.matches('}').count();
+        assert_eq!(open, close);
+    }
+
+    #[test]
+    fn non_finite_metrics_become_null() {
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+        assert_eq!(json_f64(2.5), "2.5");
+    }
+
+    #[test]
+    fn escapes_quotes_and_controls() {
+        assert_eq!(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\u000a");
+    }
+}

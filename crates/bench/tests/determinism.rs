@@ -1,0 +1,42 @@
+//! Cross-thread-count determinism of the experiment harness.
+//!
+//! The acceptance bar for the parallel execution layer: rendered
+//! experiment output — tables formatted from f64 aggregates, so any bit
+//! that drifts shows up — must be *byte-identical* whether the
+//! `workload × rep` grid runs on one worker or eight. Seeds are pure
+//! functions of `(base_seed, rep)` and RNG streams of `(seed, bank)`, so
+//! scheduling must not be observable.
+
+use scrub_bench::experiments::{e5, e6};
+use scrub_bench::Scale;
+
+fn tiny(num_lines: u32, hours: f64) -> Scale {
+    Scale {
+        num_lines,
+        horizon_s: hours * 3600.0,
+        // Two reps so the rep dimension of the job grid is exercised too.
+        reps: 2,
+        mc_cells: 100,
+    }
+}
+
+/// One test owns the process-global thread default for its whole run, so
+/// the sequential and parallel passes cannot race with each other.
+#[test]
+fn experiment_output_is_byte_identical_across_thread_counts() {
+    let e6_scale = tiny(1024, 3.0);
+    let e5_scale = tiny(512, 2.0);
+
+    scrub_exec::set_default_threads(1);
+    let e6_seq = e6::run(e6_scale);
+    let e5_seq = e5::run(e5_scale);
+
+    scrub_exec::set_default_threads(8);
+    let e6_par = e6::run(e6_scale);
+    let e5_par = e5::run(e5_scale);
+
+    scrub_exec::set_default_threads(0); // back to auto for other tests
+
+    assert_eq!(e6_seq, e6_par, "E6 output depends on thread count");
+    assert_eq!(e5_seq, e5_par, "E5 output depends on thread count");
+}

@@ -46,7 +46,10 @@ pub(crate) struct RegionScheduler {
 
 impl RegionScheduler {
     pub fn new(num_lines: u32, num_regions: u32, base_interval_s: f64, theta: u32) -> Self {
-        assert!(num_regions >= 1 && num_regions <= num_lines, "bad region count");
+        assert!(
+            num_regions >= 1 && num_regions <= num_lines,
+            "bad region count"
+        );
         let region_size = num_lines.div_ceil(num_regions);
         let regions = (0..num_regions)
             .map(|r| {

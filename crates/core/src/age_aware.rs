@@ -1,8 +1,8 @@
 //! Drift-age-aware scrub: skip lines too young to have drifted.
 
-use pcm_memsim::{AccessResult, LineAddr, SimTime};
+use pcm_memsim::{AccessResult, LineAddr, SimTime, SweepRule};
 
-use crate::policy::{ScrubAction, ScrubContext, ScrubPolicy, SweepCursor};
+use crate::policy::{BatchPlan, ScrubAction, ScrubContext, ScrubPolicy, SweepCursor};
 use crate::threshold::ThresholdScrub;
 
 /// Age-aware scrub: sweep as usual, but *skip* any line whose data is
@@ -95,6 +95,18 @@ impl ScrubPolicy for AgeAwareScrub {
     }
 
     fn on_demand_write(&mut self, _addr: LineAddr, _now: SimTime) {}
+
+    fn plan_batch(&mut self, slots: u64) -> Option<BatchPlan> {
+        Some(BatchPlan {
+            first: self.cursor.advance_by(slots, self.num_lines),
+            min_age_s: self.min_age_s,
+            rule: SweepRule::Threshold { theta: self.theta },
+        })
+    }
+
+    fn on_batch_idle(&mut self, skipped: u64) {
+        self.skipped += skipped;
+    }
 }
 
 #[cfg(test)]
@@ -103,26 +115,22 @@ mod tests {
     use pcm_ecc::CodeSpec;
     use pcm_memsim::{MemGeometry, Memory};
     use pcm_model::DeviceConfig;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn mem() -> Memory {
-        let mut rng = StdRng::seed_from_u64(2);
         Memory::new(
             MemGeometry::new(8, 2),
             DeviceConfig::default(),
             CodeSpec::bch_line(6),
-            &mut rng,
+            2,
         )
     }
 
     #[test]
     fn skips_young_lines() {
         let mut m = mem();
-        let mut rng = StdRng::seed_from_u64(3);
         // Refresh line 0 just now; leave others at age 1000.
         let now = SimTime::from_secs(1000.0);
-        m.demand_write(LineAddr(0), now, &mut rng);
+        m.demand_write(LineAddr(0), now);
         let mut p = AgeAwareScrub::new(80.0, 8, 3, 600.0);
         let ctx = ScrubContext { now, mem: &m };
         assert_eq!(p.next_action(&ctx), ScrubAction::Idle, "line 0 is fresh");

@@ -1,8 +1,8 @@
 //! The baseline: DRAM-style basic scrub.
 
-use pcm_memsim::{AccessResult, LineAddr, SimTime};
+use pcm_memsim::{AccessResult, LineAddr, SimTime, SweepRule};
 
-use crate::policy::{ScrubAction, ScrubContext, ScrubPolicy, SweepCursor};
+use crate::policy::{BatchPlan, ScrubAction, ScrubContext, ScrubPolicy, SweepCursor};
 
 /// DRAM-heritage scrub: sweep every line once per `interval`, and write
 /// back whenever the probe finds *any* error.
@@ -74,6 +74,14 @@ impl ScrubPolicy for BasicScrub {
     }
 
     fn on_demand_write(&mut self, _addr: LineAddr, _now: SimTime) {}
+
+    fn plan_batch(&mut self, slots: u64) -> Option<BatchPlan> {
+        Some(BatchPlan {
+            first: self.cursor.advance_by(slots, self.num_lines),
+            min_age_s: 0.0,
+            rule: SweepRule::AnyError,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -82,16 +90,13 @@ mod tests {
     use pcm_ecc::{ClassifyOutcome, CodeSpec};
     use pcm_memsim::{MemGeometry, Memory};
     use pcm_model::DeviceConfig;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn ctx_mem() -> Memory {
-        let mut rng = StdRng::seed_from_u64(1);
         Memory::new(
             MemGeometry::new(16, 2),
             DeviceConfig::default(),
             CodeSpec::secded_line(),
-            &mut rng,
+            1,
         )
     }
 

@@ -143,16 +143,12 @@ mod tests {
     use pcm_ecc::{ClassifyOutcome, CodeSpec};
     use pcm_memsim::{MemGeometry, Memory};
     use pcm_model::DeviceConfig;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
-
     fn ctx_mem() -> Memory {
-        let mut rng = StdRng::seed_from_u64(7);
         Memory::new(
             MemGeometry::new(64, 2),
             DeviceConfig::default(),
             CodeSpec::bch_line(6),
-            &mut rng,
+            7,
         )
     }
 

@@ -122,20 +122,16 @@ mod tests {
     use pcm_ecc::CodeSpec;
     use pcm_memsim::{MemGeometry, Memory};
     use pcm_model::DeviceConfig;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
-
     #[test]
     fn skips_young_lines_but_probes_old() {
-        let mut rng = StdRng::seed_from_u64(4);
         let mut mem = Memory::new(
             MemGeometry::new(8, 2),
             DeviceConfig::default(),
             CodeSpec::bch_line(6),
-            &mut rng,
+            4,
         );
         let now = SimTime::from_secs(10_000.0);
-        mem.demand_write(LineAddr(0), now, &mut rng);
+        mem.demand_write(LineAddr(0), now);
         let mut p = CombinedScrub::new(80.0, 8, 5, 2, 600.0);
         let ctx = ScrubContext { now, mem: &mem };
         // Line 0 was just written: slot goes idle.
@@ -148,12 +144,11 @@ mod tests {
     #[test]
     fn writeback_follows_threshold_rule() {
         let mut p = CombinedScrub::new(900.0, 64, 5, 4, 0.0);
-        let mut rng = StdRng::seed_from_u64(5);
         let mem = Memory::new(
             MemGeometry::new(64, 2),
             DeviceConfig::default(),
             CodeSpec::bch_line(6),
-            &mut rng,
+            5,
         );
         let ctx = ScrubContext {
             now: SimTime::from_secs(1.0),

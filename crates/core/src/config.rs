@@ -204,7 +204,14 @@ mod tests {
             },
             PolicyKind::combined_default(900.0),
         ];
-        let names = ["basic", "threshold", "age-aware", "adaptive", "budget", "combined"];
+        let names = [
+            "basic",
+            "threshold",
+            "age-aware",
+            "adaptive",
+            "budget",
+            "combined",
+        ];
         for (k, want) in kinds.iter().zip(names) {
             let p = k.build(1024).expect("scrubbing kind");
             assert_eq!(p.name(), want);

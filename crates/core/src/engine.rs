@@ -1,10 +1,16 @@
-//! The scrub engine: drives a policy against a memory, one slot at a time.
+//! The scrub engine: drives a policy against a memory — one slot at a
+//! time, or whole batches of slots executed bank-parallel when the policy
+//! can commit to them in advance.
 
-use rand::Rng;
-
-use pcm_memsim::{LineAddr, Memory, SimTime};
+use pcm_memsim::{LineAddr, Memory, SimTime, SweepPlan};
 
 use crate::policy::{ScrubAction, ScrubContext, ScrubPolicy};
+
+/// Upper bound on slots executed per batch, to keep the slot-time scratch
+/// vector bounded. Batch boundaries do not affect results (each slot's
+/// randomness is keyed to its line's bank stream), so the cap is purely a
+/// memory-footprint knob.
+const MAX_BATCH_SLOTS: usize = 1 << 16;
 
 /// Engine-side counters (memory-side counters live in
 /// [`pcm_memsim::MemStats`]).
@@ -29,18 +35,16 @@ pub struct EngineStats {
 /// use pcm_memsim::{Memory, MemGeometry, SimTime};
 /// use pcm_ecc::CodeSpec;
 /// use pcm_model::DeviceConfig;
-/// use rand::SeedableRng;
 ///
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
 /// let mut mem = Memory::new(
 ///     MemGeometry::new(64, 2),
 ///     DeviceConfig::default(),
 ///     CodeSpec::secded_line(),
-///     &mut rng,
+///     0,
 /// );
 /// let mut engine = ScrubEngine::new(Box::new(BasicScrub::new(64.0, 64)));
 /// while engine.next_slot() <= SimTime::from_secs(128.0) {
-///     engine.step(&mut mem, &mut rng);
+///     engine.step(&mut mem);
 /// }
 /// assert_eq!(mem.stats().scrub_probes, 129); // slots at t=0..=128
 /// ```
@@ -83,7 +87,7 @@ impl ScrubEngine {
 
     /// Executes the slot at [`ScrubEngine::next_slot`] and schedules the
     /// following one.
-    pub fn step<R: Rng + ?Sized>(&mut self, mem: &mut Memory, rng: &mut R) {
+    pub fn step(&mut self, mem: &mut Memory) {
         let now = self.next_slot;
         let action = {
             let ctx = ScrubContext { now, mem };
@@ -92,7 +96,7 @@ impl ScrubEngine {
         match action {
             ScrubAction::Probe(addr) => {
                 self.stats.probe_slots += 1;
-                let result = mem.scrub_probe(addr, now, rng);
+                let result = mem.scrub_probe(addr, now);
                 let wants = {
                     let ctx = ScrubContext { now, mem };
                     self.policy.wants_writeback(addr, &result, &ctx)
@@ -101,10 +105,10 @@ impl ScrubEngine {
                     // Data restored from higher-level redundancy; the line
                     // itself must be rewritten either way.
                     self.stats.forced_writebacks += 1;
-                    mem.scrub_writeback(addr, now, rng);
+                    mem.scrub_writeback(addr, now);
                 } else if wants {
                     self.stats.policy_writebacks += 1;
-                    mem.scrub_writeback(addr, now, rng);
+                    mem.scrub_writeback(addr, now);
                 }
             }
             ScrubAction::Idle => {
@@ -118,42 +122,103 @@ impl ScrubEngine {
         assert!(gap > 0.0, "policy returned non-positive probe gap");
         self.next_slot = now + gap;
     }
+
+    /// Executes every slot from [`ScrubEngine::next_slot`] up to `horizon`
+    /// (and strictly before `demand_due`, which takes priority on ties) as
+    /// one bank-parallel batch, if the policy supports batch planning.
+    ///
+    /// Returns `false` — executing nothing — when the policy cannot batch;
+    /// the caller falls back to [`ScrubEngine::step`]. When it returns
+    /// `true`, the memory, the policy's cursor, and the engine counters are
+    /// in exactly the state the equivalent sequence of `step` calls would
+    /// have produced, for any `threads` value.
+    pub fn step_batch(
+        &mut self,
+        mem: &mut Memory,
+        horizon: SimTime,
+        demand_due: Option<SimTime>,
+        threads: usize,
+    ) -> bool {
+        let now = self.next_slot;
+        if now > horizon || demand_due.is_some_and(|d| now >= d) {
+            return false;
+        }
+        // Batchable policies have a constant, context-independent gap
+        // (interval / num_lines); sample it once.
+        let gap = {
+            let ctx = ScrubContext { now, mem };
+            self.policy.probe_gap_s(&ctx)
+        };
+        assert!(gap > 0.0, "policy returned non-positive probe gap");
+        // Slot times by exact sequential accumulation: t_{k+1} = t_k + gap
+        // reproduces the slot-at-a-time timestamps bit-for-bit (t_0 + k*gap
+        // would not, under floating point).
+        let mut times: Vec<SimTime> = Vec::new();
+        let mut t = now;
+        while t <= horizon && demand_due.is_none_or(|d| t < d) && times.len() < MAX_BATCH_SLOTS {
+            times.push(t);
+            t += gap;
+        }
+        // Only consult the policy once the batch extent is known:
+        // plan_batch commits cursor state for exactly `times.len()` slots.
+        let Some(plan) = self.policy.plan_batch(times.len() as u64) else {
+            return false;
+        };
+        let outcome = mem.scrub_sweep(
+            &SweepPlan {
+                first: plan.first,
+                times: &times,
+                min_age_s: plan.min_age_s,
+                rule: plan.rule,
+            },
+            threads,
+        );
+        self.stats.probe_slots += outcome.probe_slots;
+        self.stats.idle_slots += outcome.idle_slots;
+        self.stats.policy_writebacks += outcome.policy_writebacks;
+        self.stats.forced_writebacks += outcome.forced_writebacks;
+        self.policy.on_batch_idle(outcome.idle_slots);
+        self.next_slot = t;
+        true
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::age_aware::AgeAwareScrub;
     use crate::basic::BasicScrub;
     use crate::threshold::ThresholdScrub;
     use pcm_ecc::CodeSpec;
     use pcm_memsim::MemGeometry;
     use pcm_model::DeviceConfig;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
-    fn mem(code: CodeSpec, lines: u32, rng: &mut StdRng) -> Memory {
-        Memory::new(MemGeometry::new(lines, 2), DeviceConfig::default(), code, rng)
+    fn mem(code: CodeSpec, lines: u32, seed: u64) -> Memory {
+        Memory::new(
+            MemGeometry::new(lines, 2),
+            DeviceConfig::default(),
+            code,
+            seed,
+        )
     }
 
     #[test]
     fn slots_advance_by_gap() {
-        let mut rng = StdRng::seed_from_u64(81);
-        let mut m = mem(CodeSpec::bch_line(4), 10, &mut rng);
+        let mut m = mem(CodeSpec::bch_line(4), 10, 81);
         let mut e = ScrubEngine::new(Box::new(BasicScrub::new(100.0, 10)));
         assert_eq!(e.next_slot(), SimTime::ZERO);
-        e.step(&mut m, &mut rng);
+        e.step(&mut m);
         assert!((e.next_slot().secs() - 10.0).abs() < 1e-9);
     }
 
     #[test]
     fn basic_engine_scrubs_and_repairs_old_memory() {
-        let mut rng = StdRng::seed_from_u64(82);
-        let mut m = mem(CodeSpec::secded_line(), 32, &mut rng);
+        let mut m = mem(CodeSpec::secded_line(), 32, 82);
         // A sweep "interval" of 32 weeks makes each slot land a week after
         // the previous one, so every probed line is ancient by its slot.
         let mut e = ScrubEngine::new(Box::new(BasicScrub::new(604_800.0 * 32.0, 32)));
         for _ in 0..32 {
-            e.step(&mut m, &mut rng);
+            e.step(&mut m);
         }
         // With a gap of a week per slot, every probed line is ancient.
         assert_eq!(m.stats().scrub_probes, 32);
@@ -168,12 +233,11 @@ mod tests {
     #[test]
     fn threshold_engine_writes_less_than_basic() {
         let run = |policy: Box<dyn ScrubPolicy>, seed: u64| -> (u64, u64) {
-            let mut rng = StdRng::seed_from_u64(seed);
-            let mut m = mem(CodeSpec::bch_line(6), 64, &mut rng);
+            let mut m = mem(CodeSpec::bch_line(6), 64, seed);
             let mut e = ScrubEngine::new(policy);
             // 20 sweeps at 2h each over 64 lines.
             while e.next_slot() < SimTime::from_secs(40.0 * 3600.0) {
-                e.step(&mut m, &mut rng);
+                e.step(&mut m);
             }
             (m.stats().scrub_writebacks, m.stats().scrub_probes)
         };
@@ -184,6 +248,58 @@ mod tests {
             lazy_wb * 3 < basic_wb.max(3),
             "lazy {lazy_wb} vs basic {basic_wb} write-backs"
         );
+    }
+
+    /// The determinism contract of the whole execution layer, at engine
+    /// granularity: a batch (at several thread counts) leaves memory,
+    /// policy, and counters bit-identical to slot-at-a-time stepping.
+    #[test]
+    fn step_batch_matches_sequential_steps_exactly() {
+        let policies: Vec<Box<dyn Fn() -> Box<dyn ScrubPolicy>>> = vec![
+            Box::new(|| Box::new(BasicScrub::new(7200.0, 64))),
+            Box::new(|| Box::new(ThresholdScrub::new(7200.0, 64, 4))),
+            Box::new(|| Box::new(AgeAwareScrub::new(7200.0, 64, 4, 1800.0))),
+        ];
+        let horizon = SimTime::from_secs(30.0 * 3600.0);
+        for make in &policies {
+            let mut seq_mem = mem(CodeSpec::bch_line(6), 64, 90);
+            let mut seq = ScrubEngine::new(make());
+            while seq.next_slot() <= horizon {
+                seq.step(&mut seq_mem);
+            }
+            for threads in [1usize, 8] {
+                let mut bat_mem = mem(CodeSpec::bch_line(6), 64, 90);
+                let mut bat = ScrubEngine::new(make());
+                while bat.next_slot() <= horizon {
+                    assert!(bat.step_batch(&mut bat_mem, horizon, None, threads));
+                }
+                assert_eq!(bat.stats(), seq.stats(), "threads={threads}");
+                assert_eq!(bat.next_slot(), seq.next_slot(), "threads={threads}");
+                assert_eq!(bat_mem.stats(), seq_mem.stats(), "threads={threads}");
+                assert_eq!(bat_mem.energy(), seq_mem.energy(), "threads={threads}");
+                for i in 0..64 {
+                    assert_eq!(
+                        bat_mem.line(LineAddr(i)),
+                        seq_mem.line(LineAddr(i)),
+                        "line {i} threads={threads}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn step_batch_respects_demand_due_and_tie_priority() {
+        let mut m = mem(CodeSpec::bch_line(4), 16, 91);
+        let mut e = ScrubEngine::new(Box::new(BasicScrub::new(160.0, 16)));
+        // Slots at t = 0, 10, 20, ...; demand due exactly at t = 30 (a tie
+        // goes to demand, so slot 30 must NOT run).
+        let due = Some(SimTime::from_secs(30.0));
+        assert!(e.step_batch(&mut m, SimTime::from_secs(1000.0), due, 1));
+        assert_eq!(e.stats().probe_slots, 3);
+        assert_eq!(e.next_slot(), SimTime::from_secs(30.0));
+        // With the demand due *at* next_slot, there is nothing to batch.
+        assert!(!e.step_batch(&mut m, SimTime::from_secs(1000.0), due, 1));
     }
 
     #[test]
@@ -210,9 +326,8 @@ mod tests {
                 false
             }
         }
-        let mut rng = StdRng::seed_from_u64(84);
-        let mut m = mem(CodeSpec::bch_line(2), 4, &mut rng);
+        let mut m = mem(CodeSpec::bch_line(2), 4, 84);
         let mut e = ScrubEngine::new(Box::new(BadPolicy));
-        e.step(&mut m, &mut rng);
+        e.step(&mut m);
     }
 }

@@ -53,7 +53,7 @@ pub use budget::BudgetScrub;
 pub use combined::CombinedScrub;
 pub use config::PolicyKind;
 pub use engine::{EngineStats, ScrubEngine};
-pub use policy::{ScrubAction, ScrubContext, ScrubPolicy, SweepCursor};
+pub use policy::{BatchPlan, ScrubAction, ScrubContext, ScrubPolicy, SweepCursor};
 pub use report::SimReport;
 pub use sim::{DemandTraffic, SimConfig, SimConfigBuilder, Simulation};
 pub use threshold::ThresholdScrub;

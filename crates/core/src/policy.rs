@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use pcm_memsim::{AccessResult, LineAddr, Memory, SimTime};
+use pcm_memsim::{AccessResult, LineAddr, Memory, SimTime, SweepRule};
 
 /// Read-only context a policy sees when deciding its next move.
 #[derive(Debug)]
@@ -11,6 +11,23 @@ pub struct ScrubContext<'a> {
     pub now: SimTime,
     /// The memory being scrubbed (for line ages, geometry, code).
     pub mem: &'a Memory,
+}
+
+/// A policy's description of a whole run of upcoming slots, produced by
+/// [`ScrubPolicy::plan_batch`]. Only policies whose slot decisions are
+/// *local* — fixed cadence, cursor sweep, per-line probe/write-back rules
+/// with no cross-line feedback — can express themselves this way; those
+/// batches execute bank-parallel via [`Memory::scrub_sweep`] with results
+/// bit-identical to the slot-at-a-time path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchPlan {
+    /// Line targeted by the first slot of the batch; subsequent slots
+    /// advance the sweep cursor by one each, wrapping.
+    pub first: LineAddr,
+    /// Minimum data age for a probe (0 = probe unconditionally).
+    pub min_age_s: f64,
+    /// Per-line write-back rule for correctable lines.
+    pub rule: SweepRule,
 }
 
 /// What the policy wants to do with its next scrub slot.
@@ -53,6 +70,19 @@ pub trait ScrubPolicy: fmt::Debug {
 
     /// Notification that a demand write refreshed `addr` at `now`.
     fn on_demand_write(&mut self, _addr: LineAddr, _now: SimTime) {}
+
+    /// Commits to the next `slots` slots as one batch, advancing internal
+    /// cursors past them, and describes the batch for parallel execution.
+    /// Policies whose decisions depend on cross-line state (adaptive
+    /// region scheduling, energy budgets) return `None` — the default —
+    /// and keep the sequential slot path.
+    fn plan_batch(&mut self, _slots: u64) -> Option<BatchPlan> {
+        None
+    }
+
+    /// Reports how many slots of the last planned batch were spent idle
+    /// (age-skipped), for policies that track skip counters.
+    fn on_batch_idle(&mut self, _skipped: u64) {}
 }
 
 /// Round-robin sweep cursor shared by the concrete policies.
@@ -74,6 +104,14 @@ impl SweepCursor {
         self.next = (self.next + 1) % num_lines;
         (addr, self.next == 0)
     }
+
+    /// Returns the current line and advances by `n` slots at once (batch
+    /// commit), wrapping at `num_lines`.
+    pub fn advance_by(&mut self, n: u64, num_lines: u32) -> LineAddr {
+        let addr = LineAddr(self.next);
+        self.next = ((self.next as u64 + n) % num_lines as u64) as u32;
+        addr
+    }
 }
 
 #[cfg(test)]
@@ -93,5 +131,19 @@ mod tests {
         assert!(end2);
         let (a3, _) = c.advance(3);
         assert_eq!(a3, LineAddr(0));
+    }
+
+    #[test]
+    fn advance_by_matches_repeated_advance() {
+        let mut one = SweepCursor::new();
+        let mut batch = SweepCursor::new();
+        let first = batch.advance_by(7, 5);
+        assert_eq!(first, LineAddr(0));
+        for _ in 0..7 {
+            one.advance(5);
+        }
+        assert_eq!(one, batch);
+        // A second batch starts where the first left off: 7 mod 5 = 2.
+        assert_eq!(batch.advance_by(1, 5), LineAddr(2));
     }
 }

@@ -1,8 +1,5 @@
 //! Top-level simulation: workload + memory + scrub engine, one event loop.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
 use pcm_ecc::CodeSpec;
 use pcm_memsim::{MemGeometry, MemOp, Memory, OpKind, ProbeKind, SimTime, TraceSource};
 use pcm_model::DeviceConfig;
@@ -93,6 +90,10 @@ pub struct SimConfig {
     pub inband_writeback_theta: Option<u32>,
     /// How scrub probes check lines (full decode vs. CRC-first).
     pub probe_kind: ProbeKind,
+    /// Worker threads for bank-parallel scrub sweeps inside this
+    /// simulation. Results are bit-identical for every value (randomness
+    /// is keyed to banks, not execution order); 1 runs fully inline.
+    pub threads: usize,
 }
 
 impl SimConfig {
@@ -118,6 +119,7 @@ pub struct SimConfigBuilder {
     wear_leveling: Option<u32>,
     inband_writeback_theta: Option<u32>,
     probe_kind: ProbeKind,
+    threads: usize,
 }
 
 impl Default for SimConfigBuilder {
@@ -134,6 +136,7 @@ impl Default for SimConfigBuilder {
             wear_leveling: None,
             inband_writeback_theta: None,
             probe_kind: ProbeKind::FullDecode,
+            threads: 1,
         }
     }
 }
@@ -205,6 +208,13 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Sets the worker-thread count for bank-parallel scrub sweeps
+    /// (0 is treated as 1). Any value produces bit-identical results.
+    pub fn threads(&mut self, n: usize) -> &mut Self {
+        self.threads = n.max(1);
+        self
+    }
+
     /// Finalizes the configuration.
     ///
     /// # Panics
@@ -223,6 +233,7 @@ impl SimConfigBuilder {
             wear_leveling: self.wear_leveling,
             inband_writeback_theta: self.inband_writeback_theta,
             probe_kind: self.probe_kind,
+            threads: self.threads,
         }
     }
 }
@@ -233,19 +244,19 @@ pub struct Simulation {
     config: SimConfig,
     memory: Memory,
     engine: Option<ScrubEngine>,
-    rng: StdRng,
     custom_trace: Option<Box<dyn TraceSource>>,
 }
 
 impl Simulation {
-    /// Instantiates memory, policy, and workload from a config.
+    /// Instantiates memory, policy, and workload from a config. The memory
+    /// derives its per-bank RNG streams from `config.seed`; the workload
+    /// trace seeds itself independently from the same master seed.
     pub fn new(config: SimConfig) -> Self {
-        let mut rng = StdRng::seed_from_u64(config.seed);
         let mut memory = Memory::new(
             config.geometry,
             config.device.clone(),
             config.code.clone(),
-            &mut rng,
+            config.seed,
         );
         if let Some(period) = config.wear_leveling {
             memory.enable_wear_leveling(period);
@@ -259,7 +270,6 @@ impl Simulation {
             config,
             memory,
             engine,
-            rng,
             custom_trace: None,
         }
     }
@@ -278,8 +288,23 @@ impl Simulation {
     ///
     /// The event loop merges the demand-trace stream with scrub slots in
     /// timestamp order, so policies see a realistic interleaving of
-    /// drift-clock resets and probes.
-    pub fn run(mut self) -> SimReport {
+    /// drift-clock resets and probes. Runs of scrub slots with no demand
+    /// op in between are executed as bank-parallel batches (on
+    /// `config.threads` workers) when the policy supports batch planning —
+    /// bit-identical to the slot-at-a-time path.
+    pub fn run(self) -> SimReport {
+        self.run_inner(true)
+    }
+
+    /// Runs with batching disabled: every scrub slot goes through the
+    /// sequential [`ScrubEngine::step`] path. Exists to *prove* the batch
+    /// path changes nothing — reports from `run` and `run_unbatched` must
+    /// be identical — and as a reference for debugging.
+    pub fn run_unbatched(self) -> SimReport {
+        self.run_inner(false)
+    }
+
+    fn run_inner(mut self, batched: bool) -> SimReport {
         let horizon = SimTime::from_secs(self.config.horizon_s);
         let mut trace: Option<Box<dyn TraceSource>> = match self.custom_trace.take() {
             Some(t) => Some(t),
@@ -313,19 +338,18 @@ impl Simulation {
                 }
                 match op.kind {
                     OpKind::Read => {
-                        let result = self.memory.demand_read(op.addr, op.at, &mut self.rng);
+                        let result = self.memory.demand_read(op.addr, op.at);
                         // Optional in-band scrub: repair heavily drifted
                         // lines the program happens to touch.
                         if let Some(theta) = self.config.inband_writeback_theta {
-                            if result.persistent_bits >= theta
-                                || result.outcome.is_uncorrectable()
+                            if result.persistent_bits >= theta || result.outcome.is_uncorrectable()
                             {
-                                self.memory.demand_write(op.addr, op.at, &mut self.rng);
+                                self.memory.demand_write(op.addr, op.at);
                             }
                         }
                     }
                     OpKind::Write => {
-                        self.memory.demand_write(op.addr, op.at, &mut self.rng);
+                        self.memory.demand_write(op.addr, op.at);
                         if let Some(e) = &mut self.engine {
                             e.notify_demand_write(op.addr, op.at);
                         }
@@ -337,7 +361,10 @@ impl Simulation {
                 if engine.next_slot() > horizon {
                     break;
                 }
-                engine.step(&mut self.memory, &mut self.rng);
+                let threads = self.config.threads.max(1);
+                if !(batched && engine.step_batch(&mut self.memory, horizon, demand_due, threads)) {
+                    engine.step(&mut self.memory);
+                }
             }
         }
         self.into_report()
@@ -353,12 +380,8 @@ impl Simulation {
             code: self.memory.code().name().to_string(),
             horizon_s: self.config.horizon_s,
             num_lines: self.config.geometry.num_lines(),
-            stats: *self.memory.stats(),
-            engine: self
-                .engine
-                .as_ref()
-                .map(|e| *e.stats())
-                .unwrap_or_default(),
+            stats: self.memory.stats(),
+            engine: self.engine.as_ref().map(|e| *e.stats()).unwrap_or_default(),
             scrub_energy_uj: self.memory.energy().scrub_total_pj() / 1e6,
             demand_energy_uj: self.memory.energy().demand_total_pj() / 1e6,
             mean_wear: self.memory.mean_wear(),
@@ -427,6 +450,52 @@ mod tests {
         let r = Simulation::new(config).run();
         assert_eq!(r.stats.scrub_probes, 0);
         assert_eq!(r.stats.demand_reads, 0);
+    }
+
+    /// The execution-layer contract at full-simulation granularity: for
+    /// every batchable policy, under both idle and demand-interleaved
+    /// traffic, the unbatched path, the batched single-thread path, and
+    /// the batched 8-thread path produce identical reports — every
+    /// counter, every energy total, every f64, bit for bit.
+    #[test]
+    fn batched_and_parallel_runs_are_bit_identical() {
+        let policies = [
+            PolicyKind::Basic { interval_s: 1200.0 },
+            PolicyKind::Threshold {
+                interval_s: 1200.0,
+                theta: 4,
+            },
+            PolicyKind::AgeAware {
+                interval_s: 1200.0,
+                theta: 4,
+                min_age_s: 600.0,
+            },
+        ];
+        let traffics = [
+            DemandTraffic::Idle,
+            DemandTraffic::suite(WorkloadId::KvCache),
+        ];
+        for policy in &policies {
+            for traffic in &traffics {
+                let cfg = |threads: usize| {
+                    SimConfig::builder()
+                        .num_lines(1024)
+                        .policy(policy.clone())
+                        .code(CodeSpec::bch_line(6))
+                        .traffic(*traffic)
+                        .horizon_s(3.0 * 3600.0)
+                        .seed(33)
+                        .threads(threads)
+                        .build()
+                };
+                let unbatched = Simulation::new(cfg(1)).run_unbatched();
+                let serial = Simulation::new(cfg(1)).run();
+                let parallel = Simulation::new(cfg(8)).run();
+                assert_eq!(unbatched, serial, "{policy:?}/{traffic:?}");
+                assert_eq!(serial, parallel, "{policy:?}/{traffic:?}");
+                assert!(serial.stats.scrub_probes > 0);
+            }
+        }
     }
 
     #[test]

@@ -1,9 +1,9 @@
 //! Lazy-correction scrub: lightweight detection with a write-back
 //! threshold.
 
-use pcm_memsim::{AccessResult, LineAddr, SimTime};
+use pcm_memsim::{AccessResult, LineAddr, SimTime, SweepRule};
 
-use crate::policy::{ScrubAction, ScrubContext, ScrubPolicy, SweepCursor};
+use crate::policy::{BatchPlan, ScrubAction, ScrubContext, ScrubPolicy, SweepCursor};
 
 /// Threshold scrub: probe every line each sweep, but only pay the
 /// write-back once the accumulated *persistent* error count reaches `Θ`.
@@ -41,7 +41,10 @@ impl ThresholdScrub {
     pub fn new(interval_s: f64, num_lines: u32, theta: u32) -> Self {
         assert!(interval_s > 0.0, "scrub interval must be positive");
         assert!(num_lines > 0, "need at least one line");
-        assert!(theta >= 1, "theta must be >= 1; use BasicScrub for eager write-back");
+        assert!(
+            theta >= 1,
+            "theta must be >= 1; use BasicScrub for eager write-back"
+        );
         Self {
             interval_s,
             num_lines,
@@ -91,6 +94,16 @@ impl ScrubPolicy for ThresholdScrub {
     }
 
     fn on_demand_write(&mut self, _addr: LineAddr, _now: SimTime) {}
+
+    fn plan_batch(&mut self, slots: u64) -> Option<BatchPlan> {
+        Some(BatchPlan {
+            first: self.cursor.advance_by(slots, self.num_lines),
+            min_age_s: 0.0,
+            // Uncorrectable lines are written back unconditionally by the
+            // sweep, matching the engine's forced-write-back path.
+            rule: SweepRule::Threshold { theta: self.theta },
+        })
+    }
 }
 
 #[cfg(test)]

@@ -8,6 +8,18 @@ use crate::code::{DecodeOutcome, LineCode};
 use crate::gf::GfTable;
 use crate::poly::{BinPoly, GfPoly};
 
+/// Largest correction capability the stack-allocated decode path
+/// supports. The scrub simulator's strongest line code is BCH-16.
+const MAX_T: usize = 16;
+
+/// Syndrome scratch: `2t` entries used.
+type SyndBuf = [u16; 2 * MAX_T];
+
+/// Error-locator scratch. Berlekamp–Massey keeps `deg σ ≤ n_iter + 1 ≤ 2t`
+/// even on uncorrectable inputs (each update's shift term has degree
+/// `deg(prev) + m_gap ≤ n_iter`), so `2·MAX_T + 1` coefficients suffice.
+const SIGMA_LEN: usize = 2 * MAX_T + 1;
+
 /// A (possibly shortened) binary BCH code over GF(2^m).
 ///
 /// Codeword layout is systematic with parity in the low positions:
@@ -48,6 +60,10 @@ impl BchCode {
     /// (`data_bits + deg g > 2^m − 1`) or `t == 0`.
     pub fn new(m: u32, t: u32, data_bits: usize) -> Self {
         assert!(t >= 1, "BCH needs t >= 1");
+        assert!(
+            t as usize <= MAX_T,
+            "BCH t={t} exceeds the decoder's stack scratch (MAX_T={MAX_T})"
+        );
         let gf = GfTable::new(m);
         let n_full = gf.order();
         let gen = generator_poly(&gf, t);
@@ -71,86 +87,101 @@ impl BchCode {
         self.n
     }
 
-    /// Computes the 2t syndromes of a received word; returns `None` when
-    /// all are zero (apparently clean).
-    fn syndromes(&self, recv: &BitBuf) -> Option<Vec<u16>> {
-        let mut synd = vec![0u16; 2 * self.t as usize];
-        let mut any = false;
+    /// Computes the 2t syndromes of a received word into stack scratch;
+    /// returns `None` when all are zero (apparently clean). This is the
+    /// decode hot path — every scrub probe lands here — so it must not
+    /// touch the heap.
+    fn syndromes(&self, recv: &BitBuf) -> Option<SyndBuf> {
+        let mut synd: SyndBuf = [0; 2 * MAX_T];
+        let two_t = 2 * self.t as usize;
         for pos in recv.ones() {
-            for (j, s) in synd.iter_mut().enumerate() {
+            for (j, s) in synd[..two_t].iter_mut().enumerate() {
                 *s ^= self.gf.alpha_pow(pos * (j + 1));
             }
         }
-        for &s in &synd {
-            if s != 0 {
-                any = true;
-                break;
-            }
-        }
-        if any {
+        if synd[..two_t].iter().any(|&s| s != 0) {
             Some(synd)
         } else {
             None
         }
     }
 
-    /// Berlekamp–Massey: error-locator polynomial from syndromes.
-    fn berlekamp_massey(&self, synd: &[u16]) -> GfPoly {
+    /// Berlekamp–Massey over fixed stack arrays: error-locator polynomial
+    /// σ from syndromes, returned as `(coefficients, degree)`. σ(0) = 1
+    /// always, so the degree is well defined. Bit-identical to the
+    /// polynomial formulation (GF arithmetic is exact); allocation-free.
+    fn berlekamp_massey(&self, synd: &[u16]) -> ([u16; SIGMA_LEN], usize) {
         let gf = &self.gf;
-        let mut sigma = GfPoly::one();
-        let mut prev = GfPoly::one();
+        let mut sigma = [0u16; SIGMA_LEN];
+        let mut prev = [0u16; SIGMA_LEN];
+        sigma[0] = 1;
+        prev[0] = 1;
         let mut l = 0usize;
         let mut m_gap = 1usize;
         let mut b = 1u16;
         for n_iter in 0..synd.len() {
             let mut d = synd[n_iter];
             for i in 1..=l {
-                d ^= gf.mul(sigma.coeff(i), synd[n_iter - i]);
+                d ^= gf.mul(sigma[i], synd[n_iter - i]);
             }
             if d == 0 {
                 m_gap += 1;
-            } else if 2 * l <= n_iter {
-                let old_sigma = sigma.clone();
-                let scale = gf.div(d, b);
-                let shift = shift_poly(&prev.scale(scale, gf), m_gap);
-                sigma = sigma.add(&shift, gf);
+                continue;
+            }
+            let scale = gf.div(d, b);
+            // σ ← σ + scale · x^m_gap · prev, in place. The tail of `prev`
+            // beyond SIGMA_LEN - m_gap is provably zero (see SIGMA_LEN).
+            debug_assert!(prev[SIGMA_LEN - m_gap.min(SIGMA_LEN)..]
+                .iter()
+                .all(|&c| c == 0));
+            if 2 * l <= n_iter {
+                let old_sigma = sigma;
+                for i in 0..SIGMA_LEN - m_gap {
+                    sigma[i + m_gap] ^= gf.mul(prev[i], scale);
+                }
                 l = n_iter + 1 - l;
                 prev = old_sigma;
                 b = d;
                 m_gap = 1;
             } else {
-                let scale = gf.div(d, b);
-                let shift = shift_poly(&prev.scale(scale, gf), m_gap);
-                sigma = sigma.add(&shift, gf);
+                for i in 0..SIGMA_LEN - m_gap {
+                    sigma[i + m_gap] ^= gf.mul(prev[i], scale);
+                }
                 m_gap += 1;
             }
         }
-        sigma
+        let deg = (0..SIGMA_LEN).rev().find(|&i| sigma[i] != 0).unwrap_or(0);
+        (sigma, deg)
     }
 
     /// Chien search: positions `i` with `σ(α^{-i}) = 0`, over the *full*
     /// (unshortened) length so errors "in" the shortened-away region are
-    /// caught as uncorrectable.
-    fn chien_search(&self, sigma: &GfPoly) -> Vec<usize> {
+    /// caught as uncorrectable. Fills `roots` and returns the root count;
+    /// a degree-`deg` polynomial over a field has at most `deg ≤ t` roots,
+    /// so the fixed-size scratch cannot overflow.
+    fn chien_search(
+        &self,
+        sigma: &[u16; SIGMA_LEN],
+        deg: usize,
+        roots: &mut [usize; MAX_T],
+    ) -> usize {
         let order = self.gf.order();
-        let mut roots = Vec::new();
+        let mut n_roots = 0usize;
         for i in 0..order {
             let x = self.gf.alpha_pow(order - (i % order)); // α^{-i}
-            if sigma.eval(x, &self.gf) == 0 {
-                roots.push(i);
+                                                            // Horner evaluation of σ at x.
+            let mut acc = sigma[deg];
+            for k in (0..deg).rev() {
+                acc = self.gf.mul(acc, x) ^ sigma[k];
+            }
+            if acc == 0 {
+                debug_assert!(n_roots < MAX_T, "degree-{deg} σ yielded > t roots");
+                roots[n_roots] = i;
+                n_roots += 1;
             }
         }
-        roots
+        n_roots
     }
-}
-
-/// Multiplies a GF polynomial by `x^k`.
-fn shift_poly(p: &GfPoly, k: usize) -> GfPoly {
-    let mut coeffs = vec![0u16; k + p.coeffs().len()];
-    for (i, &c) in p.coeffs().iter().enumerate() {
-        coeffs[k + i] = c;
-    }
-    GfPoly::from_coeffs(coeffs)
 }
 
 /// Builds the BCH generator polynomial: LCM of the minimal polynomials of
@@ -235,27 +266,25 @@ impl LineCode for BchCode {
         let Some(synd) = self.syndromes(received) else {
             return DecodeOutcome::Clean;
         };
-        let sigma = self.berlekamp_massey(&synd);
-        let Some(deg) = sigma.degree() else {
-            return DecodeOutcome::Uncorrectable;
-        };
+        let (sigma, deg) = self.berlekamp_massey(&synd[..2 * self.t as usize]);
         if deg > self.t as usize {
             return DecodeOutcome::Uncorrectable;
         }
-        let roots = self.chien_search(&sigma);
-        if roots.len() != deg {
+        let mut roots = [0usize; MAX_T];
+        let n_roots = self.chien_search(&sigma, deg, &mut roots);
+        if n_roots != deg {
             return DecodeOutcome::Uncorrectable;
         }
         // Any root pointing into the shortened-away region means the true
         // error pattern was beyond capability.
-        if roots.iter().any(|&pos| pos >= self.n) {
+        if roots[..n_roots].iter().any(|&pos| pos >= self.n) {
             return DecodeOutcome::Uncorrectable;
         }
-        for &pos in &roots {
+        for &pos in &roots[..n_roots] {
             received.flip(pos);
         }
         DecodeOutcome::Corrected {
-            bits: roots.len() as u32,
+            bits: n_roots as u32,
         }
     }
 

@@ -67,7 +67,10 @@ pub enum ClassifyOutcome {
 impl ClassifyOutcome {
     /// Whether the line's data survives intact after decode.
     pub fn data_intact(self) -> bool {
-        matches!(self, ClassifyOutcome::Clean | ClassifyOutcome::Corrected { .. })
+        matches!(
+            self,
+            ClassifyOutcome::Clean | ClassifyOutcome::Corrected { .. }
+        )
     }
 
     /// Whether this counts as an uncorrectable error (DUE or SDC).
@@ -350,7 +353,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let c = CodeSpec::bch_line(3);
         for e in 1..=3 {
-            assert_eq!(c.classify(e, &mut rng), ClassifyOutcome::Corrected { bits: e });
+            assert_eq!(
+                c.classify(e, &mut rng),
+                ClassifyOutcome::Corrected { bits: e }
+            );
         }
         for _ in 0..50 {
             assert!(c.classify(4, &mut rng).is_uncorrectable());
@@ -364,8 +370,14 @@ mod tests {
         assert!(c.alias_prob() < 1e-6, "alias {}", c.alias_prob());
         // Weaker codes alias much more readily (BCH-2: ~0.14), and the
         // alias probability falls monotonically with code strength.
-        let ladder: Vec<f64> = (1..=8).map(|t| CodeSpec::bch_line(t).alias_prob()).collect();
-        assert!(ladder[1] > 0.05 && ladder[1] < 0.5, "BCH-2 alias {}", ladder[1]);
+        let ladder: Vec<f64> = (1..=8)
+            .map(|t| CodeSpec::bch_line(t).alias_prob())
+            .collect();
+        assert!(
+            ladder[1] > 0.05 && ladder[1] < 0.5,
+            "BCH-2 alias {}",
+            ladder[1]
+        );
         for w in ladder.windows(2) {
             assert!(w[1] < w[0], "alias prob not decreasing: {ladder:?}");
         }
@@ -376,7 +388,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let c = CodeSpec::secded_line();
         for _ in 0..200 {
-            assert_eq!(c.classify(1, &mut rng), ClassifyOutcome::Corrected { bits: 1 });
+            assert_eq!(
+                c.classify(1, &mut rng),
+                ClassifyOutcome::Corrected { bits: 1 }
+            );
         }
     }
 

@@ -37,23 +37,27 @@ impl GfTable {
     ///
     /// Panics unless `3 <= m <= 13`.
     pub fn new(m: u32) -> Self {
-        assert!((3..=13).contains(&m), "GF(2^m) supported for m in 3..=13, got {m}");
+        assert!(
+            (3..=13).contains(&m),
+            "GF(2^m) supported for m in 3..=13, got {m}"
+        );
         let size = 1usize << m;
         let poly = PRIMITIVE_POLYS[m as usize];
         let order = size - 1;
         let mut exp = vec![0u16; 2 * order];
         let mut log = vec![0u32; size];
         let mut x = 1u32;
-        for i in 0..order {
-            exp[i] = x as u16;
+        // The exp table is doubled so alpha_pow can skip a modulo: fill
+        // both halves in one pass.
+        let (lo, hi) = exp.split_at_mut(order);
+        for (i, (e_lo, e_hi)) in lo.iter_mut().zip(hi.iter_mut()).enumerate() {
+            *e_lo = x as u16;
+            *e_hi = x as u16;
             log[x as usize] = i as u32;
             x <<= 1;
             if x & (1 << m) != 0 {
                 x ^= poly;
             }
-        }
-        for i in 0..order {
-            exp[order + i] = exp[i];
         }
         Self { m, size, exp, log }
     }

@@ -180,9 +180,7 @@ mod tests {
             }
             assert_eq!(
                 code.decode(&mut cw),
-                DecodeOutcome::Corrected {
-                    bits: burst as u32
-                },
+                DecodeOutcome::Corrected { bits: burst as u32 },
                 "burst at {start}"
             );
             assert_eq!(code.extract_data(&cw), data, "burst at {start}");

@@ -33,18 +33,18 @@ mod bits;
 mod code;
 mod crc;
 mod gf;
-mod interleave;
 mod hamming;
+mod interleave;
 mod poly;
 
 pub use bch::BchCode;
-pub use crc::Crc32;
 pub use bits::BitBuf;
 pub use code::{
-    standard_code_ladder, ClassifyOutcome, CodeSpec, CorrectionSemantics, DecodeOutcome,
-    LineCode, LINE_DATA_BITS,
+    standard_code_ladder, ClassifyOutcome, CodeSpec, CorrectionSemantics, DecodeOutcome, LineCode,
+    LINE_DATA_BITS,
 };
+pub use crc::Crc32;
 pub use gf::GfTable;
-pub use interleave::Interleaved;
 pub use hamming::{Secded72, SecdedLine};
+pub use interleave::Interleaved;
 pub use poly::{BinPoly, GfPoly};

@@ -1,0 +1,309 @@
+//! # scrub-exec — deterministic scoped parallel execution
+//!
+//! A minimal work-stealing job pool built on `std::thread::scope`, with no
+//! external dependencies. It exists to fan out *independent, deterministic*
+//! jobs — whole simulations in the bench harness (Tier A) and per-bank
+//! sweep shards inside one simulation (Tier B) — without changing any
+//! result bit.
+//!
+//! Determinism contract: jobs must not communicate, and every result is
+//! keyed by its input index. [`par_map`] returns results in input order and
+//! [`par_for_each_mut`] mutates disjoint elements, so output is identical
+//! for any thread count, including the inline `threads <= 1` path (which
+//! spawns nothing).
+//!
+//! Scheduling: the index space is split into one contiguous range per
+//! worker, each packed into a single `AtomicU64` (start in the low half,
+//! end in the high half). A worker pops from the *front* of its own range
+//! and, when empty, steals from the *back* of the longest remaining
+//! victim — classic work-stealing without per-task queues.
+//!
+//! # Examples
+//!
+//! ```
+//! let squares = scrub_exec::par_map(4, (0..100u64).collect(), |_, x| x * x);
+//! assert_eq!(squares[7], 49);
+//! ```
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Global default thread count; 0 means "not resolved yet".
+static DEFAULT_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Resolves the default worker count: an explicit [`set_default_threads`]
+/// wins, then the `SCRUBSIM_THREADS` environment variable, then the
+/// machine's available parallelism.
+pub fn default_threads() -> usize {
+    let cached = DEFAULT_THREADS.load(Ordering::Relaxed);
+    if cached != 0 {
+        return cached;
+    }
+    let resolved = std::env::var("SCRUBSIM_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+    DEFAULT_THREADS.store(resolved, Ordering::Relaxed);
+    resolved
+}
+
+/// Overrides the default worker count (e.g. from a `--threads` flag).
+/// Passing 0 resets to auto-detection.
+pub fn set_default_threads(n: usize) {
+    DEFAULT_THREADS.store(n, Ordering::Relaxed);
+}
+
+/// One worker's index range, packed start|end into an `AtomicU64` so both
+/// the owner (front) and thieves (back) can claim indices lock-free.
+struct PackedRange(AtomicU64);
+
+impl PackedRange {
+    fn new(start: usize, end: usize) -> Self {
+        debug_assert!(end <= u32::MAX as usize);
+        Self(AtomicU64::new(Self::pack(start as u64, end as u64)))
+    }
+
+    fn pack(start: u64, end: u64) -> u64 {
+        (end << 32) | start
+    }
+
+    fn unpack(v: u64) -> (u64, u64) {
+        (v & 0xFFFF_FFFF, v >> 32)
+    }
+
+    /// Claims the lowest remaining index (owner side).
+    fn pop_front(&self) -> Option<usize> {
+        let mut cur = self.0.load(Ordering::Acquire);
+        loop {
+            let (start, end) = Self::unpack(cur);
+            if start >= end {
+                return None;
+            }
+            match self.0.compare_exchange_weak(
+                cur,
+                Self::pack(start + 1, end),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some(start as usize),
+                Err(v) => cur = v,
+            }
+        }
+    }
+
+    /// Claims the highest remaining index (thief side).
+    fn steal_back(&self) -> Option<usize> {
+        let mut cur = self.0.load(Ordering::Acquire);
+        loop {
+            let (start, end) = Self::unpack(cur);
+            if start >= end {
+                return None;
+            }
+            match self.0.compare_exchange_weak(
+                cur,
+                Self::pack(start, end - 1),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some((end - 1) as usize),
+                Err(v) => cur = v,
+            }
+        }
+    }
+
+    fn remaining(&self) -> usize {
+        let (start, end) = Self::unpack(self.0.load(Ordering::Relaxed));
+        end.saturating_sub(start) as usize
+    }
+}
+
+/// Runs `f(i)` exactly once for every `i in 0..n` across `threads`
+/// workers with work stealing. `threads <= 1` (or `n <= 1`) runs inline
+/// in index order without spawning.
+pub fn run_indices<F>(threads: usize, n: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    if threads <= 1 || n <= 1 {
+        for i in 0..n {
+            f(i);
+        }
+        return;
+    }
+    assert!(n <= u32::MAX as usize, "job count exceeds u32 index space");
+    let workers = threads.min(n);
+    // Contiguous initial partition: worker w owns [w*n/W, (w+1)*n/W).
+    let ranges: Vec<PackedRange> = (0..workers)
+        .map(|w| PackedRange::new(w * n / workers, (w + 1) * n / workers))
+        .collect();
+    let ranges = &ranges;
+    let f = &f;
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            scope.spawn(move || {
+                // Drain own range front-to-back.
+                while let Some(i) = ranges[w].pop_front() {
+                    f(i);
+                }
+                // Then steal from the victim with the most work left,
+                // re-scanning until every range is dry.
+                loop {
+                    let victim = (0..workers)
+                        .filter(|&v| v != w)
+                        .max_by_key(|&v| ranges[v].remaining());
+                    let Some(v) = victim else { break };
+                    match ranges[v].steal_back() {
+                        Some(i) => f(i),
+                        None => {
+                            if ranges.iter().all(|r| r.remaining() == 0) {
+                                break;
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+}
+
+/// Maps `f` over `items` on `threads` workers, returning results in input
+/// order regardless of scheduling. `f` receives `(index, item)`.
+pub fn par_map<T, R, F>(threads: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = items.len();
+    if threads <= 1 || n <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, x)| f(i, x))
+            .collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|x| Mutex::new(Some(x))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    run_indices(threads, n, |i| {
+        let item = slots[i].lock().unwrap().take().expect("item claimed twice");
+        let r = f(i, item);
+        *results[i].lock().unwrap() = Some(r);
+    });
+    results
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("job did not complete"))
+        .collect()
+}
+
+/// Applies `f` to every element of `items` in parallel; elements are
+/// disjoint, so each is mutated by exactly one worker. `f` receives
+/// `(index, &mut item)`.
+pub fn par_for_each_mut<T, F>(threads: usize, items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let n = items.len();
+    if threads <= 1 || n <= 1 {
+        for (i, item) in items.iter_mut().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
+    let cells: Vec<Mutex<&mut T>> = items.iter_mut().map(Mutex::new).collect();
+    run_indices(threads, n, |i| {
+        let mut guard = cells[i].lock().unwrap();
+        f(i, &mut guard);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn packed_range_pop_and_steal_disjoint() {
+        let r = PackedRange::new(0, 10);
+        let mut seen = HashSet::new();
+        for _ in 0..5 {
+            seen.insert(r.pop_front().unwrap());
+        }
+        for _ in 0..5 {
+            seen.insert(r.steal_back().unwrap());
+        }
+        assert_eq!(seen, (0..10).collect());
+        assert!(r.pop_front().is_none());
+        assert!(r.steal_back().is_none());
+    }
+
+    #[test]
+    fn run_indices_visits_each_exactly_once() {
+        for threads in [1, 2, 4, 8] {
+            let n = 1000;
+            let counts: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+            run_indices(threads, n, |i| {
+                counts[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(
+                counts.iter().all(|c| c.load(Ordering::Relaxed) == 1),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        let items: Vec<u64> = (0..500).collect();
+        let serial: Vec<u64> = items.iter().map(|&x| x * 3 + 1).collect();
+        for threads in [1, 2, 8] {
+            let got = par_map(threads, items.clone(), |_, x| x * 3 + 1);
+            assert_eq!(got, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_with_uneven_job_sizes_still_ordered() {
+        // Make early indices slow so stealing definitely kicks in.
+        let got = par_map(4, (0..64u64).collect(), |i, x| {
+            if i < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            x + 1
+        });
+        assert_eq!(got, (1..=64).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn par_for_each_mut_touches_every_element() {
+        let mut data: Vec<u64> = vec![0; 300];
+        par_for_each_mut(4, &mut data, |i, x| *x = i as u64 * 2);
+        for (i, &x) in data.iter().enumerate() {
+            assert_eq!(x, i as u64 * 2);
+        }
+    }
+
+    #[test]
+    fn inline_path_used_for_single_thread() {
+        // Runs on the calling thread: thread-local state proves no spawn.
+        thread_local! {
+            static HITS: std::cell::Cell<u32> = const { std::cell::Cell::new(0) };
+        }
+        run_indices(1, 10, |_| HITS.with(|h| h.set(h.get() + 1)));
+        assert_eq!(HITS.with(|h| h.get()), 10);
+    }
+
+    #[test]
+    fn default_threads_env_override() {
+        set_default_threads(3);
+        assert_eq!(default_threads(), 3);
+        set_default_threads(0); // reset to auto
+        assert!(default_threads() >= 1);
+    }
+}

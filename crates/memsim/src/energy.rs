@@ -83,6 +83,18 @@ impl EnergyLedger {
     pub fn scrub_decode_pj(&self) -> f64 {
         self.scrub_decode_pj
     }
+
+    /// Folds another ledger into this one (merging per-bank shards). Call
+    /// in a fixed shard order: float addition is not associative, so the
+    /// merge order is part of the determinism contract.
+    pub fn absorb(&mut self, other: &EnergyLedger) {
+        self.demand_read_pj += other.demand_read_pj;
+        self.demand_write_pj += other.demand_write_pj;
+        self.demand_decode_pj += other.demand_decode_pj;
+        self.scrub_probe_pj += other.scrub_probe_pj;
+        self.scrub_writeback_pj += other.scrub_writeback_pj;
+        self.scrub_decode_pj += other.scrub_decode_pj;
+    }
 }
 
 #[cfg(test)]

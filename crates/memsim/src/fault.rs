@@ -8,6 +8,8 @@
 //! independent cells and O(1) per update. Wear failures use the same
 //! machinery with the lognormal endurance CDF over the write count.
 
+use std::sync::Arc;
+
 use rand::Rng;
 
 use pcm_model::math::sample_binomial;
@@ -34,7 +36,10 @@ use crate::time::SimTime;
 /// ```
 #[derive(Debug, Clone)]
 pub struct FaultEngine {
-    model: DriftModel,
+    /// Shared, immutable drift LUTs — one set per distinct device config
+    /// process-wide (see [`DeviceConfig::drift_model_shared`]), safely
+    /// referenced from every bank worker during parallel sweeps.
+    model: Arc<DriftModel>,
     endurance: EnduranceSpec,
     cells_per_line: u32,
     num_levels: usize,
@@ -61,7 +66,7 @@ impl FaultEngine {
         );
         assert!(cells_per_line > 0, "need at least one cell per line");
         Self {
-            model: device.drift_model(),
+            model: device.drift_model_shared(),
             endurance: *device.endurance(),
             cells_per_line,
             num_levels,
@@ -82,8 +87,7 @@ impl FaultEngine {
 
     /// Samples the level occupancy of `live` cells holding random data.
     fn sample_occupancy<R: Rng + ?Sized>(&self, live: u32, rng: &mut R) -> [u16; MAX_LEVELS] {
-        let counts =
-            pcm_model::math::sample_multinomial(rng, live, &self.level_probs);
+        let counts = pcm_model::math::sample_multinomial(rng, live, &self.level_probs);
         let mut occ = [0u16; MAX_LEVELS];
         for (i, &c) in counts.iter().enumerate() {
             occ[i] = c as u16;
@@ -109,7 +113,11 @@ impl FaultEngine {
         if susceptible > 0 {
             let f1 = self.endurance.fail_cdf(w1 as u64);
             let f2 = self.endurance.fail_cdf(line.wear as u64);
-            let dp = if f1 >= 1.0 { 1.0 } else { ((f2 - f1) / (1.0 - f1)).clamp(0.0, 1.0) };
+            let dp = if f1 >= 1.0 {
+                1.0
+            } else {
+                ((f2 - f1) / (1.0 - f1)).clamp(0.0, 1.0)
+            };
             line.worn_cells += sample_binomial(rng, susceptible, dp) as u16;
         }
         // Fresh data pattern over the remaining live cells.
@@ -129,12 +137,7 @@ impl FaultEngine {
 
     /// Advances the line's persistent drift failures to `now` and returns
     /// the total persistent bit-error count.
-    pub fn advance<R: Rng + ?Sized>(
-        &self,
-        line: &mut LineState,
-        now: SimTime,
-        rng: &mut R,
-    ) -> u32 {
+    pub fn advance<R: Rng + ?Sized>(&self, line: &mut LineState, now: SimTime, rng: &mut R) -> u32 {
         if now > line.last_eval {
             let age1 = line.last_eval.since(line.last_write);
             let age2 = now.since(line.last_write);
@@ -223,7 +226,11 @@ mod tests {
         let mut line = e.fresh_line(SimTime::ZERO, &mut rng);
         let mut prev = 0;
         for hours in [1u64, 4, 12, 24, 72, 168] {
-            let errs = e.advance(&mut line, SimTime::from_secs(hours as f64 * 3600.0), &mut rng);
+            let errs = e.advance(
+                &mut line,
+                SimTime::from_secs(hours as f64 * 3600.0),
+                &mut rng,
+            );
             assert!(errs >= prev, "errors decreased: {prev} -> {errs}");
             prev = errs;
         }
@@ -269,7 +276,11 @@ mod tests {
             one_step += e.advance(&mut a, t_final, &mut rng) as u64;
             let mut b = e.fresh_line(SimTime::ZERO, &mut rng);
             for k in 1..=8 {
-                e.advance(&mut b, SimTime::from_secs(86_400.0 * k as f64 / 8.0), &mut rng);
+                e.advance(
+                    &mut b,
+                    SimTime::from_secs(86_400.0 * k as f64 / 8.0),
+                    &mut rng,
+                );
             }
             many_steps += b.persistent_bit_errors() as u64;
         }

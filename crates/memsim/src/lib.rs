@@ -13,7 +13,14 @@
 //!   algorithms");
 //! * [`TimingModel`]/[`BandwidthTracker`] — channel-utilization bookkeeping
 //!   behind the performance-overhead experiment;
-//! * [`TraceSource`] — the workload interface.
+//! * [`TraceSource`] — the workload interface;
+//! * [`SweepPlan`]/[`Memory::scrub_sweep`] — bank-parallel execution of a
+//!   batch of scrub slots, bit-identical to the one-at-a-time path.
+//!
+//! The memory owns its randomness: construction takes a seed, and each
+//! bank shard runs an independent RNG stream derived from it, which is
+//! what makes the parallel sweep deterministic (see the [`memory`] module
+//! docs).
 //!
 //! # Quick start
 //!
@@ -21,17 +28,15 @@
 //! use pcm_memsim::{LineAddr, Memory, MemGeometry, SimTime};
 //! use pcm_ecc::CodeSpec;
 //! use pcm_model::DeviceConfig;
-//! use rand::SeedableRng;
 //!
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
 //! let mut mem = Memory::new(
 //!     MemGeometry::small(),
 //!     DeviceConfig::default(),
 //!     CodeSpec::secded_line(),
-//!     &mut rng,
+//!     0, // master RNG seed
 //! );
 //! // A day of unattended drift later, probe a line:
-//! let r = mem.scrub_probe(LineAddr(0), SimTime::from_secs(86_400.0), &mut rng);
+//! let r = mem.scrub_probe(LineAddr(0), SimTime::from_secs(86_400.0));
 //! println!("persistent errors: {}", r.persistent_bits);
 //! ```
 
@@ -40,8 +45,9 @@ mod energy;
 mod fault;
 mod geometry;
 mod line;
-mod memory;
+pub mod memory;
 mod stats;
+mod sweep;
 mod time;
 mod timing;
 mod trace;
@@ -54,6 +60,7 @@ pub use geometry::{LineAddr, MemGeometry};
 pub use line::{LineState, MAX_LEVELS};
 pub use memory::{AccessResult, Memory, ProbeKind};
 pub use stats::MemStats;
+pub use sweep::{SweepOutcome, SweepPlan, SweepRule};
 pub use time::SimTime;
 pub use timing::{BandwidthTracker, TimingModel};
 pub use trace::{MemOp, OpKind, TraceSource};

@@ -37,6 +37,20 @@ impl MemStats {
     pub fn total_writes(&self) -> u64 {
         self.demand_writes + self.scrub_writebacks
     }
+
+    /// Folds another counter set into this one (merging per-bank shards).
+    pub fn absorb(&mut self, other: &MemStats) {
+        self.demand_reads += other.demand_reads;
+        self.demand_writes += other.demand_writes;
+        self.scrub_probes += other.scrub_probes;
+        self.scrub_writebacks += other.scrub_writebacks;
+        self.corrected_bits += other.corrected_bits;
+        self.detected_ue += other.detected_ue;
+        self.miscorrections += other.miscorrections;
+        self.demand_ue += other.demand_ue;
+        self.lines_with_worn_cells += other.lines_with_worn_cells;
+        self.wear_level_writes += other.wear_level_writes;
+    }
 }
 
 #[cfg(test)]

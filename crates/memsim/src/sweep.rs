@@ -1,0 +1,131 @@
+//! Batched scrub-sweep plans: the memory-side half of the bank-parallel
+//! scrub fast path.
+//!
+//! A scrub engine that probes lines on a fixed cadence spends almost all
+//! of its slots in a predictable pattern: consecutive cursor addresses at
+//! evenly spaced times, each slot applying the same local write-back rule.
+//! [`SweepPlan`] captures one such run of slots so [`crate::Memory`] can
+//! execute it as a unit, partitioned by bank — each bank's slots run on
+//! the bank's own RNG stream, in slot order, which makes the execution
+//! bit-identical to issuing the slots one at a time (and identical at any
+//! thread count).
+
+use crate::geometry::LineAddr;
+use crate::memory::AccessResult;
+use crate::time::SimTime;
+
+/// Local write-back decision applied to each probed (non-uncorrectable)
+/// line of a sweep. Uncorrectable lines are always written back (forced)
+/// before this rule is consulted, mirroring the sequential engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepRule {
+    /// Write back on any decoder activity (the Basic policy's rule).
+    AnyError,
+    /// Write back when persistent errors reach `theta` (lazy write-back).
+    Threshold {
+        /// Persistent-bit-error threshold.
+        theta: u32,
+    },
+}
+
+impl SweepRule {
+    /// Whether this rule requests a write-back for a probe result that was
+    /// not uncorrectable.
+    pub fn fires(&self, result: &AccessResult) -> bool {
+        match *self {
+            SweepRule::AnyError => !matches!(result.outcome, pcm_ecc::ClassifyOutcome::Clean),
+            SweepRule::Threshold { theta } => result.persistent_bits >= theta,
+        }
+    }
+}
+
+/// A run of consecutive scrub slots to execute as one batch.
+///
+/// Slot `k` (for `k < times.len()`) targets line
+/// `(first + k) mod num_lines` at time `times[k]`. Slots younger than
+/// `min_age_s` are skipped without touching the RNG (age-aware probing);
+/// the rest are probed and written back per `rule`.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepPlan<'a> {
+    /// Line targeted by slot 0; subsequent slots advance by one, wrapping.
+    pub first: LineAddr,
+    /// Slot times, in nondecreasing order (one per slot).
+    pub times: &'a [SimTime],
+    /// Minimum data age for a probe to be worth issuing; 0 disables the
+    /// filter.
+    pub min_age_s: f64,
+    /// Write-back rule for correctable lines.
+    pub rule: SweepRule,
+}
+
+/// What a sweep did, merged over banks in fixed bank order. Field names
+/// mirror the scrub engine's counters so callers can fold them straight
+/// into their stats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SweepOutcome {
+    /// Slots that issued a probe.
+    pub probe_slots: u64,
+    /// Slots skipped by the age filter.
+    pub idle_slots: u64,
+    /// Write-backs requested by the rule on correctable lines.
+    pub policy_writebacks: u64,
+    /// Write-backs forced by uncorrectable probe results.
+    pub forced_writebacks: u64,
+}
+
+impl SweepOutcome {
+    /// Folds another outcome into this one.
+    pub fn absorb(&mut self, other: &SweepOutcome) {
+        self.probe_slots += other.probe_slots;
+        self.idle_slots += other.idle_slots;
+        self.policy_writebacks += other.policy_writebacks;
+        self.forced_writebacks += other.forced_writebacks;
+    }
+
+    /// Total slots the plan covered.
+    pub fn slots(&self) -> u64 {
+        self.probe_slots + self.idle_slots
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcm_ecc::ClassifyOutcome;
+
+    fn result(outcome: ClassifyOutcome, persistent: u32) -> AccessResult {
+        AccessResult {
+            outcome,
+            persistent_bits: persistent,
+            new_ue: false,
+        }
+    }
+
+    #[test]
+    fn any_error_fires_on_corrected_not_clean() {
+        let r = SweepRule::AnyError;
+        assert!(!r.fires(&result(ClassifyOutcome::Clean, 0)));
+        assert!(r.fires(&result(ClassifyOutcome::Corrected { bits: 1 }, 1)));
+    }
+
+    #[test]
+    fn threshold_fires_on_persistent_count() {
+        let r = SweepRule::Threshold { theta: 3 };
+        assert!(!r.fires(&result(ClassifyOutcome::Corrected { bits: 2 }, 2)));
+        assert!(r.fires(&result(ClassifyOutcome::Corrected { bits: 3 }, 3)));
+    }
+
+    #[test]
+    fn outcome_absorb_sums() {
+        let mut a = SweepOutcome {
+            probe_slots: 1,
+            idle_slots: 2,
+            policy_writebacks: 3,
+            forced_writebacks: 4,
+        };
+        a.absorb(&a.clone());
+        assert_eq!(a.probe_slots, 2);
+        assert_eq!(a.slots(), 6);
+        assert_eq!(a.forced_writebacks, 8);
+    }
+}

@@ -29,7 +29,10 @@ impl SimTime {
     ///
     /// Panics on negative or non-finite input.
     pub fn from_secs(s: f64) -> Self {
-        assert!(s.is_finite() && s >= 0.0, "SimTime must be finite and >= 0, got {s}");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "SimTime must be finite and >= 0, got {s}"
+        );
         SimTime(s)
     }
 

@@ -105,6 +105,13 @@ impl BandwidthTracker {
         }
     }
 
+    /// Folds another tracker into this one (merging per-bank shards); call
+    /// in a fixed shard order to keep float sums bit-deterministic.
+    pub fn absorb(&mut self, other: &BandwidthTracker) {
+        self.demand_busy_ns += other.demand_busy_ns;
+        self.scrub_busy_ns += other.scrub_busy_ns;
+    }
+
     /// Estimated average demand-read latency given scrub contention:
     /// `base / (1 − u_scrub)` (M/M/1-style slowdown, saturating at 10×
     /// base to keep the estimate sane near saturation).

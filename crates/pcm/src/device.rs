@@ -1,6 +1,8 @@
 //! Whole-device configuration: levels + noise + drift + thresholds +
 //! energy + endurance, assembled through a builder.
 
+use std::sync::{Arc, Mutex};
+
 use crate::drift::{DriftModel, DriftParams, SensingMode};
 use crate::endurance::EnduranceSpec;
 use crate::energy::EnergyParams;
@@ -78,7 +80,8 @@ impl DeviceConfig {
 
     /// Materializes the sense thresholds for this configuration.
     pub fn thresholds(&self) -> Thresholds {
-        self.placement.build(&self.stack, &self.noise, self.drift.t0_s)
+        self.placement
+            .build(&self.stack, &self.noise, self.drift.t0_s)
     }
 
     /// Builds the analytic drift model (precomputes LUTs; construction is
@@ -91,6 +94,26 @@ impl DeviceConfig {
             self.drift,
             self.sensing,
         )
+    }
+
+    /// Shared drift model from a process-wide cache keyed on the device
+    /// configuration. LUT construction integrates Gauss–Hermite quadrature
+    /// over hundreds of grid points, so experiments that instantiate many
+    /// simulations of the same device (seed sweeps, policy rosters,
+    /// parallel fan-out) would otherwise rebuild identical tables dozens
+    /// of times; with the cache they build each distinct device's tables
+    /// exactly once and share them across threads.
+    pub fn drift_model_shared(&self) -> Arc<DriftModel> {
+        static CACHE: Mutex<Vec<(DeviceConfig, Arc<DriftModel>)>> = Mutex::new(Vec::new());
+        let mut cache = CACHE.lock().unwrap();
+        if let Some((_, model)) = cache.iter().find(|(cfg, _)| cfg == self) {
+            return Arc::clone(model);
+        }
+        let model = Arc::new(self.drift_model());
+        // Distinct device configs per process number in the tens at most
+        // (sensitivity sweeps); an unbounded linear-scan list is fine.
+        cache.push((self.clone(), Arc::clone(&model)));
+        model
     }
 }
 
@@ -209,5 +232,20 @@ mod tests {
         let dev = DeviceConfig::default();
         let m = dev.drift_model();
         assert_eq!(m.stack().num_levels(), 4);
+    }
+
+    #[test]
+    fn shared_drift_model_is_cached_and_thread_safe() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DriftModel>();
+        let dev = DeviceConfig::default();
+        let a = dev.drift_model_shared();
+        let b = dev.drift_model_shared();
+        assert!(Arc::ptr_eq(&a, &b), "same config must share one model");
+        let other = DeviceConfig::builder()
+            .threshold_placement(ThresholdPlacement::drift_aware_default())
+            .build();
+        let c = other.drift_model_shared();
+        assert!(!Arc::ptr_eq(&a, &c), "distinct configs get distinct models");
     }
 }

@@ -505,6 +505,76 @@ mod tests {
         }
     }
 
+    /// Interpolation error bound of the persistent-up LUT, checked at
+    /// every *grid midpoint* — the worst case for linear interpolation —
+    /// across the full 12-decade age range and every level.
+    ///
+    /// Documented bound: `|lut − exact| ≤ 1e-6 + 1e-2·exact`. With 768
+    /// log-spaced points the grid step is h ≈ 0.0156 decades and the
+    /// interpolation error scales as `(h²/8)·max|d²p/dl²|`; the relative
+    /// term dominates on the steep rise of the error CDF, the absolute
+    /// term in the near-zero tail. The bound also absorbs the monotone
+    /// clamp applied against quadrature wiggle at construction.
+    #[test]
+    fn p_up_lut_error_bound_at_offgrid_midpoints() {
+        let m = model();
+        let step = LUT_DECADES / (LUT_POINTS - 1) as f64;
+        for lv in 0..4 {
+            for i in 0..LUT_POINTS - 1 {
+                let l = (i as f64 + 0.5) * step;
+                let t = m.params().t0_s * 10f64.powf(l);
+                let fast = m.p_up(lv, t);
+                let exact = m.p_up_exact(lv, t);
+                assert!(
+                    (fast - exact).abs() <= 1e-6 + 1e-2 * exact,
+                    "level {lv} l={l:.4} (t={t:.3e}): lut {fast} vs exact {exact}"
+                );
+            }
+        }
+    }
+
+    /// Same worst-case midpoint sweep for the coarser 128-point transient
+    /// LUT. Two effects loosen this bound relative to `p_up`'s: the grid
+    /// is 6× coarser, and `p_transient` is floored at zero
+    /// (`max(0, misread − up − down)`), which puts a non-differentiable
+    /// kink wherever the difference changes sign — linear interpolation
+    /// across such a kink leaves an O(h·|slope|) absolute residue, ~3e-5
+    /// here. Documented bound: `|lut − exact| ≤ 5e-5 + 8e-2·exact`.
+    #[test]
+    fn transient_lut_error_bound_at_offgrid_midpoints() {
+        let m = model();
+        let step = LUT_DECADES / (TR_LUT_POINTS - 1) as f64;
+        for lv in 0..4 {
+            for i in 0..TR_LUT_POINTS - 1 {
+                let l = (i as f64 + 0.5) * step;
+                let t = m.params().t0_s * 10f64.powf(l);
+                let fast = m.p_transient_fast(lv, t);
+                let exact = m.p_transient(lv, t);
+                assert!(
+                    (fast - exact).abs() <= 5e-5 + 8e-2 * exact,
+                    "level {lv} l={l:.4} (t={t:.3e}): lut {fast} vs exact {exact}"
+                );
+            }
+        }
+    }
+
+    /// Out-of-range ages clamp to the LUT endpoints: below t₀ both LUTs
+    /// return the age-t₀ value exactly; beyond the 12-decade grid they
+    /// saturate at the last entry.
+    #[test]
+    fn lut_clamps_outside_grid_range() {
+        let m = model();
+        for lv in 0..4 {
+            assert_eq!(m.p_up(lv, 1e-6), m.p_up(lv, m.params().t0_s));
+            assert_eq!(m.p_up(lv, 1e15), m.p_up(lv, 1e13));
+            assert_eq!(
+                m.p_transient_fast(lv, 1e-6),
+                m.p_transient_fast(lv, m.params().t0_s)
+            );
+            assert_eq!(m.p_transient_fast(lv, 1e15), m.p_transient_fast(lv, 1e13));
+        }
+    }
+
     #[test]
     fn amorphous_levels_drift_worse() {
         let m = model();
@@ -604,7 +674,10 @@ mod tests {
         let occ = [0.25; 4];
         let early = m.raw_ber(&occ, 1.0);
         let late = m.raw_ber(&occ, 86_400.0);
-        assert!(late > early * 10.0, "BER should grow strongly: {early} -> {late}");
+        assert!(
+            late > early * 10.0,
+            "BER should grow strongly: {early} -> {late}"
+        );
     }
 
     fn model_with_sensing(sensing: SensingMode) -> DriftModel {

@@ -103,7 +103,9 @@ mod tests {
 
     #[test]
     fn nominal_vs_accelerated() {
-        assert!(EnduranceSpec::nominal().median_writes > EnduranceSpec::accelerated().median_writes);
+        assert!(
+            EnduranceSpec::nominal().median_writes > EnduranceSpec::accelerated().median_writes
+        );
     }
 
     #[test]

@@ -47,7 +47,10 @@ impl GaussHermite {
         let mut z = 0.0f64;
         for i in 0..m {
             z = match i {
-                0 => (2.0 * n as f64 + 1.0).sqrt() - 1.855_75 * (2.0 * n as f64 + 1.0).powf(-1.0 / 6.0),
+                0 => {
+                    (2.0 * n as f64 + 1.0).sqrt()
+                        - 1.855_75 * (2.0 * n as f64 + 1.0).powf(-1.0 / 6.0)
+                }
                 1 => z - 1.14 * (n as f64).powf(0.426) / z,
                 2 => 1.86 * z - 0.86 * nodes[0],
                 3 => 1.91 * z - 0.91 * nodes[1],

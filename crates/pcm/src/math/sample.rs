@@ -222,7 +222,10 @@ mod tests {
         let var = sumsq / reps as f64 - mean * mean;
         let want_mean = n as f64 * p;
         let want_var = n as f64 * p * (1.0 - p);
-        assert!((mean - want_mean).abs() < 0.15, "mean {mean} want {want_mean}");
+        assert!(
+            (mean - want_mean).abs() < 0.15,
+            "mean {mean} want {want_mean}"
+        );
         assert!((var - want_var).abs() < 0.6, "var {var} want {want_var}");
     }
 
@@ -271,7 +274,10 @@ mod tests {
         for (i, s) in sums.iter().enumerate() {
             let mean = *s as f64 / 5_000.0;
             let want = 100.0 * probs[i];
-            assert!((mean - want).abs() < 0.5, "cat {i}: mean {mean} want {want}");
+            assert!(
+                (mean - want).abs() < 0.5,
+                "cat {i}: mean {mean} want {want}"
+            );
         }
     }
 

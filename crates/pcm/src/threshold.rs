@@ -9,8 +9,7 @@ use crate::level::LevelStack;
 use crate::noise::NoiseParams;
 
 /// Strategy for placing the `num_levels − 1` sense thresholds.
-#[derive(Debug, Clone, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub enum ThresholdPlacement {
     /// Each boundary at the midpoint (in decades) between adjacent level
     /// targets. What a drift-oblivious DRAM-heritage controller would do.
@@ -88,7 +87,6 @@ impl ThresholdPlacement {
         Thresholds { bounds }
     }
 }
-
 
 /// Concrete sense thresholds (decades), one between each adjacent level
 /// pair.
@@ -188,7 +186,8 @@ mod tests {
     #[test]
     fn drift_aware_raises_bounds() {
         let mid = ThresholdPlacement::Midpoint.build(&mlc(), &NoiseParams::default(), 1.0);
-        let da = ThresholdPlacement::drift_aware_default().build(&mlc(), &NoiseParams::default(), 1.0);
+        let da =
+            ThresholdPlacement::drift_aware_default().build(&mlc(), &NoiseParams::default(), 1.0);
         for (m, d) in mid.bounds().iter().zip(da.bounds()) {
             assert!(d >= m, "drift-aware bound {d} below midpoint {m}");
         }
@@ -231,8 +230,11 @@ mod tests {
 
     #[test]
     fn custom_roundtrip() {
-        let th = ThresholdPlacement::Custom(vec![3.6, 4.6, 5.6])
-            .build(&mlc(), &NoiseParams::default(), 1.0);
+        let th = ThresholdPlacement::Custom(vec![3.6, 4.6, 5.6]).build(
+            &mlc(),
+            &NoiseParams::default(),
+            1.0,
+        );
         assert_eq!(th.bounds(), &[3.6, 4.6, 5.6]);
     }
 }

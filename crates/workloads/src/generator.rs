@@ -117,7 +117,11 @@ impl SyntheticTrace {
         let addr = match &self.pattern {
             AddrPattern::Uniform => self.rng.gen_range(0..self.num_lines),
             AddrPattern::Zipf { .. } => {
-                let rank = self.zipf.as_ref().expect("zipf built").sample(&mut self.rng) as u32;
+                let rank = self
+                    .zipf
+                    .as_ref()
+                    .expect("zipf built")
+                    .sample(&mut self.rng) as u32;
                 self.scatter(rank)
             }
             AddrPattern::Sequential => {
@@ -134,8 +138,11 @@ impl SyntheticTrace {
                 } else {
                     // Alternate: one zipf point access, then a new scan.
                     self.scan_remaining = *scan_len;
-                    let rank =
-                        self.zipf.as_ref().expect("zipf built").sample(&mut self.rng) as u32;
+                    let rank = self
+                        .zipf
+                        .as_ref()
+                        .expect("zipf built")
+                        .sample(&mut self.rng) as u32;
                     self.scatter(rank)
                 }
             }
@@ -165,8 +172,7 @@ impl SyntheticTrace {
                     // Idle gap sized so one full cycle (gap + burst) spans
                     // exactly `burst_len · mean_gap`, preserving the rate.
                     self.burst_remaining = burst_len.saturating_sub(1);
-                    burst_len as f64 * mean_gap
-                        - burst_len.saturating_sub(1) as f64 * short_gap
+                    burst_len as f64 * mean_gap - burst_len.saturating_sub(1) as f64 * short_gap
                 } else {
                     self.burst_remaining -= 1;
                     short_gap

@@ -181,10 +181,7 @@ mod tests {
 
     #[test]
     fn merged_drains_finite_sources() {
-        let a = RecordedTrace::new(
-            "a",
-            vec![MemOp::read(SimTime::from_secs(1.0), LineAddr(0))],
-        );
+        let a = RecordedTrace::new("a", vec![MemOp::read(SimTime::from_secs(1.0), LineAddr(0))]);
         let b = RecordedTrace::new(
             "b",
             vec![
@@ -193,7 +190,9 @@ mod tests {
             ],
         );
         let mut m = MergedTrace::new(a, b);
-        let order: Vec<u32> = std::iter::from_fn(|| m.next_op()).map(|o| o.addr.0).collect();
+        let order: Vec<u32> = std::iter::from_fn(|| m.next_op())
+            .map(|o| o.addr.0)
+            .collect();
         assert_eq!(order, vec![1, 0, 2]);
     }
 

@@ -29,7 +29,9 @@ fn main() {
             "drift-aware thresholds",
         ),
     ] {
-        let dev = DeviceConfig::builder().threshold_placement(placement).build();
+        let dev = DeviceConfig::builder()
+            .threshold_placement(placement)
+            .build();
         let model = dev.drift_model();
         println!("== {label} (bounds {:?}) ==\n", model.thresholds().bounds());
         let mut table = Table::new(vec!["age", "L0", "L1", "L2", "L3", "line_exp_errors"]);

@@ -21,7 +21,13 @@ fn run(label: &str, cfg: SimConfig, table: &mut Table) {
 }
 
 fn main() {
-    let mut table = Table::new(vec!["config", "UEs", "scrub_writes", "energy_uJ", "max_wear"]);
+    let mut table = Table::new(vec![
+        "config",
+        "UEs",
+        "scrub_writes",
+        "energy_uJ",
+        "max_wear",
+    ]);
     let base = || {
         let mut b = SimConfig::builder();
         b.num_lines(1 << 13)
@@ -50,8 +56,16 @@ fn main() {
         base().probe_kind(ProbeKind::CrcThenDecode).build(),
         &mut table,
     );
-    run("+start-gap leveling", base().wear_leveling(64).build(), &mut table);
-    run("+in-band scrub", base().inband_writeback(4).build(), &mut table);
+    run(
+        "+start-gap leveling",
+        base().wear_leveling(64).build(),
+        &mut table,
+    );
+    run(
+        "+in-band scrub",
+        base().inband_writeback(4).build(),
+        &mut table,
+    );
     run(
         "budget controller (10 UE/GiB-day)",
         base()

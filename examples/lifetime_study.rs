@@ -34,7 +34,12 @@ fn main() {
     let configs: Vec<(&str, PolicyKind)> = vec![
         ("basic @1min", PolicyKind::Basic { interval_s: 60.0 }),
         ("basic @15min", PolicyKind::Basic { interval_s: 900.0 }),
-        ("basic @4h", PolicyKind::Basic { interval_s: 14_400.0 }),
+        (
+            "basic @4h",
+            PolicyKind::Basic {
+                interval_s: 14_400.0,
+            },
+        ),
         (
             "threshold @15min",
             PolicyKind::Threshold {

@@ -80,7 +80,12 @@ fn main() {
 
     println!("policy comparison on {workload} (16Ki lines, 1 simulated day)\n");
     let mut table = Table::new(vec![
-        "policy", "UEs", "demand_UEs", "scrub_writes", "energy_uJ", "wear",
+        "policy",
+        "UEs",
+        "demand_UEs",
+        "scrub_writes",
+        "energy_uJ",
+        "wear",
     ]);
     for (label, code, policy) in configs {
         let report = Simulation::new(

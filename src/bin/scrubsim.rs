@@ -2,7 +2,8 @@
 //!
 //! ```bash
 //! scrubsim [--lines N] [--code secded|bch-T] [--policy NAME] \
-//!          [--workload NAME|idle] [--hours H] [--interval SECS] [--seed S]
+//!          [--workload NAME|idle] [--hours H] [--interval SECS] [--seed S] \
+//!          [--threads N]
 //! ```
 //!
 //! Policies: `none`, `basic`, `threshold`, `age-aware`, `adaptive`,
@@ -18,12 +19,17 @@ struct Args {
     hours: f64,
     interval_s: f64,
     seed: u64,
+    /// Bank-sweep workers; 0 = auto ($SCRUBSIM_THREADS or all cores).
+    /// Results are bit-identical for every value.
+    threads: usize,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: scrubsim [--lines N] [--code secded|bch-1..bch-16] [--policy NAME]\n\
          \x20               [--workload NAME|idle] [--hours H] [--interval SECS] [--seed S]\n\
+         \x20               [--threads N]   (default: $SCRUBSIM_THREADS or all cores;\n\
+         \x20                                results are identical for every N)\n\
          policies:  none basic threshold age-aware adaptive combined\n\
          workloads: db-oltp db-olap web-serve logging stream batch kv-cache archive idle"
     );
@@ -51,6 +57,7 @@ fn parse_args() -> Args {
         hours: 24.0,
         interval_s: 900.0,
         seed: 0,
+        threads: 0,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut it = argv.iter();
@@ -76,6 +83,7 @@ fn parse_args() -> Args {
             "--hours" => args.hours = value().parse().unwrap_or_else(|_| usage()),
             "--interval" => args.interval_s = value().parse().unwrap_or_else(|_| usage()),
             "--seed" => args.seed = value().parse().unwrap_or_else(|_| usage()),
+            "--threads" => args.threads = value().parse().unwrap_or_else(|_| usage()),
             _ => usage(),
         }
     }
@@ -116,6 +124,11 @@ fn main() {
         Some(id) => DemandTraffic::suite(id),
         None => DemandTraffic::Idle,
     };
+    let threads = if args.threads > 0 {
+        args.threads
+    } else {
+        scrub_exec::default_threads()
+    };
     let config = SimConfig::builder()
         .num_lines(args.lines)
         .code(args.code)
@@ -123,6 +136,7 @@ fn main() {
         .traffic(traffic)
         .horizon_s(args.hours * 3600.0)
         .seed(args.seed)
+        .threads(threads)
         .build();
     let report = Simulation::new(config).run();
     println!("{report}");

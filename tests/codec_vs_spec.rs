@@ -44,7 +44,11 @@ fn bch_spec_matches_codec_within_capability() {
             let codec_outcome = codec.decode(&mut cw);
             match (e, spec_outcome, codec_outcome) {
                 (0, ClassifyOutcome::Clean, DecodeOutcome::Clean) => {}
-                (_, ClassifyOutcome::Corrected { bits: sb }, DecodeOutcome::Corrected { bits: cb }) => {
+                (
+                    _,
+                    ClassifyOutcome::Corrected { bits: sb },
+                    DecodeOutcome::Corrected { bits: cb },
+                ) => {
                     assert_eq!(sb, e);
                     assert_eq!(cb, e);
                 }
@@ -76,7 +80,10 @@ fn bch_spec_matches_codec_beyond_capability() {
         assert!(spec.classify(t + 1, &mut rng).is_uncorrectable());
     }
     // Alias probability is a few percent for BCH-3: most trials detect.
-    assert!(codec_ue >= trials * 8 / 10, "only {codec_ue}/{trials} detected");
+    assert!(
+        codec_ue >= trials * 8 / 10,
+        "only {codec_ue}/{trials} detected"
+    );
 }
 
 #[test]

@@ -99,7 +99,10 @@ fn rewrite_brings_line_back_to_clean_distribution() {
         // And shortly after, still (almost always) clean.
         dirty += u64::from(engine.read_errors(&mut line, week + 10.0, &mut rng) > 0);
     }
-    assert!(dirty <= 5, "{dirty}/200 freshly rewritten lines showed errors");
+    assert!(
+        dirty <= 5,
+        "{dirty}/200 freshly rewritten lines showed errors"
+    );
 }
 
 #[test]
@@ -112,7 +115,9 @@ fn drift_aware_thresholds_help_in_the_engine_too() {
         ThresholdPlacement::Midpoint,
         ThresholdPlacement::drift_aware_default(),
     ] {
-        let dev = DeviceConfig::builder().threshold_placement(placement).build();
+        let dev = DeviceConfig::builder()
+            .threshold_placement(placement)
+            .build();
         let engine = FaultEngine::new(&dev, 288);
         let mut total = 0u64;
         for _ in 0..300 {

@@ -1,0 +1,219 @@
+//! Vendored, API-compatible subset of `criterion`.
+//!
+//! The build environment has no registry access, so this crate implements
+//! the slice of the criterion API the workspace's benches use:
+//! [`Criterion::bench_function`], [`Bencher::iter`] / [`Bencher::iter_batched`],
+//! [`BatchSize`], and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is intentionally simple — per sample it times a fixed batch
+//! of iterations with `std::time::Instant` and reports the median ns/iter —
+//! but it is a real wall-clock harness, good enough to compare before/after
+//! for order-of-magnitude optimisations. There is no HTML report, no
+//! statistical regression machinery, and no CLI argument parsing.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched setup output is sized; accepted for API compatibility,
+/// measurement treats all variants the same.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Benchmark driver: collects samples and prints a one-line summary.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            warm_up: Duration::from_millis(200),
+            measure: Duration::from_millis(600),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Sets the warm-up time before samples are taken.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the target total measurement time.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measure = d;
+        self
+    }
+
+    /// Runs `f` against a [`Bencher`] and prints `id: median ns/iter`.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+            warm_up: self.warm_up,
+            measure: self.measure,
+        };
+        f(&mut b);
+        let mut ns = b.samples;
+        if ns.is_empty() {
+            println!("bench {id:<40} (no samples)");
+            return self;
+        }
+        ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = ns[ns.len() / 2];
+        let lo = ns[0];
+        let hi = ns[ns.len() - 1];
+        println!("bench {id:<40} median {median:>12.1} ns/iter  (min {lo:.1}, max {hi:.1})");
+        self
+    }
+
+    /// Upstream calls this at the end of `criterion_main!`; a no-op here.
+    pub fn final_summary(&mut self) {}
+}
+
+/// Passed to the closure given to [`Criterion::bench_function`].
+pub struct Bencher {
+    samples: Vec<f64>,
+    sample_size: usize,
+    warm_up: Duration,
+    measure: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` in a loop; each sample is ns/iter over a batch.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and size the batch so one sample is neither trivially
+        // short (timer noise) nor longer than the measurement budget.
+        let start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while start.elapsed() < self.warm_up {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = self.warm_up.as_secs_f64() / warm_iters.max(1) as f64;
+        let budget = self.measure.as_secs_f64() / self.sample_size as f64;
+        let batch = ((budget / per_iter) as u64).clamp(1, 1 << 24);
+
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let ns = t0.elapsed().as_secs_f64() * 1e9 / batch as f64;
+            self.samples.push(ns);
+        }
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while start.elapsed() < self.warm_up {
+            let input = setup();
+            black_box(routine(input));
+            warm_iters += 1;
+        }
+        // Setup time is inside the warm-up clock, so the derived batch size
+        // is conservative; each measured sample times only the routine.
+        let per_iter = self.warm_up.as_secs_f64() / warm_iters.max(1) as f64;
+        let budget = self.measure.as_secs_f64() / self.sample_size as f64;
+        let batch = ((budget / per_iter) as u64).clamp(1, 1 << 20);
+
+        for _ in 0..self.sample_size {
+            let inputs: Vec<I> = (0..batch).map(|_| setup()).collect();
+            let t0 = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let ns = t0.elapsed().as_secs_f64() * 1e9 / batch as f64;
+            self.samples.push(ns);
+        }
+    }
+}
+
+/// Declares a benchmark group; supports both the simple form and the
+/// `name = ...; config = ...; targets = ...` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emits `main` running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(15));
+        let mut x = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                x
+            })
+        });
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_input() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(15));
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u8; 64],
+                |v| v.iter().map(|&b| b as u64).sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+}
