@@ -1,0 +1,623 @@
+//! Statistical inference for oracle-vs-simulator agreement testing.
+//!
+//! Everything here is dependency-free and exact enough for validation
+//! work: binomial proportion intervals (Wilson and Clopper–Pearson),
+//! chi-square and Kolmogorov–Smirnov goodness-of-fit p-values, and a
+//! [`TestBattery`] that applies a familywise multiple-comparison
+//! correction (Holm–Bonferroni) so an agreement suite with a dozen
+//! checks still has a calibrated overall false-alarm rate.
+//!
+//! The special functions (regularized incomplete beta and gamma) use
+//! standard continued-fraction/series evaluations — accurate to ~1e-10
+//! over the ranges these tests exercise, which is far below any α anyone
+//! sets.
+
+/// A two-sided confidence interval for a proportion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Lower confidence bound.
+    pub lo: f64,
+    /// Upper confidence bound.
+    pub hi: f64,
+}
+
+impl Interval {
+    /// Whether `p` lies inside the (closed) interval.
+    pub fn contains(&self, p: f64) -> bool {
+        self.lo <= p && p <= self.hi
+    }
+
+    /// Interval width.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+}
+
+/// Upper α/2 standard-normal quantile via bisection on the tail.
+fn z_quantile_two_sided(alpha: f64) -> f64 {
+    let target = alpha / 2.0;
+    let (mut lo, mut hi) = (0.0f64, 40.0f64);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if normal_tail(mid) > target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Standard normal upper tail P(Z > z) for z ≥ 0.
+fn normal_tail(z: f64) -> f64 {
+    // erfc via the regularized incomplete gamma: P(Z>z) = Q(1/2, z²/2)/2.
+    if z <= 0.0 {
+        return 0.5;
+    }
+    0.5 * gamma_q(0.5, 0.5 * z * z)
+}
+
+/// Wilson score interval for a binomial proportion at two-sided
+/// confidence `1 − alpha`.
+///
+/// # Examples
+///
+/// ```
+/// let ci = pcm_analysis::wilson_interval(42, 1000, 0.05);
+/// assert!(ci.contains(0.042));
+/// assert!(ci.lo > 0.0 && ci.hi < 0.07);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `successes > trials`, `trials == 0`, or `alpha` is not in
+/// (0, 1).
+pub fn wilson_interval(successes: u64, trials: u64, alpha: f64) -> Interval {
+    assert!(trials > 0 && successes <= trials);
+    assert!(alpha > 0.0 && alpha < 1.0);
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z = z_quantile_two_sided(alpha);
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = z * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt() / denom;
+    Interval {
+        lo: (center - half).max(0.0),
+        hi: (center + half).min(1.0),
+    }
+}
+
+/// Clopper–Pearson ("exact") interval for a binomial proportion at
+/// two-sided confidence `1 − alpha`. Conservative: coverage is at least
+/// the nominal level for every true p, which makes it the right choice
+/// for the tripwire tests where a false alarm blocks CI.
+///
+/// # Examples
+///
+/// ```
+/// let ci = pcm_analysis::clopper_pearson_interval(0, 500, 0.05);
+/// assert_eq!(ci.lo, 0.0);
+/// assert!(ci.hi < 0.01); // rule-of-three scale
+/// ```
+///
+/// # Panics
+///
+/// Panics on the same degenerate inputs as [`wilson_interval`].
+pub fn clopper_pearson_interval(successes: u64, trials: u64, alpha: f64) -> Interval {
+    assert!(trials > 0 && successes <= trials);
+    assert!(alpha > 0.0 && alpha < 1.0);
+    let (k, n) = (successes, trials);
+    let lo = if k == 0 {
+        0.0
+    } else {
+        // Smallest p with P(X >= k | p) = alpha/2: quantile of
+        // Beta(k, n-k+1).
+        beta_quantile(alpha / 2.0, k as f64, (n - k + 1) as f64)
+    };
+    let hi = if k == n {
+        1.0
+    } else {
+        beta_quantile(1.0 - alpha / 2.0, (k + 1) as f64, (n - k) as f64)
+    };
+    Interval { lo, hi }
+}
+
+/// Chi-square goodness-of-fit p-value for observed counts against
+/// expected counts. Bins with expected mass below `min_expected` are
+/// pooled into their right neighbour (standard practice to keep the
+/// asymptotic χ² approximation honest). Returns the p-value and the
+/// degrees of freedom actually used.
+///
+/// # Panics
+///
+/// Panics if lengths differ, fewer than two effective bins remain, or
+/// expected counts are not finite and non-negative.
+pub fn chi_square_gof(observed: &[u64], expected: &[f64], min_expected: f64) -> (f64, usize) {
+    assert_eq!(observed.len(), expected.len());
+    // Pool sparse bins left-to-right.
+    let mut obs_pooled: Vec<f64> = Vec::new();
+    let mut exp_pooled: Vec<f64> = Vec::new();
+    let (mut o_acc, mut e_acc) = (0.0f64, 0.0f64);
+    for (&o, &e) in observed.iter().zip(expected) {
+        assert!(e.is_finite() && e >= 0.0, "bad expected count {e}");
+        o_acc += o as f64;
+        e_acc += e;
+        if e_acc >= min_expected {
+            obs_pooled.push(o_acc);
+            exp_pooled.push(e_acc);
+            o_acc = 0.0;
+            e_acc = 0.0;
+        }
+    }
+    // Trailing remainder joins the last bin.
+    if e_acc > 0.0 || o_acc > 0.0 {
+        if let (Some(o), Some(e)) = (obs_pooled.last_mut(), exp_pooled.last_mut()) {
+            *o += o_acc;
+            *e += e_acc;
+        } else {
+            obs_pooled.push(o_acc);
+            exp_pooled.push(e_acc);
+        }
+    }
+    assert!(
+        obs_pooled.len() >= 2,
+        "need at least two effective bins after pooling"
+    );
+    let stat: f64 = obs_pooled
+        .iter()
+        .zip(&exp_pooled)
+        .map(|(o, e)| (o - e) * (o - e) / e.max(1e-300))
+        .sum();
+    let dof = obs_pooled.len() - 1;
+    (gamma_q(dof as f64 / 2.0, stat / 2.0), dof)
+}
+
+/// One-sample Kolmogorov–Smirnov test p-value (asymptotic) for sorted-able
+/// samples against a CDF. Suitable for n ≳ 50; for validation suites the
+/// asymptotic approximation errs slightly conservative.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty or contains non-finite values.
+pub fn ks_test<F: Fn(f64) -> f64>(samples: &mut [f64], cdf: F) -> f64 {
+    assert!(!samples.is_empty());
+    assert!(samples.iter().all(|x| x.is_finite()));
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let n = samples.len() as f64;
+    let mut d = 0.0f64;
+    for (i, &x) in samples.iter().enumerate() {
+        let f = cdf(x).clamp(0.0, 1.0);
+        let lo = i as f64 / n;
+        let hi = (i + 1) as f64 / n;
+        d = d.max((f - lo).abs()).max((hi - f).abs());
+    }
+    ks_p_value(d, samples.len())
+}
+
+/// Asymptotic p-value for a KS statistic `d` on `n` samples, using the
+/// Kolmogorov series with the Stephens small-sample adjustment.
+pub fn ks_p_value(d: f64, n: usize) -> f64 {
+    let n = n as f64;
+    let t = (n.sqrt() + 0.12 + 0.11 / n.sqrt()) * d;
+    if t < 1e-3 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for j in 1..=100 {
+        let term = sign * (-2.0 * (j as f64) * (j as f64) * t * t).exp();
+        sum += term;
+        sign = -sign;
+        if term.abs() < 1e-14 {
+            break;
+        }
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+/// One named p-value inside a [`TestBattery`].
+#[derive(Debug, Clone)]
+pub struct TestOutcome {
+    /// Test label (reported on failure).
+    pub name: String,
+    /// Raw (uncorrected) p-value.
+    pub p_value: f64,
+}
+
+/// A family of goodness-of-fit tests evaluated jointly under
+/// Holm–Bonferroni correction at familywise level `alpha`.
+///
+/// # Examples
+///
+/// ```
+/// let mut battery = pcm_analysis::TestBattery::new(0.05);
+/// battery.record("drift", 0.40);
+/// battery.record("ue-rate", 0.73);
+/// assert!(battery.rejections().is_empty());
+/// battery.record("writes", 1e-9);
+/// assert_eq!(battery.rejections(), vec!["writes".to_string()]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TestBattery {
+    alpha: f64,
+    outcomes: Vec<TestOutcome>,
+}
+
+impl TestBattery {
+    /// Creates an empty battery at familywise significance `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < alpha < 1`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha < 1.0);
+        Self {
+            alpha,
+            outcomes: Vec::new(),
+        }
+    }
+
+    /// The familywise significance level.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Records one raw p-value.
+    pub fn record(&mut self, name: &str, p_value: f64) {
+        self.outcomes.push(TestOutcome {
+            name: name.to_string(),
+            p_value: p_value.clamp(0.0, 1.0),
+        });
+    }
+
+    /// All recorded outcomes in insertion order.
+    pub fn outcomes(&self) -> &[TestOutcome] {
+        &self.outcomes
+    }
+
+    /// Names of tests rejected under Holm–Bonferroni at the familywise
+    /// level: sort p-values ascending, reject while
+    /// `p_(i) <= alpha / (m - i)`, stop at the first survivor.
+    pub fn rejections(&self) -> Vec<String> {
+        let m = self.outcomes.len();
+        let mut order: Vec<usize> = (0..m).collect();
+        order.sort_by(|&a, &b| {
+            self.outcomes[a]
+                .p_value
+                .total_cmp(&self.outcomes[b].p_value)
+        });
+        let mut rejected = Vec::new();
+        for (i, &idx) in order.iter().enumerate() {
+            if self.outcomes[idx].p_value <= self.alpha / (m - i) as f64 {
+                rejected.push(self.outcomes[idx].name.clone());
+            } else {
+                break;
+            }
+        }
+        rejected
+    }
+
+    /// Human-readable verdict line for test output.
+    pub fn report(&self) -> String {
+        let rejected = self.rejections();
+        let mut out = format!(
+            "battery: {} tests at familywise alpha = {}\n",
+            self.outcomes.len(),
+            self.alpha
+        );
+        for o in &self.outcomes {
+            let mark = if rejected.contains(&o.name) {
+                "REJECT"
+            } else {
+                "ok"
+            };
+            out.push_str(&format!(
+                "  [{mark:>6}] {:<32} p = {:.4e}\n",
+                o.name, o.p_value
+            ));
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Special functions: regularized incomplete gamma Q(a, x) and incomplete
+// beta I_x(a, b), plus a beta quantile by bisection.
+// ---------------------------------------------------------------------------
+
+// Canonical Lanczos coefficients, kept digit-for-digit as published.
+#[allow(clippy::excessive_precision, clippy::inconsistent_digit_grouping)]
+fn ln_gamma(x: f64) -> f64 {
+    // Lanczos, g = 7, 9 coefficients.
+    const G: f64 = 7.0;
+    const C: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        let pi = std::f64::consts::PI;
+        return pi.ln() - (pi * x).sin().ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = C[0];
+    for (i, &c) in C.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + G + 0.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// Regularized upper incomplete gamma Q(a, x) = Γ(a, x)/Γ(a).
+fn gamma_q(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && x >= 0.0);
+    if x == 0.0 {
+        return 1.0;
+    }
+    if x < a + 1.0 {
+        1.0 - gamma_p_series(a, x)
+    } else {
+        gamma_q_cf(a, x)
+    }
+}
+
+/// P(a, x) by power series (x < a + 1).
+fn gamma_p_series(a: f64, x: f64) -> f64 {
+    let mut term = 1.0 / a;
+    let mut sum = term;
+    let mut ap = a;
+    for _ in 0..500 {
+        ap += 1.0;
+        term *= x / ap;
+        sum += term;
+        if term.abs() < sum.abs() * 1e-15 {
+            break;
+        }
+    }
+    (sum.ln() + a * x.ln() - x - ln_gamma(a)).exp().min(1.0)
+}
+
+/// Q(a, x) by continued fraction, modified Lentz (x ≥ a + 1).
+fn gamma_q_cf(a: f64, x: f64) -> f64 {
+    const TINY: f64 = 1e-300;
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / TINY;
+    let mut d = 1.0 / b.max(TINY);
+    let mut h = d;
+    for i in 1..500 {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = (an * d + b).abs().max(TINY).copysign(an * d + b);
+        d = 1.0 / d;
+        c = b + an / c;
+        if c.abs() < TINY {
+            c = TINY.copysign(c);
+        }
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < 1e-15 {
+            break;
+        }
+    }
+    (a * x.ln() - x - ln_gamma(a)).exp() * h
+}
+
+/// Regularized incomplete beta I_x(a, b) via the standard continued
+/// fraction with the symmetry flip for convergence.
+fn inc_beta(x: f64, a: f64, b: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&x) && a > 0.0 && b > 0.0);
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        (ln_front.exp() * beta_cf(x, a, b) / a).clamp(0.0, 1.0)
+    } else {
+        (1.0 - ln_front.exp() * beta_cf(1.0 - x, b, a) / b).clamp(0.0, 1.0)
+    }
+}
+
+fn beta_cf(x: f64, a: f64, b: f64) -> f64 {
+    const TINY: f64 = 1e-300;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..500 {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < 1e-15 {
+            break;
+        }
+    }
+    h
+}
+
+/// Quantile of Beta(a, b) by bisection on the regularized incomplete
+/// beta — 200 iterations give ~1e-60 interval width, far below f64 ulp.
+fn beta_quantile(p: f64, a: f64, b: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p));
+    let (mut lo, mut hi) = (0.0f64, 1.0f64);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if inc_beta(mid, a, b) < p {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn z_quantile_matches_references() {
+        // Two-sided: alpha = 0.05 -> 1.959964, alpha = 0.01 -> 2.575829.
+        assert!((z_quantile_two_sided(0.05) - 1.959_963_985).abs() < 1e-6);
+        assert!((z_quantile_two_sided(0.01) - 2.575_829_304).abs() < 1e-6);
+    }
+
+    #[test]
+    fn wilson_covers_and_shrinks() {
+        let wide = wilson_interval(5, 50, 0.05);
+        let narrow = wilson_interval(500, 5000, 0.05);
+        assert!(wide.contains(0.1) && narrow.contains(0.1));
+        assert!(narrow.width() < wide.width());
+        // Edge cases stay in [0, 1].
+        assert_eq!(wilson_interval(0, 10, 0.05).lo, 0.0);
+        assert_eq!(wilson_interval(10, 10, 0.05).hi, 1.0);
+    }
+
+    #[test]
+    fn clopper_pearson_reference_values() {
+        // Bounds solve the defining tail equations exactly:
+        // P(X >= 8 | lo) = P(X <= 8 | hi) = 0.025 for n = 100.
+        let ci = clopper_pearson_interval(8, 100, 0.05);
+        assert!((ci.lo - 0.035_171_56).abs() < 1e-6, "lo = {}", ci.lo);
+        assert!((ci.hi - 0.151_557_64).abs() < 1e-6, "hi = {}", ci.hi);
+        // k = 0 upper bound is 1 - (alpha/2)^(1/n) (rule-of-three scale).
+        let ci0 = clopper_pearson_interval(0, 1000, 0.05);
+        let exact = 1.0 - (0.025f64).powf(1.0 / 1000.0);
+        assert!((ci0.hi - exact).abs() < 1e-9, "hi = {}", ci0.hi);
+    }
+
+    #[test]
+    fn clopper_pearson_is_wider_than_wilson() {
+        for &(k, n) in &[(3u64, 40u64), (50, 200), (400, 1000)] {
+            let cp = clopper_pearson_interval(k, n, 0.05);
+            let w = wilson_interval(k, n, 0.05);
+            assert!(cp.width() >= w.width() - 1e-12, "k={k} n={n}");
+        }
+    }
+
+    #[test]
+    fn chi_square_calibration() {
+        // Perfect fit -> p near 1; gross misfit -> p near 0.
+        let expected = [100.0, 100.0, 100.0, 100.0];
+        let (p_good, dof) = chi_square_gof(&[101, 99, 102, 98], &expected, 5.0);
+        assert_eq!(dof, 3);
+        assert!(p_good > 0.9, "p_good = {p_good}");
+        let (p_bad, _) = chi_square_gof(&[160, 40, 150, 50], &expected, 5.0);
+        assert!(p_bad < 1e-6, "p_bad = {p_bad}");
+    }
+
+    #[test]
+    fn chi_square_pools_sparse_bins() {
+        // Last bins have tiny expectation; pooling keeps dof honest.
+        let expected = [50.0, 50.0, 1.0, 0.5, 0.1];
+        let (_, dof) = chi_square_gof(&[48, 52, 1, 0, 0], &expected, 5.0);
+        // The sparse tail (total expectation 1.6 < 5) merges into the
+        // second bin: two effective bins, one degree of freedom.
+        assert_eq!(dof, 1);
+    }
+
+    #[test]
+    fn chi_square_reference_value() {
+        // stat = 4, dof = 1 -> p = 0.0455.
+        let (p, dof) = chi_square_gof(&[60, 40], &[50.0, 50.0], 5.0);
+        assert_eq!(dof, 1);
+        assert!((p - 0.045_500_26).abs() < 1e-6, "p = {p}");
+    }
+
+    #[test]
+    fn ks_calibration() {
+        // Uniform grid against the uniform CDF fits well.
+        let mut good: Vec<f64> = (0..200).map(|i| (i as f64 + 0.5) / 200.0).collect();
+        assert!(ks_test(&mut good, |x| x) > 0.99);
+        // Squashed samples against uniform fail hard.
+        let mut bad: Vec<f64> = (0..200).map(|i| (i as f64 / 200.0).powi(3)).collect();
+        assert!(ks_test(&mut bad, |x| x) < 1e-10);
+    }
+
+    #[test]
+    fn ks_p_value_reference() {
+        // Kolmogorov distribution: P(sqrt(n) D > 1.36) ~ 0.0505 for large n.
+        let p = ks_p_value(1.36 / (10_000.0f64).sqrt(), 10_000);
+        assert!((p - 0.0505).abs() < 2e-3, "p = {p}");
+    }
+
+    #[test]
+    fn holm_correction_orders_rejections() {
+        let mut b = TestBattery::new(0.05);
+        b.record("tiny", 1e-8);
+        b.record("borderline", 0.03); // survives: 0.03 > 0.05/2
+        b.record("clean", 0.8);
+        assert_eq!(b.rejections(), vec!["tiny".to_string()]);
+        assert!(b.report().contains("REJECT"));
+        // Without correction, "borderline" alone would reject at 0.05 —
+        // a singleton battery shows that.
+        let mut solo = TestBattery::new(0.05);
+        solo.record("borderline", 0.03);
+        assert_eq!(solo.rejections().len(), 1);
+    }
+
+    #[test]
+    fn empty_battery_is_quiet() {
+        let b = TestBattery::new(0.05);
+        assert!(b.rejections().is_empty());
+        assert!(b.outcomes().is_empty());
+    }
+
+    #[test]
+    fn incomplete_beta_reference_values() {
+        // I_0.5(2, 3) = 0.6875 (closed form).
+        assert!((inc_beta(0.5, 2.0, 3.0) - 0.6875).abs() < 1e-12);
+        // Symmetry: I_x(a, b) = 1 - I_{1-x}(b, a).
+        let x = 0.37;
+        let lhs = inc_beta(x, 4.5, 2.2);
+        let rhs = 1.0 - inc_beta(1.0 - x, 2.2, 4.5);
+        assert!((lhs - rhs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gamma_q_reference_values() {
+        // Q(1/2, z²/2) = erfc(z/sqrt 2): z = 1.96 -> 0.0499958.
+        let q = gamma_q(0.5, 0.5 * 1.96 * 1.96);
+        assert!((q - 0.049_995_8).abs() < 1e-6, "q = {q}");
+        // Q(k, x) for integer k: Q(3, 2) = e^-2 (1 + 2 + 2) = 0.676676.
+        let q3 = gamma_q(3.0, 2.0);
+        assert!((q3 - 0.676_676_4).abs() < 1e-6, "q3 = {q3}");
+    }
+}

@@ -6,7 +6,11 @@
 //! * [`Summary`] — mean/σ/95% CI of repeated runs;
 //! * [`percent_reduction`] / [`improvement_ratio`] — the paper's headline
 //!   metrics ("96.5% fewer UEs", "24.4× fewer scrub writes");
-//! * [`Table`] — fixed-width table and CSV rendering.
+//! * [`Table`] — fixed-width table and CSV rendering;
+//! * [`wilson_interval`] / [`clopper_pearson_interval`] /
+//!   [`chi_square_gof`] / [`ks_test`] / [`TestBattery`] — the statistical
+//!   machinery behind the oracle-vs-simulator agreement suite (see
+//!   `DESIGN.md`, "Validation methodology").
 //!
 //! # Quick start
 //!
@@ -25,9 +29,14 @@
 //! ```
 
 mod hist;
+mod infer;
 mod stats;
 mod table;
 
 pub use hist::{percentile, Histogram};
+pub use infer::{
+    chi_square_gof, clopper_pearson_interval, ks_p_value, ks_test, wilson_interval, Interval,
+    TestBattery, TestOutcome,
+};
 pub use stats::{geometric_mean, improvement_ratio, percent_reduction, Summary};
 pub use table::{fmt_count, fmt_percent, fmt_ratio, Table};

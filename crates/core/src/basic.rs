@@ -47,6 +47,45 @@ impl BasicScrub {
     pub fn interval_s(&self) -> f64 {
         self.interval_s
     }
+
+    /// The scrub slot times (seconds) the engine will execute up to and
+    /// including `horizon_s`, replicated bit-for-bit: the same
+    /// `SimTime + gap` sequential accumulation as [`crate::ScrubEngine`]
+    /// (starting at time zero), *not* the algebraically equivalent
+    /// `k·gap`, which diverges in floating point.
+    ///
+    /// Slot `j` probes line `j mod num_lines`. This is the expected-value
+    /// hook the `scrub-oracle` crate builds its closed-form probe/write
+    /// predictions on: because the times match the engine exactly, oracle
+    /// probe counts are exact rather than ±1 near the horizon.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use scrub_core::BasicScrub;
+    /// let p = BasicScrub::new(160.0, 16); // gap = 10 s
+    /// let slots = p.slot_times_within(35.0);
+    /// assert_eq!(slots, vec![0.0, 10.0, 20.0, 30.0]);
+    /// assert_eq!(p.expected_probes_within(30.0), 4); // t = 30 inclusive
+    /// ```
+    pub fn slot_times_within(&self, horizon_s: f64) -> Vec<f64> {
+        let horizon = SimTime::from_secs(horizon_s);
+        let gap = self.interval_s / self.num_lines as f64;
+        let mut times = Vec::new();
+        let mut t = SimTime::ZERO;
+        while t <= horizon {
+            times.push(t.secs());
+            t += gap;
+        }
+        times
+    }
+
+    /// Number of probe slots the engine will execute within `horizon_s` —
+    /// deterministic for this policy (it never idles), so the *expected*
+    /// probe count is exact.
+    pub fn expected_probes_within(&self, horizon_s: f64) -> u64 {
+        self.slot_times_within(horizon_s).len() as u64
+    }
 }
 
 impl ScrubPolicy for BasicScrub {
@@ -123,6 +162,26 @@ mod tests {
             mem: &mem,
         };
         assert!((p.probe_gap_s(&ctx) - 10.0).abs() < 1e-12);
+    }
+
+    /// The hook's contract: slot times equal the engine's actual probe
+    /// schedule, including the floating-point accumulation quirks.
+    #[test]
+    fn slot_times_match_engine_exactly() {
+        use crate::engine::ScrubEngine;
+        let interval = 700.0; // gap = 700/16 = 43.75: inexact accumulation
+        let horizon = 10_000.0;
+        let p = BasicScrub::new(interval, 16);
+        let predicted = p.slot_times_within(horizon);
+        let mut mem = ctx_mem();
+        let mut engine = ScrubEngine::new(Box::new(BasicScrub::new(interval, 16)));
+        let mut actual = Vec::new();
+        while engine.next_slot() <= SimTime::from_secs(horizon) {
+            actual.push(engine.next_slot().secs());
+            engine.step(&mut mem);
+        }
+        assert_eq!(predicted, actual, "slot schedule diverged from engine");
+        assert_eq!(p.expected_probes_within(horizon), actual.len() as u64);
     }
 
     #[test]

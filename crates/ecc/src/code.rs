@@ -265,6 +265,57 @@ impl CodeSpec {
     pub fn detects(&self, errors: u32) -> bool {
         errors > 0
     }
+
+    /// Exact probability that [`CodeSpec::classify`] returns an
+    /// uncorrectable outcome (DUE or miscorrection) given `errors` random
+    /// bit errors on the line — the closed-form marginal of the
+    /// classification's placement randomness.
+    ///
+    /// Per-line codes fail deterministically above `t`. Per-word codes
+    /// fail exactly when some word receives ≥ 2 of the `errors` positions
+    /// (all the alias branches still end in a UE outcome), so survival is
+    /// the all-distinct-words probability under sampling without
+    /// replacement: `C(words, e)·word_bits^e / C(words·word_bits, e)`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pcm_ecc::CodeSpec;
+    /// let bch4 = CodeSpec::bch_line(4);
+    /// assert_eq!(bch4.p_uncorrectable_given_errors(4), 0.0);
+    /// assert_eq!(bch4.p_uncorrectable_given_errors(5), 1.0);
+    /// let secded = CodeSpec::secded_line();
+    /// assert_eq!(secded.p_uncorrectable_given_errors(1), 0.0);
+    /// let two = secded.p_uncorrectable_given_errors(2);
+    /// assert!((two - 71.0 / 575.0).abs() < 1e-12);
+    /// ```
+    pub fn p_uncorrectable_given_errors(&self, errors: u32) -> f64 {
+        if errors == 0 {
+            return 0.0;
+        }
+        match self.semantics {
+            CorrectionSemantics::PerLine { t } => {
+                if errors <= t {
+                    0.0
+                } else {
+                    1.0
+                }
+            }
+            CorrectionSemantics::PerWord { words, word_bits } => {
+                if errors == 1 {
+                    return 0.0;
+                }
+                if errors > words {
+                    return 1.0;
+                }
+                let total = words * word_bits;
+                let survive = (ln_choose(words, errors) + errors as f64 * (word_bits as f64).ln()
+                    - ln_choose(total, errors))
+                .exp();
+                (1.0 - survive).clamp(0.0, 1.0)
+            }
+        }
+    }
 }
 
 /// Standard code ladder used by the experiments: SECDED then BCH-1..BCH-6.
@@ -448,6 +499,48 @@ mod tests {
         for e in [1u32, 3, 8, 20] {
             let counts = spread_errors(e, 8, 72, &mut rng);
             assert_eq!(counts.iter().sum::<u32>(), e);
+        }
+    }
+
+    /// The closed-form UE marginal must match the Monte-Carlo frequency of
+    /// `classify` itself — this is the bridge the oracle crate stands on.
+    #[test]
+    fn ue_marginal_matches_classify_frequency() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let secded = CodeSpec::secded_line();
+        for e in [2u32, 3, 5, 8] {
+            let p = secded.p_uncorrectable_given_errors(e);
+            let trials = 6000;
+            let mut ue = 0;
+            for _ in 0..trials {
+                if secded.classify(e, &mut rng).is_uncorrectable() {
+                    ue += 1;
+                }
+            }
+            let freq = ue as f64 / trials as f64;
+            let sd = (p * (1.0 - p) / trials as f64).sqrt();
+            assert!(
+                (freq - p).abs() < 5.0 * sd + 1e-9,
+                "e={e}: classify freq {freq} vs marginal {p}"
+            );
+        }
+        // Degenerate and per-line cases.
+        assert_eq!(secded.p_uncorrectable_given_errors(0), 0.0);
+        assert_eq!(secded.p_uncorrectable_given_errors(9), 1.0);
+        let bch2 = CodeSpec::bch_line(2);
+        assert_eq!(bch2.p_uncorrectable_given_errors(2), 0.0);
+        assert_eq!(bch2.p_uncorrectable_given_errors(3), 1.0);
+    }
+
+    #[test]
+    fn ue_marginal_monotone_in_errors() {
+        let secded = CodeSpec::secded_line();
+        let mut prev = 0.0;
+        for e in 0..=10 {
+            let p = secded.p_uncorrectable_given_errors(e);
+            assert!((0.0..=1.0).contains(&p));
+            assert!(p + 1e-12 >= prev, "UE marginal dipped at e={e}");
+            prev = p;
         }
     }
 

@@ -1,0 +1,164 @@
+//! Negative-path codec tests: what the decoders do with errors *beyond*
+//! their guarantees. A bounded-distance BCH decoder faced with t+1 errors
+//! must overwhelmingly reject (`Uncorrectable`), aliasing into a silent
+//! miscorrection only at the combinatorial rate the statistical layer
+//! models (`CodeSpec::alias_prob`). The CRC-32 detector must catch every
+//! burst up to its 32-bit guarantee, whatever the burst's interior.
+
+use pcm_ecc::{BchCode, BitBuf, CodeSpec, Crc32, DecodeOutcome, LineCode};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Flips `count` distinct random positions of `cw`, returning them.
+fn flip_random(cw: &mut BitBuf, count: usize, rng: &mut StdRng) -> Vec<usize> {
+    let n = cw.len();
+    let mut picked = Vec::with_capacity(count);
+    while picked.len() < count {
+        let i = rng.gen_range(0..n);
+        if !picked.contains(&i) {
+            picked.push(i);
+            cw.flip(i);
+        }
+    }
+    picked
+}
+
+fn random_data(bits: usize, rng: &mut StdRng) -> BitBuf {
+    let mut data = BitBuf::zeros(bits);
+    for i in 0..bits {
+        if rng.gen_bool(0.5) {
+            data.set(i, true);
+        }
+    }
+    data
+}
+
+/// t+1 random errors: the decoder must reject, except for the rare alias
+/// into another codeword's correction sphere — and even then it must
+/// report a plausible correction (≤ t bits), never a clean line.
+fn bch_overload_rejects(m: u32, t: u32, data_bits: usize, trials: u32, seed: u64) {
+    let code = BchCode::new(m, t, data_bits);
+    let spec = CodeSpec::bch_line(t);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut miscorrections = 0u32;
+    for _ in 0..trials {
+        let data = random_data(data_bits, &mut rng);
+        let clean = code.encode(&data);
+        let mut received = clean.clone();
+        flip_random(&mut received, t as usize + 1, &mut rng);
+        match code.decode(&mut received) {
+            DecodeOutcome::Uncorrectable => {}
+            DecodeOutcome::Clean => {
+                panic!("decoder called a corrupted word clean (t = {t})")
+            }
+            DecodeOutcome::Corrected { bits } => {
+                // Aliased into a different codeword: must have "corrected"
+                // within its bounded distance, and must NOT have silently
+                // restored the original data (that would mean it fixed
+                // t+1 errors, beyond the guaranteed radius in a way
+                // bounded-distance decoding cannot).
+                assert!(bits <= t, "claimed {bits} corrections with capability {t}");
+                assert_ne!(
+                    code.extract_data(&received).to_bools(),
+                    data.to_bools(),
+                    "decoder claimed to correct t+1 = {} errors",
+                    t + 1
+                );
+                miscorrections += 1;
+            }
+        }
+    }
+    // The statistical layer models aliasing as `alias_prob` per
+    // uncorrectable pattern. The measured rate must be consistent with
+    // that bound: allow 3 binomial sigmas plus a unit of slack so the
+    // test has teeth (a decoder miscorrecting even a few percent of
+    // overload patterns fails) without flaking.
+    let p_bound = spec.alias_prob();
+    let limit =
+        trials as f64 * p_bound + 3.0 * (trials as f64 * p_bound * (1.0 - p_bound)).sqrt() + 1.0;
+    assert!(
+        (miscorrections as f64) <= limit,
+        "BCH-{t}: {miscorrections}/{trials} miscorrections exceeds alias \
+         bound {p_bound:.2e} (limit {limit:.1})"
+    );
+}
+
+#[test]
+fn bch4_rejects_overload_patterns() {
+    bch_overload_rejects(10, 4, 512, 600, 0xB04);
+}
+
+#[test]
+fn bch2_rejects_overload_patterns() {
+    bch_overload_rejects(10, 2, 512, 600, 0xB02);
+}
+
+#[test]
+fn bch6_rejects_overload_patterns() {
+    bch_overload_rejects(10, 6, 512, 400, 0xB06);
+}
+
+/// Exhaustive burst sweep: every (start, length ≤ 32) burst with random
+/// interior bits must change the CRC-32 checksum. This is the algebraic
+/// guarantee the CRC-first probe path (DESIGN.md "CRC-first probes")
+/// leans on: a degree-32 polynomial detects any single burst of length
+/// ≤ 32 with certainty, not just with probability 1 − 2⁻³².
+#[test]
+fn crc32_detects_all_single_bursts_within_guarantee() {
+    let crc = Crc32::new();
+    let len = 544; // a BCH-ish codeword length, not byte-aligned phases
+    let mut rng = StdRng::seed_from_u64(0xC4C);
+    let message = random_data(len, &mut rng);
+    let stored = crc.checksum(&message);
+    let mut checked = 0u64;
+    for burst_len in 1..=32usize {
+        for start in 0..=(len - burst_len) {
+            let mut corrupted = message.clone();
+            // A burst of length L flips its two endpoints (defining the
+            // span) and an arbitrary interior pattern.
+            corrupted.flip(start);
+            if burst_len > 1 {
+                corrupted.flip(start + burst_len - 1);
+                for i in 1..burst_len - 1 {
+                    if rng.gen_bool(0.5) {
+                        corrupted.flip(start + i);
+                    }
+                }
+            }
+            assert!(
+                !crc.verify(&corrupted, stored),
+                "CRC-32 missed a {burst_len}-bit burst at {start}"
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked > 16_000, "sweep unexpectedly small: {checked}");
+}
+
+/// Bursts *beyond* the guarantee are only probabilistically detected —
+/// sanity-check the detector still catches nearly all of them (the
+/// residual rate is ~2⁻³², far below what this sample could hit).
+#[test]
+fn crc32_still_catches_wide_random_bursts() {
+    let crc = Crc32::new();
+    let len = 544;
+    let mut rng = StdRng::seed_from_u64(0xC4D);
+    let message = random_data(len, &mut rng);
+    let stored = crc.checksum(&message);
+    for _ in 0..2000 {
+        let burst_len = rng.gen_range(33..200usize);
+        let start = rng.gen_range(0..=(len - burst_len));
+        let mut corrupted = message.clone();
+        corrupted.flip(start);
+        corrupted.flip(start + burst_len - 1);
+        for i in 1..burst_len - 1 {
+            if rng.gen_bool(0.5) {
+                corrupted.flip(start + i);
+            }
+        }
+        assert!(
+            !crc.verify(&corrupted, stored),
+            "CRC-32 missed a {burst_len}-bit burst at {start} (p ~ 2^-32 event: suspicious)"
+        );
+    }
+}

@@ -1,0 +1,459 @@
+//! Semi-analytic drift-error predictions, derived from the device
+//! parameters by quadrature that shares *no code* with the simulator's
+//! `DriftModel` lookup tables.
+//!
+//! The probability law is the same by construction (both implement the
+//! paper's drift model); every numerical ingredient differs: Gauss–Legendre
+//! panels instead of Gauss–Hermite, series/continued-fraction `erfc`
+//! instead of a Chebyshev rational, and no precomputed LUTs on the
+//! prediction path. Agreement between the two is therefore evidence the
+//! physics math is right, not that the same bug was executed twice.
+
+use pcm_model::{DeviceConfig, DriftParams, LevelStack, NoiseParams, SensingMode, Thresholds};
+
+use crate::num::{phi, phi_tail, GaussLegendre};
+
+/// Integration half-width (in σ) for the lognormal-ν expectation.
+const NU_Z_MAX: f64 = 9.0;
+/// Panels × order for the ν quadrature.
+const NU_PANELS: usize = 3;
+const NU_ORDER: usize = 20;
+/// Integration half-width (in σ_read) for the sensing-noise expectation.
+const READ_Z_MAX: f64 = 8.0;
+const READ_PANELS: usize = 2;
+const READ_ORDER: usize = 12;
+
+/// Oracle drift model: per-level misread probabilities via direct
+/// quadrature over the device's written configuration.
+///
+/// # Examples
+///
+/// ```
+/// use pcm_model::DeviceConfig;
+/// use scrub_oracle::DriftOracle;
+/// let oracle = DriftOracle::new(&DeviceConfig::default());
+/// let sim = DeviceConfig::default().drift_model();
+/// let (o, s) = (oracle.p_up(2, 86_400.0), sim.p_up_exact(2, 86_400.0));
+/// assert!((o - s).abs() < 1e-6 + 1e-4 * s);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DriftOracle {
+    stack: LevelStack,
+    noise: NoiseParams,
+    thresholds: Thresholds,
+    params: DriftParams,
+    sensing: SensingMode,
+    gl_nu: GaussLegendre,
+    gl_read: GaussLegendre,
+}
+
+impl DriftOracle {
+    /// Builds the oracle for a device configuration.
+    pub fn new(dev: &DeviceConfig) -> Self {
+        Self {
+            stack: dev.stack().clone(),
+            noise: *dev.noise(),
+            thresholds: dev.thresholds(),
+            params: *dev.drift(),
+            sensing: dev.sensing(),
+            gl_nu: GaussLegendre::new(NU_ORDER),
+            gl_read: GaussLegendre::new(READ_ORDER),
+        }
+    }
+
+    /// Builds the oracle with explicitly overridden drift parameters —
+    /// the hook the agreement suite uses to *perturb* the physics and
+    /// prove the tripwire fires.
+    pub fn with_drift_params(dev: &DeviceConfig, params: DriftParams) -> Self {
+        let mut o = Self::new(dev);
+        o.params = params;
+        o
+    }
+
+    /// Number of resistance levels.
+    pub fn num_levels(&self) -> usize {
+        self.stack.num_levels()
+    }
+
+    /// The drift parameters the oracle is predicting under.
+    pub fn params(&self) -> &DriftParams {
+        &self.params
+    }
+
+    /// Median drift exponent of `level` after the global severity scale.
+    fn nu_median(&self, level: usize) -> f64 {
+        self.stack.level(level).nu_median * self.params.nu_scale
+    }
+
+    /// `P(x₀ > c)` under the (possibly verify-truncated) programming
+    /// distribution of `level`.
+    fn write_tail_above(&self, level: usize, c: f64) -> f64 {
+        let mu = self.stack.level(level).log_r;
+        let sw = self.noise.sigma_write;
+        match self.noise.verify_half_band {
+            None => phi_tail((c - mu) / sw),
+            Some(h) => {
+                if c >= mu + h {
+                    0.0
+                } else if c <= mu - h {
+                    1.0
+                } else {
+                    let z_top = phi(h / sw);
+                    let z_bot = phi(-h / sw);
+                    let z_c = phi((c - mu) / sw);
+                    ((z_top - z_c) / (z_top - z_bot)).clamp(0.0, 1.0)
+                }
+            }
+        }
+    }
+
+    fn write_tail_below(&self, level: usize, c: f64) -> f64 {
+        1.0 - self.write_tail_above(level, c)
+    }
+
+    /// `E_ν[f(ν)]` for the level's lognormal ν, as a weighted integral over
+    /// the standard-normal deviate `z` (ν = ν̄·e^{σz}).
+    fn expect_over_nu<F: FnMut(f64) -> f64>(&self, level: usize, mut f: F) -> f64 {
+        let med = self.nu_median(level);
+        if med <= 0.0 {
+            return f(0.0);
+        }
+        let sigma = self.params.sigma_ln_nu;
+        if sigma == 0.0 {
+            return f(med);
+        }
+        self.gl_nu
+            .integrate_panels(-NU_Z_MAX, NU_Z_MAX, NU_PANELS, |z| {
+                crate::num::normal_pdf(z) * f(med * (sigma * z).exp())
+            })
+            .clamp(0.0, 1.0)
+    }
+
+    /// Age-compensated upward shift of the boundary above `level` (zero
+    /// under fixed sensing) — same clamped-median-drift law as the
+    /// simulator, recomputed from the raw parameters.
+    pub fn boundary_shift(&self, level: usize, t_s: f64) -> f64 {
+        if self.sensing == SensingMode::Fixed {
+            return 0.0;
+        }
+        let Some(t_up) = self.thresholds.upper(level) else {
+            return 0.0;
+        };
+        let l = self.params.log_time_factor(t_s);
+        let want = self.nu_median(level) * l;
+        let upper = self.stack.level(level + 1);
+        let upper_center = upper.log_r + upper.nu_median * self.params.nu_scale * l;
+        let ceiling = (upper_center - 3.0 * self.noise.sigma_write - t_up).max(0.0);
+        want.clamp(0.0, ceiling)
+    }
+
+    /// CDF of the *noiseless drifted* resistance of a cell written to
+    /// `level`, evaluated at `x` decades after age `t_s`:
+    /// `P(x₀ + ν·log₁₀(t/t₀) ≤ x)`.
+    ///
+    /// The independent counterpart of `DriftModel::drift_cdf`; the KS
+    /// agreement test feeds Monte-Carlo cell resistances through this.
+    pub fn drift_cdf(&self, level: usize, t_s: f64, x: f64) -> f64 {
+        let l = self.params.log_time_factor(t_s);
+        self.expect_over_nu(level, |nu| self.write_tail_below(level, x - nu * l))
+    }
+
+    /// Persistent up-crossing probability by age `t_s` (noiseless drifted
+    /// resistance above the level's possibly age-compensated upper
+    /// boundary).
+    pub fn p_up(&self, level: usize, t_s: f64) -> f64 {
+        let Some(t_up) = self.thresholds.upper(level) else {
+            return 0.0;
+        };
+        let t_up = t_up + self.boundary_shift(level, t_s);
+        let l = self.params.log_time_factor(t_s);
+        self.expect_over_nu(level, |nu| self.write_tail_above(level, t_up - nu * l))
+    }
+
+    /// Persistent down-miss probability at age `t_s`.
+    pub fn p_down(&self, level: usize, t_s: f64) -> f64 {
+        let Some(t_dn) = self.thresholds.lower(level) else {
+            return 0.0;
+        };
+        let t_dn = t_dn + self.boundary_shift(level - 1, t_s);
+        let l = self.params.log_time_factor(t_s);
+        self.expect_over_nu(level, |nu| self.write_tail_below(level, t_dn - nu * l))
+    }
+
+    /// Total single-read misread probability at age `t_s`, marginalizing
+    /// both the drift exponent and the sensing noise.
+    pub fn p_misread(&self, level: usize, t_s: f64) -> f64 {
+        let t_up = self
+            .thresholds
+            .upper(level)
+            .map(|t| t + self.boundary_shift(level, t_s));
+        let t_dn = self
+            .thresholds
+            .lower(level)
+            .map(|t| t + self.boundary_shift(level - 1, t_s));
+        let l = self.params.log_time_factor(t_s);
+        let sr = self.noise.sigma_read;
+        let p = self.expect_over_nu(level, |nu| {
+            let shift = nu * l;
+            let miss_for_eps = |eps: f64| {
+                let up = t_up.map_or(0.0, |t| self.write_tail_above(level, t - shift - eps));
+                let dn = t_dn.map_or(0.0, |t| self.write_tail_below(level, t - shift - eps));
+                (up + dn).clamp(0.0, 1.0)
+            };
+            if sr == 0.0 {
+                miss_for_eps(0.0)
+            } else {
+                self.gl_read.integrate_panels(
+                    -READ_Z_MAX * sr,
+                    READ_Z_MAX * sr,
+                    READ_PANELS,
+                    |eps| crate::num::normal_pdf(eps / sr) / sr * miss_for_eps(eps),
+                )
+            }
+        });
+        p.clamp(0.0, 1.0)
+    }
+
+    /// Transient-only misread probability (total minus persistent, floored
+    /// at zero) — matches the simulator's decomposition.
+    pub fn p_transient(&self, level: usize, t_s: f64) -> f64 {
+        (self.p_misread(level, t_s) - self.p_up(level, t_s) - self.p_down(level, t_s)).max(0.0)
+    }
+
+    /// Per-cell probability of reading in error at a single probe at age
+    /// `t_s` under the simulator's error law: persistent up-crossing, or a
+    /// transient draw on a still-alive cell.
+    pub fn cell_error_prob(&self, level: usize, t_s: f64) -> f64 {
+        let up = self.p_up(level, t_s);
+        up + (1.0 - up) * self.p_transient(level, t_s)
+    }
+
+    /// Mean per-cell error probability over a uniform level occupancy —
+    /// the `q` of the line-level `Bin(cells, q)` error law.
+    pub fn mean_cell_error_prob(&self, t_s: f64) -> f64 {
+        let n = self.num_levels() as f64;
+        (0..self.num_levels())
+            .map(|lv| self.cell_error_prob(lv, t_s))
+            .sum::<f64>()
+            / n
+    }
+
+    /// Bounds `(q_lo, q_hi)` on the *simulator's* mean per-cell error
+    /// probability, obtained by inflating/deflating each per-level
+    /// component by the simulator LUTs' documented interpolation bounds
+    /// (`|lut − exact| ≤ 1e-6 + 1e-2·exact` persistent,
+    /// `≤ 5e-5 + 8e-2·exact` transient). Agreement tests widen their
+    /// acceptance intervals by this model-error band so a pass certifies
+    /// the physics while tolerating the simulator's own documented
+    /// table error.
+    pub fn mean_cell_error_bounds(&self, t_s: f64) -> (f64, f64) {
+        let n = self.num_levels() as f64;
+        let mut lo = 0.0;
+        let mut hi = 0.0;
+        for lv in 0..self.num_levels() {
+            let up = self.p_up(lv, t_s);
+            let tr = self.p_transient(lv, t_s);
+            let up_err = 1e-6 + 1e-2 * up;
+            let tr_err = 5e-5 + 8e-2 * tr;
+            let (up_lo, up_hi) = ((up - up_err).max(0.0), (up + up_err).min(1.0));
+            let (tr_lo, tr_hi) = ((tr - tr_err).max(0.0), (tr + tr_err).min(1.0));
+            // q = up + (1−up)·tr is monotone increasing in both arguments.
+            lo += up_lo + (1.0 - up_lo) * tr_lo;
+            hi += up_hi + (1.0 - up_hi) * tr_hi;
+        }
+        (lo / n, hi / n)
+    }
+}
+
+/// Per-level error-probability tables sampled from a [`DriftOracle`] on a
+/// dense log-age grid, for workloads (like the scrub renewal computation)
+/// that need thousands of age lookups.
+///
+/// This is a *computational device inside the oracle*, not a copy of the
+/// simulator's tables: values come from the oracle quadrature, the grid is
+/// independently chosen, and [`ErrorRateGrid::max_interp_error`] lets
+/// tests measure the interpolation residue directly.
+#[derive(Debug, Clone)]
+pub struct ErrorRateGrid {
+    t0_s: f64,
+    l_max: f64,
+    step: f64,
+    /// Per level: `p_up` then `p_transient` samples over the grid.
+    up: Vec<Vec<f64>>,
+    tr: Vec<Vec<f64>>,
+}
+
+impl ErrorRateGrid {
+    /// Samples the oracle over ages `t₀ … max_age_s` at
+    /// `points_per_decade` resolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_age_s ≤ t₀` or `points_per_decade == 0`.
+    pub fn build(oracle: &DriftOracle, max_age_s: f64, points_per_decade: usize) -> Self {
+        let t0 = oracle.params().t0_s;
+        assert!(max_age_s > t0, "grid must extend past t0");
+        assert!(points_per_decade > 0, "grid needs at least 1 point/decade");
+        let l_max = (max_age_s / t0).log10();
+        let points = (l_max * points_per_decade as f64).ceil() as usize + 2;
+        let step = l_max / (points - 1) as f64;
+        let mut up = Vec::with_capacity(oracle.num_levels());
+        let mut tr = Vec::with_capacity(oracle.num_levels());
+        for lv in 0..oracle.num_levels() {
+            let mut u = Vec::with_capacity(points);
+            let mut t = Vec::with_capacity(points);
+            for i in 0..points {
+                let age = t0 * 10f64.powf(step * i as f64);
+                u.push(oracle.p_up(lv, age));
+                t.push(oracle.p_transient(lv, age));
+            }
+            up.push(u);
+            tr.push(t);
+        }
+        Self {
+            t0_s: t0,
+            l_max,
+            step,
+            up,
+            tr,
+        }
+    }
+
+    fn interp(&self, table: &[f64], t_s: f64) -> f64 {
+        let l = if t_s <= self.t0_s {
+            0.0
+        } else {
+            (t_s / self.t0_s).log10()
+        };
+        assert!(
+            l <= self.l_max + 1e-9,
+            "age {t_s}s beyond the grid's {l:.2}-decade range"
+        );
+        let pos = (l / self.step).min((table.len() - 1) as f64);
+        let i = (pos as usize).min(table.len() - 2);
+        let frac = pos - i as f64;
+        table[i] + (table[i + 1] - table[i]) * frac
+    }
+
+    /// Interpolated persistent up-crossing probability.
+    pub fn p_up(&self, level: usize, t_s: f64) -> f64 {
+        self.interp(&self.up[level], t_s)
+    }
+
+    /// Interpolated transient misread probability.
+    pub fn p_transient(&self, level: usize, t_s: f64) -> f64 {
+        self.interp(&self.tr[level], t_s)
+    }
+
+    /// Worst interpolation error against direct quadrature, measured at
+    /// every grid midpoint of `level` (the linear-interpolation worst
+    /// case), as `max |grid − exact| / max(exact, floor)`.
+    pub fn max_interp_error(&self, oracle: &DriftOracle, level: usize, floor: f64) -> f64 {
+        let mut worst: f64 = 0.0;
+        for i in 0..self.up[level].len() - 1 {
+            let l = (i as f64 + 0.5) * self.step;
+            let age = self.t0_s * 10f64.powf(l);
+            for (grid, exact) in [
+                (self.p_up(level, age), oracle.p_up(level, age)),
+                (self.p_transient(level, age), oracle.p_transient(level, age)),
+            ] {
+                worst = worst.max((grid - exact).abs() / exact.max(floor));
+            }
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev() -> DeviceConfig {
+        DeviceConfig::default()
+    }
+
+    #[test]
+    fn oracle_matches_simulator_quadrature() {
+        // The keystone unit check: two unrelated numerical derivations of
+        // the same law agree to far better than Monte-Carlo resolution.
+        let oracle = DriftOracle::new(&dev());
+        let sim = dev().drift_model();
+        for lv in 0..4 {
+            for t in [1.0, 60.0, 3600.0, 86_400.0, 604_800.0] {
+                let (o, s) = (oracle.p_up(lv, t), sim.p_up_exact(lv, t));
+                assert!(
+                    (o - s).abs() <= 1e-9 + 1e-5 * s,
+                    "p_up level {lv} t {t}: oracle {o:e} sim {s:e}"
+                );
+                let (om, sm) = (oracle.p_misread(lv, t), sim.p_misread(lv, t));
+                assert!(
+                    (om - sm).abs() <= 1e-9 + 1e-4 * sm,
+                    "p_misread level {lv} t {t}: oracle {om:e} sim {sm:e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn drift_cdf_is_a_cdf() {
+        let oracle = DriftOracle::new(&dev());
+        for lv in 0..4 {
+            let mut prev = 0.0;
+            for i in 0..60 {
+                let x = 2.0 + 0.1 * i as f64;
+                let c = oracle.drift_cdf(lv, 3600.0, x);
+                assert!((0.0..=1.0).contains(&c));
+                assert!(c + 1e-12 >= prev, "CDF not monotone at level {lv} x {x}");
+                prev = c;
+            }
+            // Mass concentrates around the drifted center.
+            assert!(oracle.drift_cdf(lv, 3600.0, 8.0) > 0.999_999);
+            assert!(oracle.drift_cdf(lv, 3600.0, 1.0) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn cell_error_prob_combines_components() {
+        let oracle = DriftOracle::new(&dev());
+        let (lv, t) = (2, 86_400.0);
+        let q = oracle.cell_error_prob(lv, t);
+        let up = oracle.p_up(lv, t);
+        assert!(q >= up && q <= up + oracle.p_transient(lv, t) + 1e-12);
+    }
+
+    #[test]
+    fn mean_bounds_bracket_nominal() {
+        let oracle = DriftOracle::new(&dev());
+        for t in [60.0, 3600.0, 86_400.0] {
+            let q = oracle.mean_cell_error_prob(t);
+            let (lo, hi) = oracle.mean_cell_error_bounds(t);
+            assert!(lo <= q && q <= hi, "t={t}: {lo:e} <= {q:e} <= {hi:e}");
+            assert!(hi < lo * 1.2 + 1e-4, "band implausibly wide at t={t}");
+        }
+    }
+
+    #[test]
+    fn perturbed_params_move_predictions() {
+        let nominal = DriftOracle::new(&dev());
+        let perturbed =
+            DriftOracle::with_drift_params(&dev(), DriftParams::default().with_scale(1.05));
+        let (p0, p1) = (
+            nominal.mean_cell_error_prob(86_400.0),
+            perturbed.mean_cell_error_prob(86_400.0),
+        );
+        assert!(
+            p1 > p0 * 1.1,
+            "5% nu perturbation should visibly raise day-old error rates: {p0:e} -> {p1:e}"
+        );
+    }
+
+    #[test]
+    fn grid_tracks_quadrature_tightly() {
+        let oracle = DriftOracle::new(&dev());
+        let grid = ErrorRateGrid::build(&oracle, 25_000.0, 160);
+        for lv in 0..4 {
+            let err = grid.max_interp_error(&oracle, lv, 1e-7);
+            assert!(err < 5e-3, "level {lv}: grid interp error {err:e}");
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Line-level error law and post-ECC uncorrectable-error probability.
+//!
+//! The simulator assigns each cell a uniform level (multinomial occupancy)
+//! and draws per-cell errors independently, so the number of error bits on
+//! a line at a single probe is *exactly* `Bin(cells, q̄)` with
+//! `q̄ = mean_lv q_lv` (multinomial thinning). Feeding that binomial
+//! through the code's deterministic UE marginal
+//! ([`pcm_ecc::CodeSpec::p_uncorrectable_given_errors`]) gives the
+//! closed-form post-ECC UE probability the agreement suite checks the
+//! Monte Carlo against.
+
+use pcm_ecc::CodeSpec;
+
+use crate::num::binom_pmf;
+
+/// Expected error bits on a line of `cells` cells at per-cell error
+/// probability `q`.
+pub fn expected_errors(cells: u32, q: f64) -> f64 {
+    cells as f64 * q
+}
+
+/// Pmf of the line error count `e ∈ 0..=max_e` for `Bin(cells, q)`.
+///
+/// # Examples
+///
+/// ```
+/// let pmf = scrub_oracle::line_error_pmf(288, 0.004, 8);
+/// let total: f64 = pmf.iter().sum();
+/// assert!(total > 0.99 && total <= 1.0 + 1e-12);
+/// ```
+pub fn line_error_pmf(cells: u32, q: f64, max_e: u32) -> Vec<f64> {
+    (0..=max_e.min(cells))
+        .map(|e| binom_pmf(cells as u64, e as u64, q))
+        .collect()
+}
+
+/// Closed-form probability that a single probe of a line with per-cell
+/// error probability `q` decodes to an uncorrectable outcome (detected or
+/// miscorrected) under `code`.
+///
+/// # Examples
+///
+/// ```
+/// use pcm_ecc::CodeSpec;
+/// let secded = CodeSpec::secded_line();
+/// let bch4 = CodeSpec::bch_line(4);
+/// let (s, b) = (
+///     scrub_oracle::ue_probability(&secded, 288, 0.01),
+///     scrub_oracle::ue_probability(&bch4, 288, 0.01),
+/// );
+/// assert!(b < s, "BCH-4 must beat SECDED: {b} vs {s}");
+/// ```
+pub fn ue_probability(code: &CodeSpec, cells: u32, q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "q out of [0,1]: {q}");
+    if q == 0.0 {
+        return 0.0;
+    }
+    // Forward pmf recurrence; stop once the remaining upper tail can only
+    // contribute below relative epsilon (its UE marginal is <= 1).
+    let n = cells as u64;
+    let mut pmf = binom_pmf(n, 0, q);
+    let mut tail_left = 1.0 - pmf;
+    let odds = q / (1.0 - q);
+    let mut total = 0.0;
+    for e in 0..=cells {
+        total += pmf * code.p_uncorrectable_given_errors(e);
+        if tail_left < 1e-16 * total.max(1e-300) {
+            break;
+        }
+        let e = e as u64;
+        if e >= n {
+            break;
+        }
+        pmf *= (n - e) as f64 * odds / (e + 1) as f64;
+        tail_left = (tail_left - pmf).max(0.0);
+    }
+    total.clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ue_probability_zero_cases() {
+        let bch4 = CodeSpec::bch_line(4);
+        assert_eq!(ue_probability(&bch4, 288, 0.0), 0.0);
+        // q so small that even one error is rare: UE ~ P(e >= 5) ~ q^5.
+        assert!(ue_probability(&bch4, 288, 1e-9) < 1e-30);
+    }
+
+    #[test]
+    fn ue_probability_matches_direct_sum() {
+        // Independent check against an explicit full summation.
+        let secded = CodeSpec::secded_line();
+        for &q in &[1e-4, 3e-3, 0.02, 0.3] {
+            let direct: f64 = (0..=288u32)
+                .map(|e| binom_pmf(288, e as u64, q) * secded.p_uncorrectable_given_errors(e))
+                .sum();
+            let fast = ue_probability(&secded, 288, q);
+            assert!(
+                (fast - direct).abs() <= 1e-12 + 1e-10 * direct,
+                "q={q}: {fast:e} vs {direct:e}"
+            );
+        }
+    }
+
+    #[test]
+    fn stronger_codes_have_lower_ue() {
+        let mut prev = 1.0;
+        for t in 1..=6 {
+            let p = ue_probability(&CodeSpec::bch_line(t), 288, 0.01);
+            assert!(p < prev, "BCH-{t} did not improve: {p} vs {prev}");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn ue_probability_monotone_in_q() {
+        let bch4 = CodeSpec::bch_line(4);
+        let mut prev = 0.0;
+        for i in 1..=40 {
+            let q = i as f64 * 0.002;
+            let p = ue_probability(&bch4, 288, q);
+            assert!(p >= prev, "UE not monotone at q={q}");
+            prev = p;
+        }
+        assert!(prev > 0.9, "high q should make UEs near-certain: {prev}");
+    }
+
+    #[test]
+    fn pmf_truncation_and_mean() {
+        let pmf = line_error_pmf(288, 0.01, 288);
+        let mean: f64 = pmf.iter().enumerate().map(|(e, p)| e as f64 * p).sum();
+        assert!((mean - expected_errors(288, 0.01)).abs() < 1e-9);
+        assert_eq!(line_error_pmf(8, 0.5, 20).len(), 9);
+    }
+}

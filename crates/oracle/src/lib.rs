@@ -1,0 +1,30 @@
+//! Analytical oracle for the scrub simulator.
+//!
+//! This crate computes, in closed form or by numerical quadrature,
+//! quantities the Monte Carlo simulator estimates stochastically:
+//!
+//! - **Per-cell misread probability** from the drift model
+//!   ([`DriftOracle`]), using its own quadrature and special-function
+//!   implementations — Gauss–Legendre panels, a series/continued-fraction
+//!   `erfc` — deliberately *independent* of the Chebyshev/Gauss–Hermite
+//!   machinery and lookup tables inside `pcm-model`, so the agreement
+//!   suite cross-checks two dissimilar numerical paths.
+//! - **Line-level RBER → post-ECC UE probability** for SECDED and BCH-t
+//!   ([`ue_probability`]), via exact binomial tails through the code's
+//!   combinatorial UE marginal.
+//! - **Expected scrub writes and energy** for the basic policy
+//!   ([`BasicScrubOracle`]), via an exact per-line renewal dynamic
+//!   program on the engine's replicated probe schedule.
+//!
+//! The statistical tests that compare these predictions against simulator
+//! runs live in `pcm-analysis` (`infer` module) and `tests/
+//! oracle_agreement.rs` at the workspace root.
+
+mod drift;
+mod ecc;
+pub mod num;
+mod scrub;
+
+pub use drift::{DriftOracle, ErrorRateGrid};
+pub use ecc::{expected_errors, line_error_pmf, ue_probability};
+pub use scrub::{BasicScrubOracle, ScrubPrediction};

@@ -311,6 +311,30 @@ impl DriftModel {
         )
     }
 
+    /// Exact (quadrature) CDF of the *noiseless drifted* resistance of a
+    /// cell written to `level`: `P(x₀ + ν·log₁₀(t/t₀) ≤ x)` at age `t_s`,
+    /// marginalized over the write distribution and the lognormal drift
+    /// exponent. No lookup table is involved — this is the raw law the
+    /// LUTs are sampled from, exposed so external validators (the
+    /// `scrub-oracle` crate, goodness-of-fit tests against `CellArray`
+    /// samples) can cross-check the distribution itself rather than only
+    /// its threshold exceedances.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pcm_model::DeviceConfig;
+    /// let m = DeviceConfig::default().drift_model();
+    /// // A day-old level-2 cell has drifted up from 5.0 decades.
+    /// let below_center = m.drift_cdf(2, 86_400.0, 5.0);
+    /// assert!(below_center < 0.5);
+    /// assert!(m.drift_cdf(2, 86_400.0, 9.0) > 0.999);
+    /// ```
+    pub fn drift_cdf(&self, level: usize, t_s: f64, x: f64) -> f64 {
+        let l = self.params.log_time_factor(t_s);
+        self.expect_over_nu(level, |nu| self.write_tail_below(level, x - nu * l))
+    }
+
     /// Exact (quadrature) persistent up-crossing probability: the noiseless
     /// resistance of a cell written to `level` has drifted above the level's
     /// (possibly age-compensated) upper boundary by age `t_s`.
@@ -572,6 +596,34 @@ mod tests {
                 m.p_transient_fast(lv, m.params().t0_s)
             );
             assert_eq!(m.p_transient_fast(lv, 1e15), m.p_transient_fast(lv, 1e13));
+        }
+    }
+
+    #[test]
+    fn drift_cdf_monotone_and_consistent_with_p_up() {
+        let m = model();
+        for lv in 0..4 {
+            for t in [1.0, 3600.0, 86_400.0] {
+                // Monotone nondecreasing in x, with full range.
+                let mut prev = 0.0;
+                for i in 0..=80 {
+                    let x = 1.0 + 0.1 * i as f64;
+                    let c = m.drift_cdf(lv, t, x);
+                    assert!((0.0..=1.0).contains(&c));
+                    assert!(c + 1e-12 >= prev, "level {lv} t {t} x {x}");
+                    prev = c;
+                }
+                // Complement at the upper boundary equals p_up_exact
+                // (fixed sensing: no boundary shift).
+                if let Some(b) = m.thresholds().upper(lv) {
+                    let tail = 1.0 - m.drift_cdf(lv, t, b);
+                    let p_up = m.p_up_exact(lv, t);
+                    assert!(
+                        (tail - p_up).abs() < 1e-9 + 1e-6 * p_up,
+                        "level {lv} t {t}: tail {tail:e} vs p_up {p_up:e}"
+                    );
+                }
+            }
         }
     }
 

@@ -1,8 +1,15 @@
 //! End-to-end tests of the extension mechanisms (DESIGN.md "Extension
 //! mechanisms"): time-aware sensing, CRC-first probes, wear leveling,
 //! in-band scrub, the budget controller, and temperature scaling.
+//!
+//! Paper-scale runs are `#[ignore]`d behind `SCRUBSIM_FULL_TEST=1` (see
+//! `end_to_end.rs`); each keeps a `quick_` variant in tier-1.
 
 use scrubsim::prelude::*;
+
+fn full() -> bool {
+    std::env::var("SCRUBSIM_FULL_TEST").as_deref() == Ok("1")
+}
 
 fn base(seed: u64) -> scrubsim::scrub::SimConfigBuilder {
     let mut b = SimConfig::builder();
@@ -16,7 +23,12 @@ fn base(seed: u64) -> scrubsim::scrub::SimConfigBuilder {
 }
 
 #[test]
+#[ignore = "paper-scale run: SCRUBSIM_FULL_TEST=1 cargo test -- --include-ignored"]
 fn time_aware_sensing_reduces_writebacks_end_to_end() {
+    if !full() {
+        eprintln!("skipped: set SCRUBSIM_FULL_TEST=1");
+        return;
+    }
     let fixed = Simulation::new(base(31).build()).run();
     let compensated = Simulation::new(
         base(31)
@@ -40,7 +52,12 @@ fn time_aware_sensing_reduces_writebacks_end_to_end() {
 }
 
 #[test]
+#[ignore = "paper-scale run: SCRUBSIM_FULL_TEST=1 cargo test -- --include-ignored"]
 fn crc_probes_cut_scrub_energy_end_to_end() {
+    if !full() {
+        eprintln!("skipped: set SCRUBSIM_FULL_TEST=1");
+        return;
+    }
     let full = Simulation::new(base(32).build()).run();
     let crc = Simulation::new(base(32).probe_kind(ProbeKind::CrcThenDecode).build()).run();
     assert!(
@@ -55,7 +72,12 @@ fn crc_probes_cut_scrub_energy_end_to_end() {
 }
 
 #[test]
+#[ignore = "paper-scale run: SCRUBSIM_FULL_TEST=1 cargo test -- --include-ignored"]
 fn wear_leveling_flattens_wear_under_skewed_writes() {
+    if !full() {
+        eprintln!("skipped: set SCRUBSIM_FULL_TEST=1");
+        return;
+    }
     let mk = |leveled: bool, seed: u64| {
         let mut b = SimConfig::builder();
         b.num_lines(1024)
@@ -81,7 +103,12 @@ fn wear_leveling_flattens_wear_under_skewed_writes() {
 }
 
 #[test]
+#[ignore = "paper-scale run: SCRUBSIM_FULL_TEST=1 cargo test -- --include-ignored"]
 fn budget_policy_spends_less_than_fixed_when_target_is_loose() {
+    if !full() {
+        eprintln!("skipped: set SCRUBSIM_FULL_TEST=1");
+        return;
+    }
     let fixed = Simulation::new(
         base(34)
             .policy(PolicyKind::Threshold {
@@ -112,7 +139,12 @@ fn budget_policy_spends_less_than_fixed_when_target_is_loose() {
 }
 
 #[test]
+#[ignore = "paper-scale run: SCRUBSIM_FULL_TEST=1 cargo test -- --include-ignored"]
 fn budget_policy_tightens_under_strict_target() {
+    if !full() {
+        eprintln!("skipped: set SCRUBSIM_FULL_TEST=1");
+        return;
+    }
     let loose = Simulation::new(
         base(35)
             .code(CodeSpec::secded_line())
@@ -172,5 +204,137 @@ fn temperature_scales_error_rates_end_to_end() {
         "hot {} vs cool {} demand UEs",
         hot.stats.demand_ue,
         cool.stats.demand_ue
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Quick variants at reduced scale for tier-1.
+// ---------------------------------------------------------------------------
+
+fn quick(seed: u64) -> scrubsim::scrub::SimConfigBuilder {
+    let mut b = SimConfig::builder();
+    b.num_lines(512)
+        .code(CodeSpec::bch_line(6))
+        .policy(PolicyKind::combined_default(900.0))
+        .traffic(DemandTraffic::suite(WorkloadId::WebServe))
+        .horizon_s(4.0 * 3600.0)
+        .seed(seed);
+    b
+}
+
+#[test]
+fn quick_time_aware_sensing_reduces_writebacks() {
+    let fixed = Simulation::new(quick(31).build()).run();
+    let compensated = Simulation::new(
+        quick(31)
+            .device(
+                DeviceConfig::builder()
+                    .sensing(SensingMode::AgeCompensated)
+                    .build(),
+            )
+            .build(),
+    )
+    .run();
+    assert!(
+        compensated.scrub_writes() * 2 < fixed.scrub_writes().max(2),
+        "compensated {} vs fixed {} write-backs",
+        compensated.scrub_writes(),
+        fixed.scrub_writes()
+    );
+}
+
+#[test]
+fn quick_crc_probes_cut_scrub_energy() {
+    let full = Simulation::new(quick(32).build()).run();
+    let crc = Simulation::new(quick(32).probe_kind(ProbeKind::CrcThenDecode).build()).run();
+    assert!(
+        crc.scrub_energy_uj < full.scrub_energy_uj,
+        "crc {} vs full {} uJ",
+        crc.scrub_energy_uj,
+        full.scrub_energy_uj
+    );
+    assert_eq!(crc.stats.scrub_probes, full.stats.scrub_probes);
+    assert_eq!(crc.stats.scrub_writebacks, full.stats.scrub_writebacks);
+}
+
+#[test]
+fn quick_wear_leveling_flattens_wear() {
+    let mk = |leveled: bool| {
+        let mut b = SimConfig::builder();
+        b.num_lines(512)
+            .code(CodeSpec::bch_line(4))
+            .policy(PolicyKind::None)
+            .traffic(DemandTraffic::suite(WorkloadId::Logging)) // zipf writes
+            .horizon_s(8.0 * 3600.0)
+            .seed(33);
+        if leveled {
+            b.wear_leveling(16);
+        }
+        Simulation::new(b.build()).run()
+    };
+    let plain = mk(false);
+    let leveled = mk(true);
+    assert!(
+        (leveled.max_wear as f64) < plain.max_wear as f64 * 0.8,
+        "leveled max wear {} vs plain {}",
+        leveled.max_wear,
+        plain.max_wear
+    );
+    assert!(leveled.stats.wear_level_writes > 0);
+}
+
+#[test]
+fn quick_budget_policy_spends_less_when_target_is_loose() {
+    let fixed = Simulation::new(
+        quick(34)
+            .policy(PolicyKind::Threshold {
+                interval_s: 900.0,
+                theta: 4,
+            })
+            .build(),
+    )
+    .run();
+    let budget = Simulation::new(
+        quick(34)
+            .policy(PolicyKind::Budget {
+                interval_s: 900.0,
+                theta: 4,
+                target_ue_per_gib_day: 1e6,
+                window_s: 1800.0,
+            })
+            .build(),
+    )
+    .run();
+    assert!(
+        budget.stats.scrub_probes < fixed.stats.scrub_probes,
+        "budget {} vs fixed {} probes",
+        budget.stats.scrub_probes,
+        fixed.stats.scrub_probes
+    );
+}
+
+#[test]
+fn quick_budget_policy_tightens_under_strict_target() {
+    let run = |target_ue_per_gib_day: f64| {
+        Simulation::new(
+            quick(35)
+                .code(CodeSpec::secded_line())
+                .policy(PolicyKind::Budget {
+                    interval_s: 3600.0,
+                    theta: 1,
+                    target_ue_per_gib_day,
+                    window_s: 1800.0,
+                })
+                .build(),
+        )
+        .run()
+    };
+    let loose = run(1e10);
+    let strict = run(0.5);
+    assert!(
+        strict.stats.scrub_probes > loose.stats.scrub_probes,
+        "strict {} vs loose {} probes",
+        strict.stats.scrub_probes,
+        loose.stats.scrub_probes
     );
 }
