@@ -13,21 +13,26 @@
 
 use std::time::Instant;
 
+use scrub_telemetry as tel;
+
 use crate::scale::Scale;
 
 struct Opts {
     threads: Option<usize>,
     scale: Option<Scale>,
     bench_out: Option<String>,
+    telemetry_out: Option<String>,
 }
 
 fn usage(exp: &str) -> ! {
     eprintln!(
-        "usage: exp_{exp} [--threads N] [--quick|--full] [--bench-out PATH]\n\
-         \x20 --threads N     worker pool size (default: $SCRUBSIM_THREADS or all cores)\n\
-         \x20 --quick         CI-sized scale (same as SCRUB_QUICK=1)\n\
-         \x20 --full          paper-sized scale (overrides SCRUB_QUICK)\n\
-         \x20 --bench-out P   where to write the JSON record (default: BENCH_{exp}.json)"
+        "usage: exp_{exp} [--threads N] [--quick|--full] [--bench-out PATH] [--telemetry-out PATH]\n\
+         \x20 --threads N        worker pool size (default: $SCRUBSIM_THREADS or all cores)\n\
+         \x20 --quick            CI-sized scale (same as SCRUB_QUICK=1)\n\
+         \x20 --full             paper-sized scale (overrides SCRUB_QUICK)\n\
+         \x20 --bench-out P      where to write the JSON record (default: BENCH_{exp}.json)\n\
+         \x20 --telemetry-out P  enable the telemetry recorder and write its versioned\n\
+         \x20                    JSON document (counters, phases, event journal) to P"
     );
     std::process::exit(2);
 }
@@ -37,6 +42,7 @@ fn parse_opts(exp: &str) -> Opts {
         threads: None,
         scale: None,
         bench_out: None,
+        telemetry_out: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut it = argv.iter();
@@ -53,6 +59,7 @@ fn parse_opts(exp: &str) -> Opts {
             "--quick" => opts.scale = Some(Scale::quick()),
             "--full" => opts.scale = Some(Scale::full()),
             "--bench-out" => opts.bench_out = Some(value()),
+            "--telemetry-out" => opts.telemetry_out = Some(value()),
             _ => usage(exp),
         }
     }
@@ -125,8 +132,19 @@ where
     }
     let threads = scrub_exec::default_threads();
     let scale = opts.scale.unwrap_or_else(Scale::from_env);
+    if opts.telemetry_out.is_some() {
+        tel::install(tel::Config::default());
+        tel::set_meta("experiment", exp);
+        tel::set_meta("threads", &threads.to_string());
+        tel::set_meta("num_lines", &scale.num_lines.to_string());
+        tel::set_meta("horizon_s", &format!("{}", scale.horizon_s));
+        tel::set_meta("reps", &scale.reps.to_string());
+    }
     let started = Instant::now();
-    let (output, metrics) = run(scale);
+    let (output, metrics) = {
+        let _scope = tel::phase(&format!("exp.{exp}"));
+        run(scale)
+    };
     let wall_s = started.elapsed().as_secs_f64();
     println!("{output}");
     let record = render_record(exp, threads, wall_s, &scale, &metrics);
@@ -136,6 +154,19 @@ where
     match std::fs::write(&path, &record) {
         Ok(()) => eprintln!("[{exp}] {wall_s:.2}s on {threads} thread(s); record: {path}"),
         Err(e) => eprintln!("[{exp}] could not write {path}: {e}"),
+    }
+    if let Some(tel_path) = opts.telemetry_out {
+        // Mirror the BENCH headline metrics into the document's value map
+        // so one file carries both the report numbers and the op-level
+        // counters they must reconcile with.
+        for (k, v) in &metrics {
+            tel::set_value(&format!("bench.{k}"), *v);
+        }
+        let doc = tel::snapshot();
+        match std::fs::write(&tel_path, doc.to_json()) {
+            Ok(()) => eprintln!("[{exp}] telemetry document: {tel_path}"),
+            Err(e) => eprintln!("[{exp}] could not write {tel_path}: {e}"),
+        }
     }
 }
 

@@ -1,0 +1,204 @@
+//! Telemetry must be a pure observer: enabling, disabling, or never
+//! installing the recorder must not move a single bit of simulation
+//! output, and when enabled its counters/values/events must reconcile
+//! exactly with the report the experiment prints.
+//!
+//! The recorder is process-global, so everything lives in ONE test
+//! function — this file being its own integration-test binary guarantees
+//! a fresh process whose recorder starts untouched.
+
+use pcm_workloads::WorkloadId;
+use scrub_bench::experiments::e6;
+use scrub_bench::Scale;
+use scrub_telemetry as tel;
+
+/// Per-sim fields carried by a `SimDone` event, as f64s in the same
+/// representation `Metrics::of` consumes.
+struct SimRow {
+    policy: String,
+    ue: f64,
+    scrub_writes: f64,
+    scrub_probes: f64,
+    scrub_energy_uj: f64,
+    mean_wear: f64,
+}
+
+/// Replicates the suite average bit-for-bit: per-workload chunks are
+/// summed in event order and divided by `reps` (as in `Metrics::of`),
+/// then each workload mean is divided by the workload count and summed
+/// in suite order (as in `run_suite_threads`). f64 accumulation order is
+/// part of the determinism contract, so the fold order here must match.
+fn suite_average(rows: &[SimRow], reps: usize, pick: impl Fn(&SimRow) -> f64) -> f64 {
+    let n_w = (rows.len() / reps) as f64;
+    let mut total = 0.0;
+    for chunk in rows.chunks(reps) {
+        let mut per_workload = 0.0;
+        for row in chunk {
+            per_workload += pick(row);
+        }
+        per_workload /= reps as f64;
+        total += per_workload / n_w;
+    }
+    total
+}
+
+#[test]
+fn telemetry_is_invisible_and_reconciles() {
+    // One worker: SimDone events then arrive in job order (workload-major,
+    // rep-minor), which the reconciliation fold below depends on. Results
+    // are thread-count-independent either way.
+    scrub_exec::set_default_threads(1);
+    let scale = Scale {
+        num_lines: 1024,
+        horizon_s: 3.0 * 3600.0,
+        reps: 2,
+        mc_cells: 100,
+    };
+
+    // Recorder never installed: the baseline this whole file defends.
+    let h_absent = e6::compute(scale);
+
+    // Recorder enabled. The Sim-only event mask keeps the journal to one
+    // SimDone per simulation, so nothing is evicted (`dropped == 0`).
+    tel::install(tel::Config {
+        journal_capacity: 4096,
+        event_mask: tel::EventClass::Sim.bit(),
+    });
+    let h_on = e6::compute(scale);
+    let doc = tel::snapshot();
+
+    // Recorder installed but disabled.
+    tel::set_enabled(false);
+    let h_off = e6::compute(scale);
+
+    // Invariance: the headline (and therefore the rendered report, a pure
+    // function of it) is bit-identical in all three recorder states.
+    assert_eq!(h_absent, h_on, "enabling telemetry changed results");
+    assert_eq!(h_absent, h_off, "disabling telemetry changed results");
+
+    // Recorded values mirror the headline bit-for-bit.
+    for (key, want) in [
+        ("e6.basic.ue", h_on.basic.ue),
+        ("e6.basic.scrub_writes", h_on.basic.scrub_writes),
+        ("e6.basic.scrub_probes", h_on.basic.scrub_probes),
+        ("e6.basic.scrub_energy_uj", h_on.basic.scrub_energy_uj),
+        ("e6.basic.mean_wear", h_on.basic.mean_wear),
+        ("e6.combined.ue", h_on.combined.ue),
+        ("e6.combined.scrub_writes", h_on.combined.scrub_writes),
+        ("e6.combined.scrub_probes", h_on.combined.scrub_probes),
+        ("e6.combined.scrub_energy_uj", h_on.combined.scrub_energy_uj),
+        ("e6.combined.mean_wear", h_on.combined.mean_wear),
+        ("e6.ue_reduction_pct", h_on.ue_reduction_pct()),
+        ("e6.write_ratio", h_on.write_ratio()),
+        ("e6.energy_reduction_pct", h_on.energy_reduction_pct()),
+    ] {
+        let got = *doc
+            .values
+            .get(key)
+            .unwrap_or_else(|| panic!("document is missing value {key}"));
+        assert_eq!(
+            got.to_bits(),
+            want.to_bits(),
+            "value {key}: {got} != {want}"
+        );
+    }
+
+    // Op-level counters (incremented per memory operation) reconcile
+    // exactly with the report-level mirrors (summed per finished sim):
+    // integer adds commute, so the totals must match to the last event.
+    let c = |name: &str| {
+        *doc.counters
+            .get(name)
+            .unwrap_or_else(|| panic!("document is missing counter {name}"))
+    };
+    assert!(c("scrub_probes") > 0, "no scrub probes recorded");
+    assert_eq!(c("scrub_probes"), c("report_scrub_probes"));
+    assert_eq!(c("scrub_writebacks"), c("report_scrub_writebacks"));
+    assert_eq!(
+        c("detected_ue") + c("miscorrections"),
+        c("report_uncorrectable"),
+        "op-level UE counters disagree with report totals"
+    );
+
+    // Event-journal reconciliation: recompute the suite averages from the
+    // per-sim SimDone events and match the headline bit-for-bit.
+    assert_eq!(doc.events_dropped, 0, "SimDone events were evicted");
+    let rows: Vec<SimRow> = doc
+        .events
+        .iter()
+        .filter_map(|e| match &e.kind {
+            tel::EventKind::SimDone {
+                policy,
+                ue,
+                demand_ue: _,
+                scrub_writes,
+                scrub_probes,
+                scrub_energy_uj,
+                mean_wear,
+                ..
+            } => Some(SimRow {
+                policy: policy.clone(),
+                ue: *ue as f64,
+                scrub_writes: *scrub_writes as f64,
+                scrub_probes: *scrub_probes as f64,
+                scrub_energy_uj: *scrub_energy_uj,
+                mean_wear: *mean_wear,
+            }),
+            _ => None,
+        })
+        .collect();
+    let workloads = WorkloadId::all().len();
+    let reps = scale.reps as usize;
+    assert_eq!(
+        rows.len(),
+        2 * workloads * reps,
+        "expected one SimDone per workload x rep x suite"
+    );
+    let (basic_rows, combined_rows) = rows.split_at(workloads * reps);
+    assert!(
+        basic_rows.iter().all(|r| r.policy == basic_rows[0].policy),
+        "basic suite events interleaved with another policy"
+    );
+    assert!(
+        combined_rows
+            .iter()
+            .all(|r| r.policy == combined_rows[0].policy),
+        "combined suite events interleaved with another policy"
+    );
+    assert_ne!(basic_rows[0].policy, combined_rows[0].policy);
+
+    for (suite, rows, want) in [
+        ("basic", basic_rows, &h_on.basic),
+        ("combined", combined_rows, &h_on.combined),
+    ] {
+        for (metric, got, want) in [
+            ("ue", suite_average(rows, reps, |r| r.ue), want.ue),
+            (
+                "scrub_writes",
+                suite_average(rows, reps, |r| r.scrub_writes),
+                want.scrub_writes,
+            ),
+            (
+                "scrub_probes",
+                suite_average(rows, reps, |r| r.scrub_probes),
+                want.scrub_probes,
+            ),
+            (
+                "scrub_energy_uj",
+                suite_average(rows, reps, |r| r.scrub_energy_uj),
+                want.scrub_energy_uj,
+            ),
+            (
+                "mean_wear",
+                suite_average(rows, reps, |r| r.mean_wear),
+                want.mean_wear,
+            ),
+        ] {
+            assert_eq!(
+                got.to_bits(),
+                want.to_bits(),
+                "{suite}.{metric} recomputed from SimDone events: {got} != {want}"
+            );
+        }
+    }
+}

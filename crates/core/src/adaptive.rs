@@ -3,6 +3,7 @@
 //! wear and energy of scrubbing too eagerly.
 
 use pcm_memsim::{AccessResult, LineAddr, SimTime};
+use scrub_telemetry as tel;
 
 use crate::policy::{ScrubAction, ScrubContext, ScrubPolicy};
 use crate::threshold::ThresholdScrub;
@@ -111,6 +112,7 @@ impl RegionScheduler {
         } else {
             region.pass_errors as f64 / region.pass_probes as f64
         };
+        let before = region.mult;
         if per_line > self.speed_up_at {
             region.mult = (region.mult * 0.5).max(MIN_MULT);
         } else if per_line < self.slow_down_at {
@@ -120,6 +122,22 @@ impl RegionScheduler {
         region.cursor = region.start;
         region.pass_probes = 0;
         region.pass_errors = 0;
+        if tel::enabled() {
+            tel::counter_add(tel::Counter::RegionPasses, 1);
+            if region.mult < before {
+                tel::counter_add(tel::Counter::RegionSpeedups, 1);
+            } else if region.mult > before {
+                tel::counter_add(tel::Counter::RegionSlowdowns, 1);
+            }
+            tel::event(
+                now.secs(),
+                tel::EventKind::RateChange {
+                    region: idx as u32,
+                    mult: region.mult,
+                    next_interval_s: self.base_interval_s * region.mult,
+                },
+            );
+        }
         self.active = None;
     }
 

@@ -3,6 +3,7 @@
 //! can commit to them in advance.
 
 use pcm_memsim::{LineAddr, Memory, SimTime, SweepPlan};
+use scrub_telemetry as tel;
 
 use crate::policy::{ScrubAction, ScrubContext, ScrubPolicy};
 
@@ -82,6 +83,13 @@ impl ScrubEngine {
 
     /// Forwards a demand-write notification to the policy.
     pub fn notify_demand_write(&mut self, addr: LineAddr, now: SimTime) {
+        if tel::enabled() {
+            tel::counter_add(tel::Counter::DemandWriteNotifies, 1);
+            tel::event(
+                now.secs(),
+                tel::EventKind::DemandWriteNotify { addr: addr.0 },
+            );
+        }
         self.policy.on_demand_write(addr, now);
     }
 
@@ -96,23 +104,39 @@ impl ScrubEngine {
         match action {
             ScrubAction::Probe(addr) => {
                 self.stats.probe_slots += 1;
+                tel::counter_add(tel::Counter::EngineProbeSlots, 1);
                 let result = mem.scrub_probe(addr, now);
                 let wants = {
                     let ctx = ScrubContext { now, mem };
                     self.policy.wants_writeback(addr, &result, &ctx)
                 };
-                if result.outcome.is_uncorrectable() {
+                let forced = result.outcome.is_uncorrectable();
+                if forced {
                     // Data restored from higher-level redundancy; the line
                     // itself must be rewritten either way.
                     self.stats.forced_writebacks += 1;
+                    tel::counter_add(tel::Counter::EngineForcedWritebacks, 1);
                     mem.scrub_writeback(addr, now);
                 } else if wants {
                     self.stats.policy_writebacks += 1;
+                    tel::counter_add(tel::Counter::EnginePolicyWritebacks, 1);
                     mem.scrub_writeback(addr, now);
+                }
+                if tel::enabled() {
+                    tel::event(
+                        now.secs(),
+                        tel::EventKind::WritebackDecision {
+                            addr: addr.0,
+                            observed_bits: result.persistent_bits,
+                            fired: forced || wants,
+                            forced,
+                        },
+                    );
                 }
             }
             ScrubAction::Idle => {
                 self.stats.idle_slots += 1;
+                tel::counter_add(tel::Counter::EngineIdleSlots, 1);
             }
         }
         let gap = {
@@ -177,6 +201,18 @@ impl ScrubEngine {
         self.stats.idle_slots += outcome.idle_slots;
         self.stats.policy_writebacks += outcome.policy_writebacks;
         self.stats.forced_writebacks += outcome.forced_writebacks;
+        if tel::enabled() {
+            tel::counter_add(tel::Counter::EngineProbeSlots, outcome.probe_slots);
+            tel::counter_add(tel::Counter::EngineIdleSlots, outcome.idle_slots);
+            tel::counter_add(
+                tel::Counter::EnginePolicyWritebacks,
+                outcome.policy_writebacks,
+            );
+            tel::counter_add(
+                tel::Counter::EngineForcedWritebacks,
+                outcome.forced_writebacks,
+            );
+        }
         self.policy.on_batch_idle(outcome.idle_slots);
         self.next_slot = t;
         true

@@ -4,6 +4,7 @@ use pcm_ecc::CodeSpec;
 use pcm_memsim::{MemGeometry, MemOp, Memory, OpKind, ProbeKind, SimTime, TraceSource};
 use pcm_model::DeviceConfig;
 use pcm_workloads::WorkloadId;
+use scrub_telemetry as tel;
 
 use crate::config::PolicyKind;
 use crate::engine::ScrubEngine;
@@ -374,7 +375,7 @@ impl Simulation {
         let window_ns = self.config.horizon_s * 1e9;
         let bw = self.memory.bandwidth();
         let base_read = self.memory.timing().read_ns;
-        SimReport {
+        let report = SimReport {
             workload: self.config.traffic.label(),
             policy: self.config.policy.label(),
             code: self.memory.code().name().to_string(),
@@ -390,7 +391,33 @@ impl Simulation {
             scrub_utilization: bw.scrub_utilization(window_ns),
             demand_read_latency_ns: bw.demand_read_latency_ns(base_read, window_ns),
             measured_read_latency_ns: self.memory.measured_demand_read_latency_ns(),
+        };
+        if tel::enabled() {
+            // Report-level mirrors of the op-level counters: integer adds
+            // commute, so across any number of concurrent simulations the
+            // `report_*` totals reconcile exactly with the op-level ones.
+            tel::counter_add(tel::Counter::ReportScrubProbes, report.stats.scrub_probes);
+            tel::counter_add(
+                tel::Counter::ReportScrubWritebacks,
+                report.stats.scrub_writebacks,
+            );
+            tel::counter_add(tel::Counter::ReportUncorrectable, report.uncorrectable());
+            tel::event(
+                self.config.horizon_s,
+                tel::EventKind::SimDone {
+                    policy: report.policy.clone(),
+                    workload: report.workload.clone(),
+                    seed: self.config.seed,
+                    scrub_probes: report.stats.scrub_probes,
+                    scrub_writes: report.stats.scrub_writebacks,
+                    ue: report.uncorrectable(),
+                    demand_ue: report.stats.demand_ue,
+                    scrub_energy_uj: report.scrub_energy_uj,
+                    mean_wear: report.mean_wear,
+                },
+            );
         }
+        report
     }
 }
 

@@ -28,6 +28,8 @@
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use scrub_telemetry as tel;
+
 /// Global default thread count; 0 means "not resolved yet".
 static DEFAULT_THREADS: AtomicUsize = AtomicUsize::new(0);
 
@@ -129,14 +131,37 @@ pub fn run_indices<F>(threads: usize, n: usize, f: F)
 where
     F: Fn(usize) + Sync,
 {
+    // Sample the flag once per pool invocation: recording toggling
+    // mid-pool is not a supported use, and one load keeps the disabled
+    // path down to a single branch.
+    let tel_on = tel::enabled();
     if threads <= 1 || n <= 1 {
         for i in 0..n {
             f(i);
+        }
+        if tel_on {
+            tel::counter_add(tel::Counter::ExecPools, 1);
+            tel::counter_add(tel::Counter::ExecTasks, n as u64);
+            tel::gauge_max(tel::Gauge::ExecJobsHighWater, n as u64);
+            tel::gauge_max(tel::Gauge::ExecWorkersHighWater, 1);
+            tel::event(
+                0.0,
+                tel::EventKind::ExecWorker {
+                    worker: 0,
+                    tasks: n as u64,
+                    steals: 0,
+                },
+            );
         }
         return;
     }
     assert!(n <= u32::MAX as usize, "job count exceeds u32 index space");
     let workers = threads.min(n);
+    if tel_on {
+        tel::counter_add(tel::Counter::ExecPools, 1);
+        tel::gauge_max(tel::Gauge::ExecJobsHighWater, n as u64);
+        tel::gauge_max(tel::Gauge::ExecWorkersHighWater, workers as u64);
+    }
     // Contiguous initial partition: worker w owns [w*n/W, (w+1)*n/W).
     let ranges: Vec<PackedRange> = (0..workers)
         .map(|w| PackedRange::new(w * n / workers, (w + 1) * n / workers))
@@ -146,9 +171,12 @@ where
     std::thread::scope(|scope| {
         for w in 0..workers {
             scope.spawn(move || {
+                let mut tasks = 0u64;
+                let mut steals = 0u64;
                 // Drain own range front-to-back.
                 while let Some(i) = ranges[w].pop_front() {
                     f(i);
+                    tasks += 1;
                 }
                 // Then steal from the victim with the most work left,
                 // re-scanning until every range is dry.
@@ -157,14 +185,36 @@ where
                         .filter(|&v| v != w)
                         .max_by_key(|&v| ranges[v].remaining());
                     let Some(v) = victim else { break };
+                    if tel_on {
+                        tel::gauge_max(
+                            tel::Gauge::ExecQueueDepthHighWater,
+                            ranges[v].remaining() as u64,
+                        );
+                    }
                     match ranges[v].steal_back() {
-                        Some(i) => f(i),
+                        Some(i) => {
+                            f(i);
+                            tasks += 1;
+                            steals += 1;
+                        }
                         None => {
                             if ranges.iter().all(|r| r.remaining() == 0) {
                                 break;
                             }
                         }
                     }
+                }
+                if tel_on {
+                    tel::counter_add(tel::Counter::ExecTasks, tasks);
+                    tel::counter_add(tel::Counter::ExecSteals, steals);
+                    tel::event(
+                        0.0,
+                        tel::EventKind::ExecWorker {
+                            worker: w as u32,
+                            tasks,
+                            steals,
+                        },
+                    );
                 }
             });
         }

@@ -18,6 +18,7 @@ use rand::SeedableRng;
 
 use pcm_ecc::{ClassifyOutcome, CodeSpec};
 use pcm_model::DeviceConfig;
+use scrub_telemetry as tel;
 
 use crate::energy::EnergyLedger;
 use crate::fault::FaultEngine;
@@ -118,6 +119,7 @@ impl OpCtx<'_> {
         &self,
         shard: &mut BankShard,
         slot: usize,
+        addr: u32,
         now: SimTime,
         demand: bool,
     ) -> AccessResult {
@@ -127,6 +129,10 @@ impl OpCtx<'_> {
         let outcome = self.code.classify(persistent + transient, &mut shard.rng);
         if let ClassifyOutcome::Corrected { bits } = outcome {
             shard.stats.corrected_bits += bits as u64;
+            if tel::enabled() {
+                tel::counter_add(tel::Counter::CorrectedBits, bits as u64);
+                tel::event(now.secs(), tel::EventKind::Corrected { addr, bits, demand });
+            }
         }
         let mut new_ue = false;
         if outcome.is_uncorrectable() && !line.ue_recorded {
@@ -139,6 +145,28 @@ impl OpCtx<'_> {
             if demand {
                 shard.stats.demand_ue += 1;
             }
+            if tel::enabled() {
+                let miscorrected = matches!(outcome, ClassifyOutcome::Miscorrected);
+                tel::counter_add(
+                    if miscorrected {
+                        tel::Counter::Miscorrections
+                    } else {
+                        tel::Counter::DetectedUe
+                    },
+                    1,
+                );
+                if demand {
+                    tel::counter_add(tel::Counter::DemandUe, 1);
+                }
+                tel::event(
+                    now.secs(),
+                    tel::EventKind::Uncorrectable {
+                        addr,
+                        demand,
+                        miscorrected,
+                    },
+                );
+            }
         }
         AccessResult {
             outcome,
@@ -147,9 +175,16 @@ impl OpCtx<'_> {
         }
     }
 
-    fn demand_read(&self, shard: &mut BankShard, slot: usize, now: SimTime) -> AccessResult {
-        let result = self.decode_line(shard, slot, now, true);
+    fn demand_read(
+        &self,
+        shard: &mut BankShard,
+        slot: usize,
+        addr: u32,
+        now: SimTime,
+    ) -> AccessResult {
+        let result = self.decode_line(shard, slot, addr, now, true);
         shard.stats.demand_reads += 1;
+        tel::counter_add(tel::Counter::DemandReads, 1);
         let e = self.device.energy();
         shard
             .energy
@@ -175,26 +210,40 @@ impl OpCtx<'_> {
         }
     }
 
-    fn demand_write(&self, shard: &mut BankShard, slot: usize, now: SimTime) {
+    fn demand_write(&self, shard: &mut BankShard, slot: usize, addr: u32, now: SimTime) {
         self.write_cells(shard, slot, now);
         shard.stats.demand_writes += 1;
         let e = self.device.energy();
-        shard
-            .energy
-            .add_demand_write(e.line_write_pj(self.code.total_bits(), self.mlc) + e.encode_pj);
+        let write_pj = e.line_write_pj(self.code.total_bits(), self.mlc) + e.encode_pj;
+        shard.energy.add_demand_write(write_pj);
         shard
             .bandwidth
             .add_demand_ns(self.timing.write_ns(self.mlc));
         shard.issue(now.secs() * 1e9, self.timing.write_ns(self.mlc));
+        if tel::enabled() {
+            tel::counter_add(tel::Counter::DemandWrites, 1);
+            tel::event(
+                now.secs(),
+                tel::EventKind::DemandWrite {
+                    addr,
+                    energy_pj: write_pj,
+                },
+            );
+        }
     }
 
-    fn scrub_probe(&self, shard: &mut BankShard, slot: usize, now: SimTime) -> AccessResult {
-        let result = self.decode_line(shard, slot, now, false);
+    fn scrub_probe(
+        &self,
+        shard: &mut BankShard,
+        slot: usize,
+        addr: u32,
+        now: SimTime,
+    ) -> AccessResult {
+        let result = self.decode_line(shard, slot, addr, now, false);
         shard.stats.scrub_probes += 1;
         let e = self.device.energy();
-        shard
-            .energy
-            .add_scrub_probe(e.line_read_pj(self.code.total_bits()));
+        let read_pj = e.line_read_pj(self.code.total_bits());
+        shard.energy.add_scrub_probe(read_pj);
         let t = self.code.guaranteed_t();
         let decode_pj = match self.probe_kind {
             ProbeKind::FullDecode => e.decode_pj(t),
@@ -211,18 +260,39 @@ impl OpCtx<'_> {
         let dur = self.timing.read_ns + self.timing.decode_ns(t);
         shard.bandwidth.add_scrub_ns(dur);
         shard.issue(now.secs() * 1e9, dur);
+        if tel::enabled() {
+            tel::counter_add(tel::Counter::ScrubProbes, 1);
+            tel::event(
+                now.secs(),
+                tel::EventKind::ScrubProbe {
+                    addr,
+                    persistent_bits: result.persistent_bits,
+                    clean: matches!(result.outcome, ClassifyOutcome::Clean),
+                    energy_pj: read_pj + decode_pj,
+                },
+            );
+        }
         result
     }
 
-    fn scrub_writeback(&self, shard: &mut BankShard, slot: usize, now: SimTime) {
+    fn scrub_writeback(&self, shard: &mut BankShard, slot: usize, addr: u32, now: SimTime) {
         self.write_cells(shard, slot, now);
         shard.stats.scrub_writebacks += 1;
         let e = self.device.energy();
-        shard
-            .energy
-            .add_scrub_writeback(e.line_write_pj(self.code.total_bits(), self.mlc) + e.encode_pj);
+        let write_pj = e.line_write_pj(self.code.total_bits(), self.mlc) + e.encode_pj;
+        shard.energy.add_scrub_writeback(write_pj);
         shard.bandwidth.add_scrub_ns(self.timing.write_ns(self.mlc));
         shard.issue(now.secs() * 1e9, self.timing.write_ns(self.mlc));
+        if tel::enabled() {
+            tel::counter_add(tel::Counter::ScrubWritebacks, 1);
+            tel::event(
+                now.secs(),
+                tel::EventKind::ScrubWriteback {
+                    addr,
+                    energy_pj: write_pj,
+                },
+            );
+        }
     }
 }
 
@@ -392,6 +462,13 @@ impl Memory {
             .energy
             .add_demand_write(e.line_write_pj(ctx.code.total_bits(), ctx.mlc) + e.encode_pj);
         shard.bandwidth.add_demand_ns(ctx.timing.write_ns(ctx.mlc));
+        if tel::enabled() {
+            tel::counter_add(tel::Counter::WearLevelWrites, 1);
+            tel::event(
+                now.secs(),
+                tel::EventKind::WearLevelRotate { addr: copied_to.0 },
+            );
+        }
     }
 
     /// The geometry in force.
@@ -512,7 +589,7 @@ impl Memory {
         let addr = self.demand_to_physical(addr);
         let (bank, slot) = self.locate(addr);
         let (ctx, shards) = self.parts();
-        ctx.demand_read(&mut shards[bank], slot, now)
+        ctx.demand_read(&mut shards[bank], slot, addr.0, now)
     }
 
     /// Serves a demand write: reprograms the line (resetting its drift
@@ -529,7 +606,7 @@ impl Memory {
         let addr = self.demand_to_physical(addr);
         let (bank, slot) = self.locate(addr);
         let (ctx, shards) = self.parts();
-        ctx.demand_write(&mut shards[bank], slot, now);
+        ctx.demand_write(&mut shards[bank], slot, addr.0, now);
         self.rotate_wear_leveler(now);
     }
 
@@ -543,7 +620,7 @@ impl Memory {
         assert!(self.geom.contains(addr), "address {addr} out of range");
         let (bank, slot) = self.locate(addr);
         let (ctx, shards) = self.parts();
-        ctx.scrub_probe(&mut shards[bank], slot, now)
+        ctx.scrub_probe(&mut shards[bank], slot, addr.0, now)
     }
 
     /// Issues a scrub write-back: reprograms the line with corrected data,
@@ -557,7 +634,7 @@ impl Memory {
         assert!(self.geom.contains(addr), "address {addr} out of range");
         let (bank, slot) = self.locate(addr);
         let (ctx, shards) = self.parts();
-        ctx.scrub_writeback(&mut shards[bank], slot, now);
+        ctx.scrub_writeback(&mut shards[bank], slot, addr.0, now);
     }
 
     /// Executes a planned run of consecutive scrub slots as one
@@ -609,15 +686,15 @@ impl Memory {
                     continue;
                 }
                 out.probe_slots += 1;
-                let result = ctx.scrub_probe(shard, slot, now);
+                let result = ctx.scrub_probe(shard, slot, addr as u32, now);
                 if result.outcome.is_uncorrectable() {
                     // Data restored from higher-level redundancy; the line
                     // itself must be rewritten either way.
                     out.forced_writebacks += 1;
-                    ctx.scrub_writeback(shard, slot, now);
+                    ctx.scrub_writeback(shard, slot, addr as u32, now);
                 } else if rule.fires(&result) {
                     out.policy_writebacks += 1;
-                    ctx.scrub_writeback(shard, slot, now);
+                    ctx.scrub_writeback(shard, slot, addr as u32, now);
                 }
             }
         });

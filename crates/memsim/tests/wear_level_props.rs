@@ -1,0 +1,129 @@
+//! Property tests for Start-Gap wear leveling: the remap stays a
+//! bijection under arbitrary write sequences, logical contents survive
+//! gap rotations when the controller performs the prescribed copy, and
+//! total wear across a real [`Memory`] is conserved (every write lands
+//! on exactly one physical line, no write is lost or double-counted).
+
+use pcm_ecc::CodeSpec;
+use pcm_memsim::{LineAddr, MemGeometry, Memory, SimTime, StartGap};
+use pcm_model::DeviceConfig;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// After any number of writes (and therefore rotations), the
+    /// logical→physical map is injective, in range, and never lands on
+    /// the gap line.
+    #[test]
+    fn map_stays_bijective_under_arbitrary_writes(
+        physical in 2u32..64,
+        period in 1u32..8,
+        writes in 0u32..500,
+    ) {
+        let mut sg = StartGap::new(physical, period);
+        for _ in 0..writes {
+            sg.on_write();
+        }
+        let n = sg.logical_lines();
+        let mut seen = vec![false; physical as usize];
+        for l in 0..n {
+            let p = sg.map(LineAddr(l)).0;
+            prop_assert!(p < physical, "phys {} out of range", p);
+            prop_assert_ne!(p, sg.gap(), "logical {} mapped onto the gap", l);
+            prop_assert!(!seen[p as usize], "phys {} hit twice", p);
+            seen[p as usize] = true;
+        }
+    }
+
+    /// Contents survive remapping: model a physical array where every
+    /// rotation copies the line now occupying the new gap slot into the
+    /// old gap slot (exactly what `Memory::rotate_wear_leveler` does).
+    /// Reading any logical line through `map` must always return the
+    /// last value written to that logical line.
+    #[test]
+    fn contents_survive_remap_round_trips(
+        physical in 3u32..48,
+        period in 1u32..6,
+        // Each entry packs (logical address, value salt) into one u64:
+        // the vendored proptest has no tuple strategies.
+        writes in proptest::collection::vec(0u64..1_000_000_000, 1..250),
+    ) {
+        let mut sg = StartGap::new(physical, period);
+        let n = sg.logical_lines();
+        let mut contents: Vec<u64> = vec![0; physical as usize];
+        let mut expected: Vec<u64> = (0..n as u64).map(|l| l + 1).collect();
+        for (l, v) in expected.iter().enumerate() {
+            contents[sg.map(LineAddr(l as u32)).0 as usize] = *v;
+        }
+        for (i, packed) in writes.iter().enumerate() {
+            let l = (packed % n as u64) as u32;
+            let salt = packed / n as u64;
+            let v = 1_000_000_000 + (i as u64) * 1_000_000_000 + salt;
+            contents[sg.map(LineAddr(l)).0 as usize] = v;
+            expected[l as usize] = v;
+            if let Some(dest) = sg.on_write() {
+                // The gap has moved; the line displaced by the new gap
+                // position is copied into the freed old-gap slot.
+                contents[dest.0 as usize] = contents[sg.gap() as usize];
+            }
+            for ll in 0..n {
+                prop_assert_eq!(
+                    contents[sg.map(LineAddr(ll)).0 as usize],
+                    expected[ll as usize],
+                    "logical {} lost its contents after write {}",
+                    ll,
+                    i
+                );
+            }
+        }
+    }
+
+    /// Wear conservation on a real `Memory` with wear leveling enabled:
+    /// every physical write — the initial fill, demand writes, scrub
+    /// write-backs, and rotation copies — bumps exactly one line's wear,
+    /// so the totals must reconcile exactly.
+    #[test]
+    fn wear_is_conserved_across_rotations(
+        seed in 0u64..1_000,
+        period in 1u32..9,
+        // Each entry packs (op kind, address) into one u32.
+        ops in proptest::collection::vec(0u32..30_000, 1..120),
+    ) {
+        let geom = MemGeometry::new(64, 4);
+        let mut m = Memory::new(geom, DeviceConfig::default(), CodeSpec::bch_line(2), seed);
+        m.enable_wear_leveling(period);
+        let demand_lines = m.demand_lines();
+        let all_lines = m.geometry().num_lines();
+        for (i, packed) in ops.iter().enumerate() {
+            let (kind, addr) = (packed % 3, packed / 3);
+            let t = SimTime::from_secs(i as f64);
+            match kind {
+                0 => {
+                    m.demand_write(LineAddr(addr % demand_lines), t);
+                }
+                1 => {
+                    // Scrub addresses are physical: the full range is legal.
+                    m.scrub_writeback(LineAddr(addr % all_lines), t);
+                }
+                _ => {
+                    m.demand_read(LineAddr(addr % demand_lines), t);
+                }
+            }
+        }
+        let stats = m.stats();
+        let total_wear: u64 = m.wear_values().iter().map(|&w| w as u64).sum();
+        let expected = all_lines as u64          // initial fill: one write per line
+            + stats.demand_writes
+            + stats.scrub_writebacks
+            + stats.wear_level_writes;
+        prop_assert_eq!(
+            total_wear,
+            expected,
+            "wear leak: demand {} + writebacks {} + rotations {}",
+            stats.demand_writes,
+            stats.scrub_writebacks,
+            stats.wear_level_writes
+        );
+    }
+}

@@ -1,0 +1,172 @@
+//! Typed counters and gauges: fixed enums, so every metric has one
+//! canonical name, one storage slot, and no string hashing on the hot
+//! path.
+
+/// Monotonic event counters, one slot per variant. Additions are relaxed
+/// atomic adds, so totals are exact and independent of thread scheduling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Counter {
+    /// Demand line reads served by the memory.
+    DemandReads,
+    /// Demand line writes served by the memory.
+    DemandWrites,
+    /// Scrub probes (read + syndrome check) issued by the memory.
+    ScrubProbes,
+    /// Scrub write-backs issued by the memory.
+    ScrubWritebacks,
+    /// Bit errors corrected by ECC across all decodes.
+    CorrectedBits,
+    /// Detected-uncorrectable error events.
+    DetectedUe,
+    /// Silent-miscorrection events.
+    Miscorrections,
+    /// Uncorrectable errors first hit by demand reads.
+    DemandUe,
+    /// Wear-leveling rotation copies.
+    WearLevelWrites,
+    /// Engine slots spent probing.
+    EngineProbeSlots,
+    /// Engine slots spent idle.
+    EngineIdleSlots,
+    /// Write-backs requested by policy decisions.
+    EnginePolicyWritebacks,
+    /// Write-backs forced by uncorrectable outcomes.
+    EngineForcedWritebacks,
+    /// Demand-write notifications forwarded to policies.
+    DemandWriteNotifies,
+    /// Adaptive-region passes completed.
+    RegionPasses,
+    /// Adaptive-region interval halvings (error pressure).
+    RegionSpeedups,
+    /// Adaptive-region interval doublings (clean passes).
+    RegionSlowdowns,
+    /// Parallel pool invocations.
+    ExecPools,
+    /// Tasks executed by pool workers (including the inline path).
+    ExecTasks,
+    /// Tasks obtained by stealing from another worker's range.
+    ExecSteals,
+    /// Scrub probes as summed from finished simulation reports (should
+    /// reconcile exactly with [`Counter::ScrubProbes`]).
+    ReportScrubProbes,
+    /// Scrub write-backs as summed from finished simulation reports.
+    ReportScrubWritebacks,
+    /// Uncorrectable errors as summed from finished simulation reports.
+    ReportUncorrectable,
+}
+
+impl Counter {
+    /// Every counter, in slot order.
+    pub const ALL: [Counter; 23] = [
+        Counter::DemandReads,
+        Counter::DemandWrites,
+        Counter::ScrubProbes,
+        Counter::ScrubWritebacks,
+        Counter::CorrectedBits,
+        Counter::DetectedUe,
+        Counter::Miscorrections,
+        Counter::DemandUe,
+        Counter::WearLevelWrites,
+        Counter::EngineProbeSlots,
+        Counter::EngineIdleSlots,
+        Counter::EnginePolicyWritebacks,
+        Counter::EngineForcedWritebacks,
+        Counter::DemandWriteNotifies,
+        Counter::RegionPasses,
+        Counter::RegionSpeedups,
+        Counter::RegionSlowdowns,
+        Counter::ExecPools,
+        Counter::ExecTasks,
+        Counter::ExecSteals,
+        Counter::ReportScrubProbes,
+        Counter::ReportScrubWritebacks,
+        Counter::ReportUncorrectable,
+    ];
+
+    /// Number of counter slots.
+    pub const COUNT: usize = Counter::ALL.len();
+
+    /// The canonical (JSON) name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::DemandReads => "demand_reads",
+            Counter::DemandWrites => "demand_writes",
+            Counter::ScrubProbes => "scrub_probes",
+            Counter::ScrubWritebacks => "scrub_writebacks",
+            Counter::CorrectedBits => "corrected_bits",
+            Counter::DetectedUe => "detected_ue",
+            Counter::Miscorrections => "miscorrections",
+            Counter::DemandUe => "demand_ue",
+            Counter::WearLevelWrites => "wear_level_writes",
+            Counter::EngineProbeSlots => "engine_probe_slots",
+            Counter::EngineIdleSlots => "engine_idle_slots",
+            Counter::EnginePolicyWritebacks => "engine_policy_writebacks",
+            Counter::EngineForcedWritebacks => "engine_forced_writebacks",
+            Counter::DemandWriteNotifies => "demand_write_notifies",
+            Counter::RegionPasses => "region_passes",
+            Counter::RegionSpeedups => "region_speedups",
+            Counter::RegionSlowdowns => "region_slowdowns",
+            Counter::ExecPools => "exec_pools",
+            Counter::ExecTasks => "exec_tasks",
+            Counter::ExecSteals => "exec_steals",
+            Counter::ReportScrubProbes => "report_scrub_probes",
+            Counter::ReportScrubWritebacks => "report_scrub_writebacks",
+            Counter::ReportUncorrectable => "report_uncorrectable",
+        }
+    }
+}
+
+/// High-water-mark gauges: `record` keeps the maximum value observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Gauge {
+    /// Largest job list handed to one pool invocation.
+    ExecJobsHighWater,
+    /// Largest worker count spawned by one pool invocation.
+    ExecWorkersHighWater,
+    /// Deepest pending-work queue observed by a stealing worker.
+    ExecQueueDepthHighWater,
+}
+
+impl Gauge {
+    /// Every gauge, in slot order.
+    pub const ALL: [Gauge; 3] = [
+        Gauge::ExecJobsHighWater,
+        Gauge::ExecWorkersHighWater,
+        Gauge::ExecQueueDepthHighWater,
+    ];
+
+    /// Number of gauge slots.
+    pub const COUNT: usize = Gauge::ALL.len();
+
+    /// The canonical (JSON) name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Gauge::ExecJobsHighWater => "exec_jobs_high_water",
+            Gauge::ExecWorkersHighWater => "exec_workers_high_water",
+            Gauge::ExecQueueDepthHighWater => "exec_queue_depth_high_water",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn counter_slots_and_names_are_unique() {
+        let names: HashSet<&str> = Counter::ALL.iter().map(|c| c.name()).collect();
+        assert_eq!(names.len(), Counter::COUNT);
+        let slots: HashSet<usize> = Counter::ALL.iter().map(|&c| c as usize).collect();
+        assert_eq!(slots.len(), Counter::COUNT);
+        assert_eq!(slots.iter().max(), Some(&(Counter::COUNT - 1)));
+    }
+
+    #[test]
+    fn gauge_slots_and_names_are_unique() {
+        let names: HashSet<&str> = Gauge::ALL.iter().map(|g| g.name()).collect();
+        assert_eq!(names.len(), Gauge::COUNT);
+    }
+}

@@ -1,0 +1,60 @@
+//! RAII phase scopes: wrap a region of work in a named scope and its
+//! wall-clock duration (plus an optional simulated-time span) is folded
+//! into the collector when the scope drops. Disabled recorders hand out
+//! inert scopes that never touch a clock.
+
+use std::time::Instant;
+
+/// Aggregate for one phase name across all of its scopes.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub(crate) struct PhaseAgg {
+    pub count: u64,
+    pub wall_s: f64,
+    pub sim_span_s: f64,
+}
+
+/// A live phase scope. Create via [`crate::phase`]; the measurement is
+/// committed when the scope is dropped.
+#[derive(Debug)]
+pub struct PhaseScope {
+    name: Option<String>,
+    start: Option<Instant>,
+    sim_span_s: f64,
+}
+
+impl PhaseScope {
+    /// A scope that records nothing (telemetry disabled).
+    pub(crate) fn inert() -> Self {
+        Self {
+            name: None,
+            start: None,
+            sim_span_s: 0.0,
+        }
+    }
+
+    /// A scope that will commit under `name` on drop.
+    pub(crate) fn live(name: String) -> Self {
+        Self {
+            name: Some(name),
+            start: Some(Instant::now()),
+            sim_span_s: 0.0,
+        }
+    }
+
+    /// Attributes `span_s` seconds of simulated time to this scope
+    /// (accumulates across calls within one scope).
+    pub fn add_sim_span(&mut self, span_s: f64) {
+        if self.name.is_some() {
+            self.sim_span_s += span_s;
+        }
+    }
+}
+
+impl Drop for PhaseScope {
+    fn drop(&mut self) {
+        if let Some(name) = self.name.take() {
+            let wall_s = self.start.map(|t| t.elapsed().as_secs_f64()).unwrap_or(0.0);
+            crate::record_phase(&name, wall_s, self.sim_span_s);
+        }
+    }
+}
