@@ -1,5 +1,5 @@
 //! `cargo bench --bench experiments` regenerates every paper table and
-//! figure series (E1–E12) in one pass. Honors `SCRUB_QUICK=1`; otherwise
+//! figure series (E1–E13) in one pass. Honors `SCRUB_QUICK=1`; otherwise
 //! runs at full scale, matching what EXPERIMENTS.md records.
 
 fn main() {
@@ -8,7 +8,7 @@ fn main() {
     let scale = scrub_bench::Scale::from_env();
     println!("scrubsim experiment suite — scale: {scale:?}\n");
     type ExperimentFn = fn(scrub_bench::Scale) -> String;
-    let experiments: [(&str, ExperimentFn); 13] = [
+    let experiments: [(&str, ExperimentFn); 14] = [
         ("E1", scrub_bench::experiments::e1::run),
         ("E2", scrub_bench::experiments::e2::run),
         ("E3", scrub_bench::experiments::e3::run),
@@ -21,6 +21,7 @@ fn main() {
         ("E10", scrub_bench::experiments::e10::run),
         ("E11", scrub_bench::experiments::e11::run),
         ("E12", scrub_bench::experiments::e12::run),
+        ("E13", scrub_bench::experiments::e13::run),
         ("X1", scrub_bench::experiments::x1::run),
     ];
     for (name, run) in experiments {

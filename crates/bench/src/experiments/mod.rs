@@ -1,4 +1,4 @@
-//! Experiment implementations E1–E12 (see DESIGN.md's experiment index).
+//! Experiment implementations E1–E13 (see DESIGN.md's experiment index).
 //!
 //! Every experiment is a pure function `run(scale) -> String` returning
 //! the rendered tables; the `exp_*` binaries print them and the
@@ -8,6 +8,7 @@ pub mod e1;
 pub mod e10;
 pub mod e11;
 pub mod e12;
+pub mod e13;
 pub mod e2;
 pub mod e3;
 pub mod e4;
@@ -29,7 +30,9 @@ use crate::scale::Scale;
 ///
 /// Results are bit-identical for every thread count (the simulator's
 /// determinism contract), so the split between outer job-level and inner
-/// bank-level parallelism is purely a scheduling decision.
+/// bank-level parallelism is purely a scheduling decision. When the
+/// process has a `--fault-campaign` installed, it is attached to every
+/// simulation (the campaign's own seed keeps that deterministic too).
 pub(crate) fn run_sim(
     scale: &Scale,
     device: DeviceConfig,
@@ -39,7 +42,8 @@ pub(crate) fn run_sim(
     seed: u64,
     threads: usize,
 ) -> SimReport {
-    let config = SimConfig::builder()
+    let mut builder = SimConfig::builder();
+    builder
         .num_lines(scale.num_lines)
         .device(device)
         .code(code)
@@ -47,9 +51,11 @@ pub(crate) fn run_sim(
         .traffic(traffic)
         .horizon_s(scale.horizon_s)
         .seed(seed)
-        .threads(threads)
-        .build();
-    Simulation::new(config).run()
+        .threads(threads);
+    if let Some(spec) = crate::runner::fault_campaign() {
+        builder.fault_campaign(spec);
+    }
+    Simulation::new(builder.build()).run()
 }
 
 /// Splits a thread budget between outer (job fan-out) and inner (per-bank

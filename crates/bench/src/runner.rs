@@ -11,29 +11,59 @@
 //!    seconds, scale, and any headline metrics — next to the working
 //!    directory (stderr announces the path, keeping stdout diffable).
 
+use std::sync::OnceLock;
 use std::time::Instant;
 
+use pcm_memsim::CampaignSpec;
 use scrub_telemetry as tel;
 
 use crate::scale::Scale;
+
+/// The process-wide fault campaign installed by `--fault-campaign`.
+static FAULT_CAMPAIGN: OnceLock<CampaignSpec> = OnceLock::new();
+
+/// The campaign every simulation in this process should attach, if one
+/// was requested (via `--fault-campaign` or [`set_fault_campaign`]).
+pub fn fault_campaign() -> Option<CampaignSpec> {
+    FAULT_CAMPAIGN.get().copied()
+}
+
+/// Installs the process-wide fault campaign (flag parsing does this;
+/// public so tests can exercise the campaign path). First install wins —
+/// the campaign is part of a run's identity and must not change mid-run.
+pub fn set_fault_campaign(spec: CampaignSpec) {
+    let _ = FAULT_CAMPAIGN.set(spec);
+}
 
 struct Opts {
     threads: Option<usize>,
     scale: Option<Scale>,
     bench_out: Option<String>,
     telemetry_out: Option<String>,
+    fault_campaign: Option<CampaignSpec>,
 }
 
 fn usage(exp: &str) -> ! {
     eprintln!(
         "usage: exp_{exp} [--threads N] [--quick|--full] [--bench-out PATH] [--telemetry-out PATH]\n\
+         \x20                [--fault-campaign SPEC]\n\
          \x20 --threads N        worker pool size (default: $SCRUBSIM_THREADS or all cores)\n\
          \x20 --quick            CI-sized scale (same as SCRUB_QUICK=1)\n\
          \x20 --full             paper-sized scale (overrides SCRUB_QUICK)\n\
          \x20 --bench-out P      where to write the JSON record (default: BENCH_{exp}.json)\n\
          \x20 --telemetry-out P  enable the telemetry recorder and write its versioned\n\
-         \x20                    JSON document (counters, phases, event journal) to P"
+         \x20                    JSON document (counters, phases, event journal) to P\n\
+         \x20 --fault-campaign S deterministic fault campaign attached to every simulation,\n\
+         \x20                    e.g. 'seed=1;stuck=lines:8,cells:6;seu=lines:16,count:4,window:3600'"
     );
+    std::process::exit(2);
+}
+
+/// One-line fatal error for a malformed flag or environment value: the
+/// message names the offending input, stderr gets exactly one line, and
+/// the exit code matches usage errors.
+fn fail(exp: &str, msg: &str) -> ! {
+    eprintln!("exp_{exp}: {msg}");
     std::process::exit(2);
 }
 
@@ -43,6 +73,7 @@ fn parse_opts(exp: &str) -> Opts {
         scale: None,
         bench_out: None,
         telemetry_out: None,
+        fault_campaign: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut it = argv.iter();
@@ -50,16 +81,26 @@ fn parse_opts(exp: &str) -> Opts {
         let mut value = || it.next().cloned().unwrap_or_else(|| usage(exp));
         match flag.as_str() {
             "--threads" => {
-                let n: usize = value().parse().unwrap_or_else(|_| usage(exp));
-                if n == 0 {
-                    usage(exp);
+                let raw = value();
+                match raw.parse::<usize>() {
+                    Ok(n) if n > 0 => opts.threads = Some(n),
+                    _ => fail(
+                        exp,
+                        &format!("--threads must be a positive integer, got {raw:?}"),
+                    ),
                 }
-                opts.threads = Some(n);
             }
             "--quick" => opts.scale = Some(Scale::quick()),
             "--full" => opts.scale = Some(Scale::full()),
             "--bench-out" => opts.bench_out = Some(value()),
             "--telemetry-out" => opts.telemetry_out = Some(value()),
+            "--fault-campaign" => {
+                let raw = value();
+                match raw.parse::<CampaignSpec>() {
+                    Ok(spec) => opts.fault_campaign = Some(spec),
+                    Err(e) => fail(exp, &e),
+                }
+            }
             _ => usage(exp),
         }
     }
@@ -127,8 +168,16 @@ where
     F: FnOnce(Scale) -> (String, Vec<(String, f64)>),
 {
     let opts = parse_opts(exp);
+    // Validate the environment up front: a malformed SCRUBSIM_THREADS
+    // fails loudly here instead of being silently ignored mid-run.
+    if let Err(e) = scrub_exec::env_threads() {
+        fail(exp, &e);
+    }
     if let Some(n) = opts.threads {
         scrub_exec::set_default_threads(n);
+    }
+    if let Some(spec) = opts.fault_campaign {
+        set_fault_campaign(spec);
     }
     let threads = scrub_exec::default_threads();
     let scale = opts.scale.unwrap_or_else(Scale::from_env);
@@ -139,6 +188,9 @@ where
         tel::set_meta("num_lines", &scale.num_lines.to_string());
         tel::set_meta("horizon_s", &format!("{}", scale.horizon_s));
         tel::set_meta("reps", &scale.reps.to_string());
+        if let Some(spec) = fault_campaign() {
+            tel::set_meta("fault_campaign", &spec.to_string());
+        }
     }
     let started = Instant::now();
     let (output, metrics) = {

@@ -7,7 +7,7 @@
 //! functions of `(base_seed, rep)` and RNG streams of `(seed, bank)`, so
 //! scheduling must not be observable.
 
-use scrub_bench::experiments::{e5, e6};
+use scrub_bench::experiments::{e13, e5, e6};
 use scrub_bench::Scale;
 
 fn tiny(num_lines: u32, hours: f64) -> Scale {
@@ -26,17 +26,24 @@ fn tiny(num_lines: u32, hours: f64) -> Scale {
 fn experiment_output_is_byte_identical_across_thread_counts() {
     let e6_scale = tiny(1024, 3.0);
     let e5_scale = tiny(512, 2.0);
+    // E13 attaches its built-in fault campaign (fixed seed), enables the
+    // repair hierarchy, and runs UE recovery — all of which must stay on
+    // the per-bank RNG streams to keep scheduling unobservable.
+    let e13_scale = tiny(512, 6.0);
 
     scrub_exec::set_default_threads(1);
     let e6_seq = e6::run(e6_scale);
     let e5_seq = e5::run(e5_scale);
+    let e13_seq = e13::run(e13_scale);
 
     scrub_exec::set_default_threads(8);
     let e6_par = e6::run(e6_scale);
     let e5_par = e5::run(e5_scale);
+    let e13_par = e13::run(e13_scale);
 
     scrub_exec::set_default_threads(0); // back to auto for other tests
 
     assert_eq!(e6_seq, e6_par, "E6 output depends on thread count");
     assert_eq!(e5_seq, e5_par, "E5 output depends on thread count");
+    assert_eq!(e13_seq, e13_par, "E13 output depends on thread count");
 }

@@ -41,6 +41,11 @@ pub struct SimReport {
     /// Measured average demand-read latency (ns): service time plus the
     /// bank-queueing delays actually suffered.
     pub measured_read_latency_ns: f64,
+    /// Simulated time of the first unrepairable error, if any bank
+    /// exhausted its repair hierarchy (the lifetime figure E13 sweeps).
+    pub first_unrepairable_s: Option<f64>,
+    /// Banks that exhausted their spare pools.
+    pub degraded_banks: u32,
 }
 
 impl SimReport {
@@ -81,13 +86,16 @@ impl SimReport {
         "workload,policy,code,horizon_s,num_lines,ue_total,ue_detected,ue_silent,\
          ue_demand,scrub_probes,scrub_writebacks,demand_reads,demand_writes,\
          wear_level_writes,corrected_bits,scrub_energy_uj,demand_energy_uj,\
-         mean_wear,max_wear,worn_cells,scrub_utilization,read_latency_ns"
+         mean_wear,max_wear,worn_cells,scrub_utilization,read_latency_ns,\
+         ecp_repairs,lines_retired,unrepairable_ue,recovered_ue,\
+         first_unrepairable_s,degraded_banks"
     }
 
     /// One CSV row of this report's key figures.
     pub fn csv_row(&self) -> String {
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.3},{:.3},{:.3},{},{},{:.6},{:.1}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.3},{:.3},{:.3},{},{},{:.6},{:.1},\
+             {},{},{},{},{},{}",
             self.workload,
             self.policy,
             self.code,
@@ -110,6 +118,15 @@ impl SimReport {
             self.worn_cells,
             self.scrub_utilization,
             self.measured_read_latency_ns,
+            self.stats.ecp_repairs,
+            self.stats.lines_retired,
+            self.stats.unrepairable_ue,
+            self.stats.recovered_ue,
+            // Empty cell when the memory never became unrepairable.
+            self.first_unrepairable_s
+                .map(|s| format!("{s:.1}"))
+                .unwrap_or_default(),
+            self.degraded_banks,
         )
     }
 }
@@ -141,7 +158,7 @@ impl fmt::Display for SimReport {
             self.engine.idle_slots,
             self.scrub_energy_uj
         )?;
-        write!(
+        writeln!(
             f,
             "  wear: mean={:.2} max={} worn-cells={} | scrub-bw={:.2}% read-lat={:.0}ns",
             self.mean_wear,
@@ -149,7 +166,21 @@ impl fmt::Display for SimReport {
             self.worn_cells,
             self.scrub_utilization * 100.0,
             self.demand_read_latency_ns
-        )
+        )?;
+        write!(
+            f,
+            "  repair: ecp={} (cells={}) retired={} recovered={} unrepairable={} degraded-banks={}",
+            self.stats.ecp_repairs,
+            self.stats.ecp_cells_patched,
+            self.stats.lines_retired,
+            self.stats.recovered_ue,
+            self.stats.unrepairable_ue,
+            self.degraded_banks,
+        )?;
+        if let Some(s) = self.first_unrepairable_s {
+            write!(f, " first-unrepairable={:.1}h", s / 3600.0)?;
+        }
+        Ok(())
     }
 }
 
@@ -179,6 +210,8 @@ mod tests {
             scrub_utilization: 0.01,
             demand_read_latency_ns: 121.0,
             measured_read_latency_ns: 121.5,
+            first_unrepairable_s: None,
+            degraded_banks: 0,
         }
     }
 

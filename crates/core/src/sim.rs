@@ -1,7 +1,10 @@
 //! Top-level simulation: workload + memory + scrub engine, one event loop.
 
 use pcm_ecc::CodeSpec;
-use pcm_memsim::{MemGeometry, MemOp, Memory, OpKind, ProbeKind, SimTime, TraceSource};
+use pcm_memsim::{
+    CampaignSpec, MemGeometry, MemOp, Memory, OpKind, ProbeKind, RecoveryConfig, RepairConfig,
+    SimTime, TraceSource,
+};
 use pcm_model::DeviceConfig;
 use pcm_workloads::WorkloadId;
 use scrub_telemetry as tel;
@@ -95,6 +98,15 @@ pub struct SimConfig {
     /// simulation. Results are bit-identical for every value (randomness
     /// is keyed to banks, not execution order); 1 runs fully inline.
     pub threads: usize,
+    /// Deterministic fault campaign layered on the stochastic fault
+    /// engine ([`pcm_memsim::CampaignSpec`]), or `None` for the baseline.
+    pub fault_campaign: Option<CampaignSpec>,
+    /// Graceful-degradation repair hierarchy (ECP sparing → line
+    /// retirement → bank-degraded), or `None` to only count UEs.
+    pub repair: Option<RepairConfig>,
+    /// Shifted-threshold retry on failed ECC decodes, or `None` to
+    /// declare UEs on the first failed decode.
+    pub ue_recovery: Option<RecoveryConfig>,
 }
 
 impl SimConfig {
@@ -121,6 +133,9 @@ pub struct SimConfigBuilder {
     inband_writeback_theta: Option<u32>,
     probe_kind: ProbeKind,
     threads: usize,
+    fault_campaign: Option<CampaignSpec>,
+    repair: Option<RepairConfig>,
+    ue_recovery: Option<RecoveryConfig>,
 }
 
 impl Default for SimConfigBuilder {
@@ -138,6 +153,9 @@ impl Default for SimConfigBuilder {
             inband_writeback_theta: None,
             probe_kind: ProbeKind::FullDecode,
             threads: 1,
+            fault_campaign: None,
+            repair: None,
+            ue_recovery: None,
         }
     }
 }
@@ -216,6 +234,24 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Attaches a deterministic fault campaign.
+    pub fn fault_campaign(&mut self, spec: CampaignSpec) -> &mut Self {
+        self.fault_campaign = Some(spec);
+        self
+    }
+
+    /// Enables the graceful-degradation repair hierarchy.
+    pub fn repair(&mut self, config: RepairConfig) -> &mut Self {
+        self.repair = Some(config);
+        self
+    }
+
+    /// Enables the shifted-threshold UE recovery retry.
+    pub fn ue_recovery(&mut self, config: RecoveryConfig) -> &mut Self {
+        self.ue_recovery = Some(config);
+        self
+    }
+
     /// Finalizes the configuration.
     ///
     /// # Panics
@@ -235,6 +271,9 @@ impl SimConfigBuilder {
             inband_writeback_theta: self.inband_writeback_theta,
             probe_kind: self.probe_kind,
             threads: self.threads,
+            fault_campaign: self.fault_campaign,
+            repair: self.repair,
+            ue_recovery: self.ue_recovery,
         }
     }
 }
@@ -263,6 +302,15 @@ impl Simulation {
             memory.enable_wear_leveling(period);
         }
         memory.set_probe_kind(config.probe_kind);
+        if let Some(spec) = &config.fault_campaign {
+            memory.attach_campaign(spec);
+        }
+        if let Some(repair) = config.repair {
+            memory.enable_repair(repair);
+        }
+        if let Some(recovery) = config.ue_recovery {
+            memory.enable_ue_recovery(recovery);
+        }
         let engine = config
             .policy
             .build(config.geometry.num_lines())
@@ -391,6 +439,8 @@ impl Simulation {
             scrub_utilization: bw.scrub_utilization(window_ns),
             demand_read_latency_ns: bw.demand_read_latency_ns(base_read, window_ns),
             measured_read_latency_ns: self.memory.measured_demand_read_latency_ns(),
+            first_unrepairable_s: self.memory.first_unrepairable_s(),
+            degraded_banks: self.memory.degraded_banks(),
         };
         if tel::enabled() {
             // Report-level mirrors of the op-level counters: integer adds
@@ -523,6 +573,45 @@ mod tests {
                 assert!(serial.stats.scrub_probes > 0);
             }
         }
+    }
+
+    #[test]
+    fn campaign_repair_and_recovery_flow_through_config() {
+        let mk = |campaign: bool| {
+            let mut b = SimConfig::builder();
+            b.num_lines(512)
+                .code(CodeSpec::secded_line())
+                .policy(PolicyKind::Basic { interval_s: 900.0 })
+                .traffic(DemandTraffic::Idle)
+                .horizon_s(3600.0)
+                .seed(17)
+                .repair(pcm_memsim::RepairConfig::default())
+                .ue_recovery(pcm_memsim::RecoveryConfig { recover_prob: 0.0 });
+            if campaign {
+                b.fault_campaign(
+                    "seed=3;seu=lines:512,count:6,window:1800"
+                        .parse()
+                        .expect("valid spec"),
+                );
+            }
+            Simulation::new(b.build()).run()
+        };
+        let baseline = mk(false);
+        let bombarded = mk(true);
+        // 6 SEUs per line overwhelm SECDED (though the basic policy's
+        // unconditional write-backs keep clearing them between probes):
+        // the campaign must surface as extra uncorrectable errors.
+        assert!(
+            bombarded.uncorrectable() > baseline.uncorrectable() + 100,
+            "campaign {} vs baseline {}",
+            bombarded.uncorrectable(),
+            baseline.uncorrectable()
+        );
+        // SEUs are data faults, not worn cells: the repair hierarchy
+        // rightly leaves them to scrub write-backs.
+        assert_eq!(bombarded.stats.lines_retired, 0);
+        assert_eq!(bombarded.degraded_banks, 0);
+        assert!(bombarded.first_unrepairable_s.is_none());
     }
 
     #[test]

@@ -60,6 +60,70 @@ pub fn set_default_threads(n: usize) {
     DEFAULT_THREADS.store(n, Ordering::Relaxed);
 }
 
+/// Strictly parses the `SCRUBSIM_THREADS` environment variable: `Ok(None)`
+/// when unset, `Ok(Some(n))` for a positive integer, and an actionable
+/// error for anything else. [`default_threads`] stays lenient (a malformed
+/// value falls back to auto-detection); binaries call this up front so a
+/// typo fails loudly instead of being silently ignored.
+pub fn env_threads() -> Result<Option<usize>, String> {
+    match std::env::var("SCRUBSIM_THREADS") {
+        Err(std::env::VarError::NotPresent) => Ok(None),
+        Err(std::env::VarError::NotUnicode(_)) => {
+            Err("SCRUBSIM_THREADS is not valid UTF-8".to_string())
+        }
+        Ok(raw) => {
+            let v = raw.trim();
+            match v.parse::<usize>() {
+                Ok(n) if n > 0 => Ok(Some(n)),
+                _ => Err(format!(
+                    "SCRUBSIM_THREADS must be a positive integer, got {v:?}"
+                )),
+            }
+        }
+    }
+}
+
+/// Why one job in a [`par_try_map`] batch failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// The job panicked on every attempt (initial run plus retries).
+    Panicked {
+        /// Attempts made before giving up.
+        attempts: u32,
+        /// The final panic payload, stringified.
+        message: String,
+    },
+    /// The job never produced a result — its worker died mid-job. The
+    /// completion watchdog converts this into an error instead of letting
+    /// the batch hang or abort on a bare unwrap.
+    Lost,
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Panicked { attempts, message } => {
+                write!(f, "job panicked after {attempts} attempt(s): {message}")
+            }
+            JobError::Lost => write!(f, "job lost: worker died before producing a result"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// Stringifies a caught panic payload (the common `&str` / `String` cases;
+/// anything else gets a placeholder).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// One worker's index range, packed start|end into an `AtomicU64` so both
 /// the owner (front) and thieves (back) can claim indices lock-free.
 struct PackedRange(AtomicU64);
@@ -244,9 +308,97 @@ where
         let r = f(i, item);
         *results[i].lock().unwrap() = Some(r);
     });
+    // Completion watchdog: every slot must have been filled. A worker that
+    // died mid-job leaves a hole; report which jobs were lost instead of
+    // unwrapping into a context-free panic.
+    let mut out = Vec::with_capacity(n);
+    let mut lost = Vec::new();
+    for (i, m) in results.into_iter().enumerate() {
+        match m.into_inner().unwrap() {
+            Some(r) => out.push(r),
+            None => lost.push(i),
+        }
+    }
+    if !lost.is_empty() {
+        tel::counter_add(tel::Counter::ExecLostJobs, lost.len() as u64);
+        panic!(
+            "{} of {n} pool job(s) lost (workers died mid-job): indices {lost:?}; \
+             use par_try_map to isolate failing jobs",
+            lost.len()
+        );
+    }
+    out
+}
+
+/// Like [`par_map`], but each job is panic-isolated with `catch_unwind`
+/// and retried up to `retries` extra times; the result vector carries one
+/// `Result` per input in input order, so a single poisoned job surfaces as
+/// a structured [`JobError`] instead of aborting the whole batch.
+///
+/// `f` borrows its item (it may run more than once). A job that never
+/// completes — its worker died without filling the slot — is reported as
+/// [`JobError::Lost`] by the completion watchdog rather than hanging or
+/// unwinding the pool.
+pub fn par_try_map<T, R, F>(
+    threads: usize,
+    items: Vec<T>,
+    retries: u32,
+    f: F,
+) -> Vec<Result<R, JobError>>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    let tel_on = tel::enabled();
+    let attempt_job = |i: usize, item: &T| -> Result<R, JobError> {
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i, item))) {
+                Ok(r) => return Ok(r),
+                Err(payload) => {
+                    if tel_on {
+                        tel::counter_add(tel::Counter::ExecPanics, 1);
+                    }
+                    if attempts > retries {
+                        return Err(JobError::Panicked {
+                            attempts,
+                            message: panic_message(payload),
+                        });
+                    }
+                    if tel_on {
+                        tel::counter_add(tel::Counter::ExecRetries, 1);
+                    }
+                }
+            }
+        }
+    };
+    if threads <= 1 || n <= 1 {
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| attempt_job(i, item))
+            .collect();
+    }
+    let results: Vec<Mutex<Option<Result<R, JobError>>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
+    let items = &items;
+    run_indices(threads, n, |i| {
+        let r = attempt_job(i, &items[i]);
+        *results[i].lock().unwrap() = Some(r);
+    });
     results
         .into_iter()
-        .map(|m| m.into_inner().unwrap().expect("job did not complete"))
+        .map(|m| {
+            m.into_inner().unwrap().unwrap_or_else(|| {
+                if tel_on {
+                    tel::counter_add(tel::Counter::ExecLostJobs, 1);
+                }
+                Err(JobError::Lost)
+            })
+        })
         .collect()
 }
 

@@ -1,0 +1,140 @@
+//! Crash-resilience tests for the pool: a panicking job must surface as a
+//! structured per-job error while every other job completes with results
+//! byte-identical to a clean run, bounded retry must recover flaky jobs,
+//! and `par_map`'s panic path must propagate instead of hanging.
+
+use std::panic;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use scrub_exec::{env_threads, par_map, par_try_map, JobError};
+
+/// Runs `f` with the default panic hook silenced, so deliberately
+/// panicking jobs don't spray backtraces over the test output.
+fn quietly<R>(f: impl FnOnce() -> R) -> R {
+    let hook = panic::take_hook();
+    panic::set_hook(Box::new(|_| {}));
+    let r = f();
+    panic::set_hook(hook);
+    r
+}
+
+fn job(i: usize, x: &u64) -> String {
+    format!("job {i} -> {}", x * x + 17)
+}
+
+#[test]
+fn panicking_job_is_isolated_and_others_are_byte_identical() {
+    let items: Vec<u64> = (0..48).collect();
+    let clean: Vec<Result<String, JobError>> = par_try_map(1, items.clone(), 0, job);
+    for threads in [1, 4, 8] {
+        let got = quietly(|| {
+            par_try_map(threads, items.clone(), 0, |i, x| {
+                if i == 13 {
+                    panic!("poisoned rep {i}");
+                }
+                job(i, x)
+            })
+        });
+        assert_eq!(got.len(), items.len());
+        match &got[13] {
+            Err(JobError::Panicked { attempts, message }) => {
+                assert_eq!(*attempts, 1);
+                assert!(message.contains("poisoned rep 13"), "message={message}");
+            }
+            other => panic!("expected panic error at index 13, got {other:?}"),
+        }
+        for (i, r) in got.iter().enumerate() {
+            if i != 13 {
+                assert_eq!(r, &clean[i], "threads={threads} index={i}");
+            }
+        }
+    }
+}
+
+#[test]
+fn bounded_retry_recovers_a_flaky_job() {
+    let fails_left = AtomicU32::new(2);
+    let got = quietly(|| {
+        par_try_map(4, (0..16u64).collect(), 2, |i, x| {
+            if i == 5
+                && fails_left
+                    .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+                    .is_ok()
+            {
+                panic!("transient failure");
+            }
+            job(i, x)
+        })
+    });
+    assert!(
+        got.iter().all(Result::is_ok),
+        "retries should recover: {got:?}"
+    );
+    assert_eq!(got[5].as_ref().unwrap(), &job(5, &5));
+}
+
+#[test]
+fn retry_exhaustion_reports_attempt_count() {
+    let got = quietly(|| {
+        par_try_map(2, vec![0u64, 1], 2, |i, x| {
+            if i == 0 {
+                panic!("always fails");
+            }
+            job(i, x)
+        })
+    });
+    match &got[0] {
+        Err(JobError::Panicked { attempts, message }) => {
+            assert_eq!(*attempts, 3, "1 initial + 2 retries");
+            assert!(message.contains("always fails"));
+        }
+        other => panic!("expected exhausted retries, got {other:?}"),
+    }
+    assert!(got[1].is_ok());
+}
+
+#[test]
+fn par_map_panic_propagates_instead_of_hanging() {
+    let r = quietly(|| {
+        panic::catch_unwind(panic::AssertUnwindSafe(|| {
+            par_map(4, (0..32u64).collect(), |i, x| {
+                if i == 7 {
+                    panic!("worker died");
+                }
+                x + 1
+            })
+        }))
+    });
+    assert!(r.is_err(), "panic must propagate out of par_map");
+}
+
+#[test]
+fn job_error_display_is_actionable() {
+    let e = JobError::Panicked {
+        attempts: 3,
+        message: "boom".into(),
+    };
+    assert_eq!(e.to_string(), "job panicked after 3 attempt(s): boom");
+    assert_eq!(
+        JobError::Lost.to_string(),
+        "job lost: worker died before producing a result"
+    );
+}
+
+#[test]
+fn env_threads_is_strict() {
+    // All SCRUBSIM_THREADS manipulation lives in this one test: the
+    // variable is process-global and integration tests share a process.
+    std::env::remove_var("SCRUBSIM_THREADS");
+    assert_eq!(env_threads(), Ok(None));
+    std::env::set_var("SCRUBSIM_THREADS", "6");
+    assert_eq!(env_threads(), Ok(Some(6)));
+    std::env::set_var("SCRUBSIM_THREADS", " 2 ");
+    assert_eq!(env_threads(), Ok(Some(2)));
+    for bad in ["0", "-3", "eight", "4.5", ""] {
+        std::env::set_var("SCRUBSIM_THREADS", bad);
+        let err = env_threads().expect_err(bad);
+        assert!(err.contains("positive integer"), "{bad:?} -> {err}");
+    }
+    std::env::remove_var("SCRUBSIM_THREADS");
+}

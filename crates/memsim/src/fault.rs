@@ -127,10 +127,62 @@ impl FaultEngine {
         line.last_write = now;
         line.last_eval = now;
         line.ue_recorded = false;
-        // Each stuck cell disagrees with the new data w.p. (L-1)/L; a
-        // disagreement costs 1 bit (2/3 of cases) or 2 bits (1/3) under
-        // Gray coding.
-        let conflicts = sample_binomial(rng, line.worn_cells as u32, self.conflict_prob);
+        // Each unpatched stuck cell disagrees with the new data w.p.
+        // (L-1)/L; a disagreement costs 1 bit (2/3 of cases) or 2 bits
+        // (1/3) under Gray coding. ECP-patched cells read back correct
+        // regardless of the stored level, so they never conflict (with
+        // repair disabled `ecp_assigned` is always 0 and the draw is
+        // unchanged).
+        let unpatched = (line.worn_cells - line.ecp_assigned) as u32;
+        let conflicts = sample_binomial(rng, unpatched, self.conflict_prob);
+        let double_bit = sample_binomial(rng, conflicts, 1.0 / 3.0);
+        line.worn_conflict_bits = (conflicts + double_bit) as u16;
+    }
+
+    /// Injects `count` additional stuck-at cells at `now` without charging
+    /// a write: the campaign-injection analogue of wear failure. Live
+    /// occupancy shrinks accordingly and conflict bits are re-rolled for
+    /// the new stuck population; drift state and wear are untouched.
+    ///
+    /// All randomness comes from the caller's `rng` (the campaign stream),
+    /// so attaching a campaign never perturbs the bank RNG sequences.
+    pub fn inject_stuck_cells<R: Rng + ?Sized>(
+        &self,
+        line: &mut LineState,
+        count: u32,
+        rng: &mut R,
+    ) {
+        let live = self.cells_per_line - line.worn_cells as u32;
+        let added = count.min(live);
+        if added == 0 {
+            return;
+        }
+        // Remove the newly stuck cells from live occupancy, proportional to
+        // the levels they currently sit in.
+        let mut remaining = added;
+        while remaining > 0 {
+            let live_now: u32 = line.occupancy.iter().map(|&o| o as u32).sum();
+            if live_now == 0 {
+                break;
+            }
+            let mut pick = rng.gen_range(0..live_now);
+            for lv in 0..MAX_LEVELS {
+                let o = line.occupancy[lv] as u32;
+                if pick < o {
+                    line.occupancy[lv] -= 1;
+                    // Keep drift_failed within the shrunken occupancy.
+                    if line.drift_failed[lv] > line.occupancy[lv] {
+                        line.drift_failed[lv] = line.occupancy[lv];
+                    }
+                    break;
+                }
+                pick -= o;
+            }
+            remaining -= 1;
+        }
+        line.worn_cells += added as u16;
+        let unpatched = (line.worn_cells - line.ecp_assigned) as u32;
+        let conflicts = sample_binomial(rng, unpatched, self.conflict_prob);
         let double_bit = sample_binomial(rng, conflicts, 1.0 / 3.0);
         line.worn_conflict_bits = (conflicts + double_bit) as u16;
     }
@@ -335,6 +387,102 @@ mod tests {
             288,
             "live + worn must conserve cells"
         );
+    }
+
+    #[test]
+    fn near_unity_endurance_kills_all_cells_quickly() {
+        // median_writes near 1: nearly every write exhausts endurance, so a
+        // handful of writes must escalate to a fully worn line, conserving
+        // live + worn throughout.
+        let dev = DeviceConfig::builder()
+            .endurance(EnduranceSpec::new(1.001, 0.25))
+            .build();
+        let e = FaultEngine::new(&dev, 288);
+        let mut rng = StdRng::seed_from_u64(60);
+        let mut line = e.fresh_line(SimTime::ZERO, &mut rng);
+        for i in 0..16u32 {
+            e.on_write(&mut line, SimTime::from_secs(i as f64), &mut rng);
+            assert_eq!(
+                line.live_cells() + line.worn_cells as u32,
+                288,
+                "conservation broken at write {i}"
+            );
+        }
+        assert_eq!(line.worn_cells, 288, "all cells should be dead");
+        assert_eq!(line.live_cells(), 0);
+        // Fully worn line: every error is a conflict bit, no drift possible.
+        assert!(line.worn_conflict_bits > 0);
+        assert_eq!(line.persistent_bit_errors(), line.worn_conflict_bits as u32);
+        // Further writes on a dead line stay well-defined.
+        e.on_write(&mut line, SimTime::from_secs(100.0), &mut rng);
+        assert_eq!(line.worn_cells, 288);
+    }
+
+    #[test]
+    fn sigma_extremes_keep_wear_failures_well_defined() {
+        let mut rng = StdRng::seed_from_u64(61);
+        // Tiny sigma: a step function at the median — no failures below it,
+        // total failure just past it.
+        let step = DeviceConfig::builder()
+            .endurance(EnduranceSpec::new(50.0, 1e-6))
+            .build();
+        let e = FaultEngine::new(&step, 288);
+        let mut line = e.fresh_line(SimTime::ZERO, &mut rng);
+        for i in 0..40u32 {
+            e.on_write(&mut line, SimTime::from_secs(i as f64), &mut rng);
+        }
+        assert_eq!(line.worn_cells, 0, "below-median writes must not wear");
+        for i in 40..80u32 {
+            e.on_write(&mut line, SimTime::from_secs(i as f64), &mut rng);
+        }
+        assert_eq!(line.worn_cells, 288, "past the step everything fails");
+        // Huge sigma: the CDF is heavy-tailed but still a valid probability;
+        // wear accumulates monotonically and conserves cells.
+        let wide = DeviceConfig::builder()
+            .endurance(EnduranceSpec::new(1e6, 8.0))
+            .build();
+        let e = FaultEngine::new(&wide, 288);
+        let mut line = e.fresh_line(SimTime::ZERO, &mut rng);
+        let mut prev = 0u16;
+        for i in 0..200u32 {
+            e.on_write(&mut line, SimTime::from_secs(i as f64), &mut rng);
+            assert!(line.worn_cells >= prev);
+            assert_eq!(line.live_cells() + line.worn_cells as u32, 288);
+            prev = line.worn_cells;
+        }
+    }
+
+    #[test]
+    fn injected_stuck_cells_conserve_and_cap() {
+        let e = engine();
+        let mut rng = StdRng::seed_from_u64(62);
+        let mut line = e.fresh_line(SimTime::ZERO, &mut rng);
+        e.inject_stuck_cells(&mut line, 10, &mut rng);
+        assert_eq!(line.worn_cells, 10);
+        assert_eq!(line.live_cells(), 278);
+        assert_eq!(line.wear, 1, "injection must not charge a write");
+        // Requesting more than the remaining live cells caps at live.
+        e.inject_stuck_cells(&mut line, 10_000, &mut rng);
+        assert_eq!(line.worn_cells, 288);
+        assert_eq!(line.live_cells(), 0);
+    }
+
+    #[test]
+    fn ecp_patched_cells_do_not_conflict() {
+        // With every worn cell patched, a rewrite draws zero conflicts.
+        let dev = DeviceConfig::builder()
+            .endurance(EnduranceSpec::new(1.001, 0.25))
+            .build();
+        let e = FaultEngine::new(&dev, 288);
+        let mut rng = StdRng::seed_from_u64(63);
+        let mut line = e.fresh_line(SimTime::ZERO, &mut rng);
+        for i in 0..16u32 {
+            e.on_write(&mut line, SimTime::from_secs(i as f64), &mut rng);
+        }
+        assert_eq!(line.worn_cells, 288);
+        line.ecp_assigned = line.worn_cells;
+        e.on_write(&mut line, SimTime::from_secs(100.0), &mut rng);
+        assert_eq!(line.worn_conflict_bits, 0);
     }
 
     #[test]

@@ -44,8 +44,10 @@ mod bank;
 mod energy;
 mod fault;
 mod geometry;
+pub mod inject;
 mod line;
 pub mod memory;
+mod repair;
 mod stats;
 mod sweep;
 mod time;
@@ -57,8 +59,10 @@ pub use bank::BankTimer;
 pub use energy::EnergyLedger;
 pub use fault::FaultEngine;
 pub use geometry::{LineAddr, MemGeometry};
+pub use inject::{CampaignSpec, Injector};
 pub use line::{LineState, MAX_LEVELS};
 pub use memory::{AccessResult, Memory, ProbeKind};
+pub use repair::{RecoveryConfig, RepairConfig};
 pub use stats::MemStats;
 pub use sweep::{SweepOutcome, SweepPlan, SweepRule};
 pub use time::SimTime;

@@ -29,6 +29,10 @@ pub struct LineState {
     /// Worn cells whose stuck level conflicts with the current data, in
     /// *bit errors* (an MLC-2 conflict costs 1 or 2 bits).
     pub worn_conflict_bits: u16,
+    /// Worn cells permanently patched by ECP entries (always ≤ `worn_cells`;
+    /// stays 0 unless the repair hierarchy is enabled, so the baseline RNG
+    /// sequence is untouched).
+    pub ecp_assigned: u16,
     /// Whether an uncorrectable error has already been recorded for the
     /// current write epoch (dedupes repeated discovery of the same UE).
     pub ue_recorded: bool,
@@ -46,6 +50,7 @@ impl LineState {
             wear: 0,
             worn_cells: 0,
             worn_conflict_bits: 0,
+            ecp_assigned: 0,
             ue_recorded: false,
         }
     }

@@ -13,17 +13,22 @@
 //! kept per bank and merged in fixed bank order at read time, so even
 //! floating-point accumulation is order-stable across thread counts.
 
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use pcm_ecc::{ClassifyOutcome, CodeSpec};
+use pcm_model::math::sample_binomial;
 use pcm_model::DeviceConfig;
 use scrub_telemetry as tel;
 
 use crate::energy::EnergyLedger;
 use crate::fault::FaultEngine;
 use crate::geometry::{LineAddr, MemGeometry};
+use crate::inject::{CampaignSpec, Injector};
 use crate::line::LineState;
+use crate::repair::{RecoveryConfig, RepairConfig, RepairState};
 use crate::stats::MemStats;
 use crate::sweep::{SweepOutcome, SweepPlan};
 use crate::time::SimTime;
@@ -78,6 +83,9 @@ struct BankShard {
     bandwidth: BandwidthTracker,
     busy_until_ns: f64,
     demand_read_delay_ns_sum: f64,
+    /// Repair hierarchy state (spares, remap, degradation); `None` keeps
+    /// the bank on the exact baseline code path.
+    repair: Option<RepairState>,
 }
 
 impl BankShard {
@@ -90,6 +98,17 @@ impl BankShard {
             bandwidth: BandwidthTracker::default(),
             busy_until_ns: 0.0,
             demand_read_delay_ns_sum: 0.0,
+            repair: None,
+        }
+    }
+
+    /// Resolves an original slot through the retirement remap (identity
+    /// when repair is disabled; idempotent, since spare slots are never
+    /// remap keys).
+    fn resolve(&self, slot: usize) -> usize {
+        match &self.repair {
+            Some(r) => r.resolve(slot),
+            None => slot,
         }
     }
 
@@ -112,21 +131,53 @@ struct OpCtx<'a> {
     timing: &'a TimingModel,
     mlc: bool,
     probe_kind: ProbeKind,
+    /// Attached fault campaign, read-only at runtime.
+    injector: Option<&'a Injector>,
+    /// Shifted-threshold UE recovery retry, when enabled.
+    recovery: Option<RecoveryConfig>,
 }
 
 impl OpCtx<'_> {
     fn decode_line(
         &self,
         shard: &mut BankShard,
-        slot: usize,
+        orig_slot: usize,
         addr: u32,
         now: SimTime,
         demand: bool,
     ) -> AccessResult {
+        let slot = shard.resolve(orig_slot);
         let line = &mut shard.lines[slot];
         let persistent = self.engine.advance(line, now, &mut shard.rng);
+        // Campaign-injected resident errors: a pure function of the line's
+        // write epoch and the current time — no randomness drawn.
+        let injected = match self.injector {
+            Some(inj) => inj.extra_bits(addr, line.last_write.secs(), now.secs()),
+            None => 0,
+        };
+        let persistent = persistent + injected;
         let transient = self.engine.transient_errors(line, now, &mut shard.rng);
-        let outcome = self.code.classify(persistent + transient, &mut shard.rng);
+        let mut outcome = self.code.classify(persistent + transient, &mut shard.rng);
+        if outcome.is_uncorrectable() {
+            if let Some(rc) = self.recovery {
+                // Retry the read with shifted drift thresholds: transient
+                // noise averages out, and each drift-failed bit (a cell
+                // sitting just past its sense boundary) reads back
+                // correctly w.p. `recover_prob`. Stuck cells and injected
+                // data corruption don't benefit.
+                let drift_bits = persistent - injected - line.worn_conflict_bits as u32;
+                let recovered = sample_binomial(&mut shard.rng, drift_bits, rc.recover_prob);
+                let retry = self.code.classify(persistent - recovered, &mut shard.rng);
+                if retry.data_intact() {
+                    outcome = retry;
+                    shard.stats.recovered_ue += 1;
+                    if tel::enabled() {
+                        tel::counter_add(tel::Counter::UeRecoveries, 1);
+                        tel::event(now.secs(), tel::EventKind::UeRecovered { addr, demand });
+                    }
+                }
+            }
+        }
         if let ClassifyOutcome::Corrected { bits } = outcome {
             shard.stats.corrected_bits += bits as u64;
             if tel::enabled() {
@@ -168,10 +219,96 @@ impl OpCtx<'_> {
                 );
             }
         }
+        if new_ue {
+            self.try_repair(shard, orig_slot, slot, addr, now);
+        }
         AccessResult {
             outcome,
             persistent_bits: persistent,
             new_ue,
+        }
+    }
+
+    /// Escalates a new true UE through the repair hierarchy: ECP sparing →
+    /// line retirement → unrepairable (bank degraded). Only *hard* faults
+    /// escalate — a UE on a line with no unpatched stuck cells is left to
+    /// the forced scrub write-back, which rewrites the data and clears it.
+    fn try_repair(
+        &self,
+        shard: &mut BankShard,
+        orig_slot: usize,
+        slot: usize,
+        addr: u32,
+        now: SimTime,
+    ) {
+        if shard.repair.is_none() {
+            return;
+        }
+        let line = &shard.lines[slot];
+        let unpatched = line.worn_cells - line.ecp_assigned;
+        if unpatched == 0 {
+            return;
+        }
+        let repair = shard.repair.as_mut().expect("checked above");
+        let free = repair
+            .config
+            .ecp_entries_per_line
+            .saturating_sub(line.ecp_assigned);
+        if free >= unpatched {
+            // Stage 1: the free ECP entries cover every unpatched stuck
+            // cell; assign them. The pointers hold correct values, so the
+            // line's stuck-cell conflicts vanish permanently.
+            let line = &mut shard.lines[slot];
+            line.ecp_assigned += unpatched;
+            line.worn_conflict_bits = 0;
+            shard.stats.ecp_repairs += 1;
+            shard.stats.ecp_cells_patched += unpatched as u64;
+            if tel::enabled() {
+                tel::counter_add(tel::Counter::EcpRepairs, 1);
+                tel::counter_add(tel::Counter::EcpCellsPatched, unpatched as u64);
+                tel::event(
+                    now.secs(),
+                    tel::EventKind::EcpRepair {
+                        addr,
+                        cells_patched: unpatched as u32,
+                        free_after: (free - unpatched) as u32,
+                    },
+                );
+            }
+        } else if repair.spare_available() {
+            // Stage 2: retire the line into the bank's spare pool. The
+            // spare is a fresh line drawn from the bank's own RNG stream
+            // (deterministic at any thread count); the remap table points
+            // the address at it from now on.
+            repair.spares_used += 1;
+            let fresh = self.engine.fresh_line(now, &mut shard.rng);
+            shard.lines.push(fresh);
+            let spare_slot = (shard.lines.len() - 1) as u32;
+            let repair = shard.repair.as_mut().expect("checked above");
+            repair.remap.insert(orig_slot as u32, spare_slot);
+            shard.stats.lines_retired += 1;
+            if tel::enabled() {
+                tel::counter_add(tel::Counter::LinesRetired, 1);
+                tel::event(
+                    now.secs(),
+                    tel::EventKind::LineRetired {
+                        addr,
+                        spare: spare_slot,
+                    },
+                );
+            }
+        } else {
+            // Stage 3: spares exhausted — the bank is degraded and the
+            // error is unrepairable.
+            let first = repair.record_unrepairable(now.secs());
+            let bank = repair.bank;
+            shard.stats.unrepairable_ue += 1;
+            if tel::enabled() {
+                tel::counter_add(tel::Counter::UnrepairableUe, 1);
+                if first {
+                    tel::event(now.secs(), tel::EventKind::BankDegraded { bank });
+                }
+            }
         }
     }
 
@@ -202,6 +339,7 @@ impl OpCtx<'_> {
     /// Rewrites the line's cells: shared tail of demand writes, scrub
     /// write-backs, and wear-leveling rotation copies.
     fn write_cells(&self, shard: &mut BankShard, slot: usize, now: SimTime) {
+        let slot = shard.resolve(slot);
         let had_worn = shard.lines[slot].worn_cells > 0;
         self.engine
             .on_write(&mut shard.lines[slot], now, &mut shard.rng);
@@ -331,6 +469,10 @@ pub struct Memory {
     wear_leveler: Option<StartGap>,
     probe_kind: ProbeKind,
     shards: Vec<BankShard>,
+    /// Attached deterministic fault campaign ([`Memory::attach_campaign`]).
+    injector: Option<Arc<Injector>>,
+    /// Shifted-threshold UE recovery ([`Memory::enable_ue_recovery`]).
+    recovery: Option<RecoveryConfig>,
 }
 
 impl Memory {
@@ -361,7 +503,66 @@ impl Memory {
             wear_leveler: None,
             probe_kind: ProbeKind::FullDecode,
             shards,
+            injector: None,
+            recovery: None,
         }
+    }
+
+    /// Attaches a deterministic fault campaign. Stuck-at clusters are
+    /// injected into their target lines immediately (from the campaign's
+    /// own RNG, in address order — independent of bank streams and thread
+    /// count); SEUs, intermittent cells, and bursts manifest at decode
+    /// time as pure functions of the line's write epoch.
+    pub fn attach_campaign(&mut self, spec: &CampaignSpec) {
+        let injector = Injector::new(spec, self.geom.num_lines());
+        // The campaign's physical cell placement draws from its own
+        // stream, so attaching never perturbs the bank streams.
+        let mut rng = StdRng::seed_from_u64(spec.seed ^ 0xC0FF_EE00_D15E_A5E5);
+        for &(addr, cells) in injector.stuck_clusters() {
+            let (bank, slot) = self.locate(LineAddr(addr));
+            let had_worn = self.shards[bank].lines[slot].worn_cells > 0;
+            self.engine
+                .inject_stuck_cells(&mut self.shards[bank].lines[slot], cells, &mut rng);
+            if !had_worn && self.shards[bank].lines[slot].worn_cells > 0 {
+                self.shards[bank].stats.lines_with_worn_cells += 1;
+            }
+        }
+        self.injector = Some(Arc::new(injector));
+    }
+
+    /// The attached campaign spec, if any.
+    pub fn campaign(&self) -> Option<&CampaignSpec> {
+        self.injector.as_ref().map(|i| i.spec())
+    }
+
+    /// Enables the graceful-degradation repair hierarchy (ECP sparing →
+    /// line retirement → bank-degraded mode) on every bank.
+    pub fn enable_repair(&mut self, config: RepairConfig) {
+        for (b, shard) in self.shards.iter_mut().enumerate() {
+            shard.repair = Some(RepairState::new(config, b as u32));
+        }
+    }
+
+    /// Enables the shifted-threshold retry on failed ECC decodes.
+    pub fn enable_ue_recovery(&mut self, config: RecoveryConfig) {
+        self.recovery = Some(config);
+    }
+
+    /// Simulated time of the memory's first unrepairable error, if any
+    /// bank has degraded.
+    pub fn first_unrepairable_s(&self) -> Option<f64> {
+        self.shards
+            .iter()
+            .filter_map(|s| s.repair.as_ref().and_then(|r| r.first_unrepairable_s))
+            .min_by(|a, b| a.total_cmp(b))
+    }
+
+    /// Number of banks that have exhausted their spares.
+    pub fn degraded_banks(&self) -> u32 {
+        self.shards
+            .iter()
+            .filter(|s| s.repair.as_ref().is_some_and(|r| r.degraded))
+            .count() as u32
     }
 
     /// Splits an address into `(bank, slot-within-bank)` under low-order
@@ -382,6 +583,8 @@ impl Memory {
                 timing: &self.timing,
                 mlc: self.mlc,
                 probe_kind: self.probe_kind,
+                injector: self.injector.as_deref(),
+                recovery: self.recovery,
             },
             &mut self.shards,
         )
@@ -531,7 +734,8 @@ impl Memory {
     pub fn line(&self, addr: LineAddr) -> &LineState {
         assert!(self.geom.contains(addr), "address {addr} out of range");
         let (bank, slot) = self.locate(addr);
-        &self.shards[bank].lines[slot]
+        let shard = &self.shards[bank];
+        &shard.lines[shard.resolve(slot)]
     }
 
     /// Mean wear (writes) across all lines.
@@ -663,6 +867,8 @@ impl Memory {
             timing: &self.timing,
             mlc: self.mlc,
             probe_kind: self.probe_kind,
+            injector: self.injector.as_deref(),
+            recovery: self.recovery,
         };
         let first = plan.first.0 as u64;
         let times = plan.times;
@@ -681,7 +887,7 @@ impl Memory {
                 let slot = (addr / banks as u64) as usize;
                 // Age filter first: a skipped slot draws no randomness,
                 // exactly like the sequential policy returning Idle.
-                if shard.lines[slot].age_at(now) < min_age_s {
+                if shard.lines[shard.resolve(slot)].age_at(now) < min_age_s {
                     out.idle_slots += 1;
                     continue;
                 }

@@ -25,6 +25,17 @@ pub struct MemStats {
     pub lines_with_worn_cells: u64,
     /// Extra line writes issued by the wear-leveling rotation copies.
     pub wear_level_writes: u64,
+    /// Lines patched by assigning ECP entries (repair hierarchy stage 1).
+    pub ecp_repairs: u64,
+    /// Individual stuck cells covered by ECP entries.
+    pub ecp_cells_patched: u64,
+    /// Lines retired into the spare pool (repair hierarchy stage 2).
+    pub lines_retired: u64,
+    /// Uncorrectable errors the repair hierarchy could not absorb
+    /// (stage 3: bank degraded).
+    pub unrepairable_ue: u64,
+    /// Failed decodes recovered by the shifted-threshold retry path.
+    pub recovered_ue: u64,
 }
 
 impl MemStats {
@@ -50,6 +61,11 @@ impl MemStats {
         self.demand_ue += other.demand_ue;
         self.lines_with_worn_cells += other.lines_with_worn_cells;
         self.wear_level_writes += other.wear_level_writes;
+        self.ecp_repairs += other.ecp_repairs;
+        self.ecp_cells_patched += other.ecp_cells_patched;
+        self.lines_retired += other.lines_retired;
+        self.unrepairable_ue += other.unrepairable_ue;
+        self.recovered_ue += other.recovered_ue;
     }
 }
 

@@ -206,6 +206,70 @@ mod tests {
     }
 
     #[test]
+    fn stuck_cells_accounting_matches_cell_state() {
+        // Hammer a low-endurance array until a meaningful fraction of
+        // cells wear out, then check the report's stuck_cells tally
+        // against the ground truth visible through `Cell::stuck_at`.
+        let dev = DeviceConfig::builder()
+            .endurance(crate::EnduranceSpec::new(40.0, 0.3))
+            .build();
+        let mut rng = StdRng::seed_from_u64(81);
+        let n = 2000;
+        let mut arr = CellArray::new(dev, n);
+        let mut prev_stuck = 0usize;
+        for round in 0..120u32 {
+            arr.program_uniform(round as f64, &mut rng);
+            let report = arr.read_all(round as f64 + 0.5, &mut rng);
+            let truth = arr
+                .cells()
+                .iter()
+                .filter(|c| c.stuck_at().is_some())
+                .count();
+            assert_eq!(report.stuck_cells, truth, "round {round}");
+            // Stuck cells never recover: the tally is monotone.
+            assert!(report.stuck_cells >= prev_stuck, "round {round}");
+            prev_stuck = report.stuck_cells;
+        }
+        // Median endurance 40 with 120 writes: nearly everything is dead.
+        assert!(
+            prev_stuck > n * 9 / 10,
+            "only {prev_stuck}/{n} stuck after 120 writes at median-40 endurance"
+        );
+    }
+
+    #[test]
+    fn extreme_endurance_kills_everything_immediately() {
+        // median_writes near 1 with a tight sigma: the second write already
+        // exceeds almost every cell's sampled limit, and the report must
+        // count every such cell exactly once (no double counting).
+        let dev = DeviceConfig::builder()
+            .endurance(crate::EnduranceSpec::new(1.01, 0.01))
+            .build();
+        let mut rng = StdRng::seed_from_u64(82);
+        let n = 500;
+        let mut arr = CellArray::new(dev, n);
+        arr.program_all(2, 0.0, &mut rng);
+        arr.program_all(1, 1.0, &mut rng);
+        arr.program_all(3, 2.0, &mut rng);
+        let report = arr.read_all(2.5, &mut rng);
+        assert_eq!(report.cells_read, n);
+        assert!(
+            report.stuck_cells > n * 9 / 10,
+            "only {}/{n} stuck under near-unit endurance",
+            report.stuck_cells
+        );
+        // A dead cell froze at its level of death and ignores later writes,
+        // so its recorded programmed level must equal its stuck level and
+        // its wear must still count every attempted write.
+        for c in arr.cells() {
+            if let Some(lv) = c.stuck_at() {
+                assert_eq!(lv, c.programmed_level());
+            }
+            assert_eq!(c.wear(), 3);
+        }
+    }
+
+    #[test]
     fn empty_array() {
         let arr = CellArray::new(DeviceConfig::default(), 0);
         assert!(arr.is_empty());

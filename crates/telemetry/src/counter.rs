@@ -54,11 +54,27 @@ pub enum Counter {
     ReportScrubWritebacks,
     /// Uncorrectable errors as summed from finished simulation reports.
     ReportUncorrectable,
+    /// Lines patched by assigning ECP entries to stuck cells.
+    EcpRepairs,
+    /// Individual stuck cells patched by ECP entries.
+    EcpCellsPatched,
+    /// Lines retired into the spare pool.
+    LinesRetired,
+    /// Uncorrectable errors the repair hierarchy could not absorb.
+    UnrepairableUe,
+    /// Failed decodes recovered by the shifted-threshold retry path.
+    UeRecoveries,
+    /// Pool jobs that panicked (counted once per panicking attempt).
+    ExecPanics,
+    /// Pool jobs retried after a panic.
+    ExecRetries,
+    /// Pool jobs lost without a result (worker died mid-job).
+    ExecLostJobs,
 }
 
 impl Counter {
     /// Every counter, in slot order.
-    pub const ALL: [Counter; 23] = [
+    pub const ALL: [Counter; 31] = [
         Counter::DemandReads,
         Counter::DemandWrites,
         Counter::ScrubProbes,
@@ -82,6 +98,14 @@ impl Counter {
         Counter::ReportScrubProbes,
         Counter::ReportScrubWritebacks,
         Counter::ReportUncorrectable,
+        Counter::EcpRepairs,
+        Counter::EcpCellsPatched,
+        Counter::LinesRetired,
+        Counter::UnrepairableUe,
+        Counter::UeRecoveries,
+        Counter::ExecPanics,
+        Counter::ExecRetries,
+        Counter::ExecLostJobs,
     ];
 
     /// Number of counter slots.
@@ -113,6 +137,14 @@ impl Counter {
             Counter::ReportScrubProbes => "report_scrub_probes",
             Counter::ReportScrubWritebacks => "report_scrub_writebacks",
             Counter::ReportUncorrectable => "report_uncorrectable",
+            Counter::EcpRepairs => "ecp_repairs",
+            Counter::EcpCellsPatched => "ecp_cells_patched",
+            Counter::LinesRetired => "lines_retired",
+            Counter::UnrepairableUe => "unrepairable_ue",
+            Counter::UeRecoveries => "ue_recoveries",
+            Counter::ExecPanics => "exec_panics",
+            Counter::ExecRetries => "exec_retries",
+            Counter::ExecLostJobs => "exec_lost_jobs",
         }
     }
 }

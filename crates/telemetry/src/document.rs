@@ -270,6 +270,20 @@ fn event_to_json(e: &Event) -> String {
             fmt_f64(*scrub_energy_uj),
             fmt_f64(*mean_wear)
         ),
+        EventKind::EcpRepair {
+            addr,
+            cells_patched,
+            free_after,
+        } => format!(
+            "\"addr\": {addr}, \"cells_patched\": {cells_patched}, \"free_after\": {free_after}"
+        ),
+        EventKind::LineRetired { addr, spare } => {
+            format!("\"addr\": {addr}, \"spare\": {spare}")
+        }
+        EventKind::BankDegraded { bank } => format!("\"bank\": {bank}"),
+        EventKind::UeRecovered { addr, demand } => {
+            format!("\"addr\": {addr}, \"demand\": {demand}")
+        }
     };
     format!(
         "{{\"t_s\": {}, \"seq\": {}, \"worker\": {}, \"kind\": \"{}\", {payload}}}",
@@ -353,6 +367,22 @@ fn event_from_json(v: &Value) -> Result<Event, String> {
             demand_ue: u64_of("demand_ue")?,
             scrub_energy_uj: f64_of("scrub_energy_uj")?,
             mean_wear: f64_of("mean_wear")?,
+        },
+        "ecp_repair" => EventKind::EcpRepair {
+            addr: u32_of("addr")?,
+            cells_patched: u32_of("cells_patched")?,
+            free_after: u32_of("free_after")?,
+        },
+        "line_retired" => EventKind::LineRetired {
+            addr: u32_of("addr")?,
+            spare: u32_of("spare")?,
+        },
+        "bank_degraded" => EventKind::BankDegraded {
+            bank: u32_of("bank")?,
+        },
+        "ue_recovered" => EventKind::UeRecovered {
+            addr: u32_of("addr")?,
+            demand: bool_of("demand")?,
         },
         other => return Err(format!("unknown event kind {other:?}")),
     };
@@ -465,6 +495,17 @@ mod tests {
                 worker: 2,
                 tasks: 100,
                 steals: 7,
+            },
+            EventKind::EcpRepair {
+                addr: 9,
+                cells_patched: 3,
+                free_after: 1,
+            },
+            EventKind::LineRetired { addr: 10, spare: 2 },
+            EventKind::BankDegraded { bank: 1 },
+            EventKind::UeRecovered {
+                addr: 11,
+                demand: true,
             },
         ];
         let doc = Document {

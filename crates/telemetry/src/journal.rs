@@ -30,6 +30,8 @@ pub enum EventClass {
     Exec,
     /// Whole-simulation completion summaries.
     Sim,
+    /// Repair-hierarchy transitions (ECP patch, retirement, degradation).
+    Repair,
 }
 
 impl EventClass {
@@ -39,7 +41,7 @@ impl EventClass {
     }
 
     /// Mask accepting every class.
-    pub const ALL: u32 = 0xFF;
+    pub const ALL: u32 = 0x1FF;
 }
 
 /// What happened. Payloads carry enough to reconstruct the decision or
@@ -150,6 +152,34 @@ pub enum EventKind {
         /// Mean line wear.
         mean_wear: f64,
     },
+    /// ECP entries were assigned to patch a line's stuck cells.
+    EcpRepair {
+        /// Patched line (physical).
+        addr: u32,
+        /// Stuck cells newly covered by ECP entries.
+        cells_patched: u32,
+        /// ECP entries still free on the line afterwards.
+        free_after: u32,
+    },
+    /// A line was retired and remapped to a spare.
+    LineRetired {
+        /// Retired line (physical).
+        addr: u32,
+        /// Slot index of the spare line it now maps to.
+        spare: u32,
+    },
+    /// A bank exhausted its spare pool and entered degraded mode.
+    BankDegraded {
+        /// Degraded bank.
+        bank: u32,
+    },
+    /// A failed decode was recovered by the shifted-threshold retry.
+    UeRecovered {
+        /// Recovered line.
+        addr: u32,
+        /// Whether a demand read (vs. a scrub probe) hit it.
+        demand: bool,
+    },
 }
 
 impl EventKind {
@@ -166,6 +196,10 @@ impl EventKind {
             EventKind::DemandWriteNotify { .. } => EventClass::Demand,
             EventKind::ExecWorker { .. } => EventClass::Exec,
             EventKind::SimDone { .. } => EventClass::Sim,
+            EventKind::EcpRepair { .. }
+            | EventKind::LineRetired { .. }
+            | EventKind::BankDegraded { .. }
+            | EventKind::UeRecovered { .. } => EventClass::Repair,
         }
     }
 
@@ -183,6 +217,10 @@ impl EventKind {
             EventKind::WearLevelRotate { .. } => "wear_level_rotate",
             EventKind::ExecWorker { .. } => "exec_worker",
             EventKind::SimDone { .. } => "sim_done",
+            EventKind::EcpRepair { .. } => "ecp_repair",
+            EventKind::LineRetired { .. } => "line_retired",
+            EventKind::BankDegraded { .. } => "bank_degraded",
+            EventKind::UeRecovered { .. } => "ue_recovered",
         }
     }
 }

@@ -3,12 +3,13 @@
 //! ```bash
 //! scrubsim [--lines N] [--code secded|bch-T] [--policy NAME] \
 //!          [--workload NAME|idle] [--hours H] [--interval SECS] [--seed S] \
-//!          [--threads N]
+//!          [--threads N] [--fault-campaign SPEC]
 //! ```
 //!
 //! Policies: `none`, `basic`, `threshold`, `age-aware`, `adaptive`,
 //! `combined` (default). Workloads: the 8-name suite (see `--help`).
 
+use pcm_memsim::CampaignSpec;
 use scrubsim::prelude::*;
 
 struct Args {
@@ -22,6 +23,7 @@ struct Args {
     /// Bank-sweep workers; 0 = auto ($SCRUBSIM_THREADS or all cores).
     /// Results are bit-identical for every value.
     threads: usize,
+    campaign: Option<CampaignSpec>,
 }
 
 fn usage() -> ! {
@@ -30,10 +32,30 @@ fn usage() -> ! {
          \x20               [--workload NAME|idle] [--hours H] [--interval SECS] [--seed S]\n\
          \x20               [--threads N]   (default: $SCRUBSIM_THREADS or all cores;\n\
          \x20                                results are identical for every N)\n\
+         \x20               [--fault-campaign SPEC]  deterministic fault campaign, e.g.\n\
+         \x20                                'seed=1;stuck=lines:8,cells:6'\n\
          policies:  none basic threshold age-aware adaptive combined\n\
          workloads: db-oltp db-olap web-serve logging stream batch kv-cache archive idle"
     );
     std::process::exit(2);
+}
+
+/// One-line fatal error naming the offending input; exit code matches
+/// usage errors so scripts can treat both as "bad invocation".
+fn fail(msg: &str) -> ! {
+    eprintln!("scrubsim: {msg}");
+    std::process::exit(2);
+}
+
+/// Parses a duration-like flag, rejecting NaN, infinities, and
+/// non-positive values with a one-line error.
+fn parse_positive_f64(flag: &str, raw: &str) -> f64 {
+    match raw.parse::<f64>() {
+        Ok(x) if x.is_finite() && x > 0.0 => x,
+        _ => fail(&format!(
+            "{flag} must be a positive finite number, got {raw:?}"
+        )),
+    }
 }
 
 fn parse_code(s: &str) -> Option<CodeSpec> {
@@ -58,14 +80,28 @@ fn parse_args() -> Args {
         interval_s: 900.0,
         seed: 0,
         threads: 0,
+        campaign: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
         let mut value = || it.next().cloned().unwrap_or_else(|| usage());
         match flag.as_str() {
-            "--lines" => args.lines = value().parse().unwrap_or_else(|_| usage()),
-            "--code" => args.code = parse_code(&value()).unwrap_or_else(|| usage()),
+            "--lines" => {
+                let raw = value();
+                match raw.parse::<u32>() {
+                    Ok(n) if n > 0 => args.lines = n,
+                    _ => fail(&format!("--lines must be a positive integer, got {raw:?}")),
+                }
+            }
+            "--code" => {
+                let raw = value();
+                args.code = parse_code(&raw).unwrap_or_else(|| {
+                    fail(&format!(
+                        "--code must be secded or bch-1..bch-16, got {raw:?}"
+                    ))
+                });
+            }
             "--policy" => args.policy_name = value(),
             "--workload" => {
                 let v = value();
@@ -76,14 +112,37 @@ fn parse_args() -> Args {
                         WorkloadId::all()
                             .into_iter()
                             .find(|w| w.name() == v)
-                            .unwrap_or_else(|| usage()),
+                            .unwrap_or_else(|| fail(&format!("unknown workload {v:?}"))),
                     )
                 };
             }
-            "--hours" => args.hours = value().parse().unwrap_or_else(|_| usage()),
-            "--interval" => args.interval_s = value().parse().unwrap_or_else(|_| usage()),
-            "--seed" => args.seed = value().parse().unwrap_or_else(|_| usage()),
-            "--threads" => args.threads = value().parse().unwrap_or_else(|_| usage()),
+            "--hours" => {
+                let raw = value();
+                args.hours = parse_positive_f64("--hours", &raw);
+            }
+            "--interval" => {
+                let raw = value();
+                args.interval_s = parse_positive_f64("--interval", &raw);
+            }
+            "--seed" => {
+                let raw = value();
+                args.seed = raw
+                    .parse()
+                    .unwrap_or_else(|_| fail(&format!("--seed must be a u64, got {raw:?}")));
+            }
+            "--threads" => {
+                let raw = value();
+                match raw.parse::<usize>() {
+                    Ok(n) if n > 0 => args.threads = n,
+                    _ => fail(&format!(
+                        "--threads must be a positive integer, got {raw:?}"
+                    )),
+                }
+            }
+            "--fault-campaign" => {
+                let raw = value();
+                args.campaign = Some(raw.parse().unwrap_or_else(|e: String| fail(&e)));
+            }
             _ => usage(),
         }
     }
@@ -92,6 +151,11 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
+    // Validate the environment up front: a malformed SCRUBSIM_THREADS
+    // fails loudly here instead of being silently ignored mid-run.
+    if let Err(e) = scrub_exec::env_threads() {
+        fail(&e);
+    }
     let theta = args.code.guaranteed_t().saturating_sub(2).max(1);
     let policy = match args.policy_name.as_str() {
         "none" => PolicyKind::None,
@@ -118,7 +182,7 @@ fn main() {
             regions: 64,
             min_age_s: args.interval_s * 2.0 / 3.0,
         },
-        _ => usage(),
+        other => fail(&format!("unknown policy {other:?}")),
     };
     let traffic = match args.workload {
         Some(id) => DemandTraffic::suite(id),
@@ -129,16 +193,19 @@ fn main() {
     } else {
         scrub_exec::default_threads()
     };
-    let config = SimConfig::builder()
+    let mut builder = SimConfig::builder();
+    builder
         .num_lines(args.lines)
         .code(args.code)
         .policy(policy)
         .traffic(traffic)
         .horizon_s(args.hours * 3600.0)
         .seed(args.seed)
-        .threads(threads)
-        .build();
-    let report = Simulation::new(config).run();
+        .threads(threads);
+    if let Some(spec) = args.campaign {
+        builder.fault_campaign(spec);
+    }
+    let report = Simulation::new(builder.build()).run();
     println!("{report}");
     println!(
         "\nUE rate: {:.3}/GiB-day   scrub energy: {:.2} nJ/line-day",
