@@ -119,7 +119,17 @@ fn run_one(scale: &Scale, policy: &PolicyKind, seed: u64, threads: usize) -> Sim
         .fault_campaign(runner::fault_campaign().unwrap_or_else(|| default_campaign(scale)))
         .repair(RepairConfig::default())
         .ue_recovery(RecoveryConfig::default());
-    Simulation::new(builder.build()).run()
+    let config = builder.build();
+    // `--checkpoint-every` routes every rep through the serialize/resume
+    // path; the determinism contract makes this invisible in the output.
+    match runner::checkpoint_every_s() {
+        Some(every_s) => {
+            scrub_core::run_split(config, every_s)
+                .expect("split run over config-built traces cannot fail")
+                .report
+        }
+        None => Simulation::new(config).run(),
+    }
 }
 
 /// Computes the lifetime table without rendering.

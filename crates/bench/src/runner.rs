@@ -35,12 +35,31 @@ pub fn set_fault_campaign(spec: CampaignSpec) {
     let _ = FAULT_CAMPAIGN.set(spec);
 }
 
+/// The process-wide checkpoint cadence installed by `--checkpoint-every`.
+static CHECKPOINT_EVERY_S: OnceLock<f64> = OnceLock::new();
+
+/// The checkpoint cadence (simulated seconds) every simulation in this
+/// process should split at, if one was requested. Experiments honoring it
+/// run each simulation through `scrub_core::run_split` — exercising the
+/// full serialize/resume path — and must produce output byte-identical to
+/// a continuous run's.
+pub fn checkpoint_every_s() -> Option<f64> {
+    CHECKPOINT_EVERY_S.get().copied()
+}
+
+/// Installs the process-wide checkpoint cadence (flag parsing does this;
+/// public so tests can exercise the split path). First install wins.
+pub fn set_checkpoint_every_s(every_s: f64) {
+    let _ = CHECKPOINT_EVERY_S.set(every_s);
+}
+
 struct Opts {
     threads: Option<usize>,
     scale: Option<Scale>,
     bench_out: Option<String>,
     telemetry_out: Option<String>,
     fault_campaign: Option<CampaignSpec>,
+    checkpoint_every_s: Option<f64>,
 }
 
 fn usage(exp: &str) -> ! {
@@ -54,7 +73,10 @@ fn usage(exp: &str) -> ! {
          \x20 --telemetry-out P  enable the telemetry recorder and write its versioned\n\
          \x20                    JSON document (counters, phases, event journal) to P\n\
          \x20 --fault-campaign S deterministic fault campaign attached to every simulation,\n\
-         \x20                    e.g. 'seed=1;stuck=lines:8,cells:6;seu=lines:16,count:4,window:3600'"
+         \x20                    e.g. 'seed=1;stuck=lines:8,cells:6;seu=lines:16,count:4,window:3600'\n\
+         \x20 --checkpoint-every SECS\n\
+         \x20                    run each simulation as checkpoint/resume segments of this\n\
+         \x20                    many simulated seconds (results are byte-identical)"
     );
     std::process::exit(2);
 }
@@ -74,6 +96,7 @@ fn parse_opts(exp: &str) -> Opts {
         bench_out: None,
         telemetry_out: None,
         fault_campaign: None,
+        checkpoint_every_s: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut it = argv.iter();
@@ -99,6 +122,18 @@ fn parse_opts(exp: &str) -> Opts {
                 match raw.parse::<CampaignSpec>() {
                     Ok(spec) => opts.fault_campaign = Some(spec),
                     Err(e) => fail(exp, &e),
+                }
+            }
+            "--checkpoint-every" => {
+                let raw = value();
+                match raw.parse::<f64>() {
+                    Ok(s) if s.is_finite() && s > 0.0 => opts.checkpoint_every_s = Some(s),
+                    _ => fail(
+                        exp,
+                        &format!(
+                            "--checkpoint-every must be a positive finite number, got {raw:?}"
+                        ),
+                    ),
                 }
             }
             _ => usage(exp),
@@ -178,6 +213,9 @@ where
     }
     if let Some(spec) = opts.fault_campaign {
         set_fault_campaign(spec);
+    }
+    if let Some(every_s) = opts.checkpoint_every_s {
+        set_checkpoint_every_s(every_s);
     }
     let threads = scrub_exec::default_threads();
     let scale = opts.scale.unwrap_or_else(Scale::from_env);

@@ -1,0 +1,541 @@
+//! Versioned binary snapshot codec for deterministic checkpoint/resume.
+//!
+//! A snapshot is an *envelope* around an opaque payload:
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  b"SCRUBCKP"
+//! 8       4     schema version (u32 LE), currently 1
+//! 12      8     payload length (u64 LE)
+//! 20      n     payload
+//! 20+n    4     CRC-32 of the payload (u32 LE, IEEE reflected,
+//!               computed by `pcm_ecc::Crc32`)
+//! ```
+//!
+//! The payload itself is written field-by-field with [`Writer`] and read
+//! back with [`Reader`]: fixed-width little-endian integers, `f64` as raw
+//! IEEE-754 bits (`to_bits`/`from_bits`, so every value — including
+//! negative zero — round-trips bit-exactly), length-prefixed strings and
+//! byte blocks, and one-byte `Option` tags. There is no self-describing
+//! structure: writer and reader must agree on the field sequence, which is
+//! what the schema version pins.
+//!
+//! Decoding NEVER panics on hostile input. Truncated envelopes, wrong
+//! magic, unknown schema versions, CRC mismatches, and malformed fields
+//! are all rejected with a typed [`CheckpointError`]; reads are
+//! bounds-checked and floating-point fields can be validated with
+//! [`Reader::finite_f64`] / [`Reader::time_f64`] before they reach code
+//! with stricter invariants.
+//!
+//! # Versioning / compatibility policy
+//!
+//! The schema version covers the payload layout of *every* state owner
+//! (memory shards, policies, traces, …). Any layout change — adding a
+//! field, reordering, widening — bumps [`SCHEMA_VERSION`]; readers accept
+//! exactly their own version and reject everything else, because a resumed
+//! run must be bit-identical to a continuous one and a "best effort"
+//! partial restore silently breaks that guarantee.
+//!
+//! # Examples
+//!
+//! ```
+//! use scrub_checkpoint::{open, seal, Reader, Writer};
+//! let mut w = Writer::new();
+//! w.put_u32(7);
+//! w.put_f64(0.25);
+//! w.put_str("bank");
+//! let snap = seal(w.into_bytes());
+//! let payload = open(&snap).unwrap();
+//! let mut r = Reader::new(payload);
+//! assert_eq!(r.u32().unwrap(), 7);
+//! assert_eq!(r.f64().unwrap(), 0.25);
+//! assert_eq!(r.str().unwrap(), "bank");
+//! assert!(r.finish().is_ok());
+//! ```
+
+use pcm_ecc::Crc32;
+
+/// Leading bytes of every snapshot file.
+pub const MAGIC: [u8; 8] = *b"SCRUBCKP";
+
+/// Payload schema version this build writes and accepts.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Envelope header length: magic + version + payload length.
+const HEADER_LEN: usize = 8 + 4 + 8;
+
+/// Why a snapshot was rejected. Every decode failure is typed; nothing in
+/// this crate panics on malformed input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The input ends before the field (or envelope section) it should
+    /// contain.
+    Truncated {
+        /// Bytes the next field needed.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// The first eight bytes are not [`MAGIC`] — not a snapshot at all.
+    BadMagic,
+    /// The envelope declares a schema version this build does not speak.
+    UnsupportedVersion {
+        /// Version found in the envelope.
+        found: u32,
+        /// The only version this build accepts.
+        supported: u32,
+    },
+    /// The payload CRC-32 does not match: the snapshot was corrupted in
+    /// storage or transit.
+    CrcMismatch {
+        /// Checksum stored in the envelope.
+        stored: u32,
+        /// Checksum computed over the received payload.
+        computed: u32,
+    },
+    /// Bytes remain after the structure that should have consumed them
+    /// all — writer and reader disagree about the layout.
+    TrailingBytes {
+        /// Unconsumed byte count.
+        extra: usize,
+    },
+    /// A field decoded but violates an invariant (non-finite time, count
+    /// out of range, mismatched identity, …). The message names the field.
+    Malformed(String),
+    /// Reading or writing the snapshot file failed (CLI layer).
+    Io(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Truncated { needed, available } => {
+                write!(
+                    f,
+                    "snapshot truncated: needed {needed} bytes, have {available}"
+                )
+            }
+            CheckpointError::BadMagic => write!(f, "not a snapshot (bad magic)"),
+            CheckpointError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported snapshot schema version {found} (this build speaks {supported})"
+            ),
+            CheckpointError::CrcMismatch { stored, computed } => write!(
+                f,
+                "snapshot payload corrupt: stored CRC-32 {stored:#010x}, computed {computed:#010x}"
+            ),
+            CheckpointError::TrailingBytes { extra } => {
+                write!(
+                    f,
+                    "snapshot has {extra} trailing byte(s) after the last field"
+                )
+            }
+            CheckpointError::Malformed(msg) => write!(f, "malformed snapshot: {msg}"),
+            CheckpointError::Io(msg) => write!(f, "snapshot i/o: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// Appends fixed-layout fields to a payload buffer.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// An empty payload.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The payload bytes written so far.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing was written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// One byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Bool as one byte (0/1).
+    pub fn put_bool(&mut self, v: bool) {
+        self.buf.push(v as u8);
+    }
+
+    /// u16, little-endian.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// u32, little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// u64, little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// f64 as its raw IEEE-754 bits, so restore is bit-exact.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Length-prefixed (u32) raw bytes.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Length-prefixed (u32) UTF-8 string.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_bytes(v.as_bytes());
+    }
+
+    /// `Option<f64>` as a presence byte plus, when present, the bits.
+    pub fn put_opt_f64(&mut self, v: Option<f64>) {
+        match v {
+            Some(x) => {
+                self.put_u8(1);
+                self.put_f64(x);
+            }
+            None => self.put_u8(0),
+        }
+    }
+}
+
+/// Bounds-checked cursor over a payload.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Starts reading at the payload's first byte.
+    pub fn new(data: &'a [u8]) -> Self {
+        Self { data, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
+        if self.remaining() < n {
+            return Err(CheckpointError::Truncated {
+                needed: n,
+                available: self.remaining(),
+            });
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// One byte.
+    pub fn u8(&mut self) -> Result<u8, CheckpointError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Bool from one byte; anything but 0/1 is malformed.
+    pub fn bool(&mut self) -> Result<bool, CheckpointError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(CheckpointError::Malformed(format!("bool byte {b:#04x}"))),
+        }
+    }
+
+    /// u16, little-endian.
+    pub fn u16(&mut self) -> Result<u16, CheckpointError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// u32, little-endian.
+    pub fn u32(&mut self) -> Result<u32, CheckpointError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// u64, little-endian.
+    pub fn u64(&mut self) -> Result<u64, CheckpointError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// f64 from raw bits (any bit pattern, including NaNs).
+    pub fn f64(&mut self) -> Result<f64, CheckpointError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// f64 that must be finite; `what` names the field in the error.
+    pub fn finite_f64(&mut self, what: &str) -> Result<f64, CheckpointError> {
+        let x = self.f64()?;
+        if x.is_finite() {
+            Ok(x)
+        } else {
+            Err(CheckpointError::Malformed(format!("{what} is not finite")))
+        }
+    }
+
+    /// f64 that must be a valid simulated time: finite and non-negative.
+    pub fn time_f64(&mut self, what: &str) -> Result<f64, CheckpointError> {
+        let x = self.finite_f64(what)?;
+        if x >= 0.0 {
+            Ok(x)
+        } else {
+            Err(CheckpointError::Malformed(format!("{what} is negative")))
+        }
+    }
+
+    /// Length-prefixed raw bytes.
+    pub fn bytes(&mut self) -> Result<&'a [u8], CheckpointError> {
+        let n = self.u32()? as usize;
+        self.take(n)
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<&'a str, CheckpointError> {
+        std::str::from_utf8(self.bytes()?)
+            .map_err(|_| CheckpointError::Malformed("string is not UTF-8".to_string()))
+    }
+
+    /// `Option<f64>` written by [`Writer::put_opt_f64`].
+    pub fn opt_f64(&mut self) -> Result<Option<f64>, CheckpointError> {
+        Ok(if self.bool()? {
+            Some(self.f64()?)
+        } else {
+            None
+        })
+    }
+
+    /// Asserts every byte was consumed — layout drift between writer and
+    /// reader shows up here instead of as silently ignored state.
+    pub fn finish(self) -> Result<(), CheckpointError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(CheckpointError::TrailingBytes {
+                extra: self.remaining(),
+            })
+        }
+    }
+}
+
+/// Wraps a payload in the snapshot envelope: magic, schema version,
+/// length, payload, CRC-32.
+pub fn seal(payload: Vec<u8>) -> Vec<u8> {
+    let crc = Crc32::new().checksum_bytes(&payload);
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + 4);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&SCHEMA_VERSION.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Validates the envelope and returns the payload slice: checks magic,
+/// schema version, declared length, and the payload CRC-32 — in that
+/// order, so the error names the outermost violation.
+pub fn open(bytes: &[u8]) -> Result<&[u8], CheckpointError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(CheckpointError::Truncated {
+            needed: HEADER_LEN,
+            available: bytes.len(),
+        });
+    }
+    if bytes[..8] != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version != SCHEMA_VERSION {
+        return Err(CheckpointError::UnsupportedVersion {
+            found: version,
+            supported: SCHEMA_VERSION,
+        });
+    }
+    let len = u64::from_le_bytes(bytes[12..20].try_into().unwrap());
+    let len: usize = len
+        .try_into()
+        .map_err(|_| CheckpointError::Malformed("payload length overflows usize".to_string()))?;
+    let needed = HEADER_LEN
+        .checked_add(len)
+        .and_then(|n| n.checked_add(4))
+        .ok_or_else(|| CheckpointError::Malformed("payload length overflows usize".to_string()))?;
+    if bytes.len() < needed {
+        return Err(CheckpointError::Truncated {
+            needed,
+            available: bytes.len(),
+        });
+    }
+    if bytes.len() > needed {
+        return Err(CheckpointError::TrailingBytes {
+            extra: bytes.len() - needed,
+        });
+    }
+    let payload = &bytes[HEADER_LEN..HEADER_LEN + len];
+    let stored = u32::from_le_bytes(bytes[needed - 4..needed].try_into().unwrap());
+    let computed = Crc32::new().checksum_bytes(payload);
+    if stored != computed {
+        return Err(CheckpointError::CrcMismatch { stored, computed });
+    }
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_round_trip() {
+        let mut w = Writer::new();
+        w.put_u8(0xAB);
+        w.put_bool(true);
+        w.put_u16(0xBEEF);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 1);
+        w.put_f64(-0.0);
+        w.put_f64(1.0e-300);
+        w.put_bytes(&[1, 2, 3]);
+        w.put_str("θ=4");
+        w.put_opt_f64(None);
+        w.put_opt_f64(Some(3.5));
+        let buf = w.into_bytes();
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 0xAB);
+        assert!(r.bool().unwrap());
+        assert_eq!(r.u16().unwrap(), 0xBEEF);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(r.f64().unwrap(), 1.0e-300);
+        assert_eq!(r.bytes().unwrap(), &[1, 2, 3]);
+        assert_eq!(r.str().unwrap(), "θ=4");
+        assert_eq!(r.opt_f64().unwrap(), None);
+        assert_eq!(r.opt_f64().unwrap(), Some(3.5));
+        assert!(r.finish().is_ok());
+    }
+
+    #[test]
+    fn envelope_round_trip() {
+        let snap = seal(vec![9, 8, 7]);
+        assert_eq!(open(&snap).unwrap(), &[9, 8, 7]);
+    }
+
+    #[test]
+    fn empty_payload_is_valid() {
+        let snap = seal(Vec::new());
+        assert_eq!(open(&snap).unwrap(), &[] as &[u8]);
+    }
+
+    #[test]
+    fn truncation_is_typed() {
+        let snap = seal(vec![1, 2, 3, 4]);
+        for cut in 0..snap.len() {
+            match open(&snap[..cut]) {
+                Err(CheckpointError::Truncated { .. }) => {}
+                other => panic!("cut at {cut}: expected Truncated, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn bit_flips_are_caught() {
+        let snap = seal(vec![0u8; 64]);
+        // Flip one bit in every payload byte position; each must surface
+        // as a CRC mismatch (header flips are caught by earlier checks).
+        for i in HEADER_LEN..HEADER_LEN + 64 {
+            let mut bad = snap.clone();
+            bad[i] ^= 0x10;
+            match open(&bad) {
+                Err(CheckpointError::CrcMismatch { .. }) => {}
+                other => panic!("flip at {i}: expected CrcMismatch, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let mut snap = seal(vec![1, 2, 3]);
+        snap[8..12].copy_from_slice(&(SCHEMA_VERSION + 1).to_le_bytes());
+        assert_eq!(
+            open(&snap),
+            Err(CheckpointError::UnsupportedVersion {
+                found: SCHEMA_VERSION + 1,
+                supported: SCHEMA_VERSION,
+            })
+        );
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut snap = seal(vec![1]);
+        snap[0] = b'X';
+        assert_eq!(open(&snap), Err(CheckpointError::BadMagic));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut snap = seal(vec![1, 2]);
+        snap.push(0);
+        assert!(matches!(
+            open(&snap),
+            Err(CheckpointError::TrailingBytes { extra: 1 })
+        ));
+    }
+
+    #[test]
+    fn reader_rejects_trailing_payload_bytes() {
+        let mut w = Writer::new();
+        w.put_u32(5);
+        let buf = w.into_bytes();
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u16().unwrap(), 5);
+        assert!(matches!(
+            r.finish(),
+            Err(CheckpointError::TrailingBytes { extra: 2 })
+        ));
+    }
+
+    #[test]
+    fn validated_floats() {
+        let mut w = Writer::new();
+        w.put_f64(f64::NAN);
+        w.put_f64(-1.0);
+        let buf = w.into_bytes();
+        let mut r = Reader::new(&buf);
+        assert!(matches!(
+            r.finite_f64("clock"),
+            Err(CheckpointError::Malformed(_))
+        ));
+        assert!(matches!(
+            r.time_f64("clock"),
+            Err(CheckpointError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn errors_display_cleanly() {
+        let e = CheckpointError::CrcMismatch {
+            stored: 1,
+            computed: 2,
+        };
+        assert!(e.to_string().contains("CRC-32"));
+        assert!(CheckpointError::BadMagic.to_string().contains("magic"));
+    }
+}

@@ -1,0 +1,188 @@
+//! Property tests for the snapshot codec: every field sequence round-trips
+//! bit-exactly through a sealed envelope, and every damaged envelope —
+//! truncated, bit-flipped, wrong version, arbitrary garbage — is rejected
+//! with a typed error, never a panic.
+//!
+//! The vendored proptest speaks range and vec strategies, so each payload
+//! field is derived deterministically from one u64 token: the token picks
+//! the field kind and supplies the value bits (for f64 fields the raw bits
+//! are used directly, so NaNs, infinities, negative zero, and subnormals
+//! are all exercised).
+
+use proptest::prelude::*;
+use scrub_checkpoint::{open, seal, CheckpointError, Reader, Writer, SCHEMA_VERSION};
+
+/// One payload field, decoded from a token.
+#[derive(Debug, Clone, PartialEq)]
+enum Field {
+    U8(u8),
+    Bool(bool),
+    U16(u16),
+    U32(u32),
+    U64(u64),
+    F64Bits(u64),
+    Bytes(Vec<u8>),
+    Str(String),
+    OptF64Bits(Option<u64>),
+}
+
+fn field_of(token: u64) -> Field {
+    let v = token.rotate_right(8);
+    match token % 9 {
+        0 => Field::U8(v as u8),
+        1 => Field::Bool(v.is_multiple_of(2)),
+        2 => Field::U16(v as u16),
+        3 => Field::U32(v as u32),
+        4 => Field::U64(v),
+        5 => Field::F64Bits(v),
+        6 => Field::Bytes(v.to_le_bytes()[..(v % 9) as usize].to_vec()),
+        7 => {
+            let mut s = format!("{v:x}");
+            if v.is_multiple_of(3) {
+                s.push('θ'); // multi-byte UTF-8 in the length-prefixed path
+            }
+            Field::Str(s)
+        }
+        _ => Field::OptF64Bits(if v.is_multiple_of(2) { Some(v) } else { None }),
+    }
+}
+
+fn write(fields: &[Field]) -> Vec<u8> {
+    let mut w = Writer::new();
+    for f in fields {
+        match f {
+            Field::U8(v) => w.put_u8(*v),
+            Field::Bool(v) => w.put_bool(*v),
+            Field::U16(v) => w.put_u16(*v),
+            Field::U32(v) => w.put_u32(*v),
+            Field::U64(v) => w.put_u64(*v),
+            Field::F64Bits(v) => w.put_f64(f64::from_bits(*v)),
+            Field::Bytes(v) => w.put_bytes(v),
+            Field::Str(v) => w.put_str(v),
+            Field::OptF64Bits(v) => w.put_opt_f64(v.map(f64::from_bits)),
+        }
+    }
+    w.into_bytes()
+}
+
+proptest! {
+    /// Any sequence of fields survives seal → open → field-by-field read,
+    /// bit-exactly, with nothing left over.
+    #[test]
+    fn fields_round_trip_through_sealed_envelope(
+        tokens in proptest::collection::vec(0u64..=u64::MAX, 0..40)
+    ) {
+        let fields: Vec<Field> = tokens.iter().map(|&t| field_of(t)).collect();
+        let snap = seal(write(&fields));
+        let payload = open(&snap).expect("own snapshot must open");
+        let mut r = Reader::new(payload);
+        for f in &fields {
+            match f {
+                Field::U8(v) => prop_assert_eq!(r.u8().unwrap(), *v),
+                Field::Bool(v) => prop_assert_eq!(r.bool().unwrap(), *v),
+                Field::U16(v) => prop_assert_eq!(r.u16().unwrap(), *v),
+                Field::U32(v) => prop_assert_eq!(r.u32().unwrap(), *v),
+                Field::U64(v) => prop_assert_eq!(r.u64().unwrap(), *v),
+                Field::F64Bits(v) => prop_assert_eq!(r.f64().unwrap().to_bits(), *v),
+                Field::Bytes(v) => prop_assert_eq!(r.bytes().unwrap(), v.as_slice()),
+                Field::Str(v) => prop_assert_eq!(r.str().unwrap(), v.as_str()),
+                Field::OptF64Bits(v) => {
+                    prop_assert_eq!(r.opt_f64().unwrap().map(f64::to_bits), *v)
+                }
+            }
+        }
+        prop_assert!(r.finish().is_ok());
+    }
+
+    /// Sealing is a pure function of the payload: same bytes in, same
+    /// snapshot out — the foundation of byte-identical re-checkpointing.
+    #[test]
+    fn sealing_is_deterministic(payload in proptest::collection::vec(0u8..=255, 0..256)) {
+        prop_assert_eq!(seal(payload.clone()), seal(payload));
+    }
+
+    /// Any single flipped bit anywhere in the envelope is rejected with a
+    /// typed error appropriate to the damaged section — never accepted,
+    /// never a panic.
+    #[test]
+    fn single_bit_flip_is_always_rejected(
+        payload in proptest::collection::vec(0u8..=255, 0..128),
+        pick in 0u64..=u64::MAX,
+        bit in 0u32..8,
+    ) {
+        let mut snap = seal(payload);
+        let i = (pick % snap.len() as u64) as usize;
+        snap[i] ^= 1 << bit;
+        let result = open(&snap);
+        prop_assert!(
+            matches!(
+                result,
+                Err(CheckpointError::BadMagic
+                    | CheckpointError::UnsupportedVersion { .. }
+                    | CheckpointError::Truncated { .. }
+                    | CheckpointError::TrailingBytes { .. }
+                    | CheckpointError::CrcMismatch { .. })
+            ),
+            "flip of bit {} at byte {}: expected a typed rejection, got {:?}",
+            bit, i, result
+        );
+    }
+
+    /// Every strict prefix of a snapshot is rejected as truncated.
+    #[test]
+    fn every_truncation_is_rejected(
+        payload in proptest::collection::vec(0u8..=255, 0..96),
+        pick in 0u64..=u64::MAX,
+    ) {
+        let snap = seal(payload);
+        let cut = (pick % snap.len() as u64) as usize;
+        prop_assert!(
+            matches!(open(&snap[..cut]), Err(CheckpointError::Truncated { .. })),
+            "cut at {} of {}", cut, snap.len()
+        );
+    }
+
+    /// Any schema version other than ours is rejected, naming both sides.
+    #[test]
+    fn foreign_schema_versions_are_rejected(
+        payload in proptest::collection::vec(0u8..=255, 0..64),
+        version in 0u32..=u32::MAX,
+    ) {
+        prop_assume!(version != SCHEMA_VERSION);
+        let mut snap = seal(payload);
+        snap[8..12].copy_from_slice(&version.to_le_bytes());
+        prop_assert_eq!(
+            open(&snap),
+            Err(CheckpointError::UnsupportedVersion {
+                found: version,
+                supported: SCHEMA_VERSION,
+            })
+        );
+    }
+
+    /// Arbitrary garbage never panics: `open` returns a typed result, and
+    /// a reader walking any field pattern over raw bytes stays
+    /// bounds-checked to the end.
+    #[test]
+    fn arbitrary_bytes_never_panic(
+        bytes in proptest::collection::vec(0u8..=255, 0..256),
+        pattern in proptest::collection::vec(0u8..9, 0..32),
+    ) {
+        let _ = open(&bytes);
+        let mut r = Reader::new(&bytes);
+        for p in pattern {
+            let _ = match p {
+                0 => r.u8().map(|_| ()),
+                1 => r.bool().map(|_| ()),
+                2 => r.u16().map(|_| ()),
+                3 => r.u32().map(|_| ()),
+                4 => r.u64().map(|_| ()),
+                5 => r.f64().map(|_| ()),
+                6 => r.bytes().map(|_| ()),
+                7 => r.str().map(|_| ()),
+                _ => r.opt_f64().map(|_| ()),
+            };
+        }
+        let _ = r.finish();
+    }
+}

@@ -3,6 +3,7 @@
 //! wear and energy of scrubbing too eagerly.
 
 use pcm_memsim::{AccessResult, LineAddr, SimTime};
+use scrub_checkpoint::{CheckpointError, Reader, Writer};
 use scrub_telemetry as tel;
 
 use crate::policy::{ScrubAction, ScrubContext, ScrubPolicy};
@@ -159,6 +160,78 @@ impl RegionScheduler {
     pub fn mean_mult(&self) -> f64 {
         self.regions.iter().map(|r| r.mult).sum::<f64>() / self.regions.len() as f64
     }
+
+    /// Serializes the scheduler's mutable state: per-region cursors, due
+    /// times, AIMD multipliers, pass statistics, and the active region.
+    pub fn save_state(&self, w: &mut Writer) {
+        w.put_u32(self.regions.len() as u32);
+        for region in &self.regions {
+            w.put_u32(region.cursor);
+            w.put_f64(region.next_due.secs());
+            w.put_f64(region.mult);
+            w.put_u64(region.pass_probes);
+            w.put_u64(region.pass_errors);
+        }
+        match self.active {
+            Some(idx) => {
+                w.put_u8(1);
+                w.put_u32(idx as u32);
+            }
+            None => w.put_u8(0),
+        }
+    }
+
+    /// Restores state captured by [`RegionScheduler::save_state`] onto a
+    /// scheduler with the same region partition.
+    pub fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), CheckpointError> {
+        let n = r.u32()? as usize;
+        if n != self.regions.len() {
+            return Err(CheckpointError::Malformed(format!(
+                "region count mismatch: snapshot {n}, config {}",
+                self.regions.len()
+            )));
+        }
+        let mut restored = Vec::with_capacity(n);
+        for (idx, region) in self.regions.iter().enumerate() {
+            let cursor = r.u32()?;
+            if cursor < region.start || cursor >= region.end {
+                return Err(CheckpointError::Malformed(format!(
+                    "region {idx} cursor {cursor} outside [{}, {})",
+                    region.start, region.end
+                )));
+            }
+            let next_due = r.time_f64(&format!("region {idx} next_due"))?;
+            let mult = r.finite_f64(&format!("region {idx} mult"))?;
+            if !(MIN_MULT..=MAX_MULT).contains(&mult) {
+                return Err(CheckpointError::Malformed(format!(
+                    "region {idx} multiplier {mult} outside [{MIN_MULT}, {MAX_MULT}]"
+                )));
+            }
+            restored.push(RegionState {
+                start: region.start,
+                end: region.end,
+                cursor,
+                next_due: SimTime::from_secs(next_due),
+                mult,
+                pass_probes: r.u64()?,
+                pass_errors: r.u64()?,
+            });
+        }
+        let active = if r.bool()? {
+            let idx = r.u32()? as usize;
+            if idx >= n {
+                return Err(CheckpointError::Malformed(format!(
+                    "active region {idx} out of range ({n} regions)"
+                )));
+            }
+            Some(idx)
+        } else {
+            None
+        };
+        self.regions = restored;
+        self.active = active;
+        Ok(())
+    }
 }
 
 /// Adaptive-rate scrub: regions that stay clean get scrubbed up to 4×
@@ -238,6 +311,14 @@ impl ScrubPolicy for AdaptiveScrub {
     }
 
     fn on_demand_write(&mut self, _addr: LineAddr, _now: SimTime) {}
+
+    fn save_state(&self, w: &mut Writer) {
+        self.sched.save_state(w);
+    }
+
+    fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), CheckpointError> {
+        self.sched.load_state(r)
+    }
 }
 
 #[cfg(test)]

@@ -1,6 +1,7 @@
 //! Drift-age-aware scrub: skip lines too young to have drifted.
 
 use pcm_memsim::{AccessResult, LineAddr, SimTime, SweepRule};
+use scrub_checkpoint::{CheckpointError, Reader, Writer};
 
 use crate::policy::{BatchPlan, ScrubAction, ScrubContext, ScrubPolicy, SweepCursor};
 use crate::threshold::ThresholdScrub;
@@ -106,6 +107,19 @@ impl ScrubPolicy for AgeAwareScrub {
 
     fn on_batch_idle(&mut self, skipped: u64) {
         self.skipped += skipped;
+    }
+
+    fn save_state(&self, w: &mut Writer) {
+        w.put_u32(self.cursor.position());
+        w.put_u64(self.skipped);
+    }
+
+    fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), CheckpointError> {
+        let pos = r.u32()?;
+        let skipped = r.u64()?;
+        self.cursor.set_position(pos, self.num_lines)?;
+        self.skipped = skipped;
+        Ok(())
     }
 }
 

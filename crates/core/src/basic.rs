@@ -1,6 +1,7 @@
 //! The baseline: DRAM-style basic scrub.
 
 use pcm_memsim::{AccessResult, LineAddr, SimTime, SweepRule};
+use scrub_checkpoint::{CheckpointError, Reader, Writer};
 
 use crate::policy::{BatchPlan, ScrubAction, ScrubContext, ScrubPolicy, SweepCursor};
 
@@ -120,6 +121,15 @@ impl ScrubPolicy for BasicScrub {
             min_age_s: 0.0,
             rule: SweepRule::AnyError,
         })
+    }
+
+    fn save_state(&self, w: &mut Writer) {
+        w.put_u32(self.cursor.position());
+    }
+
+    fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), CheckpointError> {
+        let pos = r.u32()?;
+        self.cursor.set_position(pos, self.num_lines)
     }
 }
 

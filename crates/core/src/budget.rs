@@ -9,6 +9,7 @@
 //! comfortably below.
 
 use pcm_memsim::{AccessResult, LineAddr, SimTime};
+use scrub_checkpoint::{CheckpointError, Reader, Writer};
 
 use crate::policy::{ScrubAction, ScrubContext, ScrubPolicy, SweepCursor};
 use crate::threshold::ThresholdScrub;
@@ -135,6 +136,32 @@ impl ScrubPolicy for BudgetScrub {
     }
 
     fn on_demand_write(&mut self, _addr: LineAddr, _now: SimTime) {}
+
+    fn save_state(&self, w: &mut Writer) {
+        w.put_f64(self.interval_s);
+        w.put_f64(self.window_start.secs());
+        w.put_u64(self.window_ues);
+        w.put_u32(self.cursor.position());
+    }
+
+    fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), CheckpointError> {
+        let interval_s = r.finite_f64("budget interval")?;
+        let lo = self.base_interval_s * MIN_FACTOR;
+        let hi = self.base_interval_s * MAX_FACTOR;
+        if !(lo..=hi).contains(&interval_s) {
+            return Err(CheckpointError::Malformed(format!(
+                "budget interval {interval_s} outside controller bounds [{lo}, {hi}]"
+            )));
+        }
+        let window_start = r.time_f64("budget window start")?;
+        let window_ues = r.u64()?;
+        let pos = r.u32()?;
+        self.cursor.set_position(pos, self.num_lines)?;
+        self.interval_s = interval_s;
+        self.window_start = SimTime::from_secs(window_start);
+        self.window_ues = window_ues;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

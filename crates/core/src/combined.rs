@@ -1,6 +1,7 @@
 //! The combined mechanism: everything the paper proposes, together.
 
 use pcm_memsim::{AccessResult, LineAddr, SimTime};
+use scrub_checkpoint::{CheckpointError, Reader, Writer};
 
 use crate::adaptive::RegionScheduler;
 use crate::policy::{ScrubAction, ScrubContext, ScrubPolicy};
@@ -114,6 +115,17 @@ impl ScrubPolicy for CombinedScrub {
     }
 
     fn on_demand_write(&mut self, _addr: LineAddr, _now: SimTime) {}
+
+    fn save_state(&self, w: &mut Writer) {
+        self.sched.save_state(w);
+        w.put_u64(self.skipped);
+    }
+
+    fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), CheckpointError> {
+        self.sched.load_state(r)?;
+        self.skipped = r.u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -3,6 +3,7 @@
 //! can commit to them in advance.
 
 use pcm_memsim::{LineAddr, Memory, SimTime, SweepPlan};
+use scrub_checkpoint::{CheckpointError, Reader, Writer};
 use scrub_telemetry as tel;
 
 use crate::policy::{ScrubAction, ScrubContext, ScrubPolicy};
@@ -217,6 +218,42 @@ impl ScrubEngine {
         self.next_slot = t;
         true
     }
+
+    /// Serializes the engine's mutable state: the policy's name (as an
+    /// identity check), the next slot time, the slot counters, and the
+    /// policy's own state.
+    pub fn save_state(&self, w: &mut Writer) {
+        w.put_str(self.policy.name());
+        w.put_f64(self.next_slot.secs());
+        w.put_u64(self.stats.probe_slots);
+        w.put_u64(self.stats.idle_slots);
+        w.put_u64(self.stats.policy_writebacks);
+        w.put_u64(self.stats.forced_writebacks);
+        self.policy.save_state(w);
+    }
+
+    /// Restores state captured by [`ScrubEngine::save_state`] onto an
+    /// engine freshly built around the same policy configuration.
+    pub fn restore_state(&mut self, r: &mut Reader<'_>) -> Result<(), CheckpointError> {
+        let name = r.str()?;
+        if name != self.policy.name() {
+            return Err(CheckpointError::Malformed(format!(
+                "policy mismatch: snapshot has {name:?}, config builds {:?}",
+                self.policy.name()
+            )));
+        }
+        let next_slot = r.time_f64("engine next_slot")?;
+        let stats = EngineStats {
+            probe_slots: r.u64()?,
+            idle_slots: r.u64()?,
+            policy_writebacks: r.u64()?,
+            forced_writebacks: r.u64()?,
+        };
+        self.policy.load_state(r)?;
+        self.next_slot = SimTime::from_secs(next_slot);
+        self.stats = stats;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -360,6 +397,10 @@ mod tests {
                 _: &ScrubContext<'_>,
             ) -> bool {
                 false
+            }
+            fn save_state(&self, _: &mut Writer) {}
+            fn load_state(&mut self, _: &mut Reader<'_>) -> Result<(), CheckpointError> {
+                Ok(())
             }
         }
         let mut m = mem(CodeSpec::bch_line(2), 4, 84);

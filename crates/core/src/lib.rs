@@ -38,6 +38,7 @@ mod adaptive;
 mod age_aware;
 mod basic;
 mod budget;
+mod checkpoint;
 mod combined;
 mod config;
 mod engine;
@@ -50,6 +51,7 @@ pub use adaptive::AdaptiveScrub;
 pub use age_aware::AgeAwareScrub;
 pub use basic::BasicScrub;
 pub use budget::BudgetScrub;
+pub use checkpoint::{run_split, SplitRunOutcome};
 pub use combined::CombinedScrub;
 pub use config::PolicyKind;
 pub use engine::{EngineStats, ScrubEngine};

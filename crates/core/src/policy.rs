@@ -3,6 +3,7 @@
 use std::fmt;
 
 use pcm_memsim::{AccessResult, LineAddr, Memory, SimTime, SweepRule};
+use scrub_checkpoint::{CheckpointError, Reader, Writer};
 
 /// Read-only context a policy sees when deciding its next move.
 #[derive(Debug)]
@@ -83,6 +84,18 @@ pub trait ScrubPolicy: fmt::Debug {
     /// Reports how many slots of the last planned batch were spent idle
     /// (age-skipped), for policies that track skip counters.
     fn on_batch_idle(&mut self, _skipped: u64) {}
+
+    /// Serializes the policy's *mutable* state (cursors, feedback windows,
+    /// region schedules) for checkpointing. Configuration parameters are
+    /// not written: a resume rebuilds the policy from the run config and
+    /// then overlays this state via [`ScrubPolicy::load_state`].
+    fn save_state(&self, w: &mut Writer);
+
+    /// Restores state captured by [`ScrubPolicy::save_state`] onto a
+    /// freshly built policy with identical configuration. Implementations
+    /// validate ranges (cursor within the line space, multipliers within
+    /// their bounds) and return a typed error instead of panicking.
+    fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), CheckpointError>;
 }
 
 /// Round-robin sweep cursor shared by the concrete policies.
@@ -111,6 +124,23 @@ impl SweepCursor {
         let addr = LineAddr(self.next);
         self.next = ((self.next as u64 + n) % num_lines as u64) as u32;
         addr
+    }
+
+    /// The line the next slot will probe (for checkpointing).
+    pub fn position(&self) -> u32 {
+        self.next
+    }
+
+    /// Restores a position captured by [`SweepCursor::position`],
+    /// rejecting values outside the sweep's line space.
+    pub fn set_position(&mut self, next: u32, num_lines: u32) -> Result<(), CheckpointError> {
+        if next >= num_lines {
+            return Err(CheckpointError::Malformed(format!(
+                "sweep cursor {next} out of range ({num_lines} lines)"
+            )));
+        }
+        self.next = next;
+        Ok(())
     }
 }
 

@@ -7,6 +7,7 @@ use pcm_memsim::{
 };
 use pcm_model::DeviceConfig;
 use pcm_workloads::WorkloadId;
+use scrub_checkpoint::{CheckpointError, Reader, Writer};
 use scrub_telemetry as tel;
 
 use crate::config::PolicyKind;
@@ -279,12 +280,28 @@ impl SimConfigBuilder {
 }
 
 /// A runnable simulation instance.
+///
+/// Runs either straight through ([`Simulation::run`]) or in segments:
+/// [`Simulation::run_to`] advances the event loop to an intermediate stop
+/// time, [`Simulation::checkpoint`] serializes the complete simulator
+/// state, and [`Simulation::resume`] reconstructs an instance that
+/// continues *bit-identically* to the run that was snapshotted — same RNG
+/// draws, same float accumulation order, same report.
 #[derive(Debug)]
 pub struct Simulation {
     config: SimConfig,
     memory: Memory,
     engine: Option<ScrubEngine>,
     custom_trace: Option<Box<dyn TraceSource>>,
+    /// The active demand trace once the event loop has started.
+    trace: Option<Box<dyn TraceSource>>,
+    /// Next demand op, already drawn from the trace but not yet executed.
+    pending: Option<MemOp>,
+    /// Whether the event loop has started (trace built, first op drawn).
+    started: bool,
+    /// High-water mark of simulated time covered so far: every event with
+    /// `time <= clock` has been executed.
+    clock: SimTime,
 }
 
 impl Simulation {
@@ -320,6 +337,10 @@ impl Simulation {
             memory,
             engine,
             custom_trace: None,
+            trace: None,
+            pending: None,
+            started: false,
+            clock: SimTime::ZERO,
         }
     }
 
@@ -341,21 +362,253 @@ impl Simulation {
     /// op in between are executed as bank-parallel batches (on
     /// `config.threads` workers) when the policy supports batch planning —
     /// bit-identical to the slot-at-a-time path.
-    pub fn run(self) -> SimReport {
-        self.run_inner(true)
+    pub fn run(mut self) -> SimReport {
+        let horizon = SimTime::from_secs(self.config.horizon_s);
+        self.advance_to(horizon, true);
+        self.into_report()
     }
 
     /// Runs with batching disabled: every scrub slot goes through the
     /// sequential [`ScrubEngine::step`] path. Exists to *prove* the batch
     /// path changes nothing — reports from `run` and `run_unbatched` must
     /// be identical — and as a reference for debugging.
-    pub fn run_unbatched(self) -> SimReport {
-        self.run_inner(false)
+    pub fn run_unbatched(mut self) -> SimReport {
+        let horizon = SimTime::from_secs(self.config.horizon_s);
+        self.advance_to(horizon, false);
+        self.into_report()
     }
 
-    fn run_inner(mut self, batched: bool) -> SimReport {
+    /// Advances the event loop through every event with time at most
+    /// `stop_at_s` (clamped to the horizon), leaving the simulation ready
+    /// to be checkpointed or advanced further. Splitting a horizon into
+    /// any sequence of `run_to` segments executes exactly the events a
+    /// straight [`Simulation::run`] would, in the same order.
+    pub fn run_to(&mut self, stop_at_s: f64) {
         let horizon = SimTime::from_secs(self.config.horizon_s);
-        let mut trace: Option<Box<dyn TraceSource>> = match self.custom_trace.take() {
+        let stop = SimTime::from_secs(stop_at_s.min(self.config.horizon_s));
+        let stop = if stop > horizon { horizon } else { stop };
+        self.advance_to(stop, true);
+    }
+
+    /// Runs any remaining events to the horizon and produces the report —
+    /// the segmented-run counterpart of [`Simulation::run`].
+    pub fn finish(mut self) -> SimReport {
+        let horizon = SimTime::from_secs(self.config.horizon_s);
+        self.advance_to(horizon, true);
+        self.into_report()
+    }
+
+    /// Simulated time covered so far: every event with time at most this
+    /// has been executed.
+    pub fn clock_s(&self) -> f64 {
+        self.clock.secs()
+    }
+
+    /// The configuration this simulation was built from.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// The simulated memory (for inspecting state mid-run).
+    pub fn memory(&self) -> &Memory {
+        &self.memory
+    }
+
+    /// Serializes the complete simulator state into a sealed snapshot
+    /// (magic, schema version, CRC-32): per-bank RNG streams and line
+    /// state, repair hierarchy, Start-Gap positions, policy and engine
+    /// state, the demand-trace generator position, the in-flight demand
+    /// op, and every statistics/energy accumulator. Feeding the bytes to
+    /// [`Simulation::resume`] with the same config continues the run
+    /// bit-identically.
+    ///
+    /// Checkpointing starts the event loop if it has not started yet (the
+    /// trace is built and the first op drawn — exactly what the first
+    /// `run_to` would do), so a snapshot at time zero is well-defined.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`CheckpointError::Malformed`] if a custom trace source
+    /// (installed via [`Simulation::with_trace`]) does not implement
+    /// [`TraceSource::save_state`].
+    pub fn checkpoint(&mut self) -> Result<Vec<u8>, CheckpointError> {
+        self.checkpoint_impl(false)
+    }
+
+    /// Test-only tripwire: identical to [`Simulation::checkpoint`] except
+    /// bank 0's RNG stream is replaced by a default-seeded one — same byte
+    /// length, wrong contents. Exists so the differential resume harness
+    /// can prove it actually detects a single omitted/corrupted state
+    /// field.
+    #[doc(hidden)]
+    pub fn checkpoint_omitting_bank0_rng(&mut self) -> Result<Vec<u8>, CheckpointError> {
+        self.checkpoint_impl(true)
+    }
+
+    fn checkpoint_impl(&mut self, omit_bank0_rng: bool) -> Result<Vec<u8>, CheckpointError> {
+        self.start();
+        let mut w = Writer::new();
+        w.put_bytes(&fingerprint(&self.config));
+        w.put_f64(self.clock.secs());
+        match &self.trace {
+            Some(t) => {
+                let state = t.save_state().ok_or_else(|| {
+                    CheckpointError::Malformed(format!(
+                        "trace source '{}' does not support checkpoint/resume",
+                        t.name()
+                    ))
+                })?;
+                w.put_u8(1);
+                w.put_bytes(&state);
+            }
+            None => w.put_u8(0),
+        }
+        match &self.pending {
+            Some(op) => {
+                w.put_u8(1);
+                w.put_f64(op.at.secs());
+                w.put_u8(match op.kind {
+                    OpKind::Read => 0,
+                    OpKind::Write => 1,
+                });
+                w.put_u32(op.addr.0);
+            }
+            None => w.put_u8(0),
+        }
+        match &self.engine {
+            Some(e) => {
+                w.put_u8(1);
+                e.save_state(&mut w);
+            }
+            None => w.put_u8(0),
+        }
+        if omit_bank0_rng {
+            self.memory.save_state_omitting_bank0_rng(&mut w);
+        } else {
+            self.memory.save_state(&mut w);
+        }
+        Ok(scrub_checkpoint::seal(w.into_bytes()))
+    }
+
+    /// Reconstructs a simulation from a [`Simulation::checkpoint`]
+    /// snapshot, ready to continue bit-identically to the run that was
+    /// snapshotted.
+    ///
+    /// The config must describe the *same run* as the one checkpointed:
+    /// a fingerprint (seed, geometry, horizon, policy, code, traffic,
+    /// campaign, repair knobs — everything except `threads`, which only
+    /// shapes execution, never results) is embedded in the snapshot and
+    /// verified. Custom trace sources installed via
+    /// [`Simulation::with_trace`] cannot be rebuilt from config alone and
+    /// are rejected at checkpoint time, not here.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CheckpointError`]: a damaged envelope (truncated, bad CRC,
+    /// wrong schema version), a config/fingerprint mismatch, or payload
+    /// fields that fail validation. Never panics on hostile input.
+    pub fn resume(config: SimConfig, bytes: &[u8]) -> Result<Self, CheckpointError> {
+        let payload = scrub_checkpoint::open(bytes)?;
+        let mut r = Reader::new(payload);
+        let stored_fp = r.bytes()?;
+        if stored_fp != fingerprint(&config).as_slice() {
+            return Err(CheckpointError::Malformed(
+                "config fingerprint mismatch: snapshot was taken under a different \
+                 seed/geometry/policy/code/traffic/campaign configuration"
+                    .to_string(),
+            ));
+        }
+        let clock = r.time_f64("checkpoint clock")?;
+        let mut sim = Simulation::new(config);
+        match r.u8()? {
+            0 => {}
+            1 => {
+                sim.build_trace();
+                let state = r.bytes()?.to_vec();
+                let trace = sim.trace.as_mut().ok_or_else(|| {
+                    CheckpointError::Malformed(
+                        "snapshot has trace state but config traffic is idle".to_string(),
+                    )
+                })?;
+                trace
+                    .load_state(&state)
+                    .map_err(CheckpointError::Malformed)?;
+            }
+            other => {
+                return Err(CheckpointError::Malformed(format!(
+                    "invalid trace-presence flag {other}"
+                )))
+            }
+        }
+        sim.pending = match r.u8()? {
+            0 => None,
+            1 => {
+                let at = SimTime::from_secs(r.time_f64("pending op time")?);
+                let kind = match r.u8()? {
+                    0 => OpKind::Read,
+                    1 => OpKind::Write,
+                    other => {
+                        return Err(CheckpointError::Malformed(format!(
+                            "invalid pending-op kind {other}"
+                        )))
+                    }
+                };
+                let addr = r.u32()?;
+                if addr >= sim.memory.demand_lines() {
+                    return Err(CheckpointError::Malformed(format!(
+                        "pending-op line {addr} out of range (demand space is {})",
+                        sim.memory.demand_lines()
+                    )));
+                }
+                Some(MemOp {
+                    at,
+                    kind,
+                    addr: pcm_memsim::LineAddr(addr),
+                })
+            }
+            other => {
+                return Err(CheckpointError::Malformed(format!(
+                    "invalid pending-op flag {other}"
+                )))
+            }
+        };
+        match (r.u8()?, &mut sim.engine) {
+            (0, None) => {}
+            (1, Some(engine)) => engine.restore_state(&mut r)?,
+            (flag, engine) => {
+                return Err(CheckpointError::Malformed(format!(
+                    "engine presence mismatch: snapshot flag {flag}, config builds {}",
+                    if engine.is_some() {
+                        "an engine"
+                    } else {
+                        "no engine"
+                    }
+                )))
+            }
+        }
+        sim.memory.restore_state(&mut r)?;
+        r.finish()?;
+        sim.started = true;
+        sim.clock = SimTime::from_secs(clock);
+        Ok(sim)
+    }
+
+    /// Builds the demand trace and draws the first op, exactly once.
+    fn start(&mut self) {
+        if self.started {
+            return;
+        }
+        self.build_trace();
+        self.pending = self.trace.as_mut().and_then(|t| t.next_op());
+        self.started = true;
+    }
+
+    /// Installs the active trace (custom if provided, else from config)
+    /// without drawing from it. Split out of [`Simulation::start`] so
+    /// resume can rebuild the generator and then overlay its saved RNG
+    /// position instead of consuming the first op.
+    pub(crate) fn build_trace(&mut self) {
+        self.trace = match self.custom_trace.take() {
             Some(t) => Some(t),
             None => match self.config.traffic {
                 DemandTraffic::Idle => None,
@@ -366,9 +619,12 @@ impl Simulation {
                 ))),
             },
         };
-        let mut pending: Option<MemOp> = trace.as_mut().and_then(|t| t.next_op());
+    }
+
+    fn advance_to(&mut self, stop: SimTime, batched: bool) {
+        self.start();
         loop {
-            let demand_due = pending.map(|op| op.at);
+            let demand_due = self.pending.map(|op| op.at);
             let scrub_due = self.engine.as_ref().map(|e| e.next_slot());
             let next_is_demand = match (demand_due, scrub_due) {
                 (Some(d), Some(s)) => d <= s,
@@ -377,13 +633,12 @@ impl Simulation {
                 (None, None) => break,
             };
             if next_is_demand {
-                let op = pending.expect("demand op present");
-                if op.at > horizon {
-                    pending = None;
-                    if self.engine.is_none() {
-                        break;
-                    }
-                    continue;
+                let op = self.pending.expect("demand op present");
+                if op.at > stop {
+                    // Demand won the tie-break, so the scrub slot (if any)
+                    // is not due before `stop` either. The op stays
+                    // pending for the next segment.
+                    break;
                 }
                 match op.kind {
                     OpKind::Read => {
@@ -404,21 +659,25 @@ impl Simulation {
                         }
                     }
                 }
-                pending = trace.as_mut().and_then(|t| t.next_op());
+                self.pending = self.trace.as_mut().and_then(|t| t.next_op());
             } else {
                 let engine = self.engine.as_mut().expect("scrub slot present");
-                if engine.next_slot() > horizon {
+                if engine.next_slot() > stop {
                     break;
                 }
                 let threads = self.config.threads.max(1);
-                if !(batched && engine.step_batch(&mut self.memory, horizon, demand_due, threads)) {
+                if !(batched && engine.step_batch(&mut self.memory, stop, demand_due, threads)) {
                     engine.step(&mut self.memory);
                 }
             }
         }
-        self.into_report()
+        if stop > self.clock {
+            self.clock = stop;
+        }
     }
 
+    /// Consumes the simulation and produces the final report (plus the
+    /// telemetry mirrors). Private: reached via `run`/`finish`.
     fn into_report(self) -> SimReport {
         let window_ns = self.config.horizon_s * 1e9;
         let bw = self.memory.bandwidth();
@@ -469,6 +728,62 @@ impl Simulation {
         }
         report
     }
+}
+
+/// Canonical encoding of everything in a [`SimConfig`] that determines the
+/// simulated trajectory. Embedded in snapshots and verified on resume so a
+/// snapshot cannot silently continue under a different run's configuration.
+/// `threads` is deliberately excluded: it shapes execution, never results.
+fn fingerprint(config: &SimConfig) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u64(config.seed);
+    w.put_u32(config.geometry.num_lines());
+    w.put_u32(config.geometry.banks());
+    w.put_f64(config.horizon_s);
+    w.put_str(&config.policy.label());
+    w.put_str(config.code.name());
+    w.put_str(&config.traffic.label());
+    match &config.fault_campaign {
+        Some(spec) => {
+            w.put_u8(1);
+            w.put_str(&spec.to_string());
+        }
+        None => w.put_u8(0),
+    }
+    match config.wear_leveling {
+        Some(period) => {
+            w.put_u8(1);
+            w.put_u32(period);
+        }
+        None => w.put_u8(0),
+    }
+    match config.inband_writeback_theta {
+        Some(theta) => {
+            w.put_u8(1);
+            w.put_u32(theta);
+        }
+        None => w.put_u8(0),
+    }
+    w.put_u8(match config.probe_kind {
+        ProbeKind::FullDecode => 0,
+        ProbeKind::CrcThenDecode => 1,
+    });
+    match config.repair {
+        Some(rc) => {
+            w.put_u8(1);
+            w.put_u16(rc.ecp_entries_per_line);
+            w.put_u32(rc.spare_lines_per_bank);
+        }
+        None => w.put_u8(0),
+    }
+    match config.ue_recovery {
+        Some(rc) => {
+            w.put_u8(1);
+            w.put_f64(rc.recover_prob);
+        }
+        None => w.put_u8(0),
+    }
+    w.into_bytes()
 }
 
 #[cfg(test)]

@@ -2,6 +2,7 @@
 //! threshold.
 
 use pcm_memsim::{AccessResult, LineAddr, SimTime, SweepRule};
+use scrub_checkpoint::{CheckpointError, Reader, Writer};
 
 use crate::policy::{BatchPlan, ScrubAction, ScrubContext, ScrubPolicy, SweepCursor};
 
@@ -103,6 +104,15 @@ impl ScrubPolicy for ThresholdScrub {
             // sweep, matching the engine's forced-write-back path.
             rule: SweepRule::Threshold { theta: self.theta },
         })
+    }
+
+    fn save_state(&self, w: &mut Writer) {
+        w.put_u32(self.cursor.position());
+    }
+
+    fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), CheckpointError> {
+        let pos = r.u32()?;
+        self.cursor.set_position(pos, self.num_lines)
     }
 }
 

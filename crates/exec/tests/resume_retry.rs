@@ -1,0 +1,125 @@
+//! Regression test for retrying *resumed* jobs: when a `par_try_map` job
+//! resumes a simulation from checkpoint bytes and panics mid-segment, the
+//! retry resumes from the same immutable bytes and must land exactly
+//! where a never-failing job lands.
+//!
+//! The hazard: `Simulation::new` re-runs the fault-campaign injection
+//! (drawing from the campaign seed and mutating line state) before
+//! `resume` overlays the snapshot. If restore missed any campaign-touched
+//! state, the first attempt's partial execution wouldn't matter — but a
+//! *re*-resume after a panic would inherit freshly re-drawn randomness
+//! and silently diverge. Retries must be idempotent: same bytes in, same
+//! trajectory out.
+
+use std::panic;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use scrub_core::{DemandTraffic, PolicyKind, SimConfig, SimReport, Simulation};
+use scrub_exec::{par_try_map, JobError};
+
+/// Runs `f` with the default panic hook silenced, so deliberately
+/// panicking jobs don't spray backtraces over the test output.
+fn quietly<R>(f: impl FnOnce() -> R) -> R {
+    let hook = panic::take_hook();
+    panic::set_hook(Box::new(|_| {}));
+    let r = f();
+    panic::set_hook(hook);
+    r
+}
+
+/// A run whose trajectory depends on every state family a snapshot
+/// carries: an active fault campaign (stuck cells + timed SEUs), the
+/// repair hierarchy, and scrub randomness.
+fn config(seed: u64) -> SimConfig {
+    let mut b = SimConfig::builder();
+    b.num_lines(512)
+        .policy(PolicyKind::combined_default(900.0))
+        .traffic(DemandTraffic::Idle)
+        .horizon_s(2.0 * 3600.0)
+        .seed(seed)
+        .threads(1)
+        .fault_campaign(
+            "seed=41;stuck=lines:16,cells:3;seu=lines:64,count:2,window:1800"
+                .parse::<pcm_memsim::CampaignSpec>()
+                .expect("valid campaign spec"),
+        )
+        .repair(pcm_memsim::RepairConfig::default());
+    b.build()
+}
+
+#[test]
+fn retried_resume_job_replays_identical_randomness() {
+    // Ground truth: each seed's continuous run.
+    let seeds = [3u64, 4, 5];
+    let continuous: Vec<SimReport> = seeds
+        .iter()
+        .map(|&s| Simulation::new(config(s)).run())
+        .collect();
+
+    // Mid-run snapshots, one per seed — taken once, then treated as the
+    // immutable artifact a resumed job would read from disk.
+    let snapshots: Vec<Vec<u8>> = seeds
+        .iter()
+        .map(|&s| {
+            let mut sim = Simulation::new(config(s));
+            sim.run_to(3600.0);
+            sim.checkpoint().expect("checkpoint")
+        })
+        .collect();
+
+    // Job 1 panics on its first attempt, *after* resuming and advancing
+    // partway — the worst case, since the doomed attempt has already
+    // consumed randomness when it dies.
+    let poisoned = AtomicBool::new(true);
+    let results = quietly(|| {
+        par_try_map(2, seeds.to_vec(), 1, |i, &seed| {
+            let mut sim =
+                Simulation::resume(config(seed), &snapshots[i]).expect("resume from snapshot");
+            sim.run_to(5400.0);
+            if i == 1 && poisoned.swap(false, Ordering::SeqCst) {
+                panic!("worker died mid-segment");
+            }
+            sim.finish()
+        })
+    });
+
+    for (i, (result, want)) in results.iter().zip(&continuous).enumerate() {
+        let report = result.as_ref().unwrap_or_else(|e| {
+            panic!("job {i} failed: {e}");
+        });
+        assert_eq!(
+            report, want,
+            "job {i}: resumed (and retried) run diverged from continuous"
+        );
+    }
+    assert!(
+        !poisoned.load(Ordering::SeqCst),
+        "the poisoned attempt never ran"
+    );
+}
+
+#[test]
+fn exhausted_retries_still_isolate_the_resumed_job() {
+    let bytes = {
+        let mut sim = Simulation::new(config(9));
+        sim.run_to(3600.0);
+        sim.checkpoint().expect("checkpoint")
+    };
+    let results = quietly(|| {
+        par_try_map(2, vec![0u32, 1], 0, |i, _| {
+            let sim = Simulation::resume(config(9), &bytes).expect("resume");
+            if i == 0 {
+                panic!("always fails");
+            }
+            sim.finish()
+        })
+    });
+    assert!(
+        matches!(&results[0], Err(JobError::Panicked { attempts: 1, .. })),
+        "{:?}",
+        results[0]
+    );
+    // The healthy job still equals the continuous run.
+    let want = Simulation::new(config(9)).run();
+    assert_eq!(results[1].as_ref().unwrap(), &want);
+}

@@ -84,6 +84,32 @@ impl EnergyLedger {
         self.scrub_decode_pj
     }
 
+    /// The six raw components in declaration order (demand read / write /
+    /// decode, scrub probe / write-back / decode), for checkpointing.
+    pub fn components(&self) -> [f64; 6] {
+        [
+            self.demand_read_pj,
+            self.demand_write_pj,
+            self.demand_decode_pj,
+            self.scrub_probe_pj,
+            self.scrub_writeback_pj,
+            self.scrub_decode_pj,
+        ]
+    }
+
+    /// Rebuilds a ledger from [`EnergyLedger::components`] output,
+    /// bit-exactly.
+    pub fn from_components(c: [f64; 6]) -> Self {
+        Self {
+            demand_read_pj: c[0],
+            demand_write_pj: c[1],
+            demand_decode_pj: c[2],
+            scrub_probe_pj: c[3],
+            scrub_writeback_pj: c[4],
+            scrub_decode_pj: c[5],
+        }
+    }
+
     /// Folds another ledger into this one (merging per-bank shards). Call
     /// in a fixed shard order: float addition is not associative, so the
     /// merge order is part of the determinism contract.

@@ -13,10 +13,13 @@
 //! kept per bank and merged in fixed bank order at read time, so even
 //! floating-point accumulation is order-stable across thread counts.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+use scrub_checkpoint::{CheckpointError, Reader, Writer};
 
 use pcm_ecc::{ClassifyOutcome, CodeSpec};
 use pcm_model::math::sample_binomial;
@@ -563,6 +566,270 @@ impl Memory {
             .iter()
             .filter(|s| s.repair.as_ref().is_some_and(|r| r.degraded))
             .count() as u32
+    }
+
+    /// Serializes the memory's complete mutable state — Start-Gap
+    /// position, and per bank: line states, RNG stream, stat/energy/
+    /// bandwidth ledgers, bank-timer state, and repair hierarchy — into
+    /// `w`. Configuration (geometry, device, code, campaign spec, probe
+    /// kind) is *not* written: a resume rebuilds it from the run config
+    /// and then overwrites the mutable state with [`Memory::restore_state`].
+    pub fn save_state(&self, w: &mut Writer) {
+        self.save_state_impl(w, false);
+    }
+
+    /// Test-only tripwire hook: serializes state but *omits* bank 0's RNG
+    /// stream (writing a default-seeded state instead), so the
+    /// differential resume harness can prove it detects a missing field.
+    #[doc(hidden)]
+    pub fn save_state_omitting_bank0_rng(&self, w: &mut Writer) {
+        self.save_state_impl(w, true);
+    }
+
+    fn save_state_impl(&self, w: &mut Writer, omit_bank0_rng: bool) {
+        match &self.wear_leveler {
+            Some(sg) => {
+                w.put_u8(1);
+                let (gap, start, writes) = sg.dynamic_state();
+                w.put_u32(gap);
+                w.put_u32(start);
+                w.put_u32(writes);
+            }
+            None => w.put_u8(0),
+        }
+        w.put_u32(self.shards.len() as u32);
+        for (b, shard) in self.shards.iter().enumerate() {
+            let rng_state = if omit_bank0_rng && b == 0 {
+                StdRng::seed_from_u64(0).state()
+            } else {
+                shard.rng.state()
+            };
+            for word in rng_state {
+                w.put_u64(word);
+            }
+            w.put_u32(shard.lines.len() as u32);
+            for line in &shard.lines {
+                w.put_f64(line.last_write.secs());
+                w.put_f64(line.last_eval.secs());
+                for &o in &line.occupancy {
+                    w.put_u16(o);
+                }
+                for &d in &line.drift_failed {
+                    w.put_u16(d);
+                }
+                w.put_u32(line.wear);
+                w.put_u16(line.worn_cells);
+                w.put_u16(line.worn_conflict_bits);
+                w.put_u16(line.ecp_assigned);
+                w.put_bool(line.ue_recorded);
+            }
+            let s = &shard.stats;
+            for v in [
+                s.demand_reads,
+                s.demand_writes,
+                s.scrub_probes,
+                s.scrub_writebacks,
+                s.corrected_bits,
+                s.detected_ue,
+                s.miscorrections,
+                s.demand_ue,
+                s.lines_with_worn_cells,
+                s.wear_level_writes,
+                s.ecp_repairs,
+                s.ecp_cells_patched,
+                s.lines_retired,
+                s.unrepairable_ue,
+                s.recovered_ue,
+            ] {
+                w.put_u64(v);
+            }
+            for c in shard.energy.components() {
+                w.put_f64(c);
+            }
+            w.put_f64(shard.bandwidth.demand_busy_ns());
+            w.put_f64(shard.bandwidth.scrub_busy_ns());
+            w.put_f64(shard.busy_until_ns);
+            w.put_f64(shard.demand_read_delay_ns_sum);
+            match &shard.repair {
+                Some(r) => {
+                    w.put_u8(1);
+                    w.put_u32(r.spares_used);
+                    w.put_bool(r.degraded);
+                    w.put_opt_f64(r.first_unrepairable_s);
+                    w.put_u64(r.unrepairable);
+                    // The remap is a HashMap; serialize sorted by key so
+                    // the snapshot bytes are a pure function of the state.
+                    let mut remap: Vec<(u32, u32)> =
+                        r.remap.iter().map(|(&k, &v)| (k, v)).collect();
+                    remap.sort_unstable();
+                    w.put_u32(remap.len() as u32);
+                    for (k, v) in remap {
+                        w.put_u32(k);
+                        w.put_u32(v);
+                    }
+                }
+                None => w.put_u8(0),
+            }
+        }
+    }
+
+    /// Restores state captured by [`Memory::save_state`] onto a memory
+    /// freshly constructed from the *same* configuration (same geometry,
+    /// seed, campaign, repair/recovery settings — the caller validates
+    /// that; this method validates structural consistency). All mutable
+    /// state is overwritten, so restoring is idempotent: in particular, a
+    /// campaign's stuck-cell injection performed at construction is
+    /// replaced wholesale by the snapshot's line states, never re-applied
+    /// on top of them.
+    pub fn restore_state(&mut self, r: &mut Reader<'_>) -> Result<(), CheckpointError> {
+        let malformed = |msg: String| CheckpointError::Malformed(msg);
+        let has_wl = r.bool()?;
+        if has_wl != self.wear_leveler.is_some() {
+            return Err(malformed(format!(
+                "wear-leveler presence mismatch: snapshot {has_wl}, config {}",
+                self.wear_leveler.is_some()
+            )));
+        }
+        if has_wl {
+            let gap = r.u32()?;
+            let start = r.u32()?;
+            let writes = r.u32()?;
+            let sg = self.wear_leveler.as_mut().expect("presence checked");
+            sg.restore_dynamic_state(gap, start, writes)
+                .map_err(|e| malformed(format!("start-gap: {e}")))?;
+        }
+        let shard_count = r.u32()? as usize;
+        if shard_count != self.shards.len() {
+            return Err(malformed(format!(
+                "bank count mismatch: snapshot {shard_count}, config {}",
+                self.shards.len()
+            )));
+        }
+        for (b, shard) in self.shards.iter_mut().enumerate() {
+            let rng_state = [r.u64()?, r.u64()?, r.u64()?, r.u64()?];
+            let line_count = r.u32()? as usize;
+            let base_lines = shard.lines.len().min(line_count);
+            let mut lines = Vec::with_capacity(line_count);
+            for i in 0..line_count {
+                let what = |f: &str| format!("bank {b} line {i} {f}");
+                let last_write = r.time_f64(&what("last_write"))?;
+                let last_eval = r.time_f64(&what("last_eval"))?;
+                let mut occupancy = [0u16; crate::line::MAX_LEVELS];
+                for o in &mut occupancy {
+                    *o = r.u16()?;
+                }
+                let mut drift_failed = [0u16; crate::line::MAX_LEVELS];
+                for d in &mut drift_failed {
+                    *d = r.u16()?;
+                }
+                lines.push(LineState {
+                    last_write: SimTime::from_secs(last_write),
+                    last_eval: SimTime::from_secs(last_eval),
+                    occupancy,
+                    drift_failed,
+                    wear: r.u32()?,
+                    worn_cells: r.u16()?,
+                    worn_conflict_bits: r.u16()?,
+                    ecp_assigned: r.u16()?,
+                    ue_recorded: r.bool()?,
+                });
+            }
+            let stats = MemStats {
+                demand_reads: r.u64()?,
+                demand_writes: r.u64()?,
+                scrub_probes: r.u64()?,
+                scrub_writebacks: r.u64()?,
+                corrected_bits: r.u64()?,
+                detected_ue: r.u64()?,
+                miscorrections: r.u64()?,
+                demand_ue: r.u64()?,
+                lines_with_worn_cells: r.u64()?,
+                wear_level_writes: r.u64()?,
+                ecp_repairs: r.u64()?,
+                ecp_cells_patched: r.u64()?,
+                lines_retired: r.u64()?,
+                unrepairable_ue: r.u64()?,
+                recovered_ue: r.u64()?,
+            };
+            let energy = EnergyLedger::from_components([
+                r.f64()?,
+                r.f64()?,
+                r.f64()?,
+                r.f64()?,
+                r.f64()?,
+                r.f64()?,
+            ]);
+            let bandwidth = BandwidthTracker::from_busy_ns(r.f64()?, r.f64()?);
+            let busy_until_ns = r.f64()?;
+            let demand_read_delay_ns_sum = r.f64()?;
+            let repair = if r.bool()? {
+                let config = match &shard.repair {
+                    Some(existing) => existing.config,
+                    None => {
+                        return Err(malformed(format!(
+                            "bank {b}: snapshot has repair state but repair is not configured"
+                        )))
+                    }
+                };
+                let spares_used = r.u32()?;
+                if spares_used > config.spare_lines_per_bank {
+                    return Err(malformed(format!(
+                        "bank {b}: {spares_used} spares used exceeds pool of {}",
+                        config.spare_lines_per_bank
+                    )));
+                }
+                let degraded = r.bool()?;
+                let first_unrepairable_s = r.opt_f64()?;
+                let unrepairable = r.u64()?;
+                let remap_len = r.u32()? as usize;
+                let mut remap = HashMap::with_capacity(remap_len);
+                for _ in 0..remap_len {
+                    let k = r.u32()?;
+                    let v = r.u32()?;
+                    if (k as usize) >= base_lines || (v as usize) >= line_count {
+                        return Err(malformed(format!(
+                            "bank {b}: remap {k}→{v} out of range ({line_count} lines)"
+                        )));
+                    }
+                    remap.insert(k, v);
+                }
+                if line_count != base_lines + spares_used as usize {
+                    return Err(malformed(format!(
+                        "bank {b}: {line_count} lines inconsistent with {base_lines} base + \
+                         {spares_used} spares"
+                    )));
+                }
+                let mut state = RepairState::new(config, b as u32);
+                state.spares_used = spares_used;
+                state.degraded = degraded;
+                state.first_unrepairable_s = first_unrepairable_s;
+                state.unrepairable = unrepairable;
+                state.remap = remap;
+                Some(state)
+            } else {
+                if shard.repair.is_some() {
+                    return Err(malformed(format!(
+                        "bank {b}: repair configured but snapshot has no repair state"
+                    )));
+                }
+                if line_count != shard.lines.len() {
+                    return Err(malformed(format!(
+                        "bank {b}: line count mismatch: snapshot {line_count}, config {}",
+                        shard.lines.len()
+                    )));
+                }
+                None
+            };
+            shard.rng = StdRng::from_state(rng_state);
+            shard.lines = lines;
+            shard.stats = stats;
+            shard.energy = energy;
+            shard.bandwidth = bandwidth;
+            shard.busy_until_ns = busy_until_ns;
+            shard.demand_read_delay_ns_sum = demand_read_delay_ns_sum;
+            shard.repair = repair;
+        }
+        Ok(())
     }
 
     /// Splits an address into `(bank, slot-within-bank)` under low-order
@@ -1179,5 +1446,106 @@ mod tests {
         assert_eq!(out.idle_slots, 128);
         assert_eq!(out.probe_slots, 128);
         assert_eq!(m.stats().scrub_probes, 128);
+    }
+
+    fn checkpointable_mem(spec: &CampaignSpec) -> Memory {
+        let mut m = Memory::new(
+            MemGeometry::new(256, 4),
+            DeviceConfig::default(),
+            CodeSpec::bch_line(4),
+            61,
+        );
+        m.enable_wear_leveling(16);
+        m.attach_campaign(spec);
+        m.enable_repair(RepairConfig::default());
+        m.enable_ue_recovery(RecoveryConfig::default());
+        m
+    }
+
+    #[test]
+    fn checkpoint_round_trip_restores_every_ledger() {
+        let spec: CampaignSpec = "seed=9;stuck=lines:32,cells:3".parse().unwrap();
+        let mut original = checkpointable_mem(&spec);
+        // Drive traffic so every ledger, RNG stream, and the start-gap
+        // mapper have moved off their construction values.
+        let n = original.demand_lines();
+        for i in 0..256u32 {
+            original.demand_write(LineAddr(i % n), SimTime::from_secs(i as f64));
+        }
+        for i in 0..256u32 {
+            original.scrub_probe(LineAddr(i % n), SimTime::from_secs(300.0 + i as f64));
+        }
+        let mut w = Writer::new();
+        original.save_state(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut resumed = checkpointable_mem(&spec);
+        let mut r = Reader::new(&bytes);
+        resumed.restore_state(&mut r).unwrap();
+        r.finish().unwrap();
+
+        // Re-snapshotting the restored memory must reproduce the bytes…
+        let mut w2 = Writer::new();
+        resumed.save_state(&mut w2);
+        assert_eq!(bytes, w2.into_bytes(), "snapshot not idempotent");
+        // …and the two memories must behave identically afterwards.
+        for i in 0..64u32 {
+            let t = SimTime::from_secs(700.0 + i as f64);
+            assert_eq!(
+                original.demand_read(LineAddr(i), t),
+                resumed.demand_read(LineAddr(i), t),
+                "divergence at line {i}"
+            );
+        }
+        assert_eq!(original.stats(), resumed.stats());
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_geometry() {
+        let spec: CampaignSpec = "seed=9;stuck=lines:32,cells:3".parse().unwrap();
+        let m = checkpointable_mem(&spec);
+        let mut w = Writer::new();
+        m.save_state(&mut w);
+        let bytes = w.into_bytes();
+
+        // Different bank count.
+        let mut other = Memory::new(
+            MemGeometry::new(256, 8),
+            DeviceConfig::default(),
+            CodeSpec::bch_line(4),
+            61,
+        );
+        other.enable_wear_leveling(16);
+        other.enable_repair(RepairConfig::default());
+        let err = other.restore_state(&mut Reader::new(&bytes)).unwrap_err();
+        assert!(matches!(err, CheckpointError::Malformed(_)), "{err}");
+
+        // No wear leveler configured.
+        let mut other = Memory::new(
+            MemGeometry::new(256, 4),
+            DeviceConfig::default(),
+            CodeSpec::bch_line(4),
+            61,
+        );
+        other.enable_repair(RepairConfig::default());
+        let err = other.restore_state(&mut Reader::new(&bytes)).unwrap_err();
+        assert!(matches!(err, CheckpointError::Malformed(_)), "{err}");
+    }
+
+    #[test]
+    fn tripwire_save_variant_differs_only_in_bank0_rng() {
+        let spec: CampaignSpec = "seed=9;stuck=lines:32,cells:3".parse().unwrap();
+        let mut m = checkpointable_mem(&spec);
+        for i in 0..64u32 {
+            m.demand_write(LineAddr(i), SimTime::from_secs(i as f64));
+        }
+        let mut honest = Writer::new();
+        m.save_state(&mut honest);
+        let honest = honest.into_bytes();
+        let mut lying = Writer::new();
+        m.save_state_omitting_bank0_rng(&mut lying);
+        let lying = lying.into_bytes();
+        assert_eq!(honest.len(), lying.len(), "hook must not change layout");
+        assert_ne!(honest, lying, "hook must actually drop bank 0's RNG");
     }
 }

@@ -87,6 +87,15 @@ impl BandwidthTracker {
         self.scrub_busy_ns
     }
 
+    /// Rebuilds a tracker from busy times captured by the getters above,
+    /// bit-exactly (for checkpointing).
+    pub fn from_busy_ns(demand_busy_ns: f64, scrub_busy_ns: f64) -> Self {
+        Self {
+            demand_busy_ns,
+            scrub_busy_ns,
+        }
+    }
+
     /// Fraction of a wall-clock window the channel spent on scrub.
     pub fn scrub_utilization(&self, window_ns: f64) -> f64 {
         if window_ns <= 0.0 {

@@ -54,6 +54,23 @@ pub trait TraceSource: std::fmt::Debug {
 
     /// A short name for reports.
     fn name(&self) -> &str;
+
+    /// Serializes the generator's mutable state (RNG position, clock,
+    /// pattern cursors) for checkpointing, or `None` if this source does
+    /// not support resume. The encoding is the source's own; the
+    /// simulator treats it as an opaque block.
+    fn save_state(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Restores state produced by [`TraceSource::save_state`] onto a
+    /// freshly constructed source with identical configuration.
+    fn load_state(&mut self, _bytes: &[u8]) -> Result<(), String> {
+        Err(format!(
+            "trace source {:?} does not support checkpoint/resume",
+            self.name()
+        ))
+    }
 }
 
 #[cfg(test)]

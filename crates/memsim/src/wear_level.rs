@@ -63,6 +63,39 @@ impl StartGap {
         self.gap
     }
 
+    /// The three mutable words — `(gap, start, writes_since_move)` — for
+    /// checkpointing. Geometry (`physical_lines`, `rotate_period`) is
+    /// configuration and is rebuilt from the run's config instead.
+    pub fn dynamic_state(&self) -> (u32, u32, u32) {
+        (self.gap, self.start, self.writes_since_move)
+    }
+
+    /// Restores state captured by [`StartGap::dynamic_state`] onto a
+    /// mapper with the same geometry. Rejects out-of-range values instead
+    /// of corrupting the mapping.
+    pub fn restore_dynamic_state(
+        &mut self,
+        gap: u32,
+        start: u32,
+        writes_since_move: u32,
+    ) -> Result<(), String> {
+        if gap >= self.physical_lines {
+            return Err(format!("gap {gap} out of range"));
+        }
+        if start >= self.logical_lines() {
+            return Err(format!("start {start} out of range"));
+        }
+        if writes_since_move >= self.rotate_period {
+            return Err(format!(
+                "writes_since_move {writes_since_move} out of range"
+            ));
+        }
+        self.gap = gap;
+        self.start = start;
+        self.writes_since_move = writes_since_move;
+        Ok(())
+    }
+
     /// Maps a logical address to its current physical line.
     ///
     /// # Panics

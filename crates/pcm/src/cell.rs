@@ -5,6 +5,7 @@
 //! million-line memory simulator uses the analytic model instead.
 
 use rand::Rng;
+use scrub_checkpoint::{CheckpointError, Reader, Writer};
 
 use crate::device::DeviceConfig;
 use crate::math::{sample_lognormal, sample_normal, sample_truncated_normal};
@@ -107,6 +108,59 @@ impl Cell {
             sample_lognormal(rng, nu_med.ln(), dev.drift().sigma_ln_nu)
         };
         self.written_at_s = now_s;
+    }
+
+    /// Serializes the cell's complete drift state — programmed level,
+    /// write-time `log₁₀R`, drift exponent, write epoch, wear, endurance
+    /// draw, stuck-at freeze — for checkpointing.
+    pub fn save_state(&self, w: &mut Writer) {
+        w.put_u32(self.level as u32);
+        w.put_f64(self.x0);
+        w.put_f64(self.nu);
+        w.put_f64(self.written_at_s);
+        w.put_u64(self.wear);
+        w.put_u64(self.endurance_limit);
+        match self.stuck_at {
+            Some(lv) => {
+                w.put_u8(1);
+                w.put_u32(lv as u32);
+            }
+            None => w.put_u8(0),
+        }
+    }
+
+    /// Reconstructs a cell saved by [`Cell::save_state`]. `num_levels` is
+    /// the device's level count, used to reject out-of-range levels.
+    pub fn restore_state(r: &mut Reader<'_>, num_levels: usize) -> Result<Self, CheckpointError> {
+        let level = r.u32()? as usize;
+        let x0 = r.finite_f64("cell x0")?;
+        let nu = r.finite_f64("cell nu")?;
+        let written_at_s = r.time_f64("cell write epoch")?;
+        let wear = r.u64()?;
+        let endurance_limit = r.u64()?;
+        let stuck_at = if r.bool()? {
+            Some(r.u32()? as usize)
+        } else {
+            None
+        };
+        for (what, lv) in [("level", Some(level)), ("stuck-at level", stuck_at)] {
+            if let Some(lv) = lv {
+                if lv >= num_levels {
+                    return Err(CheckpointError::Malformed(format!(
+                        "cell {what} {lv} out of range ({num_levels} levels)"
+                    )));
+                }
+            }
+        }
+        Ok(Self {
+            level,
+            x0,
+            nu,
+            written_at_s,
+            wear,
+            endurance_limit,
+            stuck_at,
+        })
     }
 
     /// Noiseless drifted `log₁₀R` at simulation time `now_s`.

@@ -198,6 +198,54 @@ impl Document {
             events,
         })
     }
+
+    /// Folds the documents of a segmented (checkpoint/resume) run into
+    /// the one document the run would have produced in a single process:
+    /// counters and `events_dropped` sum, gauges keep their high-water
+    /// maximum, `meta`/`values` take the latest segment's word, phases
+    /// aggregate by name, and the event journals concatenate into one
+    /// stream re-sorted by simulated time (stable, so same-time events
+    /// keep segment order) with `seq` renumbered globally.
+    ///
+    /// Merging a single document is the identity up to `seq` renumbering,
+    /// so `merge_segments(&[continuous])` is the canonical form to diff a
+    /// merged split run against.
+    pub fn merge_segments(segments: &[Document]) -> Document {
+        let mut out = Document::default();
+        for seg in segments {
+            for (k, v) in &seg.meta {
+                out.meta.insert(k.clone(), v.clone());
+            }
+            for (k, v) in &seg.counters {
+                *out.counters.entry(k.clone()).or_insert(0) += v;
+            }
+            for (k, v) in &seg.gauges {
+                let slot = out.gauges.entry(k.clone()).or_insert(0);
+                *slot = (*slot).max(*v);
+            }
+            for (k, v) in &seg.values {
+                out.values.insert(k.clone(), *v);
+            }
+            for p in &seg.phases {
+                match out.phases.iter_mut().find(|q| q.name == p.name) {
+                    Some(q) => {
+                        q.count += p.count;
+                        q.wall_s += p.wall_s;
+                        q.sim_span_s += p.sim_span_s;
+                    }
+                    None => out.phases.push(p.clone()),
+                }
+            }
+            out.events_dropped += seg.events_dropped;
+            out.events.extend(seg.events.iter().cloned());
+        }
+        out.phases.sort_by(|a, b| a.name.cmp(&b.name));
+        out.events.sort_by(|a, b| a.t_s.total_cmp(&b.t_s));
+        for (i, e) in out.events.iter_mut().enumerate() {
+            e.seq = i as u64;
+        }
+        out
+    }
 }
 
 fn event_to_json(e: &Event) -> String {
@@ -534,6 +582,68 @@ mod tests {
         }
         assert_eq!(v.get("version").unwrap().as_u64(), Some(SCHEMA_VERSION));
         assert!(v.get("events").unwrap().get("dropped").is_some());
+    }
+
+    #[test]
+    fn merge_of_one_document_is_identity_up_to_seq() {
+        let doc = sample_doc();
+        let merged = Document::merge_segments(std::slice::from_ref(&doc));
+        // sample_doc's events are already time-ordered with seq 0..n.
+        assert_eq!(merged, doc);
+    }
+
+    #[test]
+    fn merge_sums_counters_maxes_gauges_and_interleaves_events() {
+        let mut a = Document::default();
+        a.meta.insert("experiment".into(), "e13".into());
+        a.counters.insert("scrub_probes".into(), 100);
+        a.gauges.insert("exec_jobs_high_water".into(), 8);
+        a.values.insert("x".into(), 1.0);
+        a.phases.push(PhaseRecord {
+            name: "exp.e13".into(),
+            count: 1,
+            wall_s: 2.0,
+            sim_span_s: 100.0,
+        });
+        a.events_dropped = 1;
+        a.events.push(Event {
+            t_s: 5.0,
+            seq: 0,
+            worker: 0,
+            kind: EventKind::WearLevelRotate { addr: 1 },
+        });
+        let mut b = Document::default();
+        b.counters.insert("scrub_probes".into(), 50);
+        b.counters.insert("demand_reads".into(), 7);
+        b.gauges.insert("exec_jobs_high_water".into(), 4);
+        b.values.insert("x".into(), 2.0);
+        b.phases.push(PhaseRecord {
+            name: "exp.e13".into(),
+            count: 1,
+            wall_s: 3.0,
+            sim_span_s: 200.0,
+        });
+        b.events_dropped = 2;
+        b.events.push(Event {
+            t_s: 2.0,
+            seq: 0,
+            worker: 1,
+            kind: EventKind::WearLevelRotate { addr: 2 },
+        });
+        let merged = Document::merge_segments(&[a, b]);
+        assert_eq!(merged.counters["scrub_probes"], 150);
+        assert_eq!(merged.counters["demand_reads"], 7);
+        assert_eq!(merged.gauges["exec_jobs_high_water"], 8);
+        assert_eq!(merged.values["x"], 2.0, "later segment wins");
+        assert_eq!(merged.phases.len(), 1);
+        assert_eq!(merged.phases[0].count, 2);
+        assert_eq!(merged.phases[0].wall_s, 5.0);
+        assert_eq!(merged.events_dropped, 3);
+        // Events re-sorted by time, seq renumbered globally.
+        assert_eq!(merged.events[0].t_s, 2.0);
+        assert_eq!(merged.events[0].seq, 0);
+        assert_eq!(merged.events[1].t_s, 5.0);
+        assert_eq!(merged.events[1].seq, 1);
     }
 
     #[test]

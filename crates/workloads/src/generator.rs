@@ -5,6 +5,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use pcm_memsim::{LineAddr, MemOp, OpKind, SimTime, TraceSource};
+use scrub_checkpoint::{Reader, Writer};
 
 use crate::zipf::Zipf;
 
@@ -202,6 +203,45 @@ impl TraceSource for SyntheticTrace {
     fn name(&self) -> &str {
         &self.name
     }
+
+    fn save_state(&self) -> Option<Vec<u8>> {
+        // Only the mutable words: the pattern, zipf tables, and rates are
+        // configuration, rebuilt by the resuming run.
+        let mut w = Writer::new();
+        for word in self.rng.state() {
+            w.put_u64(word);
+        }
+        w.put_f64(self.now.secs());
+        w.put_u32(self.seq_pos);
+        w.put_u32(self.scan_remaining);
+        w.put_u32(self.burst_remaining);
+        Some(w.into_bytes())
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        let mut r = Reader::new(bytes);
+        let restore = || -> Result<(), scrub_checkpoint::CheckpointError> {
+            let rng_state = [r.u64()?, r.u64()?, r.u64()?, r.u64()?];
+            let now = r.time_f64("trace clock")?;
+            let seq_pos = r.u32()?;
+            let scan_remaining = r.u32()?;
+            let burst_remaining = r.u32()?;
+            r.finish()?;
+            if seq_pos >= self.num_lines {
+                return Err(scrub_checkpoint::CheckpointError::Malformed(format!(
+                    "trace seq_pos {seq_pos} out of range ({} lines)",
+                    self.num_lines
+                )));
+            }
+            self.rng = StdRng::from_state(rng_state);
+            self.now = SimTime::from_secs(now);
+            self.seq_pos = seq_pos;
+            self.scan_remaining = scan_remaining;
+            self.burst_remaining = burst_remaining;
+            Ok(())
+        };
+        restore().map_err(|e| format!("synthetic trace state: {e}"))
+    }
 }
 
 /// Builder for [`SyntheticTrace`].
@@ -375,6 +415,61 @@ mod tests {
         for _ in 0..500 {
             assert!(t.next_op().expect("inf").addr.0 < 33);
         }
+    }
+
+    #[test]
+    fn save_load_resumes_exact_stream() {
+        for pattern in [
+            AddrPattern::Uniform,
+            AddrPattern::Zipf { theta: 0.99 },
+            AddrPattern::Sequential,
+            AddrPattern::ScanPoint {
+                scan_len: 5,
+                theta: 0.9,
+            },
+        ] {
+            let build = || {
+                SyntheticTrace::builder("t", 64)
+                    .pattern(pattern.clone())
+                    .arrivals(ArrivalProcess::Bursty {
+                        burst_len: 4,
+                        idle_ratio: 2.0,
+                    })
+                    .seed(11)
+                    .build()
+            };
+            let mut continuous = build();
+            for _ in 0..137 {
+                continuous.next_op();
+            }
+            let mut split = build();
+            for _ in 0..70 {
+                split.next_op();
+            }
+            let state = split.save_state().expect("supported");
+            let mut resumed = build();
+            resumed.load_state(&state).expect("round-trip");
+            for i in 0..67 {
+                resumed.next_op();
+                let _ = i;
+            }
+            assert_eq!(
+                continuous.next_op(),
+                resumed.next_op(),
+                "{pattern:?}: stream diverged after resume"
+            );
+        }
+    }
+
+    #[test]
+    fn load_state_rejects_garbage() {
+        let mut t = SyntheticTrace::builder("t", 64).build();
+        assert!(t.load_state(&[1, 2, 3]).is_err());
+        let mut state = t.save_state().expect("supported");
+        // seq_pos out of range for a 64-line trace.
+        let off = 4 * 8 + 8;
+        state[off..off + 4].copy_from_slice(&1000u32.to_le_bytes());
+        assert!(t.load_state(&state).is_err());
     }
 
     #[test]

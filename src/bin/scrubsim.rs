@@ -3,11 +3,22 @@
 //! ```bash
 //! scrubsim [--lines N] [--code secded|bch-T] [--policy NAME] \
 //!          [--workload NAME|idle] [--hours H] [--interval SECS] [--seed S] \
-//!          [--threads N] [--fault-campaign SPEC]
+//!          [--threads N] [--fault-campaign SPEC] \
+//!          [--resume SNAP] [--checkpoint-out SNAP --checkpoint-every SECS] \
+//!          [--bench-out JSON]
 //! ```
 //!
 //! Policies: `none`, `basic`, `threshold`, `age-aware`, `adaptive`,
 //! `combined` (default). Workloads: the 8-name suite (see `--help`).
+//!
+//! ## Split-horizon runs
+//!
+//! With `--checkpoint-out` + `--checkpoint-every`, the process runs ONE
+//! segment (to the next cadence boundary), writes a sealed snapshot, and
+//! exits without a report. A later invocation with the *same* simulation
+//! flags plus `--resume SNAP` continues from the snapshot; the invocation
+//! that reaches the horizon prints a report byte-identical to a
+//! continuous run's.
 
 use pcm_memsim::CampaignSpec;
 use scrubsim::prelude::*;
@@ -24,6 +35,10 @@ struct Args {
     /// Results are bit-identical for every value.
     threads: usize,
     campaign: Option<CampaignSpec>,
+    resume: Option<String>,
+    checkpoint_out: Option<String>,
+    checkpoint_every_s: Option<f64>,
+    bench_out: Option<String>,
 }
 
 fn usage() -> ! {
@@ -34,6 +49,10 @@ fn usage() -> ! {
          \x20                                results are identical for every N)\n\
          \x20               [--fault-campaign SPEC]  deterministic fault campaign, e.g.\n\
          \x20                                'seed=1;stuck=lines:8,cells:6'\n\
+         \x20               [--resume SNAP]          continue from a snapshot file\n\
+         \x20               [--checkpoint-out SNAP --checkpoint-every SECS]\n\
+         \x20                                run one segment, snapshot, exit (no report)\n\
+         \x20               [--bench-out JSON]       write snapshot-size metrics\n\
          policies:  none basic threshold age-aware adaptive combined\n\
          workloads: db-oltp db-olap web-serve logging stream batch kv-cache archive idle"
     );
@@ -81,6 +100,10 @@ fn parse_args() -> Args {
         seed: 0,
         threads: 0,
         campaign: None,
+        resume: None,
+        checkpoint_out: None,
+        checkpoint_every_s: None,
+        bench_out: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut it = argv.iter();
@@ -143,8 +166,18 @@ fn parse_args() -> Args {
                 let raw = value();
                 args.campaign = Some(raw.parse().unwrap_or_else(|e: String| fail(&e)));
             }
+            "--resume" => args.resume = Some(value()),
+            "--checkpoint-out" => args.checkpoint_out = Some(value()),
+            "--checkpoint-every" => {
+                let raw = value();
+                args.checkpoint_every_s = Some(parse_positive_f64("--checkpoint-every", &raw));
+            }
+            "--bench-out" => args.bench_out = Some(value()),
             _ => usage(),
         }
+    }
+    if args.checkpoint_out.is_some() != args.checkpoint_every_s.is_some() {
+        fail("--checkpoint-out and --checkpoint-every must be given together");
     }
     args
 }
@@ -196,7 +229,7 @@ fn main() {
     let mut builder = SimConfig::builder();
     builder
         .num_lines(args.lines)
-        .code(args.code)
+        .code(args.code.clone())
         .policy(policy)
         .traffic(traffic)
         .horizon_s(args.hours * 3600.0)
@@ -205,11 +238,62 @@ fn main() {
     if let Some(spec) = args.campaign {
         builder.fault_campaign(spec);
     }
-    let report = Simulation::new(builder.build()).run();
+    let config = builder.build();
+    let horizon_s = config.horizon_s;
+    let mut sim = match &args.resume {
+        Some(path) => {
+            let bytes = std::fs::read(path)
+                .unwrap_or_else(|e| fail(&format!("cannot read snapshot {path:?}: {e}")));
+            Simulation::resume(config, &bytes)
+                .unwrap_or_else(|e| fail(&format!("cannot resume from {path:?}: {e}")))
+        }
+        None => Simulation::new(config),
+    };
+    // Segment mode: advance to the next cadence boundary, snapshot, exit.
+    // The boundary grid is anchored at time zero so any chain of segment
+    // invocations visits the same stop times run_split would.
+    if let (Some(out), Some(every_s)) = (&args.checkpoint_out, args.checkpoint_every_s) {
+        let k = (sim.clock_s() / every_s).floor() as u64 + 1;
+        let stop_s = k as f64 * every_s;
+        if stop_s < horizon_s {
+            sim.run_to(stop_s);
+            let bytes = sim
+                .checkpoint()
+                .unwrap_or_else(|e| fail(&format!("cannot checkpoint: {e}")));
+            std::fs::write(out, &bytes)
+                .unwrap_or_else(|e| fail(&format!("cannot write snapshot {out:?}: {e}")));
+            if let Some(bench) = &args.bench_out {
+                write_bench(bench, &args, bytes.len(), sim.clock_s());
+            }
+            eprintln!(
+                "scrubsim: segment done at t={:.0}s / {:.0}s, snapshot {} bytes -> {}",
+                sim.clock_s(),
+                horizon_s,
+                bytes.len(),
+                out
+            );
+            return;
+        }
+        // Fewer than one cadence left: fall through and finish the run.
+    }
+    let report = sim.finish();
     println!("{report}");
     println!(
         "\nUE rate: {:.3}/GiB-day   scrub energy: {:.2} nJ/line-day",
         report.ue_per_gib_day(),
         report.scrub_energy_nj_per_line_day()
     );
+}
+
+/// Writes the snapshot-size metrics JSON the CI resume job guards with
+/// `jq` (flat keys, stable order, no dependencies).
+fn write_bench(path: &str, args: &Args, snapshot_bytes: usize, clock_s: f64) {
+    let json = format!(
+        "{{\n  \"name\": \"resume\",\n  \"lines\": {},\n  \"policy\": \"{}\",\n  \
+         \"clock_s\": {:.1},\n  \"snapshot_bytes\": {}\n}}\n",
+        args.lines, args.policy_name, clock_s, snapshot_bytes
+    );
+    if let Err(e) = std::fs::write(path, json) {
+        fail(&format!("cannot write bench file {path:?}: {e}"));
+    }
 }

@@ -269,6 +269,26 @@ pub mod rngs {
         s: [u64; 4],
     }
 
+    impl StdRng {
+        /// The raw xoshiro256\*\* state words, for checkpointing. Feeding
+        /// them back through [`StdRng::from_state`] resumes the stream at
+        /// exactly the next draw.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a state captured by
+        /// [`StdRng::state`]. An all-zero state (a xoshiro fixed point,
+        /// unreachable from seeding) is nudged the same way `from_seed`
+        /// nudges it, so restoring can never produce a stuck generator.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            if s == [0, 0, 0, 0] {
+                return <Self as SeedableRng>::from_seed([0u8; 32]);
+            }
+            Self { s }
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u32(&mut self) -> u32 {
             (self.next_u64() >> 32) as u32
