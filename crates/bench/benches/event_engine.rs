@@ -1,0 +1,183 @@
+//! Event-engine performance pin: E6 at the `BENCH_e6.json` scale under
+//! both engines, with a regression gate and a machine-readable record.
+//!
+//! Three layers:
+//!
+//! 1. Criterion microbenches of a small simulation under each engine
+//!    (per-change sensitivity; the numbers live in criterion's report).
+//! 2. A quick-scale E6 run under stepped then event, asserting the two
+//!    engines produce identical output (the differential harness at
+//!    bench scale) and that the event engine has not regressed past
+//!    `EVENT_REGRESSION_LIMIT` × the stepped wall-clock — the gate that
+//!    keeps skip-ahead from quietly rotting.
+//! 3. Optionally (`SCRUBSIM_YEAR=1`), a one-year-horizon E6 variant under
+//!    the event engine, gated to finish in under the original 12-hour
+//!    wall-clock budget (43 200 s).
+//!
+//! The measurements, the anchor speedup against the checked-in
+//! `BENCH_e6.json`, and the year-horizon result land in
+//! `BENCH_event.json` at the workspace root.
+//!
+//! Run with: `cargo bench -p scrub-bench --bench event_engine`
+//! (add `SCRUBSIM_YEAR=1` to refresh the year-horizon entry).
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use criterion::{criterion_group, Criterion};
+use scrub_bench::experiments::e6;
+use scrub_bench::{runner, Scale};
+use scrub_core::{EngineKind, SimConfig, Simulation};
+
+/// The event engine may not fall behind the stepped engine by more than
+/// this factor on E6 (it should be at least at parity; the margin absorbs
+/// shared-machine jitter).
+const EVENT_REGRESSION_LIMIT: f64 = 1.15;
+
+/// The year-horizon run must finish inside the original 12-hour
+/// wall-clock budget the stepped engine needed for a 12-hour horizon.
+const YEAR_WALL_BUDGET_S: f64 = 12.0 * 3600.0;
+
+fn micro_config(engine: EngineKind) -> SimConfig {
+    SimConfig::builder()
+        .num_lines(512)
+        .horizon_s(1800.0)
+        .seed(11)
+        .threads(1)
+        .engine(engine)
+        .build()
+}
+
+fn bench_engines_micro(c: &mut Criterion) {
+    for engine in [EngineKind::Stepped, EngineKind::Event] {
+        c.bench_function(&format!("sim_512l_30min_{}", engine.label()), |b| {
+            b.iter(|| {
+                let sim = Simulation::new(micro_config(engine));
+                black_box(sim.run())
+            })
+        });
+    }
+}
+
+/// `cargo bench` runs the binary with the package directory as cwd; the
+/// BENCH records live at the workspace root, two levels up.
+fn workspace_path(name: &str) -> std::path::PathBuf {
+    let manifest = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    manifest.ancestors().nth(2).unwrap_or(manifest).join(name)
+}
+
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Pulls a numeric field out of a flat JSON record without a parser
+/// dependency (the records are machine-written with one `"key": value`
+/// per line).
+fn json_field(text: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let rest = &text[text.find(&pat)? + pat.len()..];
+    let end = rest.find([',', '\n', '}'])?;
+    rest[..end].trim().parse().ok()
+}
+
+fn timed_e6(engine: EngineKind, scale: Scale) -> (String, f64) {
+    runner::set_engine(engine);
+    let start = Instant::now();
+    let out = e6::compute(scale);
+    let wall = start.elapsed().as_secs_f64();
+    (format!("{out:?}"), wall)
+}
+
+fn e6_gate_and_record() {
+    scrub_exec::set_default_threads(1);
+    let scale = Scale::quick();
+
+    let (out_stepped, wall_stepped) = timed_e6(EngineKind::Stepped, scale);
+    let (out_event, wall_event) = timed_e6(EngineKind::Event, scale);
+    assert_eq!(
+        out_stepped, out_event,
+        "engines disagree on E6 headline metrics — run the differential \
+         harness (cargo test -p scrub-bench --test engine_differential)"
+    );
+    let speedup = wall_stepped / wall_event;
+    println!(
+        "[event_engine] E6 quick: stepped {wall_stepped:.2}s, event {wall_event:.2}s \
+         ({speedup:.2}x); outputs identical"
+    );
+    assert!(
+        wall_event <= EVENT_REGRESSION_LIMIT * wall_stepped,
+        "event engine regressed: {wall_event:.2}s vs stepped {wall_stepped:.2}s \
+         (limit {EVENT_REGRESSION_LIMIT}x)"
+    );
+
+    // Speedup against the checked-in anchor record, when present.
+    let anchor_wall = std::fs::read_to_string(workspace_path("BENCH_e6.json"))
+        .ok()
+        .and_then(|t| json_field(&t, "wall_s"));
+    let anchor_speedup = anchor_wall.map(|w| w / wall_event);
+    if let (Some(w), Some(s)) = (anchor_wall, anchor_speedup) {
+        println!("[event_engine] vs BENCH_e6.json anchor ({w:.2}s): {s:.2}x");
+    }
+
+    // Year-horizon variant: same line count, horizon stretched to a year.
+    let year = if std::env::var("SCRUBSIM_YEAR").is_ok_and(|v| v != "0" && !v.is_empty()) {
+        let year_scale = Scale {
+            horizon_s: 365.0 * 86_400.0,
+            ..scale
+        };
+        let (_, wall_year) = timed_e6(EngineKind::Event, year_scale);
+        println!(
+            "[event_engine] E6 one-year horizon (event): {wall_year:.0}s \
+             (budget {YEAR_WALL_BUDGET_S:.0}s)"
+        );
+        assert!(
+            wall_year < YEAR_WALL_BUDGET_S,
+            "one-year E6 took {wall_year:.0}s, over the {YEAR_WALL_BUDGET_S:.0}s budget"
+        );
+        Some(wall_year)
+    } else {
+        // Preserve the previously recorded value so a year-less refresh
+        // does not erase the expensive measurement.
+        std::fs::read_to_string(workspace_path("BENCH_event.json"))
+            .ok()
+            .and_then(|t| json_field(&t, "year_horizon_event_wall_s"))
+    };
+
+    let record = format!(
+        "{{\n  \"experiment\": \"event_engine\",\n  \"threads\": 1,\n  \
+         \"scale\": {{\n    \"num_lines\": {},\n    \"horizon_s\": {},\n    \
+         \"reps\": {},\n    \"mc_cells\": {}\n  }},\n  \
+         \"stepped_wall_s\": {},\n  \"event_wall_s\": {},\n  \
+         \"event_speedup_vs_stepped\": {},\n  \
+         \"anchor_wall_s\": {},\n  \"event_speedup_vs_anchor\": {},\n  \
+         \"event_regression_limit\": {EVENT_REGRESSION_LIMIT},\n  \
+         \"year_horizon_s\": {},\n  \"year_horizon_event_wall_s\": {},\n  \
+         \"year_wall_budget_s\": {YEAR_WALL_BUDGET_S}\n}}\n",
+        scale.num_lines,
+        json_f64(scale.horizon_s),
+        scale.reps,
+        scale.mc_cells,
+        json_f64(wall_stepped),
+        json_f64(wall_event),
+        json_f64(speedup),
+        anchor_wall.map_or("null".into(), json_f64),
+        anchor_speedup.map_or("null".into(), json_f64),
+        json_f64(365.0 * 86_400.0),
+        year.map_or("null".into(), json_f64),
+    );
+    match std::fs::write(workspace_path("BENCH_event.json"), &record) {
+        Ok(()) => eprintln!("[event_engine] record: BENCH_event.json"),
+        Err(e) => eprintln!("[event_engine] could not write record: {e}"),
+    }
+}
+
+criterion_group!(benches, bench_engines_micro);
+
+fn main() {
+    benches();
+    e6_gate_and_record();
+}

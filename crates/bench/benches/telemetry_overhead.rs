@@ -129,8 +129,15 @@ fn overhead_estimate() {
         overhead_pct < 2.0,
         "disabled-path overhead {overhead_pct:.4}% exceeds the 2% budget"
     );
-    match std::fs::write("BENCH_telemetry.json", &record) {
-        Ok(()) => eprintln!("[telemetry_overhead] record: BENCH_telemetry.json"),
+    // `cargo bench` runs with the package directory as cwd; the record
+    // belongs at the workspace root next to the other BENCH files.
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(|root| root.join("BENCH_telemetry.json"))
+        .unwrap_or_else(|| "BENCH_telemetry.json".into());
+    match std::fs::write(&out, &record) {
+        Ok(()) => eprintln!("[telemetry_overhead] record: {}", out.display()),
         Err(e) => eprintln!("[telemetry_overhead] could not write record: {e}"),
     }
 }

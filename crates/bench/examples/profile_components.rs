@@ -1,0 +1,154 @@
+//! Scratch component profiler: per-path costs of the sim hot loop.
+//! Run: cargo run --release -p scrub-bench --example profile_components
+
+use pcm_ecc::CodeSpec;
+use pcm_memsim::{FaultEngine, LineAddr, MemGeometry, Memory, OpKind, SimTime, TraceSource};
+use pcm_model::DeviceConfig;
+use pcm_workloads::WorkloadId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use scrub_core::{BasicScrub, CombinedScrub, ScrubEngine};
+use std::time::Instant;
+
+fn time<F: FnMut() -> u64>(label: &str, iters: u64, mut f: F) {
+    // warmup
+    f();
+    let t0 = Instant::now();
+    let mut acc = 0u64;
+    for _ in 0..iters {
+        acc = acc.wrapping_add(f());
+    }
+    let dt = t0.elapsed().as_nanos() as f64 / iters as f64;
+    println!("{label:44} {dt:10.1} ns/iter (acc {acc})");
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let engine = FaultEngine::new(&DeviceConfig::default(), 288);
+
+    // multinomial occupancy re-roll
+    {
+        let mut r = StdRng::seed_from_u64(2);
+        time("sample_multinomial(288, 4 uniform)", 200_000, || {
+            let v = pcm_model::math::sample_multinomial(&mut r, 288, &[0.25, 0.25, 0.25, 0.25]);
+            v[0] as u64
+        });
+    }
+    // binomial at various np
+    {
+        let mut r = StdRng::seed_from_u64(3);
+        for (n, p) in [(288u32, 0.25f64), (288, 0.01), (288, 1e-6), (72, 0.33)] {
+            time(&format!("sample_binomial({n}, {p})"), 200_000, || {
+                pcm_model::math::sample_binomial(&mut r, n, p) as u64
+            });
+        }
+    }
+    // fault engine paths on a realistic line
+    {
+        let mut line = engine.fresh_line(SimTime::ZERO, &mut rng);
+        let mut t = 1000.0f64;
+        time("advance +0.5s jump (aged line)", 200_000, || {
+            t += 0.5;
+            engine.advance(&mut line, SimTime::from_secs(t), &mut rng) as u64
+        });
+        time("transient_errors (aged line)", 200_000, || {
+            engine.transient_errors(&line, SimTime::from_secs(t), &mut rng) as u64
+        });
+        time("on_write", 100_000, || {
+            t += 0.5;
+            engine.on_write(&mut line, SimTime::from_secs(t), &mut rng);
+            line.wear as u64
+        });
+    }
+    // classify
+    {
+        let secded = CodeSpec::secded_line();
+        let bch6 = CodeSpec::bch_line(6);
+        let mut r = StdRng::seed_from_u64(4);
+        time("classify secded 0 errs", 200_000, || {
+            matches!(secded.classify(0, &mut r), pcm_ecc::ClassifyOutcome::Clean) as u64
+        });
+        time("classify secded 2 errs", 200_000, || {
+            matches!(
+                secded.classify(2, &mut r),
+                pcm_ecc::ClassifyOutcome::Corrected { .. }
+            ) as u64
+        });
+        time("classify bch6 3 errs", 200_000, || {
+            matches!(
+                bch6.classify(3, &mut r),
+                pcm_ecc::ClassifyOutcome::Corrected { .. }
+            ) as u64
+        });
+    }
+    // trace generation
+    {
+        let mut trace = WorkloadId::DbOltp.build(8192, 1.0, 7);
+        time("DbOltp next_op", 500_000, || {
+            trace.next_op().map(|o| o.addr.index() as u64).unwrap_or(0)
+        });
+        let mut s = WorkloadId::Stream.build(8192, 1.0, 7);
+        time("Stream next_op", 500_000, || {
+            s.next_op().map(|o| o.addr.index() as u64).unwrap_or(0)
+        });
+    }
+    // full memory op paths
+    {
+        let mut mem = Memory::new(
+            MemGeometry::new(8192, 8),
+            DeviceConfig::default(),
+            CodeSpec::bch_line(6),
+            6,
+        );
+        let mut trace = WorkloadId::DbOltp.build(8192, 1.0, 7);
+        let mut now = SimTime::ZERO;
+        // age the memory a bit
+        for _ in 0..20_000 {
+            let op = trace.next_op().expect("inf");
+            now = op.at;
+            match op.kind {
+                OpKind::Read => {
+                    mem.demand_read(op.addr, op.at);
+                }
+                OpKind::Write => mem.demand_write(op.addr, op.at),
+            }
+        }
+        let mut i = 0u32;
+        time("demand_read (bch6, aged mem)", 200_000, || {
+            i = (i.wrapping_mul(2654435761)) % 8192;
+            now += 0.001;
+            mem.demand_read(LineAddr(i), now).persistent_bits as u64
+        });
+        time("demand_write (bch6, aged mem)", 100_000, || {
+            i = (i.wrapping_mul(2654435761)) % 8192;
+            now += 0.001;
+            mem.demand_write(LineAddr(i), now);
+            0
+        });
+    }
+    // scrub engine step paths
+    {
+        let mut mem = Memory::new(
+            MemGeometry::new(8192, 8),
+            DeviceConfig::default(),
+            CodeSpec::secded_line(),
+            4,
+        );
+        let mut eng = ScrubEngine::new(Box::new(BasicScrub::new(900.0, 8192)));
+        time("engine.step basic+secded", 200_000, || {
+            eng.step(&mut mem);
+            0
+        });
+        let mut mem2 = Memory::new(
+            MemGeometry::new(8192, 8),
+            DeviceConfig::default(),
+            CodeSpec::bch_line(6),
+            5,
+        );
+        let mut eng2 = ScrubEngine::new(Box::new(CombinedScrub::new(900.0, 8192, 5, 64, 600.0)));
+        time("engine.step combined+bch6", 200_000, || {
+            eng2.step(&mut mem2);
+            0
+        });
+    }
+}

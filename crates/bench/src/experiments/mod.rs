@@ -51,7 +51,8 @@ pub(crate) fn run_sim(
         .traffic(traffic)
         .horizon_s(scale.horizon_s)
         .seed(seed)
-        .threads(threads);
+        .threads(threads)
+        .engine(crate::runner::engine());
     if let Some(spec) = crate::runner::fault_campaign() {
         builder.fault_campaign(spec);
     }

@@ -1,0 +1,190 @@
+//! The stepped-vs-event differential harness: both simulation cores must
+//! be observationally identical. For every scrub mechanism, under an
+//! active fault campaign and demand traffic, the event engine's report,
+//! CSV row, telemetry counters, and sim-event multiset must match the
+//! stepped engine's exactly — continuous, split at k checkpoints, and
+//! resumed *across* engines (a snapshot taken under one core finished
+//! under the other).
+//!
+//! Campaign boundary markers are emitted at end-of-segment by the stepped
+//! core and at heap-pop time by the event core, so the journal *order*
+//! differs while the (time, payload) multiset is identical — comparisons
+//! here sort events and ignore sequence numbers.
+//!
+//! The telemetry recorder is process-global, so everything lives in ONE
+//! test function — this file being its own integration-test binary
+//! guarantees a fresh process.
+
+use scrub_bench::experiments::e13;
+use scrub_core::{
+    set_skewed_fast_forward_for_test, DemandTraffic, EngineKind, PolicyKind, SimConfig, SimReport,
+    Simulation,
+};
+use scrub_telemetry as tel;
+
+/// The run under test: demand traffic (pending ops interleave with scrub
+/// slots), a campaign with SEU-window, intermittent-period, and burst
+/// boundaries (the burst lands exactly on the k=1 checkpoint boundary to
+/// pin the half-open segment semantics), and the repair hierarchy.
+fn config(policy: &PolicyKind, engine: EngineKind) -> SimConfig {
+    let mut b = SimConfig::builder();
+    b.num_lines(1024)
+        .code(pcm_ecc::CodeSpec::bch_line(6))
+        .policy(policy.clone())
+        .traffic(DemandTraffic::suite(pcm_workloads::WorkloadId::KvCache))
+        .horizon_s(3.0 * 3600.0)
+        .seed(77)
+        .threads(1)
+        .engine(engine)
+        .fault_campaign(
+            "seed=7;stuck=lines:32,cells:3;seu=lines:128,count:2,window:3600;\
+             intermittent=lines:4,cells:2,period:600;burst=lines:2,bits:5,at:5400"
+                .parse()
+                .expect("valid campaign spec"),
+        )
+        .repair(pcm_memsim::RepairConfig::default())
+        .ue_recovery(pcm_memsim::RecoveryConfig { recover_prob: 0.5 });
+    b.build()
+}
+
+/// Order-independent event fingerprint: (time bits, payload), sorted.
+/// Sequence numbers and worker ids are scheduling artifacts, not results.
+fn event_multiset(docs: &[tel::Document]) -> Vec<(u64, String)> {
+    let mut v: Vec<(u64, String)> = docs
+        .iter()
+        .flat_map(|d| d.events.iter())
+        .map(|e| (e.t_s.to_bits(), format!("{:?}", e.kind)))
+        .collect();
+    v.sort();
+    v
+}
+
+/// Runs one simulation under `engine`, split at `k` evenly spaced
+/// checkpoints with a full serialize/deserialize round-trip at each.
+/// Returns the final report and the per-segment telemetry documents.
+fn run_split(policy: &PolicyKind, engine: EngineKind, k: u32) -> (SimReport, Vec<tel::Document>) {
+    let cfg = config(policy, engine);
+    let cadence_s = cfg.horizon_s / (k + 1) as f64;
+    let mut docs = Vec::new();
+    tel::reset();
+    let mut sim = Simulation::new(cfg);
+    for i in 1..=k {
+        sim.run_to(i as f64 * cadence_s);
+        let bytes = sim.checkpoint().expect("checkpoint");
+        let cfg = sim.config().clone();
+        docs.push(tel::snapshot());
+        tel::reset();
+        sim = Simulation::resume(cfg, &bytes).expect("resume");
+    }
+    let report = sim.finish();
+    docs.push(tel::snapshot());
+    (report, docs)
+}
+
+#[test]
+fn event_engine_is_observationally_identical_to_stepped() {
+    scrub_exec::set_default_threads(1);
+    tel::install(tel::Config {
+        journal_capacity: 4096,
+        event_mask: tel::EventClass::Sim.bit(),
+    });
+
+    let mut total_idle_skipped = 0u64;
+    for (label, policy) in e13::roster() {
+        // Continuous runs under both cores.
+        tel::reset();
+        let stepped = Simulation::new(config(&policy, EngineKind::Stepped)).run();
+        let stepped_doc = tel::snapshot();
+        tel::reset();
+        let event = Simulation::new(config(&policy, EngineKind::Event)).run();
+        let event_doc = tel::snapshot();
+
+        assert_eq!(event, stepped, "{label}: report diverged across engines");
+        assert_eq!(
+            event.csv_row(),
+            stepped.csv_row(),
+            "{label}: CSV row diverged across engines"
+        );
+        assert_eq!(
+            event_doc.counters, stepped_doc.counters,
+            "{label}: telemetry counters diverged across engines"
+        );
+        assert_eq!(
+            event_multiset(std::slice::from_ref(&event_doc)),
+            event_multiset(std::slice::from_ref(&stepped_doc)),
+            "{label}: sim-event multiset diverged across engines"
+        );
+        assert!(
+            event_doc.counters.get("campaign_boundaries").copied() > Some(0),
+            "{label}: no campaign boundaries crossed; the harness is not \
+             exercising marker emission"
+        );
+        total_idle_skipped += event_doc
+            .counters
+            .get("engine_idle_slots")
+            .copied()
+            .unwrap_or(0);
+
+        // Split runs under the event core must land on the same stepped
+        // report, and their merged telemetry on the same multiset.
+        for k in 1..=2u32 {
+            let (report, docs) = run_split(&policy, EngineKind::Event, k);
+            assert_eq!(
+                report, stepped,
+                "{label}: event-engine split run diverged at k={k}"
+            );
+            assert_eq!(
+                event_multiset(&docs),
+                event_multiset(std::slice::from_ref(&stepped_doc)),
+                "{label}: split-run event multiset diverged at k={k}"
+            );
+        }
+
+        // Cross-engine resume: a snapshot is engine-agnostic, so a run
+        // checkpointed under one core and finished under the other must
+        // still match — in both directions.
+        for (from, to) in [
+            (EngineKind::Stepped, EngineKind::Event),
+            (EngineKind::Event, EngineKind::Stepped),
+        ] {
+            tel::reset();
+            let mut sim = Simulation::new(config(&policy, from));
+            sim.run_to(5400.0);
+            let bytes = sim.checkpoint().expect("checkpoint");
+            let mut cfg = sim.config().clone();
+            cfg.engine = to;
+            let report = Simulation::resume(cfg, &bytes).expect("resume").finish();
+            assert_eq!(
+                report,
+                stepped,
+                "{label}: {}-to-{} cross-engine resume diverged",
+                from.label(),
+                to.label()
+            );
+        }
+    }
+    assert!(
+        total_idle_skipped > 0,
+        "no engine idle slots recorded anywhere; the fast-forward path \
+         is not being exercised"
+    );
+
+    // Tripwire: the harness must be able to fail. A deliberately skewed
+    // fast-forward (overshoots each idle skip by one slot) must produce a
+    // diverging report for a mechanism that uses idle_until.
+    tel::set_enabled(false);
+    let policy = PolicyKind::combined_default(900.0);
+    let stepped = Simulation::new(config(&policy, EngineKind::Stepped)).run();
+    set_skewed_fast_forward_for_test(true);
+    let skewed = Simulation::new(config(&policy, EngineKind::Event)).run();
+    set_skewed_fast_forward_for_test(false);
+    assert_ne!(
+        skewed, stepped,
+        "a skewed fast-forward still matched the stepped engine — the \
+         differential harness cannot detect an incorrect skip-ahead"
+    );
+    // And with the skew cleared the event core matches again, pinning the
+    // divergence on the skew rather than on ambient state.
+    let event = Simulation::new(config(&policy, EngineKind::Event)).run();
+    assert_eq!(event, stepped, "event engine diverged after skew cleared");
+}

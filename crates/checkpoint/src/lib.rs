@@ -59,7 +59,9 @@ use pcm_ecc::Crc32;
 pub const MAGIC: [u8; 8] = *b"SCRUBCKP";
 
 /// Payload schema version this build writes and accepts.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// v2: engine `next_slot` is a u64 nanosecond tick (was f64 seconds).
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Envelope header length: magic + version + payload length.
 const HEADER_LEN: usize = 8 + 4 + 8;

@@ -50,10 +50,10 @@ impl BasicScrub {
     }
 
     /// The scrub slot times (seconds) the engine will execute up to and
-    /// including `horizon_s`, replicated bit-for-bit: the same
-    /// `SimTime + gap` sequential accumulation as [`crate::ScrubEngine`]
-    /// (starting at time zero), *not* the algebraically equivalent
-    /// `k·gap`, which diverges in floating point.
+    /// including `horizon_s`, replicated bit-for-bit: the same integer
+    /// tick-grid accumulation as [`crate::ScrubEngine`] (starting at
+    /// tick zero; see [`crate::tick`]), *not* a freestanding `k·gap` in
+    /// floating point, which would diverge from the engine's schedule.
     ///
     /// Slot `j` probes line `j mod num_lines`. This is the expected-value
     /// hook the `scrub-oracle` crate builds its closed-form probe/write
@@ -71,12 +71,16 @@ impl BasicScrub {
     /// ```
     pub fn slot_times_within(&self, horizon_s: f64) -> Vec<f64> {
         let horizon = SimTime::from_secs(horizon_s);
-        let gap = self.interval_s / self.num_lines as f64;
+        let gap_ticks = crate::tick::gap_to_ticks(self.interval_s / self.num_lines as f64);
         let mut times = Vec::new();
-        let mut t = SimTime::ZERO;
-        while t <= horizon {
+        let mut tk = 0u64;
+        loop {
+            let t = crate::tick::time_from_ticks(tk);
+            if t > horizon {
+                break;
+            }
             times.push(t.secs());
-            t += gap;
+            tk += gap_ticks;
         }
         times
     }

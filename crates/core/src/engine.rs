@@ -7,6 +7,7 @@ use scrub_checkpoint::{CheckpointError, Reader, Writer};
 use scrub_telemetry as tel;
 
 use crate::policy::{ScrubAction, ScrubContext, ScrubPolicy};
+use crate::tick;
 
 /// Upper bound on slots executed per batch, to keep the slot-time scratch
 /// vector bounded. Batch boundaries do not affect results (each slot's
@@ -53,7 +54,10 @@ pub struct EngineStats {
 #[derive(Debug)]
 pub struct ScrubEngine {
     policy: Box<dyn ScrubPolicy>,
-    next_slot: SimTime,
+    /// Next slot on the integer nanosecond grid (see [`crate::tick`]);
+    /// scheduling by tick addition is exact where f64 accumulation
+    /// drifts one ulp per slot.
+    next_slot_tick: u64,
     stats: EngineStats,
 }
 
@@ -62,14 +66,19 @@ impl ScrubEngine {
     pub fn new(policy: Box<dyn ScrubPolicy>) -> Self {
         Self {
             policy,
-            next_slot: SimTime::ZERO,
+            next_slot_tick: 0,
             stats: EngineStats::default(),
         }
     }
 
     /// When the next scrub slot is due.
     pub fn next_slot(&self) -> SimTime {
-        self.next_slot
+        tick::time_from_ticks(self.next_slot_tick)
+    }
+
+    /// The next slot as a raw tick on the engine's nanosecond grid.
+    pub fn next_slot_tick(&self) -> u64 {
+        self.next_slot_tick
     }
 
     /// Engine counters.
@@ -97,7 +106,7 @@ impl ScrubEngine {
     /// Executes the slot at [`ScrubEngine::next_slot`] and schedules the
     /// following one.
     pub fn step(&mut self, mem: &mut Memory) {
-        let now = self.next_slot;
+        let now = self.next_slot();
         let action = {
             let ctx = ScrubContext { now, mem };
             self.policy.next_action(&ctx)
@@ -144,8 +153,7 @@ impl ScrubEngine {
             let ctx = ScrubContext { now, mem };
             self.policy.probe_gap_s(&ctx)
         };
-        assert!(gap > 0.0, "policy returned non-positive probe gap");
-        self.next_slot = now + gap;
+        self.next_slot_tick += tick::gap_to_ticks(gap);
     }
 
     /// Executes every slot from [`ScrubEngine::next_slot`] up to `horizon`
@@ -164,7 +172,7 @@ impl ScrubEngine {
         demand_due: Option<SimTime>,
         threads: usize,
     ) -> bool {
-        let now = self.next_slot;
+        let now = self.next_slot();
         if now > horizon || demand_due.is_some_and(|d| now >= d) {
             return false;
         }
@@ -174,15 +182,16 @@ impl ScrubEngine {
             let ctx = ScrubContext { now, mem };
             self.policy.probe_gap_s(&ctx)
         };
-        assert!(gap > 0.0, "policy returned non-positive probe gap");
-        // Slot times by exact sequential accumulation: t_{k+1} = t_k + gap
-        // reproduces the slot-at-a-time timestamps bit-for-bit (t_0 + k*gap
-        // would not, under floating point).
+        let gap_ticks = tick::gap_to_ticks(gap);
+        // Slot times on the same tick grid slot-at-a-time stepping walks,
+        // so batch timestamps match `step` bit-for-bit.
         let mut times: Vec<SimTime> = Vec::new();
+        let mut tk = self.next_slot_tick;
         let mut t = now;
         while t <= horizon && demand_due.is_none_or(|d| t < d) && times.len() < MAX_BATCH_SLOTS {
             times.push(t);
-            t += gap;
+            tk += gap_ticks;
+            t = tick::time_from_ticks(tk);
         }
         // Only consult the policy once the batch extent is known:
         // plan_batch commits cursor state for exactly `times.len()` slots.
@@ -215,16 +224,70 @@ impl ScrubEngine {
             );
         }
         self.policy.on_batch_idle(outcome.idle_slots);
-        self.next_slot = t;
+        self.next_slot_tick = tk;
         true
     }
 
+    /// Idle fast-forward: skips every slot that is both strictly before
+    /// `due` (the policy's [`crate::ScrubPolicy::idle_until`] bound) and
+    /// at most `stop`, in O(1) per-slot cost — the engine only counts
+    /// them idle and advances the tick grid; no policy or memory state
+    /// is touched, exactly as the equivalent sequence of Idle `step`s.
+    /// Returns the number of slots skipped.
+    ///
+    /// Capping at `stop` keeps the post-segment `next_slot_tick` — and
+    /// therefore checkpoint bytes — identical to stepped execution,
+    /// which never advances the slot clock past the first slot beyond a
+    /// segment boundary.
+    pub fn skip_idle_slots_before(&mut self, due: SimTime, stop: SimTime, mem: &Memory) -> u64 {
+        let now = self.next_slot();
+        let gap = {
+            let ctx = ScrubContext { now, mem };
+            self.policy.probe_gap_s(&ctx)
+        };
+        let g = tick::gap_to_ticks(gap);
+        let t0 = self.next_slot_tick;
+        // Jump near the answer arithmetically, then settle exactly on the
+        // tick grid (f64 division may land ±1 slot off).
+        let bound_s = due.secs().min(stop.secs() + gap);
+        let est = ((bound_s - tick::secs_from_ticks(t0)) / gap).floor();
+        let mut k = if est.is_finite() && est > 2.0 {
+            (est as u64).saturating_sub(2)
+        } else {
+            0
+        };
+        while k > 0 {
+            let t = tick::time_from_ticks(t0 + (k - 1) * g);
+            if t < due && t <= stop {
+                break;
+            }
+            k -= 1;
+        }
+        loop {
+            let t = tick::time_from_ticks(t0 + k * g);
+            if t < due && t <= stop {
+                k += 1;
+            } else {
+                break;
+            }
+        }
+        if k > 0 && crate::event::skew_fast_forward() {
+            // Deliberately skip one slot too many: the differential
+            // harness proves this divergence is caught, not absorbed.
+            k += 1;
+        }
+        self.next_slot_tick = t0 + k * g;
+        self.stats.idle_slots += k;
+        tel::counter_add(tel::Counter::EngineIdleSlots, k);
+        k
+    }
+
     /// Serializes the engine's mutable state: the policy's name (as an
-    /// identity check), the next slot time, the slot counters, and the
+    /// identity check), the next slot tick, the slot counters, and the
     /// policy's own state.
     pub fn save_state(&self, w: &mut Writer) {
         w.put_str(self.policy.name());
-        w.put_f64(self.next_slot.secs());
+        w.put_u64(self.next_slot_tick);
         w.put_u64(self.stats.probe_slots);
         w.put_u64(self.stats.idle_slots);
         w.put_u64(self.stats.policy_writebacks);
@@ -242,7 +305,12 @@ impl ScrubEngine {
                 self.policy.name()
             )));
         }
-        let next_slot = r.time_f64("engine next_slot")?;
+        let next_slot_tick = r.u64()?;
+        if next_slot_tick > tick::MAX_TICK {
+            return Err(CheckpointError::Malformed(format!(
+                "engine next_slot tick {next_slot_tick} exceeds MAX_TICK"
+            )));
+        }
         let stats = EngineStats {
             probe_slots: r.u64()?,
             idle_slots: r.u64()?,
@@ -250,7 +318,7 @@ impl ScrubEngine {
             forced_writebacks: r.u64()?,
         };
         self.policy.load_state(r)?;
-        self.next_slot = SimTime::from_secs(next_slot);
+        self.next_slot_tick = next_slot_tick;
         self.stats = stats;
         Ok(())
     }

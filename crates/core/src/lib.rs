@@ -42,10 +42,12 @@ mod checkpoint;
 mod combined;
 mod config;
 mod engine;
+mod event;
 mod policy;
 mod report;
 mod sim;
 mod threshold;
+pub mod tick;
 
 pub use adaptive::AdaptiveScrub;
 pub use age_aware::AgeAwareScrub;
@@ -55,6 +57,7 @@ pub use checkpoint::{run_split, SplitRunOutcome};
 pub use combined::CombinedScrub;
 pub use config::PolicyKind;
 pub use engine::{EngineStats, ScrubEngine};
+pub use event::{set_skewed_fast_forward_for_test, EngineKind};
 pub use policy::{BatchPlan, ScrubAction, ScrubContext, ScrubPolicy, SweepCursor};
 pub use report::SimReport;
 pub use sim::{DemandTraffic, SimConfig, SimConfigBuilder, Simulation};

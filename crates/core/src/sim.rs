@@ -12,6 +12,7 @@ use scrub_telemetry as tel;
 
 use crate::config::PolicyKind;
 use crate::engine::ScrubEngine;
+use crate::event::{self, EngineKind, Ev, EvKind};
 use crate::report::SimReport;
 
 /// Demand-traffic selection for a run.
@@ -108,6 +109,11 @@ pub struct SimConfig {
     /// Shifted-threshold retry on failed ECC decodes, or `None` to
     /// declare UEs on the first failed decode.
     pub ue_recovery: Option<RecoveryConfig>,
+    /// Which simulation core executes the run (stepped cadence loop or
+    /// priority-queue event engine). Like `threads`, this shapes
+    /// execution, never results: both engines produce byte-identical
+    /// reports, telemetry counters, and checkpoints.
+    pub engine: EngineKind,
 }
 
 impl SimConfig {
@@ -137,6 +143,7 @@ pub struct SimConfigBuilder {
     fault_campaign: Option<CampaignSpec>,
     repair: Option<RepairConfig>,
     ue_recovery: Option<RecoveryConfig>,
+    engine: EngineKind,
 }
 
 impl Default for SimConfigBuilder {
@@ -157,6 +164,7 @@ impl Default for SimConfigBuilder {
             fault_campaign: None,
             repair: None,
             ue_recovery: None,
+            engine: EngineKind::Stepped,
         }
     }
 }
@@ -253,13 +261,30 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Selects the simulation core (stepped loop vs. event engine).
+    /// Results are bit-identical either way.
+    pub fn engine(&mut self, kind: EngineKind) -> &mut Self {
+        self.engine = kind;
+        self
+    }
+
     /// Finalizes the configuration.
     ///
     /// # Panics
     ///
-    /// Panics if the horizon is not positive.
+    /// Panics if the horizon is NaN, infinite, non-positive, or long
+    /// enough to overflow the engine's integer tick clock (~146 years;
+    /// see [`crate::tick::MAX_TICK`]).
     pub fn build(&self) -> SimConfig {
+        assert!(
+            self.horizon_s.is_finite(),
+            "horizon must be finite, got {}",
+            self.horizon_s
+        );
         assert!(self.horizon_s > 0.0, "horizon must be positive");
+        // Panics past MAX_TICK: rejects year-scale typos (e.g. ns passed
+        // as s) before they silently wrap the slot grid.
+        let _ = crate::tick::ticks_from_secs(self.horizon_s);
         SimConfig {
             geometry: MemGeometry::new(self.num_lines, self.banks),
             device: self.device.clone(),
@@ -275,6 +300,7 @@ impl SimConfigBuilder {
             fault_campaign: self.fault_campaign,
             repair: self.repair,
             ue_recovery: self.ue_recovery,
+            engine: self.engine,
         }
     }
 }
@@ -621,7 +647,49 @@ impl Simulation {
         };
     }
 
+    /// Advances the event loop through every event with time at most
+    /// `stop`, on whichever core the config selects. Both cores execute
+    /// the same events in the same order and leave byte-identical state
+    /// (see `crates/bench/tests/engine_differential.rs`).
     fn advance_to(&mut self, stop: SimTime, batched: bool) {
+        match self.config.engine {
+            EngineKind::Stepped => {
+                self.advance_to_stepped(stop, batched);
+                // The event engine dispatches campaign boundaries through
+                // its queue; the stepped loop emits the same marker set
+                // here so both engines' telemetry reconciles exactly.
+                self.emit_campaign_markers(stop);
+            }
+            EngineKind::Event => self.advance_to_event(stop, batched),
+        }
+        if stop > self.clock {
+            self.clock = stop;
+        }
+    }
+
+    /// Telemetry markers for fault-campaign boundaries crossed in
+    /// `(clock, stop]`. Derived purely from config and segmentation, so
+    /// both engines emit identical marker sets and nothing needs
+    /// checkpointing.
+    fn emit_campaign_markers(&mut self, stop: SimTime) {
+        if !tel::enabled() {
+            return;
+        }
+        let Some(spec) = &self.config.fault_campaign else {
+            return;
+        };
+        for (t, label) in event::campaign_boundaries(spec, self.clock, stop) {
+            tel::counter_add(tel::Counter::CampaignBoundaries, 1);
+            tel::event(
+                t,
+                tel::EventKind::CampaignBoundary {
+                    label: label.to_string(),
+                },
+            );
+        }
+    }
+
+    fn advance_to_stepped(&mut self, stop: SimTime, batched: bool) {
         self.start();
         loop {
             let demand_due = self.pending.map(|op| op.at);
@@ -640,26 +708,7 @@ impl Simulation {
                     // pending for the next segment.
                     break;
                 }
-                match op.kind {
-                    OpKind::Read => {
-                        let result = self.memory.demand_read(op.addr, op.at);
-                        // Optional in-band scrub: repair heavily drifted
-                        // lines the program happens to touch.
-                        if let Some(theta) = self.config.inband_writeback_theta {
-                            if result.persistent_bits >= theta || result.outcome.is_uncorrectable()
-                            {
-                                self.memory.demand_write(op.addr, op.at);
-                            }
-                        }
-                    }
-                    OpKind::Write => {
-                        self.memory.demand_write(op.addr, op.at);
-                        if let Some(e) = &mut self.engine {
-                            e.notify_demand_write(op.addr, op.at);
-                        }
-                    }
-                }
-                self.pending = self.trace.as_mut().and_then(|t| t.next_op());
+                self.exec_demand_op(op);
             } else {
                 let engine = self.engine.as_mut().expect("scrub slot present");
                 if engine.next_slot() > stop {
@@ -671,8 +720,122 @@ impl Simulation {
                 }
             }
         }
-        if stop > self.clock {
-            self.clock = stop;
+    }
+
+    /// Executes one demand op and draws the next from the trace — the
+    /// single demand path shared by both engines.
+    fn exec_demand_op(&mut self, op: MemOp) {
+        match op.kind {
+            OpKind::Read => {
+                let result = self.memory.demand_read(op.addr, op.at);
+                // Optional in-band scrub: repair heavily drifted
+                // lines the program happens to touch.
+                if let Some(theta) = self.config.inband_writeback_theta {
+                    if result.persistent_bits >= theta || result.outcome.is_uncorrectable() {
+                        self.memory.demand_write(op.addr, op.at);
+                    }
+                }
+            }
+            OpKind::Write => {
+                self.memory.demand_write(op.addr, op.at);
+                if let Some(e) = &mut self.engine {
+                    e.notify_demand_write(op.addr, op.at);
+                }
+            }
+        }
+        self.pending = self.trace.as_mut().and_then(|t| t.next_op());
+    }
+
+    /// The priority-queue core: typed events ([`EvKind`]) dispatched from
+    /// a binary heap in (time, kind) order, with O(1) idle fast-forward
+    /// when the policy can bound its next due slot
+    /// ([`crate::ScrubPolicy::idle_until`]).
+    ///
+    /// Event payloads live in the simulation (`pending`, the engine's
+    /// slot clock); the heap holds exactly one live entry per stream plus
+    /// the campaign boundaries for this segment, and is rebuilt on every
+    /// call — so checkpoints carry no queue state and remain
+    /// byte-identical to stepped-engine checkpoints.
+    fn advance_to_event(&mut self, stop: SimTime, batched: bool) {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        self.start();
+        let _phase = tel::phase("engine.event_loop");
+        let mut heap: BinaryHeap<Reverse<Ev>> = BinaryHeap::with_capacity(8);
+        let push = |heap: &mut BinaryHeap<Reverse<Ev>>, at: SimTime, kind: EvKind| {
+            heap.push(Reverse(Ev {
+                at,
+                kind,
+                label: "",
+            }));
+        };
+        push(&mut heap, stop, EvKind::HorizonEnd);
+        if let Some(op) = self.pending {
+            push(&mut heap, op.at, EvKind::Demand);
+        }
+        if let Some(e) = &self.engine {
+            push(&mut heap, e.next_slot(), EvKind::Scrub);
+        }
+        if tel::enabled() {
+            if let Some(spec) = &self.config.fault_campaign {
+                for (t, label) in event::campaign_boundaries(spec, self.clock, stop) {
+                    heap.push(Reverse(Ev {
+                        at: SimTime::from_secs(t),
+                        kind: EvKind::Campaign,
+                        label,
+                    }));
+                }
+            }
+        }
+        while let Some(Reverse(ev)) = heap.pop() {
+            match ev.kind {
+                EvKind::HorizonEnd => break,
+                EvKind::Demand => {
+                    let op = self.pending.expect("demand event implies pending op");
+                    debug_assert_eq!(op.at.secs(), ev.at.secs());
+                    self.exec_demand_op(op);
+                    if let Some(next) = self.pending {
+                        push(&mut heap, next.at, EvKind::Demand);
+                    }
+                }
+                EvKind::Scrub => {
+                    let demand_due = self.pending.map(|op| op.at);
+                    let engine = self.engine.as_mut().expect("scrub event implies engine");
+                    let now = engine.next_slot();
+                    debug_assert_eq!(now.secs(), ev.at.secs());
+                    // Idle fast-forward: between region passes, jump the
+                    // slot clock straight to the next due time instead of
+                    // idling through the cadence grid. Per-line error
+                    // state needs no walking either way — drift
+                    // fast-forwards analytically on next touch.
+                    let skipped = match engine.policy().idle_until(now) {
+                        Some(due) if due > now => {
+                            engine.skip_idle_slots_before(due, stop, &self.memory)
+                        }
+                        _ => 0,
+                    };
+                    if skipped == 0 {
+                        let threads = self.config.threads.max(1);
+                        if !(batched
+                            && engine.step_batch(&mut self.memory, stop, demand_due, threads))
+                        {
+                            engine.step(&mut self.memory);
+                        }
+                    }
+                    let next = self.engine.as_ref().expect("still present").next_slot();
+                    push(&mut heap, next, EvKind::Scrub);
+                }
+                EvKind::Campaign => {
+                    tel::counter_add(tel::Counter::CampaignBoundaries, 1);
+                    tel::event(
+                        ev.at.secs(),
+                        tel::EventKind::CampaignBoundary {
+                            label: ev.label.to_string(),
+                        },
+                    );
+                }
+            }
         }
     }
 

@@ -12,7 +12,7 @@ use std::sync::Arc;
 
 use rand::Rng;
 
-use pcm_model::math::sample_binomial;
+use pcm_model::math::{sample_binomial, sample_binomial4, PrecomputedMultinomial};
 use pcm_model::{DeviceConfig, DriftModel, EnduranceSpec};
 
 use crate::line::{LineState, MAX_LEVELS};
@@ -46,8 +46,10 @@ pub struct FaultEngine {
     /// Probability a stuck cell conflicts with fresh random data.
     conflict_prob: f64,
     /// Occupancy distribution of data cells over levels (random data →
-    /// uniform).
-    level_probs: Vec<f64>,
+    /// uniform), with its conditional-binomial decomposition (and the
+    /// mode-path logarithms) precomputed — every write re-rolls occupancy,
+    /// making this the hottest multinomial in the simulator.
+    occupancy_dist: PrecomputedMultinomial,
 }
 
 impl FaultEngine {
@@ -65,13 +67,14 @@ impl FaultEngine {
             "fault engine supports up to {MAX_LEVELS} levels"
         );
         assert!(cells_per_line > 0, "need at least one cell per line");
+        let level_probs = vec![1.0 / num_levels as f64; num_levels];
         Self {
             model: device.drift_model_shared(),
             endurance: *device.endurance(),
             cells_per_line,
             num_levels,
             conflict_prob: 1.0 - 1.0 / num_levels as f64,
-            level_probs: vec![1.0 / num_levels as f64; num_levels],
+            occupancy_dist: PrecomputedMultinomial::new(&level_probs),
         }
     }
 
@@ -87,10 +90,12 @@ impl FaultEngine {
 
     /// Samples the level occupancy of `live` cells holding random data.
     fn sample_occupancy<R: Rng + ?Sized>(&self, live: u32, rng: &mut R) -> [u16; MAX_LEVELS] {
-        let counts = pcm_model::math::sample_multinomial(rng, live, &self.level_probs);
+        let mut counts = [0u32; MAX_LEVELS];
+        self.occupancy_dist
+            .sample_into(rng, live, &mut counts[..self.num_levels]);
         let mut occ = [0u16; MAX_LEVELS];
-        for (i, &c) in counts.iter().enumerate() {
-            occ[i] = c as u16;
+        for (o, &c) in occ.iter_mut().zip(&counts) {
+            *o = c as u16;
         }
         occ
     }
@@ -193,13 +198,18 @@ impl FaultEngine {
         if now > line.last_eval {
             let age1 = line.last_eval.since(line.last_write);
             let age2 = now.since(line.last_write);
+            // Batched LUT evaluation: one log-age computation per endpoint
+            // instead of one per (endpoint, level).
+            let mut p1s = [0.0f64; MAX_LEVELS];
+            let mut p2s = [0.0f64; MAX_LEVELS];
+            self.model.p_up_levels(age1, &mut p1s[..self.num_levels]);
+            self.model.p_up_levels(age2, &mut p2s[..self.num_levels]);
             for lv in 0..self.num_levels {
                 let alive = line.occupancy[lv] - line.drift_failed[lv];
                 if alive == 0 {
                     continue;
                 }
-                let p1 = self.model.p_up(lv, age1);
-                let p2 = self.model.p_up(lv, age2);
+                let (p1, p2) = (p1s[lv], p2s[lv]);
                 if p2 <= p1 {
                     continue;
                 }
@@ -224,18 +234,79 @@ impl FaultEngine {
         rng: &mut R,
     ) -> u32 {
         let age = line.age_at(now);
+        let mut ps = [0.0f64; MAX_LEVELS];
+        self.model
+            .p_transient_levels(age, &mut ps[..self.num_levels]);
         let mut errs = 0u32;
-        for lv in 0..self.num_levels {
+        for (lv, &p) in ps.iter().enumerate().take(self.num_levels) {
             let alive = (line.occupancy[lv] - line.drift_failed[lv]) as u32;
             if alive == 0 {
                 continue;
             }
-            let p = self.model.p_transient_fast(lv, age);
             if p > 0.0 {
                 errs += sample_binomial(rng, alive, p);
             }
         }
         errs
+    }
+
+    /// Fused read evaluation: advances persistent drift failures to `now`
+    /// and draws one transient sample, returning `(persistent, transient)`
+    /// bit errors. Draw-for-draw identical to [`Self::advance`] followed
+    /// by [`Self::transient_errors`], but the persistent and transient
+    /// probabilities at `now` come from one fused log-age lookup — this
+    /// is the hot path of every demand read and scrub probe.
+    pub fn advance_and_transient<R: Rng + ?Sized>(
+        &self,
+        line: &mut LineState,
+        now: SimTime,
+        rng: &mut R,
+    ) -> (u32, u32) {
+        let mut p2s = [0.0f64; MAX_LEVELS];
+        let mut trs = [0.0f64; MAX_LEVELS];
+        self.model.p_read_levels(
+            line.age_at(now),
+            &mut p2s[..self.num_levels],
+            &mut trs[..self.num_levels],
+        );
+        if now > line.last_eval {
+            let age1 = line.last_eval.since(line.last_write);
+            let mut p1s = [0.0f64; MAX_LEVELS];
+            self.model.p_up_levels(age1, &mut p1s[..self.num_levels]);
+            // Batched draw: inactive lanes keep n = 0 / p = 0 and consume
+            // no uniforms, exactly like the skipped iterations of a scalar
+            // per-level loop.
+            let mut ns = [0u32; MAX_LEVELS];
+            let mut dps = [0.0f64; MAX_LEVELS];
+            for lv in 0..self.num_levels {
+                let alive = line.occupancy[lv] - line.drift_failed[lv];
+                if alive == 0 {
+                    continue;
+                }
+                let (p1, p2) = (p1s[lv], p2s[lv]);
+                if p2 <= p1 {
+                    continue;
+                }
+                ns[lv] = alive as u32;
+                dps[lv] = if p1 >= 1.0 {
+                    0.0
+                } else {
+                    ((p2 - p1) / (1.0 - p1)).clamp(0.0, 1.0)
+                };
+            }
+            let ks = sample_binomial4(rng, ns, dps);
+            for (lv, &k) in ks.iter().enumerate().take(self.num_levels) {
+                line.drift_failed[lv] += k as u16;
+            }
+            line.last_eval = now;
+        }
+        let mut ns = [0u32; MAX_LEVELS];
+        for (lv, n) in ns.iter_mut().enumerate().take(self.num_levels) {
+            *n = (line.occupancy[lv] - line.drift_failed[lv]) as u32;
+        }
+        let ks = sample_binomial4(rng, ns, trs);
+        let transient = ks.iter().sum();
+        (line.persistent_bit_errors(), transient)
     }
 
     /// Total bit errors a read at `now` observes: persistent (advanced to
@@ -246,8 +317,8 @@ impl FaultEngine {
         now: SimTime,
         rng: &mut R,
     ) -> u32 {
-        let persistent = self.advance(line, now, rng);
-        persistent + self.transient_errors(line, now, rng)
+        let (persistent, transient) = self.advance_and_transient(line, now, rng);
+        persistent + transient
     }
 }
 

@@ -151,7 +151,7 @@ impl OpCtx<'_> {
     ) -> AccessResult {
         let slot = shard.resolve(orig_slot);
         let line = &mut shard.lines[slot];
-        let persistent = self.engine.advance(line, now, &mut shard.rng);
+        let (persistent, transient) = self.engine.advance_and_transient(line, now, &mut shard.rng);
         // Campaign-injected resident errors: a pure function of the line's
         // write epoch and the current time — no randomness drawn.
         let injected = match self.injector {
@@ -159,7 +159,6 @@ impl OpCtx<'_> {
             None => 0,
         };
         let persistent = persistent + injected;
-        let transient = self.engine.transient_errors(line, now, &mut shard.rng);
         let mut outcome = self.code.classify(persistent + transient, &mut shard.rng);
         if outcome.is_uncorrectable() {
             if let Some(rc) = self.recovery {

@@ -114,6 +114,45 @@ const LUT_DECADES: f64 = 12.0;
 const GH_ORDER_NU: usize = 48;
 const GH_ORDER_READ: usize = 16;
 
+/// Clamped linear interpolation of every level's LUT at log-age `l`,
+/// shared by the batched accessors (the arithmetic must stay identical
+/// across them — callers rely on fused and separate lookups agreeing
+/// bit for bit). `flat` is the point-major interleaved layout
+/// (`flat[i·levels + lv]`), so one lookup reads two adjacent rows instead
+/// of chasing a pointer per level.
+#[inline]
+fn interp_levels(flat: &[f64], points: usize, levels: usize, l: f64, out: &mut [f64]) {
+    if l <= 0.0 {
+        out[..levels].copy_from_slice(&flat[..levels]);
+        return;
+    }
+    let pos = (l / LUT_DECADES) * (points - 1) as f64;
+    if pos >= (points - 1) as f64 {
+        out[..levels].copy_from_slice(&flat[(points - 1) * levels..]);
+        return;
+    }
+    let i = pos as usize;
+    let frac = pos - i as f64;
+    let rows = &flat[i * levels..(i + 2) * levels];
+    for lv in 0..levels {
+        let (a, b) = (rows[lv], rows[levels + lv]);
+        out[lv] = a + (b - a) * frac;
+    }
+}
+
+/// Re-lays per-level LUTs (`luts[lv][i]`) into the point-major interleaved
+/// buffer [`interp_levels`] reads. Values are copied verbatim, so flat and
+/// per-level lookups agree bit for bit.
+fn flatten_luts(luts: &[Vec<f64>], points: usize) -> Vec<f64> {
+    let mut flat = Vec::with_capacity(points * luts.len());
+    for i in 0..points {
+        for lut in luts {
+            flat.push(lut[i]);
+        }
+    }
+    flat
+}
+
 /// Analytic per-level misread probabilities as a function of cell age.
 ///
 /// Construction precomputes monotone lookup tables so the hot path
@@ -145,6 +184,10 @@ pub struct DriftModel {
     lut_up: Vec<Vec<f64>>,
     /// Per level: transient (read-noise) misread LUT over the same grid.
     lut_tr: Vec<Vec<f64>>,
+    /// `lut_up` in point-major interleaved layout for the batched lookups.
+    flat_up: Vec<f64>,
+    /// `lut_tr` in point-major interleaved layout for the batched lookups.
+    flat_tr: Vec<f64>,
 }
 
 impl DriftModel {
@@ -189,6 +232,8 @@ impl DriftModel {
             gh_read: GaussHermite::new(GH_ORDER_READ),
             lut_up: Vec::new(),
             lut_tr: Vec::new(),
+            flat_up: Vec::new(),
+            flat_tr: Vec::new(),
         };
         model.lut_up = (0..model.stack.num_levels())
             .map(|lv| {
@@ -220,6 +265,8 @@ impl DriftModel {
                 }
             }
         }
+        model.flat_up = flatten_luts(&model.lut_up, LUT_POINTS);
+        model.flat_tr = flatten_luts(&model.lut_tr, TR_LUT_POINTS);
         model
     }
 
@@ -364,6 +411,55 @@ impl DriftModel {
         let i = pos as usize;
         let frac = pos - i as f64;
         lut[i] + (lut[i + 1] - lut[i]) * frac
+    }
+
+    /// Fast persistent up-crossing probabilities for *all* levels at once:
+    /// one log-age computation, then one LUT interpolation per level (the
+    /// per-line hot path touches every level anyway, and the logarithm
+    /// dominates a single lookup). Fills `out[0..num_levels]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is shorter than the level count.
+    pub fn p_up_levels(&self, t_s: f64, out: &mut [f64]) {
+        let levels = self.stack.num_levels();
+        assert!(out.len() >= levels, "p_up_levels buffer too short");
+        let l = self.params.log_time_factor(t_s);
+        interp_levels(&self.flat_up, LUT_POINTS, levels, l, &mut out[..levels]);
+    }
+
+    /// One-read fused lookup: fills both the persistent (`up`) and
+    /// transient (`tr`) per-level probabilities at age `t_s`, computing
+    /// the log-age once. Bit-identical to calling [`Self::p_up_levels`]
+    /// and [`Self::p_transient_levels`] separately — this exists because
+    /// every demand read and scrub probe needs both at the same age.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either buffer is shorter than the level count.
+    pub fn p_read_levels(&self, t_s: f64, up: &mut [f64], tr: &mut [f64]) {
+        let levels = self.stack.num_levels();
+        assert!(
+            up.len() >= levels && tr.len() >= levels,
+            "p_read_levels buffer too short"
+        );
+        let l = self.params.log_time_factor(t_s);
+        interp_levels(&self.flat_up, LUT_POINTS, levels, l, &mut up[..levels]);
+        interp_levels(&self.flat_tr, TR_LUT_POINTS, levels, l, &mut tr[..levels]);
+    }
+
+    /// Fast transient misread probabilities for all levels at once (the
+    /// [`DriftModel::p_transient_fast`] analogue of
+    /// [`DriftModel::p_up_levels`]). Fills `out[0..num_levels]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is shorter than the level count.
+    pub fn p_transient_levels(&self, t_s: f64, out: &mut [f64]) {
+        let levels = self.stack.num_levels();
+        assert!(out.len() >= levels, "p_transient_levels buffer too short");
+        let l = self.params.log_time_factor(t_s);
+        interp_levels(&self.flat_tr, TR_LUT_POINTS, levels, l, &mut out[..levels]);
     }
 
     /// Persistent down-miss probability: the noiseless resistance sits below

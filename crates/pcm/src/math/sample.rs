@@ -67,13 +67,40 @@ pub fn sample_lognormal<R: Rng + ?Sized>(rng: &mut R, ln_median: f64, sigma_ln: 
     sample_normal(rng, ln_median, sigma_ln).exp()
 }
 
-/// Samples `Binomial(n, p)` exactly.
+/// Mean above which the mode-centred inversion beats the bottom-up walk.
+const BINOMIAL_MODE_CUTOFF: f64 = 10.0;
+
+/// Largest `n` the ln-factorial table covers (every `n` the simulator
+/// draws is far below this; larger `n` falls back to the bottom-up walk).
+const LN_FACT_MAX_N: usize = 4096;
+
+/// `ln(k!)` for `k ≤ LN_FACT_MAX_N`, built once on first use.
+fn ln_fact_table() -> &'static [f64] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<Vec<f64>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = Vec::with_capacity(LN_FACT_MAX_N + 1);
+        let mut acc = 0.0f64;
+        t.push(0.0);
+        for k in 1..=LN_FACT_MAX_N {
+            acc += (k as f64).ln();
+            t.push(acc);
+        }
+        t
+    })
+}
+
+/// Samples `Binomial(n, p)` exactly, in expected `O(√(npq) + 1)` time.
 ///
-/// Strategy: for small expected counts, geometric waiting-time skipping
-/// (expected `O(np + 1)` work — the common case for rare drift failures);
-/// otherwise a normal cut-off inversion is avoided in favour of the
-/// waiting-time method seeded from whichever of `p`/`1−p` is smaller, which
-/// keeps worst-case work `O(n·min(p,1−p) + 1)`.
+/// Strategy: sequential inversion of the CDF from a single uniform.
+/// Small means walk the CDF up from zero (expected `O(np + 1)` — the
+/// common case for rare drift failures, with the zero outcome resolved by
+/// one compare); larger means walk outward from the distribution's mode,
+/// visiting an expected `O(√(npq))` terms. Both walks use the exact PMF
+/// ratio recurrence, so the sampled law is the true binomial up to f64
+/// rounding of the PMF terms (relative error ≲ 1e-13; see the
+/// `matches_closed_form_pmf` test). Exactly one uniform is consumed per
+/// sample, which also makes the draw count deterministic.
 ///
 /// # Examples
 ///
@@ -93,41 +120,209 @@ pub fn sample_binomial<R: Rng + ?Sized>(rng: &mut R, n: u32, p: f64) -> u32 {
     if p >= 1.0 {
         return n;
     }
-    if p <= 0.5 {
-        binomial_waiting(rng, n, p)
+    // Work with the smaller tail so the walks stay short.
+    let (ps, flip) = if p <= 0.5 {
+        (p, false)
     } else {
-        n - binomial_waiting(rng, n, 1.0 - p)
+        (1.0 - p, true)
+    };
+    let k = if n as f64 * ps < BINOMIAL_MODE_CUTOFF || n as usize > LN_FACT_MAX_N {
+        binomial_inv_bottom(rng, n, ps)
+    } else {
+        binomial_inv_mode(rng, n, ps)
+    };
+    if flip {
+        n - k
+    } else {
+        k
     }
 }
 
-/// Waiting-time binomial sampler for `p ≤ 0.5`: draws geometric gaps between
-/// successes. Exact, expected cost `O(np + 1)`.
-fn binomial_waiting<R: Rng + ?Sized>(rng: &mut R, n: u32, p: f64) -> u32 {
+/// `x^n` by binary exponentiation, bit-identical to compiler-rt's
+/// `__powidf2` (same multiply order) but inlined into the sampling loop —
+/// the libcall showed up at ~15% of E6's profile.
+#[inline]
+fn powi_u32(mut x: f64, mut n: u32) -> f64 {
+    let mut r = 1.0;
+    loop {
+        if n & 1 == 1 {
+            r *= x;
+        }
+        n /= 2;
+        if n == 0 {
+            break;
+        }
+        x *= x;
+    }
+    r
+}
+
+/// Bottom-up CDF inversion for small means: start at `P(X=0) = qⁿ` and
+/// walk up with the PMF ratio recurrence. One uniform, expected
+/// `O(np + 1)` iterations, and the dominant zero outcome costs a single
+/// compare after `powi`.
+fn binomial_inv_bottom<R: Rng + ?Sized>(rng: &mut R, n: u32, p: f64) -> u32 {
     debug_assert!(p > 0.0 && p <= 0.5);
-    let log_q = (1.0 - p).ln();
-    if log_q == 0.0 {
+    let q = 1.0 - p;
+    if q == 1.0 {
         // p below ~2^-53: `1 - p` rounded to 1. The success probability of
         // the whole experiment is n·p < 1e-13 — sample that single event
-        // instead of dividing by zero (which would yield n successes).
+        // instead of walking a degenerate recurrence.
         return u32::from(rng.gen::<f64>() < n as f64 * p);
     }
-    let mut successes = 0u32;
-    let mut trials_used = 0u64;
-    let n64 = n as u64;
+    binomial_inv_bottom_with(rng, n, p, powi_u32(q, n))
+}
+
+/// The bottom-up walk with the `qⁿ` prefactor supplied by the caller
+/// (who may have batched several prefactor computations; see
+/// [`sample_binomial4`]).
+fn binomial_inv_bottom_with<R: Rng + ?Sized>(rng: &mut R, n: u32, p: f64, pmf0: f64) -> u32 {
+    let q = 1.0 - p;
+    let mut pmf = pmf0;
+    let r = p / q;
+    let mut u: f64 = rng.gen();
+    let mut k = 0u32;
     loop {
-        // Geometric(p) gap: number of failures before the next success.
-        let u: f64 = loop {
-            let u = rng.gen::<f64>();
-            if u > 0.0 {
-                break u;
-            }
-        };
-        let gap = (u.ln() / log_q).floor() as u64 + 1;
-        trials_used += gap;
-        if trials_used > n64 {
-            return successes;
+        // The `k >= n` clamp absorbs the ~1e-15 rounding residue a full
+        // walk can leave past the last bucket.
+        if u < pmf || k >= n {
+            return k;
         }
-        successes += 1;
+        u -= pmf;
+        k += 1;
+        pmf *= r * (n - k + 1) as f64 / k as f64;
+    }
+}
+
+/// Four `xᵅ` binary exponentiations at once. Each lane's multiply order
+/// matches [`powi_u32`] exactly (squarings past a lane's final bit never
+/// feed its accumulator), so results are bit-identical to four scalar
+/// calls — but the lanes' multiplies are data-independent, letting the
+/// per-line drift/transient draws pay one exponentiation latency instead
+/// of four.
+fn powi4(mut x: [f64; 4], n: [u32; 4]) -> [f64; 4] {
+    let mut r = [1.0f64; 4];
+    let mut bits = n;
+    // Branchless select (multiplying by 1.0 is exact for the finite
+    // probabilities in play) keeps the four lanes vectorizable.
+    while bits.iter().any(|&b| b > 0) {
+        for l in 0..4 {
+            let m = if bits[l] & 1 == 1 { x[l] } else { 1.0 };
+            r[l] *= m;
+            x[l] *= x[l];
+            bits[l] /= 2;
+        }
+    }
+    r
+}
+
+/// Draws up to four independent binomials — one read's per-level error
+/// draws — consuming uniforms lane by lane in index order. Outcome- and
+/// draw-identical to four sequential [`sample_binomial`] calls; the only
+/// difference is that the `qⁿ` prefactors of the small-mean lanes are
+/// computed as one batched exponentiation before any uniform is drawn.
+/// Lanes with `n = 0` or `p ≤ 0` consume nothing and yield 0, exactly as
+/// the scalar sampler does.
+pub fn sample_binomial4<R: Rng + ?Sized>(rng: &mut R, ns: [u32; 4], ps: [f64; 4]) -> [u32; 4] {
+    let mut qs = [1.0f64; 4];
+    let mut es = [0u32; 4];
+    let mut bottom = [false; 4];
+    for l in 0..4 {
+        let (n, p) = (ns[l], ps[l]);
+        if n == 0 || p <= 0.0 || p >= 1.0 {
+            continue;
+        }
+        let ps_small = if p <= 0.5 { p } else { 1.0 - p };
+        let q = 1.0 - ps_small;
+        if q != 1.0 && (n as f64 * ps_small < BINOMIAL_MODE_CUTOFF || n as usize > LN_FACT_MAX_N) {
+            bottom[l] = true;
+            qs[l] = q;
+            es[l] = n;
+        }
+    }
+    let pmf0s = powi4(qs, es);
+    let mut out = [0u32; 4];
+    for l in 0..4 {
+        out[l] = if bottom[l] {
+            let p = ps[l];
+            let (ps_small, flip) = if p <= 0.5 {
+                (p, false)
+            } else {
+                (1.0 - p, true)
+            };
+            let k = binomial_inv_bottom_with(rng, ns[l], ps_small, pmf0s[l]);
+            if flip {
+                ns[l] - k
+            } else {
+                k
+            }
+        } else {
+            sample_binomial(rng, ns[l], ps[l])
+        };
+    }
+    out
+}
+
+/// Mode-centred CDF inversion: evaluate the PMF at the mode via the
+/// ln-factorial table, then walk outward (m, m+1, m−1, m+2, …) until the
+/// uniform's mass is located. Any fixed ordering of the support is a valid
+/// inversion; this one visits an expected `O(√(npq))` terms.
+fn binomial_inv_mode<R: Rng + ?Sized>(rng: &mut R, n: u32, p: f64) -> u32 {
+    binomial_inv_mode_with_logs(rng, n, p, p.ln(), (1.0 - p).ln())
+}
+
+/// [`binomial_inv_mode`] with `ln p` / `ln q` supplied by the caller.
+/// Callers that draw many binomials at a fixed `p` (the occupancy
+/// multinomial's conditionals) hoist the two `ln` calls out of the loop;
+/// passing the logs of the same `p` yields bit-identical samples.
+fn binomial_inv_mode_with_logs<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: u32,
+    p: f64,
+    ln_p: f64,
+    ln_q: f64,
+) -> u32 {
+    debug_assert!(p > 0.0 && p <= 0.5);
+    let q = 1.0 - p;
+    let lf = ln_fact_table();
+    let m = (((n + 1) as f64) * p).floor().min(n as f64) as u32;
+    let ln_pmf_m = lf[n as usize] - lf[m as usize] - lf[(n - m) as usize]
+        + m as f64 * ln_p
+        + (n - m) as f64 * ln_q;
+    let pmf_m = ln_pmf_m.exp();
+    let mut u: f64 = rng.gen();
+    if u < pmf_m {
+        return m;
+    }
+    u -= pmf_m;
+    let r = p / q;
+    let (mut up_k, mut up_pmf) = (m, pmf_m);
+    let (mut dn_k, mut dn_pmf) = (m, pmf_m);
+    loop {
+        let mut progressed = false;
+        if up_k < n {
+            up_pmf *= r * (n - up_k) as f64 / (up_k + 1) as f64;
+            up_k += 1;
+            if u < up_pmf {
+                return up_k;
+            }
+            u -= up_pmf;
+            progressed = true;
+        }
+        if dn_k > 0 {
+            dn_pmf *= dn_k as f64 / (r * (n - dn_k + 1) as f64);
+            dn_k -= 1;
+            if u < dn_pmf {
+                return dn_k;
+            }
+            u -= dn_pmf;
+            progressed = true;
+        }
+        if !progressed {
+            // Support exhausted with a rounding residue left: return the
+            // mode (any in-support value is within the rounding tolerance).
+            return m;
+        }
     }
 }
 
@@ -138,7 +333,27 @@ fn binomial_waiting<R: Rng + ?Sized>(rng: &mut R, n: u32, p: f64) -> u32 {
 ///
 /// Panics if `probs` is empty, contains negatives, or sums far from 1.
 pub fn sample_multinomial<R: Rng + ?Sized>(rng: &mut R, n: u32, probs: &[f64]) -> Vec<u32> {
+    let mut out = vec![0u32; probs.len()];
+    sample_multinomial_into(rng, n, probs, &mut out);
+    out
+}
+
+/// [`sample_multinomial`] writing into a caller-provided buffer, for hot
+/// paths that cannot afford a per-call allocation (`out.len()` must equal
+/// `probs.len()`).
+///
+/// # Panics
+///
+/// Panics on the same invalid `probs` as [`sample_multinomial`], or if the
+/// buffer length does not match.
+pub fn sample_multinomial_into<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: u32,
+    probs: &[f64],
+    out: &mut [u32],
+) {
     assert!(!probs.is_empty(), "multinomial needs at least one category");
+    assert_eq!(out.len(), probs.len(), "multinomial buffer length mismatch");
     let total: f64 = probs.iter().sum();
     assert!(
         (total - 1.0).abs() < 1e-6,
@@ -148,12 +363,11 @@ pub fn sample_multinomial<R: Rng + ?Sized>(rng: &mut R, n: u32, probs: &[f64]) -
         probs.iter().all(|&p| p >= 0.0),
         "multinomial probabilities must be nonnegative"
     );
-    let mut out = Vec::with_capacity(probs.len());
     let mut remaining_n = n;
     let mut remaining_p = 1.0f64;
     for (i, &p) in probs.iter().enumerate() {
         if i == probs.len() - 1 {
-            out.push(remaining_n);
+            out[i] = remaining_n;
             break;
         }
         let cond = if remaining_p <= 0.0 {
@@ -162,11 +376,133 @@ pub fn sample_multinomial<R: Rng + ?Sized>(rng: &mut R, n: u32, probs: &[f64]) -
             (p / remaining_p).clamp(0.0, 1.0)
         };
         let k = sample_binomial(rng, remaining_n, cond);
-        out.push(k);
+        out[i] = k;
         remaining_n -= k;
         remaining_p -= p;
     }
-    out
+}
+
+/// One category of a [`PrecomputedMultinomial`]: the conditional binomial
+/// probability in the orientation [`sample_binomial`] would pick, with its
+/// logarithms taken once at construction.
+#[derive(Debug, Clone)]
+struct PrecomputedCategory {
+    /// Conditional success probability `p_i / (p_i + p_{i+1} + …)`.
+    cond: f64,
+    /// `min(cond, 1 − cond)` — the smaller tail the walks operate on.
+    ps: f64,
+    /// Whether `cond > 0.5` (sampled count must be reflected).
+    flip: bool,
+    ln_ps: f64,
+    ln_qs: f64,
+}
+
+/// A multinomial distribution with its sequential-conditional decomposition
+/// precomputed. Sampling draws the identical uniforms and returns the
+/// identical counts as [`sample_multinomial_into`] over the same `probs`,
+/// but hoists the per-category divisions, clamps, and — on the
+/// mode-inversion path — the two `ln` evaluations out of the per-call work.
+/// Built once per fault engine for the cell-occupancy re-roll, which is the
+/// single hottest multinomial in the simulator.
+#[derive(Debug, Clone)]
+pub struct PrecomputedMultinomial {
+    categories: Vec<PrecomputedCategory>,
+}
+
+impl PrecomputedMultinomial {
+    /// Validates `probs` exactly as [`sample_multinomial_into`] does and
+    /// precomputes each conditional with the same arithmetic (so the f64
+    /// conditionals — and therefore every downstream draw — are
+    /// bit-identical).
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same invalid `probs` as [`sample_multinomial`].
+    pub fn new(probs: &[f64]) -> Self {
+        assert!(!probs.is_empty(), "multinomial needs at least one category");
+        let total: f64 = probs.iter().sum();
+        assert!(
+            (total - 1.0).abs() < 1e-6,
+            "multinomial probabilities sum to {total}, want 1"
+        );
+        assert!(
+            probs.iter().all(|&p| p >= 0.0),
+            "multinomial probabilities must be nonnegative"
+        );
+        let mut categories = Vec::with_capacity(probs.len() - 1);
+        let mut remaining_p = 1.0f64;
+        for &p in &probs[..probs.len() - 1] {
+            let cond = if remaining_p <= 0.0 {
+                0.0
+            } else {
+                (p / remaining_p).clamp(0.0, 1.0)
+            };
+            let (ps, flip) = if cond <= 0.5 {
+                (cond, false)
+            } else {
+                (1.0 - cond, true)
+            };
+            categories.push(PrecomputedCategory {
+                cond,
+                ps,
+                flip,
+                ln_ps: ps.ln(),
+                ln_qs: (1.0 - ps).ln(),
+            });
+            remaining_p -= p;
+        }
+        Self { categories }
+    }
+
+    /// Number of categories (length `sample_into` expects of its buffer).
+    pub fn len(&self) -> usize {
+        self.categories.len() + 1
+    }
+
+    /// Whether the distribution has a single category.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Samples an allocation of `n` trials into `out`, identically to
+    /// [`sample_multinomial_into`] with the constructor's `probs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.len()`.
+    pub fn sample_into<R: Rng + ?Sized>(&self, rng: &mut R, n: u32, out: &mut [u32]) {
+        assert_eq!(out.len(), self.len(), "multinomial buffer length mismatch");
+        let mut remaining_n = n;
+        for (slot, cat) in out.iter_mut().zip(&self.categories) {
+            let k = cat.sample(rng, remaining_n);
+            *slot = k;
+            remaining_n -= k;
+        }
+        out[self.categories.len()] = remaining_n;
+    }
+}
+
+impl PrecomputedCategory {
+    /// `sample_binomial(rng, n, self.cond)`, with the orientation and logs
+    /// reused rather than recomputed.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R, n: u32) -> u32 {
+        if n == 0 || self.cond <= 0.0 {
+            return 0;
+        }
+        if self.cond >= 1.0 {
+            return n;
+        }
+        let k = if n as f64 * self.ps < BINOMIAL_MODE_CUTOFF || n as usize > LN_FACT_MAX_N {
+            binomial_inv_bottom(rng, n, self.ps)
+        } else {
+            binomial_inv_mode_with_logs(rng, n, self.ps, self.ln_ps, self.ln_qs)
+        };
+        if self.flip {
+            n - k
+        } else {
+            k
+        }
+    }
 }
 
 /// Samples without replacement: picks `k` distinct indices from `0..n`
@@ -177,8 +513,18 @@ pub fn sample_multinomial<R: Rng + ?Sized>(rng: &mut R, n: u32, probs: &[f64]) -
 /// Panics if `k > n`.
 pub fn sample_distinct_indices<R: Rng + ?Sized>(rng: &mut R, n: usize, k: usize) -> Vec<usize> {
     assert!(k <= n, "cannot sample {k} distinct from {n}");
-    let mut chosen = std::collections::HashSet::with_capacity(k);
     let mut out = Vec::with_capacity(k);
+    if k <= 32 {
+        // Small draws (the ECC error-spreading hot path): membership via a
+        // linear scan of the output beats a hash set by a wide margin.
+        for j in (n - k)..n {
+            let t = rng.gen_range(0..=j);
+            let pick = if out.contains(&t) { j } else { t };
+            out.push(pick);
+        }
+        return out;
+    }
+    let mut chosen = std::collections::HashSet::with_capacity(k);
     for j in (n - k)..n {
         let t = rng.gen_range(0..=j);
         let pick = if chosen.contains(&t) { j } else { t };
@@ -250,6 +596,59 @@ mod tests {
         }
     }
 
+    /// Closed-form binomial PMF via the ln-factorial table (independent of
+    /// the sampling recurrences under test).
+    fn pmf(n: u32, p: f64, k: u32) -> f64 {
+        let lf = ln_fact_table();
+        (lf[n as usize] - lf[k as usize] - lf[(n - k) as usize]
+            + k as f64 * p.ln()
+            + (n - k) as f64 * (1.0 - p).ln())
+        .exp()
+    }
+
+    /// Both inversion paths must realize the true binomial law: empirical
+    /// frequencies of every outcome near the mode match the closed-form
+    /// PMF within Monte-Carlo tolerance.
+    #[test]
+    fn matches_closed_form_pmf() {
+        // (n, p) pairs straddling the mode-inversion cutoff, including the
+        // fault engine's occupancy re-roll shape (288, 0.25).
+        for &(n, p) in &[(288u32, 0.25f64), (288, 0.02), (40, 0.4), (576, 0.6)] {
+            let mut rng = StdRng::seed_from_u64(1000 + n as u64);
+            let reps = 40_000usize;
+            let mut counts = vec![0u32; n as usize + 1];
+            for _ in 0..reps {
+                counts[sample_binomial(&mut rng, n, p) as usize] += 1;
+            }
+            for k in 0..=n {
+                let want = pmf(n, p.min(0.999_999), k);
+                if want < 5.0 / reps as f64 {
+                    continue; // too rare to test empirically
+                }
+                let got = counts[k as usize] as f64 / reps as f64;
+                let sigma = (want * (1.0 - want) / reps as f64).sqrt();
+                assert!(
+                    (got - want).abs() < 5.0 * sigma + 1e-4,
+                    "n={n} p={p} k={k}: got {got:.5} want {want:.5}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn one_uniform_per_sample() {
+        // The inversion samplers consume exactly one RNG draw per call, so
+        // two identically seeded streams stay aligned regardless of the
+        // outcomes drawn between checks.
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for &(n, p) in &[(288u32, 0.25f64), (288, 1e-6), (100, 0.5), (10, 0.9)] {
+            sample_binomial(&mut a, n, p);
+            let _: f64 = b.gen();
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>(), "n={n} p={p}");
+        }
+    }
+
     #[test]
     fn binomial_bounds() {
         let mut rng = StdRng::seed_from_u64(44);
@@ -278,6 +677,59 @@ mod tests {
                 (mean - want).abs() < 0.5,
                 "cat {i}: mean {mean} want {want}"
             );
+        }
+    }
+
+    #[test]
+    fn binomial4_matches_sequential_scalar_calls() {
+        // The batched sampler must be draw-identical to four sequential
+        // scalar calls: same outcomes AND the same RNG stream position
+        // afterwards, across every lane-classification mix (inactive,
+        // bottom-path, mode-path, degenerate-q, p>0.5 flips).
+        let cases: &[([u32; 4], [f64; 4])] = &[
+            ([288, 288, 288, 288], [0.001, 0.02, 0.25, 0.9]),
+            ([0, 288, 0, 5], [0.0, 1e-6, 0.3, 0.5]),
+            ([288, 288, 288, 288], [1e-323, 1e-17, 0.999999, 1.0]),
+            ([10, 8192, 40, 0], [0.5, 0.4, 0.997, 0.25]),
+            ([1, 2, 3, 4], [0.9999, 0.0001, 0.7, 0.3]),
+        ];
+        for (i, &(ns, ps)) in cases.iter().enumerate() {
+            let mut a = StdRng::seed_from_u64(9000 + i as u64);
+            let mut b = StdRng::seed_from_u64(9000 + i as u64);
+            let batched = sample_binomial4(&mut a, ns, ps);
+            let mut scalar = [0u32; 4];
+            for l in 0..4 {
+                scalar[l] = sample_binomial(&mut b, ns[l], ps[l]);
+            }
+            assert_eq!(batched, scalar, "case {i}: outcomes diverge");
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>(), "case {i}: stream skew");
+        }
+    }
+
+    #[test]
+    fn precomputed_multinomial_matches_ad_hoc() {
+        // Cached conditionals + logs must reproduce sample_multinomial_into
+        // bit-for-bit, including the RNG stream position.
+        let prob_sets: &[&[f64]] = &[
+            &[0.25, 0.25, 0.25, 0.25],
+            &[0.1, 0.2, 0.3, 0.4],
+            &[0.7, 0.2, 0.1],
+            &[1.0],
+            &[0.0, 0.5, 0.5],
+        ];
+        for (i, probs) in prob_sets.iter().enumerate() {
+            let pre = PrecomputedMultinomial::new(probs);
+            assert_eq!(pre.len(), probs.len());
+            let mut a = StdRng::seed_from_u64(7000 + i as u64);
+            let mut b = StdRng::seed_from_u64(7000 + i as u64);
+            let mut got = vec![0u32; probs.len()];
+            let mut want = vec![0u32; probs.len()];
+            for n in [0u32, 1, 7, 288, 2000] {
+                pre.sample_into(&mut a, n, &mut got);
+                sample_multinomial_into(&mut b, n, probs, &mut want);
+                assert_eq!(got, want, "probs {probs:?} n={n}");
+            }
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>(), "case {i}: stream skew");
         }
     }
 

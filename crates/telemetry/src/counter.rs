@@ -70,11 +70,14 @@ pub enum Counter {
     ExecRetries,
     /// Pool jobs lost without a result (worker died mid-job).
     ExecLostJobs,
+    /// Fault-campaign boundaries crossed (SEU window end, burst,
+    /// intermittent period) — identical under both simulation cores.
+    CampaignBoundaries,
 }
 
 impl Counter {
     /// Every counter, in slot order.
-    pub const ALL: [Counter; 31] = [
+    pub const ALL: [Counter; 32] = [
         Counter::DemandReads,
         Counter::DemandWrites,
         Counter::ScrubProbes,
@@ -106,6 +109,7 @@ impl Counter {
         Counter::ExecPanics,
         Counter::ExecRetries,
         Counter::ExecLostJobs,
+        Counter::CampaignBoundaries,
     ];
 
     /// Number of counter slots.
@@ -145,6 +149,7 @@ impl Counter {
             Counter::ExecPanics => "exec_panics",
             Counter::ExecRetries => "exec_retries",
             Counter::ExecLostJobs => "exec_lost_jobs",
+            Counter::CampaignBoundaries => "campaign_boundaries",
         }
     }
 }

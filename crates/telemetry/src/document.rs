@@ -332,6 +332,9 @@ fn event_to_json(e: &Event) -> String {
         EventKind::UeRecovered { addr, demand } => {
             format!("\"addr\": {addr}, \"demand\": {demand}")
         }
+        EventKind::CampaignBoundary { label } => {
+            format!("\"label\": \"{}\"", escape(label))
+        }
     };
     format!(
         "{{\"t_s\": {}, \"seq\": {}, \"worker\": {}, \"kind\": \"{}\", {payload}}}",
@@ -431,6 +434,9 @@ fn event_from_json(v: &Value) -> Result<Event, String> {
         "ue_recovered" => EventKind::UeRecovered {
             addr: u32_of("addr")?,
             demand: bool_of("demand")?,
+        },
+        "campaign_boundary" => EventKind::CampaignBoundary {
+            label: str_of("label")?,
         },
         other => return Err(format!("unknown event kind {other:?}")),
     };

@@ -180,6 +180,14 @@ pub enum EventKind {
         /// Whether a demand read (vs. a scrub probe) hit it.
         demand: bool,
     },
+    /// The simulation crossed a fault-campaign boundary (SEU injection
+    /// window closing, burst firing, intermittent-fault period tick).
+    /// A marker, not a state change: the injector itself is exact
+    /// independent of these events.
+    CampaignBoundary {
+        /// Which boundary was crossed.
+        label: String,
+    },
 }
 
 impl EventKind {
@@ -195,7 +203,7 @@ impl EventKind {
             EventKind::RateChange { .. } => EventClass::Rate,
             EventKind::DemandWriteNotify { .. } => EventClass::Demand,
             EventKind::ExecWorker { .. } => EventClass::Exec,
-            EventKind::SimDone { .. } => EventClass::Sim,
+            EventKind::SimDone { .. } | EventKind::CampaignBoundary { .. } => EventClass::Sim,
             EventKind::EcpRepair { .. }
             | EventKind::LineRetired { .. }
             | EventKind::BankDegraded { .. }
@@ -221,6 +229,7 @@ impl EventKind {
             EventKind::LineRetired { .. } => "line_retired",
             EventKind::BankDegraded { .. } => "bank_degraded",
             EventKind::UeRecovered { .. } => "ue_recovered",
+            EventKind::CampaignBoundary { .. } => "campaign_boundary",
         }
     }
 }
