@@ -1,0 +1,144 @@
+//! `scrub_modelcheck` — exhaustive small-model check of the tour
+//! scheduler's liveness properties.
+//!
+//! ```bash
+//! scrub_modelcheck [--lines N] [--capacity N] [--refill N]
+//!                  [--demand-max N] [--max-defer N] [--tripwire] [--json OUT]
+//! ```
+//!
+//! Default mode checks `ScrubProgress`, `CorruptionDetected`, and
+//! `RepairTriggered` against the faithful scheduler abstraction and
+//! exits non-zero (printing the counterexample trace) if any property is
+//! violated. `--tripwire` instead runs each property against its
+//! deliberately broken scheduler variant and exits non-zero if any
+//! seeded violation goes *undetected* — the harness checking itself.
+
+use pcm_analysis::modelcheck::{check, CheckOutcome, ModelParams, Property, Variant};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: scrub_modelcheck [--lines N] [--capacity N] [--refill N]\n\
+         \x20                       [--demand-max N] [--max-defer N]\n\
+         \x20                       [--tripwire] [--json OUT]"
+    );
+    std::process::exit(2);
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("scrub_modelcheck: {msg}");
+    std::process::exit(2);
+}
+
+fn parse_u8(flag: &str, raw: &str, min: u8) -> u8 {
+    match raw.parse::<u8>() {
+        Ok(n) if n >= min => n,
+        _ => fail(&format!("{flag} must be an integer >= {min}, got {raw:?}")),
+    }
+}
+
+fn json_outcome(out: &CheckOutcome) -> String {
+    let violation = match &out.violation {
+        None => "null".to_string(),
+        Some(v) => format!(
+            "{{\"reason\": {:?}, \"trace_len\": {}}}",
+            v.reason,
+            v.trace.len()
+        ),
+    };
+    format!(
+        "    {{\"property\": \"{}\", \"variant\": \"{:?}\", \"states\": {}, \"violation\": {}}}",
+        out.property.name(),
+        out.variant,
+        out.states_explored,
+        violation
+    )
+}
+
+fn main() {
+    let mut params = ModelParams::tiny();
+    let mut tripwire = false;
+    let mut json_out: Option<String> = None;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().cloned().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--lines" => params.lines = parse_u8("--lines", &value(), 1),
+            "--capacity" => params.capacity = parse_u8("--capacity", &value(), 1),
+            "--refill" => params.refill = parse_u8("--refill", &value(), 1),
+            "--demand-max" => params.demand_max = parse_u8("--demand-max", &value(), 0),
+            "--max-defer" => params.max_defer = parse_u8("--max-defer", &value(), 0),
+            "--tripwire" => tripwire = true,
+            "--json" => json_out = Some(value()),
+            _ => usage(),
+        }
+    }
+    if params.lines > 4 {
+        fail("--lines > 4 explodes the state space; keep the model small");
+    }
+
+    let outcomes: Vec<CheckOutcome> = Property::ALL
+        .iter()
+        .map(|&p| {
+            let variant = if tripwire {
+                Variant::tripwire_for(p)
+            } else {
+                Variant::Fair
+            };
+            check(p, params, variant)
+        })
+        .collect();
+
+    let mode = if tripwire { "tripwire" } else { "verify" };
+    let mut failures = 0;
+    for out in &outcomes {
+        let caught = out.violation.is_some();
+        let ok = if tripwire { caught } else { !caught };
+        println!(
+            "{} {:<19} variant={:<14} states={:<7} {}",
+            if ok { "PASS" } else { "FAIL" },
+            out.property.name(),
+            format!("{:?}", out.variant),
+            out.states_explored,
+            match &out.violation {
+                Some(v) if tripwire => format!("violation caught: {}", v.reason),
+                Some(v) => format!("VIOLATION: {}", v.reason),
+                None if tripwire => "seeded violation NOT caught".to_string(),
+                None => "holds over full reachable space".to_string(),
+            }
+        );
+        if let (Some(v), false) = (&out.violation, tripwire) {
+            for step in &v.trace {
+                println!("    {step}");
+            }
+        }
+        if !ok {
+            failures += 1;
+        }
+    }
+
+    let bound = params.progress_bound();
+    println!(
+        "mode={mode} lines={} capacity={} refill={} demand_max={} max_defer={} bound={bound}",
+        params.lines, params.capacity, params.refill, params.demand_max, params.max_defer
+    );
+
+    if let Some(path) = json_out {
+        let body = outcomes
+            .iter()
+            .map(json_outcome)
+            .collect::<Vec<_>>()
+            .join(",\n");
+        let json = format!(
+            "{{\n  \"mode\": \"{mode}\",\n  \"progress_bound\": {bound},\n  \
+             \"failures\": {failures},\n  \"checks\": [\n{body}\n  ]\n}}\n"
+        );
+        if let Err(e) = std::fs::write(&path, json) {
+            fail(&format!("cannot write {path:?}: {e}"));
+        }
+    }
+
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

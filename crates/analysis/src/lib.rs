@@ -10,7 +10,11 @@
 //! * [`wilson_interval`] / [`clopper_pearson_interval`] /
 //!   [`chi_square_gof`] / [`ks_test`] / [`TestBattery`] — the statistical
 //!   machinery behind the oracle-vs-simulator agreement suite (see
-//!   `DESIGN.md`, "Validation methodology").
+//!   `DESIGN.md`, "Validation methodology");
+//! * [`modelcheck`] — exhaustive small-model BFS for the tour scheduler's
+//!   TLA-style liveness properties (`ScrubProgress`,
+//!   `CorruptionDetected`, `RepairTriggered`), with the
+//!   `scrub_modelcheck` binary as its CLI front end.
 //!
 //! # Quick start
 //!
@@ -30,6 +34,7 @@
 
 mod hist;
 mod infer;
+pub mod modelcheck;
 mod stats;
 mod table;
 
@@ -37,6 +42,9 @@ pub use hist::{percentile, Histogram};
 pub use infer::{
     chi_square_gof, clopper_pearson_interval, ks_p_value, ks_test, wilson_interval, Interval,
     TestBattery, TestOutcome,
+};
+pub use modelcheck::{
+    check, check_all, check_tripwires, CheckOutcome, ModelParams, Property, Variant, Violation,
 };
 pub use stats::{geometric_mean, improvement_ratio, percent_reduction, Summary};
 pub use table::{fmt_count, fmt_percent, fmt_ratio, Table};

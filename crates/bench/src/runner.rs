@@ -80,6 +80,21 @@ pub fn set_checkpoint_every_s(every_s: f64) {
     let _ = CHECKPOINT_EVERY_S.set(every_s);
 }
 
+/// The process-wide scrub IOPS budget installed by `--scrub-iops`.
+static SCRUB_IOPS: OnceLock<f64> = OnceLock::new();
+
+/// The token-bucket refill rate budgeted tour policies should run at, if
+/// one was requested (via `--scrub-iops` or [`set_scrub_iops`]).
+pub fn scrub_iops() -> Option<f64> {
+    SCRUB_IOPS.get().copied()
+}
+
+/// Installs the process-wide scrub IOPS budget (flag parsing does this;
+/// public so tests can exercise budgeted runs). First install wins.
+pub fn set_scrub_iops(iops: f64) {
+    let _ = SCRUB_IOPS.set(iops);
+}
+
 struct Opts {
     threads: Option<usize>,
     scale: Option<Scale>,
@@ -90,6 +105,7 @@ struct Opts {
     engine: Option<EngineKind>,
     compare_engines: bool,
     horizon_s: Option<f64>,
+    scrub_iops: Option<f64>,
 }
 
 fn usage(exp: &str) -> ! {
@@ -113,7 +129,9 @@ fn usage(exp: &str) -> ! {
          \x20 --compare-engines  run the experiment under both cores, verify the rendered\n\
          \x20                    tables match, and report the wall-clock ratio\n\
          \x20 --horizon-s SECS   override the scale's simulated horizon (e.g. 31536000\n\
-         \x20                    for a 1-year run under --engine event)"
+         \x20                    for a 1-year run under --engine event)\n\
+         \x20 --scrub-iops N     token-bucket refill rate for budgeted tour policies\n\
+         \x20                    (experiments that sweep budgets scale their sweep by it)"
     );
     std::process::exit(2);
 }
@@ -137,6 +155,7 @@ fn parse_opts(exp: &str) -> Opts {
         engine: None,
         compare_engines: false,
         horizon_s: None,
+        scrub_iops: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut it = argv.iter();
@@ -187,6 +206,16 @@ fn parse_opts(exp: &str) -> Opts {
                 }
             }
             "--compare-engines" => opts.compare_engines = true,
+            "--scrub-iops" => {
+                let raw = value();
+                match raw.parse::<f64>() {
+                    Ok(s) if s.is_finite() && s > 0.0 => opts.scrub_iops = Some(s),
+                    _ => fail(
+                        exp,
+                        &format!("--scrub-iops must be a positive finite number, got {raw:?}"),
+                    ),
+                }
+            }
             "--horizon-s" => {
                 let raw = value();
                 match raw.parse::<f64>() {
@@ -288,6 +317,9 @@ where
     }
     if let Some(kind) = opts.engine {
         set_engine(kind);
+    }
+    if let Some(iops) = opts.scrub_iops {
+        set_scrub_iops(iops);
     }
     let threads = scrub_exec::default_threads();
     let mut scale = opts.scale.unwrap_or_else(Scale::from_env);

@@ -7,6 +7,7 @@ use crate::basic::BasicScrub;
 use crate::combined::CombinedScrub;
 use crate::policy::ScrubPolicy;
 use crate::threshold::ThresholdScrub;
+use crate::tour::{TourBudget, TourScrub};
 
 /// A scrub mechanism plus its parameters, as plain data.
 ///
@@ -15,7 +16,7 @@ use crate::threshold::ThresholdScrub;
 /// ```
 /// use scrub_core::PolicyKind;
 /// let kind = PolicyKind::combined_default(900.0);
-/// let policy = kind.build(65_536).expect("combined scrubs");
+/// let policy = kind.build(65_536, 8, 0).expect("combined scrubs");
 /// assert_eq!(policy.name(), "combined");
 /// ```
 #[derive(Debug, Clone, PartialEq)]
@@ -64,6 +65,22 @@ pub enum PolicyKind {
         /// Controller adjustment window (seconds).
         window_s: f64,
     },
+    /// IOPS-budgeted tour with randomized per-bank origins: scrub shares
+    /// a token bucket with demand traffic, with an anti-starvation boost
+    /// bounding every tour at `num_lines * (max_defer + 1)` slots
+    /// (extension mechanism; see `pcm_analysis::modelcheck`).
+    Tour {
+        /// Unthrottled tour period (seconds); sets the slot cadence.
+        interval_s: f64,
+        /// Write-back threshold (bit errors).
+        theta: u32,
+        /// Token-bucket refill rate (IOPS shared with demand traffic).
+        iops: f64,
+        /// Token-bucket capacity (burst allowance).
+        burst: f64,
+        /// Throttled slots tolerated before a probe is forced.
+        max_defer: u32,
+    },
     /// Everything together (the paper's proposed mechanism).
     Combined {
         /// Base full-sweep interval (seconds).
@@ -90,9 +107,12 @@ impl PolicyKind {
         }
     }
 
-    /// Instantiates the policy for a memory of `num_lines` lines;
-    /// `None` yields no policy.
-    pub fn build(&self, num_lines: u32) -> Option<Box<dyn ScrubPolicy>> {
+    /// Instantiates the policy for a memory of `num_lines` lines across
+    /// `banks` banks; `None` yields no policy. `seed` feeds policies with
+    /// randomized-but-deterministic structure (tour origins); the other
+    /// kinds ignore it.
+    pub fn build(&self, num_lines: u32, banks: u32, seed: u64) -> Option<Box<dyn ScrubPolicy>> {
+        let _ = (banks, seed);
         match *self {
             PolicyKind::None => None,
             PolicyKind::Basic { interval_s } => {
@@ -126,6 +146,24 @@ impl PolicyKind {
                 theta,
                 target_ue_per_gib_day,
                 window_s,
+            ))),
+            PolicyKind::Tour {
+                interval_s,
+                theta,
+                iops,
+                burst,
+                max_defer,
+            } => Some(Box::new(TourScrub::new(
+                interval_s,
+                num_lines,
+                banks,
+                theta,
+                TourBudget {
+                    iops,
+                    burst,
+                    max_defer,
+                },
+                seed,
             ))),
             PolicyKind::Combined {
                 interval_s,
@@ -163,6 +201,15 @@ impl PolicyKind {
                 window_s,
             } => format!(
                 "budget(i={interval_s}s,th={theta},target={target_ue_per_gib_day}/GiB-day,w={window_s}s)"
+            ),
+            PolicyKind::Tour {
+                interval_s,
+                theta,
+                iops,
+                burst,
+                max_defer,
+            } => format!(
+                "tour(i={interval_s}s,th={theta},iops={iops},burst={burst},defer={max_defer})"
             ),
             PolicyKind::Combined {
                 interval_s,
@@ -202,6 +249,13 @@ mod tests {
                 target_ue_per_gib_day: 10.0,
                 window_s: 3600.0,
             },
+            PolicyKind::Tour {
+                interval_s: 900.0,
+                theta: 3,
+                iops: 100.0,
+                burst: 16.0,
+                max_defer: 8,
+            },
             PolicyKind::combined_default(900.0),
         ];
         let names = [
@@ -210,10 +264,11 @@ mod tests {
             "age-aware",
             "adaptive",
             "budget",
+            "tour",
             "combined",
         ];
         for (k, want) in kinds.iter().zip(names) {
-            let p = k.build(1024).expect("scrubbing kind");
+            let p = k.build(1024, 8, 7).expect("scrubbing kind");
             assert_eq!(p.name(), want);
             assert!(!k.label().is_empty());
         }
@@ -221,7 +276,7 @@ mod tests {
 
     #[test]
     fn none_builds_nothing() {
-        assert!(PolicyKind::None.build(1024).is_none());
+        assert!(PolicyKind::None.build(1024, 8, 0).is_none());
         assert_eq!(PolicyKind::None.label(), "none");
     }
 }

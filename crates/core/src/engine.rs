@@ -103,6 +103,13 @@ impl ScrubEngine {
         self.policy.on_demand_write(addr, now);
     }
 
+    /// Forwards a demand-read notification to the policy. No telemetry
+    /// event is emitted (demand reads are already counted by the memory),
+    /// keeping event streams identical for pre-existing policies.
+    pub fn notify_demand_read(&mut self, addr: LineAddr, now: SimTime) {
+        self.policy.on_demand_read(addr, now);
+    }
+
     /// Executes the slot at [`ScrubEngine::next_slot`] and schedules the
     /// following one.
     pub fn step(&mut self, mem: &mut Memory) {

@@ -48,6 +48,7 @@ mod report;
 mod sim;
 mod threshold;
 pub mod tick;
+mod tour;
 
 pub use adaptive::AdaptiveScrub;
 pub use age_aware::AgeAwareScrub;
@@ -62,3 +63,4 @@ pub use policy::{BatchPlan, ScrubAction, ScrubContext, ScrubPolicy, SweepCursor}
 pub use report::SimReport;
 pub use sim::{DemandTraffic, SimConfig, SimConfigBuilder, Simulation};
 pub use threshold::ThresholdScrub;
+pub use tour::{TourBudget, TourScrub};

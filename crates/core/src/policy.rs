@@ -72,6 +72,11 @@ pub trait ScrubPolicy: fmt::Debug {
     /// Notification that a demand write refreshed `addr` at `now`.
     fn on_demand_write(&mut self, _addr: LineAddr, _now: SimTime) {}
 
+    /// Notification that a demand read touched `addr` at `now`. Budgeted
+    /// policies use this to charge demand traffic against the shared IOPS
+    /// token bucket; the default is a no-op.
+    fn on_demand_read(&mut self, _addr: LineAddr, _now: SimTime) {}
+
     /// Commits to the next `slots` slots as one batch, advancing internal
     /// cursors past them, and describes the batch for parallel execution.
     /// Policies whose decisions depend on cross-line state (adaptive

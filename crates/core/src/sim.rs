@@ -356,7 +356,11 @@ impl Simulation {
         }
         let engine = config
             .policy
-            .build(config.geometry.num_lines())
+            .build(
+                config.geometry.num_lines(),
+                config.geometry.banks(),
+                config.seed,
+            )
             .map(ScrubEngine::new);
         Self {
             config,
@@ -728,6 +732,9 @@ impl Simulation {
         match op.kind {
             OpKind::Read => {
                 let result = self.memory.demand_read(op.addr, op.at);
+                if let Some(e) = &mut self.engine {
+                    e.notify_demand_read(op.addr, op.at);
+                }
                 // Optional in-band scrub: repair heavily drifted
                 // lines the program happens to touch.
                 if let Some(theta) = self.config.inband_writeback_theta {

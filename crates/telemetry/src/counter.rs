@@ -73,11 +73,18 @@ pub enum Counter {
     /// Fault-campaign boundaries crossed (SEU window end, burst,
     /// intermittent period) — identical under both simulation cores.
     CampaignBoundaries,
+    /// Scrub slots deferred because the IOPS token bucket was empty.
+    BudgetThrottled,
+    /// Probes forced by the anti-starvation boost after `max_defer`
+    /// consecutive throttled slots.
+    BudgetForcedProbes,
+    /// Complete tours (every line probed once) finished by a tour policy.
+    ToursCompleted,
 }
 
 impl Counter {
     /// Every counter, in slot order.
-    pub const ALL: [Counter; 32] = [
+    pub const ALL: [Counter; 35] = [
         Counter::DemandReads,
         Counter::DemandWrites,
         Counter::ScrubProbes,
@@ -110,6 +117,9 @@ impl Counter {
         Counter::ExecRetries,
         Counter::ExecLostJobs,
         Counter::CampaignBoundaries,
+        Counter::BudgetThrottled,
+        Counter::BudgetForcedProbes,
+        Counter::ToursCompleted,
     ];
 
     /// Number of counter slots.
@@ -150,6 +160,9 @@ impl Counter {
             Counter::ExecRetries => "exec_retries",
             Counter::ExecLostJobs => "exec_lost_jobs",
             Counter::CampaignBoundaries => "campaign_boundaries",
+            Counter::BudgetThrottled => "budget_throttled",
+            Counter::BudgetForcedProbes => "budget_forced_probes",
+            Counter::ToursCompleted => "tours_completed",
         }
     }
 }
@@ -164,14 +177,18 @@ pub enum Gauge {
     ExecWorkersHighWater,
     /// Deepest pending-work queue observed by a stealing worker.
     ExecQueueDepthHighWater,
+    /// Longest observed tour (in scrub slots) for a budgeted tour policy;
+    /// the `ScrubProgress` bound caps this at `lines * (max_defer + 1)`.
+    StarvationMaxLag,
 }
 
 impl Gauge {
     /// Every gauge, in slot order.
-    pub const ALL: [Gauge; 3] = [
+    pub const ALL: [Gauge; 4] = [
         Gauge::ExecJobsHighWater,
         Gauge::ExecWorkersHighWater,
         Gauge::ExecQueueDepthHighWater,
+        Gauge::StarvationMaxLag,
     ];
 
     /// Number of gauge slots.
@@ -183,6 +200,7 @@ impl Gauge {
             Gauge::ExecJobsHighWater => "exec_jobs_high_water",
             Gauge::ExecWorkersHighWater => "exec_workers_high_water",
             Gauge::ExecQueueDepthHighWater => "exec_queue_depth_high_water",
+            Gauge::StarvationMaxLag => "starvation_max_lag",
         }
     }
 }

@@ -41,6 +41,13 @@ struct Args {
     checkpoint_out: Option<String>,
     checkpoint_every_s: Option<f64>,
     bench_out: Option<String>,
+    /// Token-bucket refill rate for `--policy tour`; `None` defaults to
+    /// 2x the nominal slot rate (an uncontended tour never throttles).
+    scrub_iops: Option<f64>,
+    /// Token-bucket capacity for `--policy tour`.
+    scrub_burst: f64,
+    /// Throttled slots tolerated before a tour probe is forced.
+    max_defer: u32,
 }
 
 fn usage() -> ! {
@@ -57,7 +64,10 @@ fn usage() -> ! {
          \x20               [--checkpoint-out SNAP --checkpoint-every SECS]\n\
          \x20                                run one segment, snapshot, exit (no report)\n\
          \x20               [--bench-out JSON]       write snapshot-size metrics\n\
-         policies:  none basic threshold age-aware adaptive combined\n\
+         \x20               [--scrub-iops N]  token-bucket budget for --policy tour\n\
+         \x20               [--scrub-burst N] bucket capacity (default 64)\n\
+         \x20               [--max-defer N]   throttled slots before a forced probe (default 8)\n\
+         policies:  none basic threshold age-aware adaptive tour combined\n\
          workloads: db-oltp db-olap web-serve logging stream batch kv-cache archive idle"
     );
     std::process::exit(2);
@@ -109,6 +119,9 @@ fn parse_args() -> Args {
         checkpoint_out: None,
         checkpoint_every_s: None,
         bench_out: None,
+        scrub_iops: None,
+        scrub_burst: 64.0,
+        max_defer: 8,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut it = argv.iter();
@@ -186,6 +199,28 @@ fn parse_args() -> Args {
                 args.checkpoint_every_s = Some(parse_positive_f64("--checkpoint-every", &raw));
             }
             "--bench-out" => args.bench_out = Some(value()),
+            "--scrub-iops" => {
+                let raw = value();
+                args.scrub_iops = Some(parse_positive_f64("--scrub-iops", &raw));
+            }
+            "--scrub-burst" => {
+                let raw = value();
+                let burst = parse_positive_f64("--scrub-burst", &raw);
+                if burst < 1.0 {
+                    fail(&format!(
+                        "--scrub-burst must hold at least one token, got {raw:?}"
+                    ));
+                }
+                args.scrub_burst = burst;
+            }
+            "--max-defer" => {
+                let raw = value();
+                args.max_defer = raw.parse().unwrap_or_else(|_| {
+                    fail(&format!(
+                        "--max-defer must be a non-negative integer, got {raw:?}"
+                    ))
+                });
+            }
             _ => usage(),
         }
     }
@@ -222,6 +257,17 @@ fn main() {
             theta,
             regions: 64,
         },
+        "tour" => PolicyKind::Tour {
+            interval_s: args.interval_s,
+            theta,
+            // Default budget: twice the nominal slot rate, so an
+            // uncontended tour never throttles.
+            iops: args
+                .scrub_iops
+                .unwrap_or(2.0 * args.lines as f64 / args.interval_s),
+            burst: args.scrub_burst,
+            max_defer: args.max_defer,
+        },
         "combined" => PolicyKind::Combined {
             interval_s: args.interval_s,
             theta,
@@ -230,6 +276,11 @@ fn main() {
         },
         other => fail(&format!("unknown policy {other:?}")),
     };
+    if args.policy_name != "tour"
+        && (args.scrub_iops.is_some() || args.scrub_burst != 64.0 || args.max_defer != 8)
+    {
+        fail("--scrub-iops/--scrub-burst/--max-defer require --policy tour");
+    }
     let traffic = match args.workload {
         Some(id) => DemandTraffic::suite(id),
         None => DemandTraffic::Idle,

@@ -1,0 +1,140 @@
+//! Negative-path coverage for the tour/budget CLI flags.
+//!
+//! Every malformed invocation must die with exit code 2 and a one-line
+//! stderr naming the offending flag — the same contract the campaign and
+//! checkpoint flags follow — and never start a simulation. One positive
+//! case pins the happy path so these tests cannot all pass vacuously.
+
+use std::process::{Command, Output};
+
+fn scrubsim(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_scrubsim"))
+        .args(args)
+        .output()
+        .expect("spawn scrubsim")
+}
+
+/// Asserts the invocation failed with exit 2 and exactly one stderr line
+/// mentioning `needle`.
+fn assert_rejected(args: &[&str], needle: &str) {
+    let out = scrubsim(args);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "{args:?} should exit 2, got {:?}\nstderr: {}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        stderr.trim_end().lines().count(),
+        1,
+        "{args:?} should print one line, got:\n{stderr}"
+    );
+    assert!(
+        stderr.contains(needle),
+        "{args:?} stderr should mention {needle:?}:\n{stderr}"
+    );
+    assert!(
+        out.stdout.is_empty(),
+        "{args:?} must not start simulating before validation"
+    );
+}
+
+#[test]
+fn scrub_iops_rejects_zero() {
+    assert_rejected(&["--policy", "tour", "--scrub-iops", "0"], "--scrub-iops");
+}
+
+#[test]
+fn scrub_iops_rejects_negative() {
+    assert_rejected(&["--policy", "tour", "--scrub-iops", "-3"], "--scrub-iops");
+}
+
+#[test]
+fn scrub_iops_rejects_nan_and_infinity() {
+    assert_rejected(&["--policy", "tour", "--scrub-iops", "NaN"], "--scrub-iops");
+    assert_rejected(&["--policy", "tour", "--scrub-iops", "inf"], "--scrub-iops");
+}
+
+#[test]
+fn scrub_iops_rejects_garbage() {
+    assert_rejected(
+        &["--policy", "tour", "--scrub-iops", "fast"],
+        "--scrub-iops",
+    );
+}
+
+#[test]
+fn scrub_burst_rejects_sub_token_bucket() {
+    assert_rejected(
+        &["--policy", "tour", "--scrub-burst", "0.5"],
+        "--scrub-burst",
+    );
+    assert_rejected(&["--policy", "tour", "--scrub-burst", "0"], "--scrub-burst");
+    assert_rejected(
+        &["--policy", "tour", "--scrub-burst", "NaN"],
+        "--scrub-burst",
+    );
+}
+
+#[test]
+fn max_defer_rejects_non_integers() {
+    assert_rejected(&["--policy", "tour", "--max-defer", "2.5"], "--max-defer");
+    assert_rejected(&["--policy", "tour", "--max-defer", "-1"], "--max-defer");
+    assert_rejected(&["--policy", "tour", "--max-defer", "many"], "--max-defer");
+}
+
+#[test]
+fn tour_flags_require_the_tour_policy() {
+    for flags in [
+        vec!["--policy", "basic", "--scrub-iops", "5"],
+        vec!["--policy", "threshold", "--scrub-burst", "32"],
+        vec!["--policy", "combined", "--max-defer", "4"],
+    ] {
+        assert_rejected(&flags, "require --policy tour");
+    }
+}
+
+#[test]
+fn unknown_policy_still_rejected_with_tour_flags_present() {
+    assert_rejected(
+        &["--policy", "grand-tour", "--scrub-iops", "5"],
+        "unknown policy",
+    );
+}
+
+/// Happy path: a tiny budgeted tour run completes, prints a report, and
+/// exits 0 — proving the rejection tests fail on validation, not on some
+/// unrelated breakage.
+#[test]
+fn valid_tour_invocation_runs() {
+    let out = scrubsim(&[
+        "--lines",
+        "256",
+        "--hours",
+        "0.1",
+        "--policy",
+        "tour",
+        "--scrub-iops",
+        "2",
+        "--scrub-burst",
+        "8",
+        "--max-defer",
+        "4",
+        "--workload",
+        "idle",
+        "--threads",
+        "1",
+    ]);
+    assert!(
+        out.status.success(),
+        "valid invocation failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("tour"),
+        "report should name the policy:\n{stdout}"
+    );
+}
