@@ -37,8 +37,8 @@ pub fn run(scale: Scale) -> String {
             let device = DeviceConfig::builder()
                 .drift(DriftParams::new(sigma, 1.0).with_scale(nu_scale))
                 .build();
-            let b = run_reps(&scale, &device, &base_code, &base_policy, traffic, 0xE10);
-            let c = run_reps(&scale, &device, &comb_code, &comb_policy, traffic, 0xE10);
+            let b = run_reps(&scale, &device, &base_code, &base_policy, &traffic, 0xE10);
+            let c = run_reps(&scale, &device, &comb_code, &comb_policy, &traffic, 0xE10);
             table.row(vec![
                 format!("{nu_scale:.1}"),
                 format!("{sigma:.1}"),

@@ -35,7 +35,7 @@ pub fn run(scale: Scale) -> String {
             &dev,
             &code,
             &PolicyKind::combined_default(900.0),
-            traffic_of,
+            &traffic_of,
             0xE12,
         );
         let gib = num_lines as f64 * 64.0 / (1u64 << 30) as f64;
@@ -56,7 +56,7 @@ pub fn run(scale: Scale) -> String {
             &dev,
             &code,
             &PolicyKind::combined_default(interval_s),
-            traffic_of,
+            &traffic_of,
             0xE12,
         );
         intv.row(vec![

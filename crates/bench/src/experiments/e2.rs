@@ -44,7 +44,7 @@ pub fn run(scale: Scale) -> String {
             &dev,
             &code,
             &PolicyKind::Basic { interval_s },
-            DemandTraffic::Idle,
+            &DemandTraffic::Idle,
             0xE2,
         );
         table.row(vec![

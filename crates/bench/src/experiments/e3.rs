@@ -38,7 +38,7 @@ pub fn run(scale: Scale) -> String {
             &PolicyKind::Basic {
                 interval_s: INTERVAL_S,
             },
-            traffic,
+            &traffic,
             0xE3,
         );
         let theta = code.guaranteed_t().saturating_sub(1).max(1);
@@ -50,7 +50,7 @@ pub fn run(scale: Scale) -> String {
                 interval_s: INTERVAL_S,
                 theta,
             },
-            traffic,
+            &traffic,
             0xE3,
         );
         table.row(vec![

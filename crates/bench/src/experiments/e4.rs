@@ -38,7 +38,7 @@ pub fn run(scale: Scale) -> String {
                 interval_s: INTERVAL_S,
                 theta,
             },
-            traffic,
+            &traffic,
             0xE4,
         );
         let base = *theta1_writes.get_or_insert(m.scrub_writes);

@@ -28,8 +28,8 @@ pub fn run(scale: Scale) -> String {
     ]);
     for id in WorkloadId::all() {
         let traffic = DemandTraffic::suite(id);
-        let b = run_reps(&scale, &dev, &base_code, &base_policy, traffic, 0xE7);
-        let c = run_reps(&scale, &dev, &comb_code, &comb_policy, traffic, 0xE7);
+        let b = run_reps(&scale, &dev, &base_code, &base_policy, &traffic, 0xE7);
+        let c = run_reps(&scale, &dev, &comb_code, &comb_policy, &traffic, 0xE7);
         table.row(vec![
             id.name().to_string(),
             fmt_count(b.ue),

@@ -56,7 +56,7 @@ pub fn run(scale: Scale) -> String {
             &device,
             &code,
             &PolicyKind::Basic { interval_s },
-            traffic,
+            &traffic,
             0xE8,
         );
         table.row(vec![
@@ -79,7 +79,7 @@ pub fn run(scale: Scale) -> String {
             theta: 3,
             regions: 64,
         },
-        traffic,
+        &traffic,
         0xE8,
     );
     table.row(vec![

@@ -37,7 +37,7 @@ pub fn run(scale: Scale) -> String {
         "latency_overhead",
     ]);
     for (label, code, policy) in roster_for_bandwidth() {
-        let m = run_reps(&scale, &dev, &code, &policy, traffic, 0xE9);
+        let m = run_reps(&scale, &dev, &code, &policy, &traffic, 0xE9);
         let share = (m.scrub_utilization * capacity_factor).min(0.99);
         let latency = if share >= 0.9 {
             BASE_READ_NS * 10.0

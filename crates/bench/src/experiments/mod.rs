@@ -10,6 +10,7 @@ pub mod e11;
 pub mod e12;
 pub mod e13;
 pub mod e14;
+pub mod e15;
 pub mod e2;
 pub mod e3;
 pub mod e4;
@@ -122,7 +123,7 @@ pub(crate) fn run_reps(
     device: &DeviceConfig,
     code: &CodeSpec,
     policy: &PolicyKind,
-    traffic: DemandTraffic,
+    traffic: &DemandTraffic,
     base_seed: u64,
 ) -> Metrics {
     run_reps_threads(
@@ -144,7 +145,7 @@ pub fn run_reps_threads(
     device: &DeviceConfig,
     code: &CodeSpec,
     policy: &PolicyKind,
-    traffic: DemandTraffic,
+    traffic: &DemandTraffic,
     base_seed: u64,
     threads: usize,
 ) -> Metrics {
@@ -156,7 +157,7 @@ pub fn run_reps_threads(
                 device.clone(),
                 code.clone(),
                 policy.clone(),
-                traffic,
+                traffic.clone(),
                 base_seed + rep as u64 * 1000,
                 inner,
             )
@@ -288,7 +289,7 @@ mod tests {
             &DeviceConfig::default(),
             &code,
             &policy,
-            DemandTraffic::Idle,
+            &DemandTraffic::Idle,
             9,
         );
         assert!(m.scrub_probes > 0.0);

@@ -48,7 +48,11 @@ pub enum ScrubAction {
 /// `probe_gap_s` sets the pacing, `next_action` picks the victim,
 /// `on_probe` decides the write-back, and `on_demand_write` lets policies
 /// track drift-clock resets caused by program writes.
-pub trait ScrubPolicy: fmt::Debug {
+///
+/// `Send` is a supertrait so whole simulations (which own their policy)
+/// can be fanned out across the `scrub-exec` pool, one fleet shard per
+/// worker.
+pub trait ScrubPolicy: fmt::Debug + Send {
     /// Short name for reports, e.g. `"basic"`.
     fn name(&self) -> &str;
 

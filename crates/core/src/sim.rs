@@ -6,7 +6,7 @@ use pcm_memsim::{
     SimTime, TraceSource,
 };
 use pcm_model::DeviceConfig;
-use pcm_workloads::WorkloadId;
+use pcm_workloads::{TenantMixSpec, WorkloadId};
 use scrub_checkpoint::{CheckpointError, Reader, Writer};
 use scrub_telemetry as tel;
 
@@ -16,7 +16,7 @@ use crate::event::{self, EngineKind, Ev, EvKind};
 use crate::report::SimReport;
 
 /// Demand-traffic selection for a run.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum DemandTraffic {
     /// No demand traffic: an idle (worst-case-drift) memory.
     Idle,
@@ -25,6 +25,19 @@ pub enum DemandTraffic {
         /// Which workload.
         id: WorkloadId,
         /// Rate multiplier (1.0 = nominal).
+        rate_scale: f64,
+    },
+    /// Open-loop multi-tenant demand: several per-tenant arrival streams
+    /// (seeded Poisson/periodic or suite-driven) merged in time order.
+    /// This is the fleet service's workload; unlike a custom trace
+    /// installed via [`Simulation::with_trace`], it is part of the config,
+    /// so checkpoints taken under it resume natively.
+    OpenLoop {
+        /// The tenant mix (names, rates, patterns).
+        spec: TenantMixSpec,
+        /// Rate multiplier applied to every tenant (1.0 = nominal). A
+        /// fleet that spreads the mix over `n` shards passes `1/n` here so
+        /// aggregate demand matches the spec.
         rate_scale: f64,
     },
 }
@@ -38,6 +51,14 @@ impl DemandTraffic {
         }
     }
 
+    /// Nominal-rate open-loop tenant-mix traffic.
+    pub fn open_loop(spec: TenantMixSpec) -> Self {
+        DemandTraffic::OpenLoop {
+            spec,
+            rate_scale: 1.0,
+        }
+    }
+
     fn label(&self) -> String {
         match self {
             DemandTraffic::Idle => "idle".to_string(),
@@ -46,6 +67,13 @@ impl DemandTraffic {
                     id.name().to_string()
                 } else {
                     format!("{}(x{rate_scale})", id.name())
+                }
+            }
+            DemandTraffic::OpenLoop { spec, rate_scale } => {
+                if (*rate_scale - 1.0).abs() < 1e-12 {
+                    format!("open-loop({spec})")
+                } else {
+                    format!("open-loop({spec})(x{rate_scale})")
                 }
             }
         }
@@ -290,7 +318,7 @@ impl SimConfigBuilder {
             device: self.device.clone(),
             code: self.code.clone(),
             policy: self.policy.clone(),
-            traffic: self.traffic,
+            traffic: self.traffic.clone(),
             horizon_s: self.horizon_s,
             seed: self.seed,
             wear_leveling: self.wear_leveling,
@@ -444,6 +472,14 @@ impl Simulation {
         &self.memory
     }
 
+    /// Per-tenant delivered-op accounting as `(tenant, reads, writes)`
+    /// rows, when the active demand trace multiplexes several tenant
+    /// streams ([`DemandTraffic::OpenLoop`]). `None` for single-stream or
+    /// idle traffic, or before the event loop has started.
+    pub fn tenant_ops(&self) -> Option<Vec<(String, u64, u64)>> {
+        self.trace.as_ref().and_then(|t| t.tenant_ops())
+    }
+
     /// Serializes the complete simulator state into a sealed snapshot
     /// (magic, schema version, CRC-32): per-bank RNG streams and line
     /// state, repair hierarchy, Start-Gap positions, policy and engine
@@ -462,7 +498,7 @@ impl Simulation {
     /// (installed via [`Simulation::with_trace`]) does not implement
     /// [`TraceSource::save_state`].
     pub fn checkpoint(&mut self) -> Result<Vec<u8>, CheckpointError> {
-        self.checkpoint_impl(false)
+        self.checkpoint_impl(false, false)
     }
 
     /// Test-only tripwire: identical to [`Simulation::checkpoint`] except
@@ -472,10 +508,25 @@ impl Simulation {
     /// field.
     #[doc(hidden)]
     pub fn checkpoint_omitting_bank0_rng(&mut self) -> Result<Vec<u8>, CheckpointError> {
-        self.checkpoint_impl(true)
+        self.checkpoint_impl(true, false)
     }
 
-    fn checkpoint_impl(&mut self, omit_bank0_rng: bool) -> Result<Vec<u8>, CheckpointError> {
+    /// Test-only tripwire: identical to [`Simulation::checkpoint`] except
+    /// the in-flight (drawn but not yet executed) demand op is dropped
+    /// from the snapshot — a structurally valid checkpoint that silently
+    /// loses one tenant's pending access. Exists so the shard-migration
+    /// differential harness can prove byte-identity checks catch a lossy
+    /// migration.
+    #[doc(hidden)]
+    pub fn checkpoint_dropping_pending(&mut self) -> Result<Vec<u8>, CheckpointError> {
+        self.checkpoint_impl(false, true)
+    }
+
+    fn checkpoint_impl(
+        &mut self,
+        omit_bank0_rng: bool,
+        drop_pending: bool,
+    ) -> Result<Vec<u8>, CheckpointError> {
         self.start();
         let mut w = Writer::new();
         w.put_bytes(&fingerprint(&self.config));
@@ -493,7 +544,7 @@ impl Simulation {
             }
             None => w.put_u8(0),
         }
-        match &self.pending {
+        match self.pending.as_ref().filter(|_| !drop_pending) {
             Some(op) => {
                 w.put_u8(1);
                 w.put_f64(op.at.secs());
@@ -640,11 +691,16 @@ impl Simulation {
     pub(crate) fn build_trace(&mut self) {
         self.trace = match self.custom_trace.take() {
             Some(t) => Some(t),
-            None => match self.config.traffic {
+            None => match &self.config.traffic {
                 DemandTraffic::Idle => None,
                 DemandTraffic::Suite { id, rate_scale } => Some(Box::new(id.build(
                     self.memory.demand_lines(),
-                    rate_scale,
+                    *rate_scale,
+                    self.config.seed.wrapping_add(0x9E37_79B9),
+                ))),
+                DemandTraffic::OpenLoop { spec, rate_scale } => Some(Box::new(spec.build(
+                    self.memory.demand_lines(),
+                    *rate_scale,
                     self.config.seed.wrapping_add(0x9E37_79B9),
                 ))),
             },
@@ -1044,7 +1100,7 @@ mod tests {
                         .num_lines(1024)
                         .policy(policy.clone())
                         .code(CodeSpec::bch_line(6))
-                        .traffic(*traffic)
+                        .traffic(traffic.clone())
                         .horizon_s(3.0 * 3600.0)
                         .seed(33)
                         .threads(threads)

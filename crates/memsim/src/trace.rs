@@ -47,8 +47,10 @@ impl MemOp {
 /// Anything that produces a time-ordered stream of demand accesses.
 ///
 /// Generators must yield non-decreasing timestamps; the simulation loop
-/// asserts this.
-pub trait TraceSource: std::fmt::Debug {
+/// asserts this. `Send` is a supertrait so whole simulations (which own
+/// their trace) can be fanned out across the `scrub-exec` pool — e.g. one
+/// fleet shard per worker in `scrubd`.
+pub trait TraceSource: std::fmt::Debug + Send {
     /// Produces the next access, or `None` when the trace is exhausted.
     fn next_op(&mut self) -> Option<MemOp>;
 
@@ -70,6 +72,13 @@ pub trait TraceSource: std::fmt::Debug {
             "trace source {:?} does not support checkpoint/resume",
             self.name()
         ))
+    }
+
+    /// Per-tenant delivered-op accounting as `(tenant, reads, writes)`
+    /// rows, for sources that multiplex several demand streams (the
+    /// open-loop tenant mix). Single-stream sources report `None`.
+    fn tenant_ops(&self) -> Option<Vec<(String, u64, u64)>> {
+        None
     }
 }
 

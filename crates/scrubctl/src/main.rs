@@ -1,0 +1,157 @@
+//! `scrubctl` — client CLI for the `scrubd` fleet service.
+//!
+//! ```text
+//! scrubctl --control DIR status                      # fleet + shard table
+//! scrubctl --control DIR slo                         # per-tenant service levels
+//! scrubctl --control DIR rollup                      # merged fleet telemetry (JSON)
+//! scrubctl --control DIR migrate --shard N [--worker M]
+//! scrubctl --control DIR snapshot                    # checkpoint every shard
+//! scrubctl --control DIR stop                        # end the run early
+//! ```
+//!
+//! Reads the daemon's atomically-published `status.json` / `rollup.json`
+//! and drops numbered command files the daemon consumes at cadence
+//! boundaries. Commands that name fleet objects (a shard id) are
+//! validated against the latest status document *before* submission, so
+//! typos fail here — one line on stderr, exit 2 — instead of being
+//! silently ignored by the daemon.
+
+use scrubd::status::{self, FleetStatus};
+use scrubd::{Command, ControlDir};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("scrubctl: {msg}");
+    std::process::exit(2);
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: scrubctl --control DIR (status | slo | rollup | migrate --shard N \
+         [--worker M] | snapshot | stop)"
+    );
+    std::process::exit(2);
+}
+
+fn load_status(ctl: &ControlDir) -> FleetStatus {
+    let path = ctl.status_path();
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|_| {
+        fail(&format!(
+            "no fleet status at {} (is scrubd running with this --control dir?)",
+            path.display()
+        ))
+    });
+    status::parse(&text).unwrap_or_else(|e| fail(&format!("malformed status document: {e}")))
+}
+
+fn print_status(s: &FleetStatus) {
+    println!(
+        "fleet: {} | round {} | t={:.0}s / {:.0}s | {} banks in {} shards | policy {}",
+        s.state.name(),
+        s.round,
+        s.clock_s,
+        s.horizon_s,
+        s.banks,
+        s.shards.len(),
+        s.policy
+    );
+    println!(
+        "{:>5} {:>6} {:>10} {:>10} {:>12} {:>6}",
+        "shard", "worker", "clock_s", "migrations", "demand_ops", "ue"
+    );
+    for sh in &s.shards {
+        println!(
+            "{:>5} {:>6} {:>10.0} {:>10} {:>12} {:>6}",
+            sh.id, sh.worker, sh.clock_s, sh.migrations, sh.demand_ops, sh.ue
+        );
+    }
+}
+
+fn print_slo(s: &FleetStatus) {
+    println!(
+        "{:<16} {:>14} {:>12} {:>12} {:>10}",
+        "tenant", "expected_ops", "reads", "writes", "attainment"
+    );
+    for t in &s.slo {
+        println!(
+            "{:<16} {:>14.0} {:>12} {:>12} {:>10.3}",
+            t.name, t.expected_ops, t.reads, t.writes, t.attainment
+        );
+    }
+}
+
+fn main() {
+    let mut control: Option<String> = None;
+    let mut verb: Option<String> = None;
+    let mut shard: Option<u32> = None;
+    let mut worker: Option<u32> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = || {
+            it.next()
+                .unwrap_or_else(|| fail(&format!("{arg} requires a value")))
+        };
+        let int_value = |raw: String, what: &str| -> u32 {
+            raw.parse().unwrap_or_else(|_| {
+                fail(&format!(
+                    "{what} must be a non-negative integer, got {raw:?}"
+                ))
+            })
+        };
+        match arg.as_str() {
+            "--control" => control = Some(value()),
+            "--shard" => shard = Some(int_value(value(), "--shard")),
+            "--worker" => worker = Some(int_value(value(), "--worker")),
+            "status" | "slo" | "rollup" | "migrate" | "snapshot" | "stop" => {
+                if verb.is_some() {
+                    usage();
+                }
+                verb = Some(arg);
+            }
+            _ => usage(),
+        }
+    }
+    let control = control.unwrap_or_else(|| fail("--control is required"));
+    let verb = verb.unwrap_or_else(|| usage());
+    let ctl = ControlDir::new(&control);
+    if shard.is_some() && verb != "migrate" {
+        fail("--shard only applies to migrate");
+    }
+    if worker.is_some() && verb != "migrate" {
+        fail("--worker only applies to migrate");
+    }
+    match verb.as_str() {
+        "status" => print_status(&load_status(&ctl)),
+        "slo" => print_slo(&load_status(&ctl)),
+        "rollup" => {
+            let path = ctl.rollup_path();
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|_| fail(&format!("no fleet rollup at {}", path.display())));
+            print!("{text}");
+        }
+        "migrate" => {
+            let shard = shard.unwrap_or_else(|| fail("migrate requires --shard N"));
+            let status = load_status(&ctl);
+            if !status.shards.iter().any(|s| s.id == shard) {
+                fail(&format!(
+                    "unknown shard id {shard} (fleet has {})",
+                    status.shards.len()
+                ));
+            }
+            let path = ctl
+                .submit(&Command::Migrate { shard, worker })
+                .unwrap_or_else(|e| fail(&e));
+            println!("submitted {}", path.display());
+        }
+        "snapshot" | "stop" => {
+            load_status(&ctl); // a control dir nobody serves is an error
+            let cmd = if verb == "snapshot" {
+                Command::Snapshot
+            } else {
+                Command::Stop
+            };
+            let path = ctl.submit(&cmd).unwrap_or_else(|e| fail(&e));
+            println!("submitted {}", path.display());
+        }
+        _ => usage(),
+    }
+}

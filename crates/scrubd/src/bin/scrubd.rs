@@ -1,0 +1,186 @@
+//! `scrubd` — the fleet daemon.
+//!
+//! ```text
+//! scrubd --config fleet.conf --control /run/scrub-fleet [--round-wall-ms 0] [--quiet]
+//! ```
+//!
+//! Loads the fleet config, then advances the fleet one cadence round at a
+//! time. After every round it atomically rewrites `status.json`,
+//! `rollup.json`, and the per-shard telemetry under `shards/`, then
+//! consumes any pending `scrubctl` commands (migrate / snapshot / stop).
+//! `--round-wall-ms` throttles wall-clock pacing so an interactive
+//! `scrubctl` can land commands mid-run; the default of 0 runs the
+//! horizon as fast as it simulates. Exit code 2 flags bad input, with a
+//! single-line error on stderr.
+
+use std::process::ExitCode;
+
+use scrubd::status::{self, FleetState};
+use scrubd::{Command, ControlDir, Fleet, FleetConfig};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("scrubd: {msg}");
+    std::process::exit(2);
+}
+
+fn usage() -> ! {
+    eprintln!("usage: scrubd --config FILE --control DIR [--round-wall-ms N] [--quiet]");
+    std::process::exit(2);
+}
+
+struct Args {
+    config: String,
+    control: String,
+    round_wall_ms: u64,
+    quiet: bool,
+}
+
+fn parse_args() -> Args {
+    let mut config = None;
+    let mut control = None;
+    let mut round_wall_ms = 0;
+    let mut quiet = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = || {
+            it.next()
+                .unwrap_or_else(|| fail(&format!("{arg} requires a value")))
+        };
+        match arg.as_str() {
+            "--config" => config = Some(value()),
+            "--control" => control = Some(value()),
+            "--round-wall-ms" => {
+                let raw = value();
+                round_wall_ms = raw.parse().unwrap_or_else(|_| {
+                    fail(&format!(
+                        "--round-wall-ms must be a non-negative integer, got {raw:?}"
+                    ))
+                });
+            }
+            "--quiet" => quiet = true,
+            _ => usage(),
+        }
+    }
+    Args {
+        config: config.unwrap_or_else(|| fail("--config is required")),
+        control: control.unwrap_or_else(|| fail("--control is required")),
+        round_wall_ms,
+        quiet,
+    }
+}
+
+/// Writes the round's telemetry artifacts; any I/O failure is fatal (the
+/// control plane is the daemon's only output).
+fn publish(fleet: &Fleet, ctl: &ControlDir, state: FleetState) {
+    for shard in fleet.shards() {
+        let doc = fleet
+            .shard_document(shard.id)
+            .expect("every shard documents itself");
+        ctl.write_atomic(&ctl.shard_doc_path(shard.id), doc.to_json().as_bytes())
+            .unwrap_or_else(|e| fail(&e));
+    }
+    ctl.write_atomic(&ctl.rollup_path(), fleet.rollup().to_json().as_bytes())
+        .unwrap_or_else(|e| fail(&e));
+    ctl.write_atomic(&ctl.status_path(), status::render(fleet, state).as_bytes())
+        .unwrap_or_else(|e| fail(&e));
+}
+
+/// Applies every pending command. Returns `true` if a stop was consumed.
+fn apply_commands(fleet: &mut Fleet, ctl: &ControlDir, quiet: bool) -> bool {
+    let mut stop = false;
+    for cmd in ctl.take_pending().unwrap_or_else(|e| fail(&e)) {
+        match cmd {
+            Ok(Command::Migrate { shard, worker }) => match fleet.migrate(shard, worker) {
+                Ok(m) => {
+                    ctl.write_atomic(&ctl.snapshot_path(m.shard), &m.snapshot)
+                        .unwrap_or_else(|e| fail(&e));
+                    if !quiet {
+                        eprintln!(
+                            "scrubd: migrated shard {} worker {} -> {} ({} snapshot bytes)",
+                            m.shard,
+                            m.from_worker,
+                            m.to_worker,
+                            m.snapshot.len()
+                        );
+                    }
+                }
+                Err(e) => eprintln!("scrubd: migrate failed: {e}"),
+            },
+            Ok(Command::Snapshot) => {
+                let ids: Vec<u32> = fleet.shards().iter().map(|s| s.id).collect();
+                for id in ids {
+                    let bytes = fleet.snapshot_shard(id).unwrap_or_else(|e| fail(&e));
+                    ctl.write_atomic(&ctl.snapshot_path(id), &bytes)
+                        .unwrap_or_else(|e| fail(&e));
+                }
+                if !quiet {
+                    eprintln!("scrubd: snapshotted {} shards", fleet.shards().len());
+                }
+            }
+            Ok(Command::Stop) => stop = true,
+            Err(e) => eprintln!("scrubd: ignoring malformed command: {e}"),
+        }
+    }
+    stop
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    if let Err(e) = scrub_exec::env_threads() {
+        fail(&e);
+    }
+    let text = std::fs::read_to_string(&args.config)
+        .unwrap_or_else(|e| fail(&format!("cannot read config {:?}: {e}", args.config)));
+    let config: FleetConfig = text.parse().unwrap_or_else(|e: String| fail(&e));
+    let ctl = ControlDir::new(&args.control);
+    ctl.ensure_layout().unwrap_or_else(|e| fail(&e));
+
+    let mut fleet = Fleet::new(config);
+    if !args.quiet {
+        eprintln!(
+            "scrubd: fleet of {} banks in {} shards, horizon {}s, cadence {}s",
+            fleet.config().banks,
+            fleet.config().shards,
+            fleet.config().horizon_s,
+            fleet.config().cadence_s
+        );
+    }
+    publish(&fleet, &ctl, FleetState::Running);
+    let mut state = FleetState::Running;
+    while !fleet.done() {
+        if apply_commands(&mut fleet, &ctl, args.quiet) {
+            state = FleetState::Stopped;
+            break;
+        }
+        fleet.advance_round();
+        publish(
+            &fleet,
+            &ctl,
+            if fleet.done() {
+                FleetState::Finished
+            } else {
+                FleetState::Running
+            },
+        );
+        if args.round_wall_ms > 0 && !fleet.done() {
+            std::thread::sleep(std::time::Duration::from_millis(args.round_wall_ms));
+        }
+    }
+    if state == FleetState::Running {
+        state = FleetState::Finished;
+    }
+    // A post-horizon stop/snapshot backlog still deserves consumption so
+    // `scrubctl stop` against a finished fleet is not an error.
+    apply_commands(&mut fleet, &ctl, args.quiet);
+    publish(&fleet, &ctl, state);
+    if !args.quiet {
+        eprintln!(
+            "scrubd: {} after {} rounds at t={}s ({} migrations)",
+            state.name(),
+            fleet.round(),
+            fleet.clock_s(),
+            fleet.migrations()
+        );
+    }
+    ExitCode::SUCCESS
+}

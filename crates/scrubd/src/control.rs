@@ -1,0 +1,281 @@
+//! The file-based control plane between `scrubd` and `scrubctl`.
+//!
+//! A *control directory* is the rendezvous: the daemon writes
+//! `status.json`, `rollup.json`, and per-shard telemetry under `shards/`;
+//! the client drops numbered command files under `cmd/` which the daemon
+//! consumes at cadence boundaries, in sequence order. Everything is
+//! plain files written atomically (temp + rename), so a reader never
+//! observes a torn document and no sockets or daemonized IPC are needed —
+//! the protocol works identically in CI, tests, and interactive use.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::str::FromStr;
+
+/// A control verb, as carried by one command file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// Drain a shard to a checkpoint and resume it on another worker.
+    Migrate {
+        /// Which shard to move.
+        shard: u32,
+        /// Destination worker, or `None` for round-robin.
+        worker: Option<u32>,
+    },
+    /// Checkpoint every shard into `snapshots/` without stopping.
+    Snapshot,
+    /// Finish the current round, write final telemetry, and exit.
+    Stop,
+}
+
+impl std::fmt::Display for Command {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Command::Migrate {
+                shard,
+                worker: Some(w),
+            } => write!(f, "migrate shard={shard} worker={w}"),
+            Command::Migrate {
+                shard,
+                worker: None,
+            } => write!(f, "migrate shard={shard}"),
+            Command::Snapshot => write!(f, "snapshot"),
+            Command::Stop => write!(f, "stop"),
+        }
+    }
+}
+
+impl FromStr for Command {
+    type Err = String;
+
+    fn from_str(text: &str) -> Result<Self, String> {
+        let mut words = text.split_whitespace();
+        let verb = words.next().ok_or("empty command")?;
+        let mut shard: Option<u32> = None;
+        let mut worker: Option<u32> = None;
+        for w in words {
+            let (k, v) = w
+                .split_once('=')
+                .ok_or_else(|| format!("malformed command argument {w:?}"))?;
+            let parsed = v
+                .parse::<u32>()
+                .map_err(|_| format!("command argument {k}={v:?} is not an integer"))?;
+            match k {
+                "shard" => shard = Some(parsed),
+                "worker" => worker = Some(parsed),
+                other => return Err(format!("unknown command argument {other:?}")),
+            }
+        }
+        match verb {
+            "migrate" => Ok(Command::Migrate {
+                shard: shard.ok_or("migrate requires shard=N")?,
+                worker,
+            }),
+            "snapshot" if shard.is_none() && worker.is_none() => Ok(Command::Snapshot),
+            "stop" if shard.is_none() && worker.is_none() => Ok(Command::Stop),
+            "snapshot" | "stop" => Err(format!("{verb} takes no arguments")),
+            other => Err(format!("unknown command {other:?}")),
+        }
+    }
+}
+
+/// Handle to a control directory (creating the layout on demand).
+#[derive(Debug, Clone)]
+pub struct ControlDir {
+    root: PathBuf,
+}
+
+impl ControlDir {
+    /// Wraps `root` without touching the filesystem.
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        Self { root: root.into() }
+    }
+
+    /// The directory itself.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Creates `cmd/`, `shards/`, and `snapshots/`.
+    pub fn ensure_layout(&self) -> Result<(), String> {
+        for sub in ["cmd", "shards", "snapshots"] {
+            fs::create_dir_all(self.root.join(sub))
+                .map_err(|e| format!("cannot create {}/{sub}: {e}", self.root.display()))?;
+        }
+        Ok(())
+    }
+
+    /// Path of the daemon-maintained fleet status document.
+    pub fn status_path(&self) -> PathBuf {
+        self.root.join("status.json")
+    }
+
+    /// Path of the merged fleet telemetry roll-up.
+    pub fn rollup_path(&self) -> PathBuf {
+        self.root.join("rollup.json")
+    }
+
+    /// Path of one shard's telemetry document.
+    pub fn shard_doc_path(&self, shard: u32) -> PathBuf {
+        self.root.join(format!("shards/shard-{shard:04}.json"))
+    }
+
+    /// Path of one shard's checkpoint snapshot.
+    pub fn snapshot_path(&self, shard: u32) -> PathBuf {
+        self.root.join(format!("snapshots/shard-{shard:04}.ckpt"))
+    }
+
+    /// Writes `content` to `path` atomically (temp file + rename), so a
+    /// concurrent reader sees either the old or the new document, never a
+    /// prefix.
+    pub fn write_atomic(&self, path: &Path, content: &[u8]) -> Result<(), String> {
+        let tmp = path.with_extension("tmp");
+        fs::write(&tmp, content).map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
+        fs::rename(&tmp, path).map_err(|e| format!("cannot move {} into place: {e}", tmp.display()))
+    }
+
+    /// Submits a command: the next free sequence number under `cmd/`.
+    pub fn submit(&self, cmd: &Command) -> Result<PathBuf, String> {
+        self.ensure_layout()?;
+        let seq = self
+            .list_command_files()?
+            .last()
+            .and_then(|p| Self::seq_of(p))
+            .map_or(0, |n| n + 1);
+        let path = self.root.join(format!("cmd/{seq:06}.cmd"));
+        self.write_atomic(&path, format!("{cmd}\n").as_bytes())?;
+        Ok(path)
+    }
+
+    /// Reads and *consumes* every pending command, in sequence order.
+    /// A malformed command file is an error (the daemon reports it and
+    /// keeps running; the file is consumed either way).
+    pub fn take_pending(&self) -> Result<Vec<Result<Command, String>>, String> {
+        let files = self.list_command_files()?;
+        let mut out = Vec::with_capacity(files.len());
+        for path in files {
+            let text = fs::read_to_string(&path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            fs::remove_file(&path)
+                .map_err(|e| format!("cannot consume {}: {e}", path.display()))?;
+            out.push(
+                text.trim()
+                    .parse::<Command>()
+                    .map_err(|e| format!("{}: {e}", path.display())),
+            );
+        }
+        Ok(out)
+    }
+
+    /// Lists pending command files without consuming them.
+    pub fn pending(&self) -> Result<Vec<PathBuf>, String> {
+        self.list_command_files()
+    }
+
+    fn list_command_files(&self) -> Result<Vec<PathBuf>, String> {
+        let dir = self.root.join("cmd");
+        if !dir.exists() {
+            return Ok(Vec::new());
+        }
+        let mut files: Vec<PathBuf> = fs::read_dir(&dir)
+            .map_err(|e| format!("cannot list {}: {e}", dir.display()))?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|ext| ext == "cmd"))
+            .collect();
+        files.sort();
+        Ok(files)
+    }
+
+    fn seq_of(path: &Path) -> Option<u64> {
+        path.file_stem()?.to_str()?.parse().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_control(tag: &str) -> ControlDir {
+        let dir = std::env::temp_dir().join(format!("scrubd-control-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        ControlDir::new(dir)
+    }
+
+    #[test]
+    fn commands_round_trip_through_display() {
+        let cases = [
+            Command::Migrate {
+                shard: 3,
+                worker: Some(1),
+            },
+            Command::Migrate {
+                shard: 0,
+                worker: None,
+            },
+            Command::Snapshot,
+            Command::Stop,
+        ];
+        for cmd in cases {
+            let text = cmd.to_string();
+            assert_eq!(text.parse::<Command>().expect("parses"), cmd, "{text}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_commands() {
+        for (text, needle) in [
+            ("", "empty"),
+            ("migrate", "requires shard"),
+            ("migrate shard=x", "not an integer"),
+            ("migrate pants=3", "unknown command argument"),
+            ("stop shard=1", "takes no arguments"),
+            ("reboot", "unknown command"),
+        ] {
+            let err = text.parse::<Command>().expect_err(text);
+            assert!(err.contains(needle), "{text:?} -> {err:?}");
+        }
+    }
+
+    #[test]
+    fn submit_and_take_preserve_sequence_order() {
+        let ctl = tmp_control("seq");
+        ctl.submit(&Command::Snapshot).expect("submit");
+        ctl.submit(&Command::Migrate {
+            shard: 1,
+            worker: None,
+        })
+        .expect("submit");
+        ctl.submit(&Command::Stop).expect("submit");
+        assert_eq!(ctl.pending().expect("list").len(), 3);
+        let taken: Vec<Command> = ctl
+            .take_pending()
+            .expect("take")
+            .into_iter()
+            .map(|r| r.expect("well-formed"))
+            .collect();
+        assert_eq!(
+            taken,
+            vec![
+                Command::Snapshot,
+                Command::Migrate {
+                    shard: 1,
+                    worker: None
+                },
+                Command::Stop
+            ]
+        );
+        assert!(ctl.take_pending().expect("take").is_empty(), "consumed");
+        let _ = fs::remove_dir_all(ctl.root());
+    }
+
+    #[test]
+    fn atomic_write_replaces_whole_documents() {
+        let ctl = tmp_control("atomic");
+        ctl.ensure_layout().expect("layout");
+        let path = ctl.status_path();
+        ctl.write_atomic(&path, b"{\"v\": 1}").expect("write");
+        ctl.write_atomic(&path, b"{\"v\": 2}").expect("write");
+        assert_eq!(fs::read_to_string(&path).expect("read"), "{\"v\": 2}");
+        let _ = fs::remove_dir_all(ctl.root());
+    }
+}

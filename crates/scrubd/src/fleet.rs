@@ -1,0 +1,425 @@
+//! The fleet engine: many shard simulations advanced in cadence rounds
+//! over the `scrub-exec` pool, with checkpoint-backed shard migration and
+//! telemetry roll-ups.
+//!
+//! A *shard* is one complete [`Simulation`] covering `banks/shards` banks
+//! under the full tenant mix at `1/shards` rate. Shards are independent
+//! and seed-deterministic, so the fleet advances them in parallel —
+//! results are bit-identical for every worker count — and a shard drained
+//! to a checkpoint resumes byte-identically on any other worker
+//! (migration changes *where* a shard runs, never *what* it computes).
+
+use pcm_memsim::MemStats;
+use scrub_core::Simulation;
+use scrub_telemetry::Document;
+
+use crate::config::FleetConfig;
+
+/// One shard: a simulation plus its placement bookkeeping.
+#[derive(Debug)]
+pub struct Shard {
+    /// Shard id, `0..config.shards`.
+    pub id: u32,
+    /// Worker the shard is currently placed on (round-robin at start;
+    /// migration moves it).
+    pub worker: u32,
+    /// Times this shard has been drained and resumed elsewhere.
+    pub migrations: u64,
+    sim: Simulation,
+}
+
+impl Shard {
+    /// Simulated time this shard has covered.
+    pub fn clock_s(&self) -> f64 {
+        self.sim.clock_s()
+    }
+
+    /// Cumulative memory statistics.
+    pub fn stats(&self) -> MemStats {
+        self.sim.memory().stats()
+    }
+
+    /// Per-tenant `(name, reads, writes)` delivered-op rows.
+    pub fn tenant_ops(&self) -> Vec<(String, u64, u64)> {
+        self.sim.tenant_ops().unwrap_or_default()
+    }
+}
+
+/// What a completed migration did, for status output and tests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Migration {
+    /// Which shard moved.
+    pub shard: u32,
+    /// Worker it was drained from.
+    pub from_worker: u32,
+    /// Worker it resumed on.
+    pub to_worker: u32,
+    /// The drained snapshot (sealed checkpoint bytes) — the exact bytes
+    /// the destination resumed from.
+    pub snapshot: Vec<u8>,
+}
+
+/// The whole fleet: every shard plus round bookkeeping.
+#[derive(Debug)]
+pub struct Fleet {
+    config: FleetConfig,
+    shards: Vec<Shard>,
+    round: u64,
+}
+
+impl Fleet {
+    /// Builds every shard simulation; shard `i` starts on worker
+    /// `i % pool_threads()`.
+    pub fn new(config: FleetConfig) -> Fleet {
+        let workers = config.pool_threads() as u32;
+        let shards = (0..config.shards)
+            .map(|id| Shard {
+                id,
+                worker: id % workers.max(1),
+                migrations: 0,
+                sim: Simulation::new(config.shard_config(id)),
+            })
+            .collect();
+        Fleet {
+            config,
+            shards,
+            round: 0,
+        }
+    }
+
+    /// The fleet configuration.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// The shards, in id order.
+    pub fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    /// Completed cadence rounds.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Fleet simulated clock: the time every shard has covered (shards
+    /// advance in lockstep rounds, so this is any shard's clock).
+    pub fn clock_s(&self) -> f64 {
+        self.shards.first().map_or(0.0, Shard::clock_s)
+    }
+
+    /// Whether every shard has reached the horizon.
+    pub fn done(&self) -> bool {
+        self.shards
+            .iter()
+            .all(|s| s.clock_s() >= self.config.horizon_s)
+    }
+
+    /// Advances every shard to the next cadence boundary (clamped to the
+    /// horizon), fanning shards out over the pool. Shards are
+    /// independent, so results are bit-identical for every thread count.
+    pub fn advance_round(&mut self) {
+        self.round += 1;
+        let target = (self.round as f64 * self.config.cadence_s).min(self.config.horizon_s);
+        let threads = self.config.pool_threads();
+        let shards = std::mem::take(&mut self.shards);
+        self.shards = scrub_exec::par_map(threads, shards, |_, mut shard| {
+            shard.sim.run_to(target);
+            shard
+        });
+    }
+
+    /// Drains `shard` to a checkpoint and resumes it on `to_worker` (or
+    /// the next worker round-robin) — the destination rebuilds the
+    /// simulation from config and overlays the drained state, continuing
+    /// bit-identically. Fails on an unknown shard id or a checkpoint
+    /// error; the shard is untouched on failure.
+    pub fn migrate(&mut self, shard: u32, to_worker: Option<u32>) -> Result<Migration, String> {
+        self.migrate_impl(shard, to_worker, false)
+    }
+
+    /// Test-only tripwire: a migration whose drained snapshot silently
+    /// drops the in-flight demand op (via
+    /// `Simulation::checkpoint_dropping_pending`). Exists so the
+    /// differential harness can prove byte-identity checks catch a lossy
+    /// migration.
+    #[doc(hidden)]
+    pub fn migrate_dropping_pending(
+        &mut self,
+        shard: u32,
+        to_worker: Option<u32>,
+    ) -> Result<Migration, String> {
+        self.migrate_impl(shard, to_worker, true)
+    }
+
+    fn migrate_impl(
+        &mut self,
+        shard: u32,
+        to_worker: Option<u32>,
+        drop_pending: bool,
+    ) -> Result<Migration, String> {
+        let workers = self.config.pool_threads() as u32;
+        let idx = self
+            .shards
+            .iter()
+            .position(|s| s.id == shard)
+            .ok_or_else(|| format!("unknown shard id {shard} (fleet has {})", self.shards.len()))?;
+        let from_worker = self.shards[idx].worker;
+        let to_worker = to_worker.unwrap_or((from_worker + 1) % workers.max(1));
+        let snapshot = if drop_pending {
+            self.shards[idx].sim.checkpoint_dropping_pending()
+        } else {
+            self.shards[idx].sim.checkpoint()
+        }
+        .map_err(|e| format!("cannot drain shard {shard}: {e}"))?;
+        let resumed = Simulation::resume(self.config.shard_config(shard), &snapshot)
+            .map_err(|e| format!("cannot resume shard {shard}: {e}"))?;
+        let sh = &mut self.shards[idx];
+        sh.sim = resumed;
+        sh.worker = to_worker;
+        sh.migrations += 1;
+        Ok(Migration {
+            shard,
+            from_worker,
+            to_worker,
+            snapshot,
+        })
+    }
+
+    /// Checkpoints `shard` without moving it (the `snapshot` control
+    /// verb).
+    pub fn snapshot_shard(&mut self, shard: u32) -> Result<Vec<u8>, String> {
+        let idx = self
+            .shards
+            .iter()
+            .position(|s| s.id == shard)
+            .ok_or_else(|| format!("unknown shard id {shard} (fleet has {})", self.shards.len()))?;
+        self.shards[idx]
+            .sim
+            .checkpoint()
+            .map_err(|e| format!("cannot snapshot shard {shard}: {e}"))
+    }
+
+    /// Total completed migrations across all shards.
+    pub fn migrations(&self) -> u64 {
+        self.shards.iter().map(|s| s.migrations).sum()
+    }
+
+    /// One shard's telemetry document: cumulative `fleet.*` counters (so
+    /// [`Document::merge_segments`] sums them into exact fleet totals),
+    /// per-tenant delivered-op counters, and shard-keyed values.
+    pub fn shard_document(&self, shard: u32) -> Option<Document> {
+        let sh = self.shards.iter().find(|s| s.id == shard)?;
+        let stats = sh.stats();
+        let mut doc = Document::default();
+        doc.meta.insert("shard".into(), sh.id.to_string());
+        doc.counters
+            .insert("fleet.demand_reads".into(), stats.demand_reads);
+        doc.counters
+            .insert("fleet.demand_writes".into(), stats.demand_writes);
+        doc.counters
+            .insert("fleet.scrub_probes".into(), stats.scrub_probes);
+        doc.counters
+            .insert("fleet.scrub_writebacks".into(), stats.scrub_writebacks);
+        doc.counters
+            .insert("fleet.corrected_bits".into(), stats.corrected_bits);
+        doc.counters
+            .insert("fleet.detected_ue".into(), stats.detected_ue);
+        doc.counters
+            .insert("fleet.demand_ue".into(), stats.demand_ue);
+        for (tenant, reads, writes) in sh.tenant_ops() {
+            doc.counters.insert(format!("tenant.{tenant}.reads"), reads);
+            doc.counters
+                .insert(format!("tenant.{tenant}.writes"), writes);
+        }
+        // Gauges keep their maximum across a merge: the rollup reports
+        // the fleet high-water clock even if a shard lags a partial
+        // round at the horizon.
+        doc.gauges.insert(
+            "fleet.clock_ms".into(),
+            (sh.clock_s() * 1000.0).round() as u64,
+        );
+        // Placement bookkeeping (worker, migration counts) deliberately
+        // stays out of telemetry: where a shard runs must never shape
+        // what it reports, so a migrated fleet's documents are
+        // byte-identical to a continuous run's (the differential suite
+        // relies on this).
+        doc.values
+            .insert(format!("shard.{}.clock_s", sh.id), sh.clock_s());
+        Some(doc)
+    }
+
+    /// The fleet roll-up: every shard document folded through
+    /// [`Document::merge_segments`] (counters sum, gauges max, shard-keyed
+    /// values coexist), plus fleet-level meta.
+    pub fn rollup(&self) -> Document {
+        let docs: Vec<Document> = self
+            .shards
+            .iter()
+            .map(|s| self.shard_document(s.id).expect("shard exists"))
+            .collect();
+        let mut doc = Document::merge_segments(&docs);
+        doc.meta
+            .insert("banks".into(), self.config.banks.to_string());
+        doc.meta
+            .insert("shards".into(), self.config.shards.to_string());
+        doc.meta.insert("round".into(), self.round.to_string());
+        doc.meta
+            .insert("policy".into(), self.config.policy_spec.clone());
+        doc.meta
+            .insert("tenants".into(), self.config.tenants.to_string());
+        doc.meta.insert("shard".into(), "fleet".to_string());
+        doc
+    }
+
+    /// Per-tenant service-level rows: configured demand vs. delivered
+    /// ops across the whole fleet.
+    pub fn slo(&self) -> Vec<TenantSlo> {
+        let clock = self.clock_s();
+        let per_shard_rate_scale = 1.0 / self.config.shards as f64;
+        self.config
+            .tenants
+            .tenants
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let mut reads = 0;
+                let mut writes = 0;
+                for sh in &self.shards {
+                    for (name, r, w) in sh.tenant_ops() {
+                        if name == t.name {
+                            reads += r;
+                            writes += w;
+                        }
+                    }
+                }
+                // Fleet-wide expectation: each of the `shards` shards
+                // carries the tenant at 1/shards rate over its own line
+                // space, so the fleet total is the nominal per-shard rate.
+                let expected_ops = t.nominal_rate(self.config.shard_lines())
+                    * per_shard_rate_scale
+                    * self.config.shards as f64
+                    * clock;
+                let delivered = (reads + writes) as f64;
+                TenantSlo {
+                    tenant: i as u32,
+                    name: t.name.clone(),
+                    expected_ops,
+                    reads,
+                    writes,
+                    attainment: if expected_ops > 0.0 {
+                        delivered / expected_ops
+                    } else {
+                        0.0
+                    },
+                }
+            })
+            .collect()
+    }
+}
+
+/// One tenant's service-level summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSlo {
+    /// Tenant index in spec order.
+    pub tenant: u32,
+    /// Tenant name.
+    pub name: String,
+    /// Ops the configured rate promises by the current fleet clock.
+    pub expected_ops: f64,
+    /// Reads delivered across all shards.
+    pub reads: u64,
+    /// Writes delivered across all shards.
+    pub writes: u64,
+    /// Delivered / expected (open-loop attainment; ~1.0 when the fleet
+    /// keeps up).
+    pub attainment: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> FleetConfig {
+        "[fleet]\n\
+         banks = 8\n\
+         lines-per-bank = 32\n\
+         shards = 4\n\
+         seed = 11\n\
+         horizon-s = 900\n\
+         cadence-s = 300\n\
+         policy = basic@300\n\
+         engine = event\n\
+         threads = 2\n\
+         [tenants]\n\
+         mix = alpha:rate=40;beta:rate=10,read=0.5\n"
+            .parse()
+            .expect("valid config")
+    }
+
+    #[test]
+    fn rounds_advance_every_shard_in_lockstep() {
+        let mut fleet = Fleet::new(tiny_config());
+        assert_eq!(fleet.clock_s(), 0.0);
+        fleet.advance_round();
+        for s in fleet.shards() {
+            assert_eq!(s.clock_s(), 300.0);
+        }
+        fleet.advance_round();
+        fleet.advance_round();
+        assert!(fleet.done());
+        assert_eq!(fleet.round(), 3);
+    }
+
+    #[test]
+    fn migration_preserves_the_final_rollup() {
+        let mut continuous = Fleet::new(tiny_config());
+        let mut migrated = Fleet::new(tiny_config());
+        continuous.advance_round();
+        migrated.advance_round();
+        let m = migrated.migrate(2, Some(0)).expect("shard 2 exists");
+        assert_eq!(m.shard, 2);
+        while !continuous.done() {
+            continuous.advance_round();
+        }
+        while !migrated.done() {
+            migrated.advance_round();
+        }
+        assert_eq!(migrated.migrations(), 1);
+        assert_eq!(continuous.rollup().to_json(), migrated.rollup().to_json());
+    }
+
+    #[test]
+    fn migrate_rejects_unknown_shard() {
+        let mut fleet = Fleet::new(tiny_config());
+        let err = fleet.migrate(9, None).expect_err("no shard 9");
+        assert!(err.contains("unknown shard id 9"), "{err}");
+    }
+
+    #[test]
+    fn rollup_sums_shard_counters_exactly() {
+        let mut fleet = Fleet::new(tiny_config());
+        fleet.advance_round();
+        let rollup = fleet.rollup();
+        let by_hand: u64 = fleet.shards().iter().map(|s| s.stats().demand_reads).sum();
+        assert_eq!(rollup.counters["fleet.demand_reads"], by_hand);
+        assert!(by_hand > 0, "open-loop tenants deliver demand");
+    }
+
+    #[test]
+    fn slo_rows_cover_every_tenant() {
+        let mut fleet = Fleet::new(tiny_config());
+        while !fleet.done() {
+            fleet.advance_round();
+        }
+        let slo = fleet.slo();
+        assert_eq!(slo.len(), 2);
+        for row in &slo {
+            assert!(row.expected_ops > 0.0);
+            assert!(
+                (row.attainment - 1.0).abs() < 0.25,
+                "open-loop delivery should track the configured rate: {row:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # scrubd — the fleet-scale scrub service
+//!
+//! Runs a simulated fleet of error-prone memory banks as many shard
+//! simulations under open-loop multi-tenant demand, the
+//! production-deployment face of the HPCA 2012 scrub-mechanism study:
+//!
+//! * [`FleetConfig`] — the INI-style fleet configuration (banks, shards,
+//!   cadence, policy, tenant mix), validated with one-line errors;
+//! * [`Fleet`] — shard simulations advanced in cadence rounds over the
+//!   `scrub-exec` pool, with checkpoint-backed [`Fleet::migrate`] and
+//!   [`Document::merge_segments`]-based telemetry roll-ups;
+//! * [`ControlDir`] / [`Command`] — the file-based control plane shared
+//!   with the `scrubctl` client (atomic status/rollup documents, numbered
+//!   command files consumed at round boundaries);
+//! * [`status`] — the `status.json` schema both sides speak.
+//!
+//! The design invariant inherited from the simulator core: *placement
+//! never changes results*. Worker counts, migrations, and
+//! drain/resume cycles are execution details; the final fleet roll-up is
+//! byte-identical to an uninterrupted run (see
+//! `tests/migration_differential.rs`).
+//!
+//! [`Document::merge_segments`]: scrub_telemetry::Document::merge_segments
+
+mod config;
+mod control;
+mod fleet;
+pub mod status;
+
+pub use config::FleetConfig;
+pub use control::{Command, ControlDir};
+pub use fleet::{Fleet, Migration, Shard, TenantSlo};

@@ -11,7 +11,10 @@
 //! * [`WorkloadId`] — the named eight-workload suite used by every
 //!   experiment (`db-oltp`, `db-olap`, `web-serve`, `logging`, `stream`,
 //!   `batch`, `kv-cache`, `archive`);
-//! * [`Zipf`] — exact zipfian rank sampling.
+//! * [`Zipf`] — exact zipfian rank sampling;
+//! * [`TenantMixSpec`] / [`TenantMix`] — open-loop multi-tenant demand
+//!   (seeded Poisson or suite-driven per-tenant arrival streams merged in
+//!   time order), the fleet service's "millions of users" workload.
 //!
 //! # Quick start
 //!
@@ -28,10 +31,12 @@ mod generator;
 mod phased;
 mod record;
 mod suite;
+mod tenant;
 mod zipf;
 
 pub use generator::{AddrPattern, ArrivalProcess, SyntheticTrace, SyntheticTraceBuilder};
 pub use phased::{DiurnalTrace, Phase};
 pub use record::{MergedTrace, RecordedTrace};
 pub use suite::WorkloadId;
+pub use tenant::{TenantKind, TenantMix, TenantMixSpec, TenantPattern, TenantSpec};
 pub use zipf::Zipf;

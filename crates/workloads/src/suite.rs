@@ -60,24 +60,42 @@ impl WorkloadId {
         }
     }
 
+    /// The workload's nominal access rate (ops/s) over `num_lines` lines
+    /// at `rate_scale` 1.0 — what [`WorkloadId::build`] configures. Used
+    /// by open-loop tenant accounting (expected vs. delivered demand).
+    pub fn nominal_rate(self, num_lines: u32) -> f64 {
+        let per_64k = num_lines as f64 / 65_536.0;
+        let base = match self {
+            WorkloadId::DbOltp => 200.0,
+            WorkloadId::DbOlap => 300.0,
+            WorkloadId::WebServe => 150.0,
+            WorkloadId::Logging => 120.0,
+            WorkloadId::Stream => 400.0,
+            WorkloadId::Batch => 100.0,
+            WorkloadId::KvCache => 180.0,
+            WorkloadId::Archive => 4.0,
+        };
+        base * per_64k
+    }
+
     /// Builds the generator for this workload over `num_lines` lines.
     ///
     /// `rate_scale` multiplies the nominal access rate (1.0 = nominal);
     /// `seed` controls all stochastic choices.
     pub fn build(self, num_lines: u32, rate_scale: f64, seed: u64) -> SyntheticTrace {
         assert!(rate_scale > 0.0, "rate scale must be positive");
-        // Nominal rates in ops/s per 64Ki lines (4 MiB), scaled linearly
-        // with capacity so per-line touch frequency is size-invariant.
-        let per_64k = num_lines as f64 / 65_536.0;
-        let b = SyntheticTrace::builder(self.name(), num_lines).seed(seed);
+        // Nominal rates (see `nominal_rate`) are per 64Ki lines (4 MiB),
+        // scaled linearly with capacity so per-line touch frequency is
+        // size-invariant.
+        let b = SyntheticTrace::builder(self.name(), num_lines)
+            .seed(seed)
+            .rate_ops_per_sec(self.nominal_rate(num_lines) * rate_scale);
         let b = match self {
             WorkloadId::DbOltp => b
-                .rate_ops_per_sec(200.0 * per_64k * rate_scale)
                 .read_fraction(0.70)
                 .pattern(AddrPattern::Zipf { theta: 0.99 })
                 .arrivals(ArrivalProcess::Poisson),
             WorkloadId::DbOlap => b
-                .rate_ops_per_sec(300.0 * per_64k * rate_scale)
                 .read_fraction(0.90)
                 .pattern(AddrPattern::ScanPoint {
                     scan_len: 256,
@@ -85,22 +103,18 @@ impl WorkloadId {
                 })
                 .arrivals(ArrivalProcess::Poisson),
             WorkloadId::WebServe => b
-                .rate_ops_per_sec(150.0 * per_64k * rate_scale)
                 .read_fraction(0.95)
                 .pattern(AddrPattern::Zipf { theta: 1.1 })
                 .arrivals(ArrivalProcess::Poisson),
             WorkloadId::Logging => b
-                .rate_ops_per_sec(120.0 * per_64k * rate_scale)
                 .read_fraction(0.40)
                 .pattern(AddrPattern::Zipf { theta: 0.8 })
                 .arrivals(ArrivalProcess::Poisson),
             WorkloadId::Stream => b
-                .rate_ops_per_sec(400.0 * per_64k * rate_scale)
                 .read_fraction(0.90)
                 .pattern(AddrPattern::Sequential)
                 .arrivals(ArrivalProcess::Periodic),
             WorkloadId::Batch => b
-                .rate_ops_per_sec(100.0 * per_64k * rate_scale)
                 .read_fraction(0.50)
                 .pattern(AddrPattern::Uniform)
                 .arrivals(ArrivalProcess::Bursty {
@@ -108,12 +122,10 @@ impl WorkloadId {
                     idle_ratio: 9.0,
                 }),
             WorkloadId::KvCache => b
-                .rate_ops_per_sec(180.0 * per_64k * rate_scale)
                 .read_fraction(0.80)
                 .pattern(AddrPattern::Uniform)
                 .arrivals(ArrivalProcess::Poisson),
             WorkloadId::Archive => b
-                .rate_ops_per_sec(4.0 * per_64k * rate_scale)
                 .read_fraction(0.85)
                 .pattern(AddrPattern::Uniform)
                 .arrivals(ArrivalProcess::Poisson),

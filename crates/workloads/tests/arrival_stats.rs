@@ -1,0 +1,147 @@
+//! Statistical validation of the open-loop tenant arrival processes.
+//!
+//! The fleet service's service-level claims rest on the demand streams
+//! actually being what the config says: per-tenant Poisson arrivals at
+//! the configured rate, merged fairly. This suite checks that with real
+//! goodness-of-fit machinery (`pcm_analysis::infer`) under a
+//! Holm–Bonferroni battery, and then proves the harness has teeth: the
+//! same samples tested against a rate perturbed by 5% must *fail*.
+//!
+//! Everything is seed-deterministic, so these are exact regression tests,
+//! not flaky statistical coin flips.
+
+use pcm_analysis::{chi_square_gof, ks_test, TestBattery};
+use pcm_memsim::TraceSource;
+use pcm_workloads::TenantMixSpec;
+
+/// Collects `n` inter-arrival gaps from a single-tenant Poisson mix.
+fn poisson_gaps(rate: f64, n: usize, seed: u64) -> Vec<f64> {
+    let spec: TenantMixSpec = format!("t:rate={rate},pattern=uniform")
+        .parse()
+        .expect("valid spec");
+    let mut mix = spec.build(4096, 1.0, seed);
+    let mut gaps = Vec::with_capacity(n);
+    let mut last = None;
+    while gaps.len() < n {
+        let op = mix.next_op().expect("open-loop streams are infinite");
+        let t = op.at.secs();
+        if let Some(prev) = last {
+            gaps.push(t - prev);
+        }
+        last = Some(t);
+    }
+    gaps
+}
+
+/// KS p-value of `gaps` against Exp(rate) (`ks_test` returns the
+/// p-value directly).
+fn exp_ks_p(gaps: &[f64], rate: f64) -> f64 {
+    let mut samples = gaps.to_vec();
+    ks_test(&mut samples, |t| 1.0 - (-rate * t).exp())
+}
+
+const N_GAPS: usize = 20_000;
+
+#[test]
+fn poisson_interarrivals_match_configured_rates() {
+    let mut battery = TestBattery::new(0.01);
+    for (i, rate) in [20.0, 80.0, 250.0].into_iter().enumerate() {
+        let gaps = poisson_gaps(rate, N_GAPS, 0xA221 + i as u64);
+        battery.record(&format!("ks.exp.rate{rate}"), exp_ks_p(&gaps, rate));
+        // Mean gap sanity alongside the shape test: 1/rate within 3%.
+        let mean: f64 = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        assert!(
+            (mean * rate - 1.0).abs() < 0.03,
+            "mean gap {mean} vs rate {rate}"
+        );
+    }
+    assert!(
+        battery.rejections().is_empty(),
+        "arrival processes deviate from configured rates: {:?}",
+        battery.rejections()
+    );
+}
+
+#[test]
+fn tripwire_five_percent_rate_perturbation_fails_the_suite() {
+    // Same samples, same harness — but the null hypothesis claims a rate
+    // 5% off what the generator was configured with. If this battery
+    // does NOT reject, the suite has no power to catch rate drift, and
+    // the validation above is meaningless.
+    let mut battery = TestBattery::new(0.01);
+    for (i, rate) in [20.0, 80.0, 250.0].into_iter().enumerate() {
+        let gaps = poisson_gaps(rate, N_GAPS, 0xA221 + i as u64);
+        battery.record(
+            &format!("ks.exp.rate{rate}.perturbed"),
+            exp_ks_p(&gaps, rate * 1.05),
+        );
+    }
+    assert_eq!(
+        battery.rejections().len(),
+        3,
+        "a 5% rate perturbation must fail every tenant's KS test, got {:?}",
+        battery.outcomes()
+    );
+}
+
+#[test]
+fn tenant_shares_in_a_mix_follow_configured_proportions() {
+    // Three tenants at 1:3:6 demand. Drive the merged mix and chi-square
+    // the delivered per-tenant op counts against the configured shares.
+    let spec: TenantMixSpec = "small:rate=30;mid:rate=90;big:rate=180,read=0.5,pattern=uniform"
+        .parse()
+        .expect("valid spec");
+    let mut mix = spec.build(4096, 1.0, 0xBEEF);
+    for _ in 0..30_000 {
+        mix.next_op().expect("infinite");
+    }
+    let rows = mix
+        .tenant_ops()
+        .expect("tenant mixes report per-tenant ops");
+    let observed: Vec<u64> = rows.iter().map(|(_, r, w)| r + w).collect();
+    let total: u64 = observed.iter().sum();
+    assert_eq!(total, 30_000);
+    let rates = [30.0, 90.0, 180.0];
+    let rate_sum: f64 = rates.iter().sum();
+    let expected: Vec<f64> = rates.iter().map(|r| total as f64 * r / rate_sum).collect();
+    let (p, dof) = chi_square_gof(&observed, &expected, 5.0);
+    assert_eq!(dof, 2);
+    assert!(
+        p > 0.01,
+        "tenant shares {observed:?} deviate from configured proportions (p={p})"
+    );
+
+    // Tripwire at the mix level: testing the same counts against shares
+    // perturbed 5% toward the big tenant must reject.
+    let skewed = [30.0 * 0.95, 90.0 * 0.95, 180.0 * 1.05];
+    let skew_sum: f64 = skewed.iter().sum();
+    let expected_skewed: Vec<f64> = skewed.iter().map(|r| total as f64 * r / skew_sum).collect();
+    let (p_skewed, _) = chi_square_gof(&observed, &expected_skewed, 5.0);
+    assert!(
+        p_skewed < 0.01,
+        "chi-square failed to reject 5%-skewed shares (p={p_skewed})"
+    );
+}
+
+#[test]
+fn periodic_tenants_are_not_poisson() {
+    // Negative control for the KS harness itself: a periodic stream at
+    // the same rate must be rejected against the exponential null.
+    let spec: TenantMixSpec = "clock:rate=50,arrivals=periodic,pattern=uniform"
+        .parse()
+        .expect("valid spec");
+    let mut mix = spec.build(4096, 1.0, 0xC10C);
+    let mut gaps = Vec::with_capacity(2000);
+    let mut last = None;
+    while gaps.len() < 2000 {
+        let t = mix.next_op().expect("infinite").at.secs();
+        if let Some(prev) = last {
+            gaps.push(t - prev);
+        }
+        last = Some(t);
+    }
+    assert!(
+        exp_ks_p(&gaps, 50.0) < 1e-6,
+        "periodic arrivals must not pass as Poisson"
+    );
+}
