@@ -399,9 +399,33 @@ pub fn open(bytes: &[u8]) -> Result<&[u8], CheckpointError> {
     Ok(payload)
 }
 
+/// Validates a snapshot's envelope (magic, version, length, CRC-32)
+/// without handing back the payload — the integrity gate a supervisor
+/// runs on freshly produced or freshly read snapshot bytes before
+/// accepting them as a recovery point.
+pub fn verify(bytes: &[u8]) -> Result<(), CheckpointError> {
+    open(bytes).map(|_| ())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn verify_accepts_sealed_and_rejects_corrupt() {
+        let snap = seal(vec![5; 32]);
+        assert_eq!(verify(&snap), Ok(()));
+        let mut bad = snap.clone();
+        bad[HEADER_LEN + 3] ^= 0x40;
+        assert!(matches!(
+            verify(&bad),
+            Err(CheckpointError::CrcMismatch { .. })
+        ));
+        assert!(matches!(
+            verify(&snap[..10]),
+            Err(CheckpointError::Truncated { .. })
+        ));
+    }
 
     #[test]
     fn field_round_trip() {

@@ -402,6 +402,74 @@ where
         .collect()
 }
 
+/// Like [`par_for_each_mut`], but each job is panic-isolated with
+/// `catch_unwind` and returns a value: the result vector carries one
+/// `Result` per element in input order, so a single panicking job
+/// surfaces as a structured [`JobError`] instead of unwinding the pool.
+///
+/// There is deliberately **no retry**: `f` takes `&mut T`, so a panic may
+/// leave the element partially mutated, and silently re-running `f` on
+/// that wreckage would launder corrupted state into a success. Callers
+/// that can recover (e.g. the fleet supervisor restoring a shard from its
+/// last good checkpoint) own the retry decision and the state repair.
+pub fn par_try_map_mut<T, R, F>(threads: usize, items: &mut [T], f: F) -> Vec<Result<R, JobError>>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut T) -> R + Sync,
+{
+    let n = items.len();
+    let tel_on = tel::enabled();
+    let attempt = |i: usize, item: &mut T| -> Result<R, JobError> {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i, item))) {
+            Ok(r) => Ok(r),
+            Err(payload) => {
+                if tel_on {
+                    tel::counter_add(tel::Counter::ExecPanics, 1);
+                }
+                Err(JobError::Panicked {
+                    attempts: 1,
+                    message: panic_message(payload),
+                })
+            }
+        }
+    };
+    if threads <= 1 || n <= 1 {
+        return items
+            .iter_mut()
+            .enumerate()
+            .map(|(i, item)| attempt(i, item))
+            .collect();
+    }
+    let results: Vec<Mutex<Option<Result<R, JobError>>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
+    let cells: Vec<Mutex<&mut T>> = items.iter_mut().map(Mutex::new).collect();
+    run_indices(threads, n, |i| {
+        // Each cell is locked exactly once, by the worker that owns index
+        // i, so a poisoned mutex (panic inside `f`) is never re-locked.
+        let r = {
+            let mut guard = cells[i].lock().unwrap();
+            attempt(i, &mut guard)
+        };
+        *results[i].lock().unwrap() = Some(r);
+    });
+    results
+        .into_iter()
+        .map(|m| {
+            let inner = match m.into_inner() {
+                Ok(v) => v,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            inner.unwrap_or_else(|| {
+                if tel_on {
+                    tel::counter_add(tel::Counter::ExecLostJobs, 1);
+                }
+                Err(JobError::Lost)
+            })
+        })
+        .collect()
+}
+
 /// Applies `f` to every element of `items` in parallel; elements are
 /// disjoint, so each is mutated by exactly one worker. `f` receives
 /// `(index, &mut item)`.
@@ -480,6 +548,39 @@ mod tests {
             x + 1
         });
         assert_eq!(got, (1..=64).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn par_try_map_mut_isolates_panics_and_keeps_order() {
+        for threads in [1, 2, 4] {
+            let mut items: Vec<u64> = (0..64).collect();
+            let results = par_try_map_mut(threads, &mut items, |i, x| {
+                if i == 13 {
+                    panic!("boom at {i}");
+                }
+                *x += 100;
+                *x
+            });
+            assert_eq!(results.len(), 64, "threads={threads}");
+            for (i, r) in results.iter().enumerate() {
+                if i == 13 {
+                    match r {
+                        Err(JobError::Panicked {
+                            attempts: 1,
+                            message,
+                        }) => {
+                            assert!(message.contains("boom"), "{message}")
+                        }
+                        other => panic!("index 13 should panic, got {other:?}"),
+                    }
+                } else {
+                    assert_eq!(*r, Ok(i as u64 + 100), "threads={threads} i={i}");
+                }
+            }
+            // Siblings of the panicking job were still mutated.
+            assert_eq!(items[12], 112);
+            assert_eq!(items[14], 114);
+        }
     }
 
     #[test]

@@ -44,24 +44,30 @@ fn load_status(ctl: &ControlDir) -> FleetStatus {
 }
 
 fn print_status(s: &FleetStatus) {
+    let quarantine_note = if s.quarantined > 0 {
+        format!(" | {} QUARANTINED", s.quarantined)
+    } else {
+        String::new()
+    };
     println!(
-        "fleet: {} | round {} | t={:.0}s / {:.0}s | {} banks in {} shards | policy {}",
+        "fleet: {} | round {} | t={:.0}s / {:.0}s | {} banks in {} shards | policy {}{}",
         s.state.name(),
         s.round,
         s.clock_s,
         s.horizon_s,
         s.banks,
         s.shards.len(),
-        s.policy
+        s.policy,
+        quarantine_note
     );
     println!(
-        "{:>5} {:>6} {:>10} {:>10} {:>12} {:>6}",
-        "shard", "worker", "clock_s", "migrations", "demand_ops", "ue"
+        "{:>5} {:>6} {:>10} {:>10} {:>12} {:>6} {:>12}",
+        "shard", "worker", "clock_s", "migrations", "demand_ops", "ue", "health"
     );
     for sh in &s.shards {
         println!(
-            "{:>5} {:>6} {:>10.0} {:>10} {:>12} {:>6}",
-            sh.id, sh.worker, sh.clock_s, sh.migrations, sh.demand_ops, sh.ue
+            "{:>5} {:>6} {:>10.0} {:>10} {:>12} {:>6} {:>12}",
+            sh.id, sh.worker, sh.clock_s, sh.migrations, sh.demand_ops, sh.ue, sh.health
         );
     }
 }
@@ -131,25 +137,35 @@ fn main() {
         "migrate" => {
             let shard = shard.unwrap_or_else(|| fail("migrate requires --shard N"));
             let status = load_status(&ctl);
-            if !status.shards.iter().any(|s| s.id == shard) {
-                fail(&format!(
+            match status.shards.iter().find(|s| s.id == shard) {
+                None => fail(&format!(
                     "unknown shard id {shard} (fleet has {})",
                     status.shards.len()
-                ));
+                )),
+                Some(row) if row.health != "healthy" => fail(&format!(
+                    "shard {shard} is {}; only healthy shards can migrate",
+                    row.health
+                )),
+                Some(_) => {}
             }
+            // Chain after the daemon's published watermark: consumed
+            // command files are deleted, so the watermark is the only
+            // way to avoid reusing an already-consumed sequence number.
             let path = ctl
-                .submit(&Command::Migrate { shard, worker })
+                .submit(&Command::Migrate { shard, worker }, status.cmd_seq)
                 .unwrap_or_else(|e| fail(&e));
             println!("submitted {}", path.display());
         }
         "snapshot" | "stop" => {
-            load_status(&ctl); // a control dir nobody serves is an error
+            let status = load_status(&ctl); // a control dir nobody serves is an error
             let cmd = if verb == "snapshot" {
                 Command::Snapshot
             } else {
                 Command::Stop
             };
-            let path = ctl.submit(&cmd).unwrap_or_else(|e| fail(&e));
+            let path = ctl
+                .submit(&cmd, status.cmd_seq)
+                .unwrap_or_else(|e| fail(&e));
             println!("submitted {}", path.display());
         }
         _ => usage(),

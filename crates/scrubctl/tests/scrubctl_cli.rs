@@ -64,7 +64,7 @@ fn served_control(tag: &str) -> (ControlDir, PathBuf) {
     ctl.ensure_layout().expect("layout");
     ctl.write_atomic(
         &ctl.status_path(),
-        status::render(&fleet, FleetState::Running).as_bytes(),
+        status::render(&fleet, FleetState::Running, None).as_bytes(),
     )
     .expect("publish status");
     ctl.write_atomic(&ctl.rollup_path(), fleet.rollup().to_json().as_bytes())
@@ -170,9 +170,9 @@ fn control_verbs_enqueue_commands_in_order() {
         );
         assert!(String::from_utf8_lossy(&out.stdout).contains("submitted"));
     }
-    let pending: Vec<_> = ctl
-        .take_pending()
-        .expect("consumable")
+    let intake = ctl.take_pending(None).expect("consumable");
+    let pending: Vec<_> = intake
+        .commands
         .into_iter()
         .map(|c| c.expect("well-formed").to_string())
         .collect();

@@ -1,22 +1,35 @@
 //! `scrubd` — the fleet daemon.
 //!
 //! ```text
-//! scrubd --config fleet.conf --control /run/scrub-fleet [--round-wall-ms 0] [--quiet]
+//! scrubd --config fleet.conf --control /run/scrub-fleet
+//!        [--resume-fleet] [--chaos SPEC] [--round-wall-ms N] [--quiet]
 //! ```
 //!
 //! Loads the fleet config, then advances the fleet one cadence round at a
-//! time. After every round it atomically rewrites `status.json`,
-//! `rollup.json`, and the per-shard telemetry under `shards/`, then
-//! consumes any pending `scrubctl` commands (migrate / snapshot / stop).
-//! `--round-wall-ms` throttles wall-clock pacing so an interactive
-//! `scrubctl` can land commands mid-run; the default of 0 runs the
-//! horizon as fast as it simulates. Exit code 2 flags bad input, with a
-//! single-line error on stderr.
+//! time under the self-healing supervisor. After every round it persists
+//! each shard's checkpoint into the rotated generation store, appends a
+//! record to the write-ahead round journal (`wal.log`), and atomically
+//! rewrites `status.json`, `rollup.json`, `health.json`, and the
+//! per-shard telemetry under `shards/`; pending `scrubctl` commands
+//! (migrate / snapshot / stop) are consumed at round boundaries with
+//! duplicate- and gap-hardened sequence tracking.
+//!
+//! `--resume-fleet` rebuilds the fleet after a crash from the journal
+//! plus the newest checkpoint generation that still validates, replaying
+//! any lost rounds deterministically — the finished roll-up is
+//! byte-identical to an uninterrupted run. `--chaos SPEC` installs a
+//! deterministic fault schedule (shard panics, checkpoint corruption,
+//! generation rot, torn status writes, and daemon kills) for recovery
+//! drills; an injected kill exits with code 3. Exit code 2 flags bad
+//! input, with a single-line error on stderr.
 
 use std::process::ExitCode;
 
 use scrubd::status::{self, FleetState};
-use scrubd::{Command, ControlDir, Fleet, FleetConfig};
+use scrubd::{
+    ChaosSpec, Command, ControlDir, Fleet, FleetConfig, GenStore, Health, KillPoint, RoundEvent,
+    RoundRecord, ShardRestore, Wal,
+};
 
 fn fail(msg: &str) -> ! {
     eprintln!("scrubd: {msg}");
@@ -24,13 +37,18 @@ fn fail(msg: &str) -> ! {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: scrubd --config FILE --control DIR [--round-wall-ms N] [--quiet]");
+    eprintln!(
+        "usage: scrubd --config FILE --control DIR [--resume-fleet] [--chaos SPEC] \
+         [--round-wall-ms N] [--quiet]"
+    );
     std::process::exit(2);
 }
 
 struct Args {
     config: String,
     control: String,
+    resume_fleet: bool,
+    chaos: Option<ChaosSpec>,
     round_wall_ms: u64,
     quiet: bool,
 }
@@ -38,6 +56,8 @@ struct Args {
 fn parse_args() -> Args {
     let mut config = None;
     let mut control = None;
+    let mut resume_fleet = false;
+    let mut chaos = None;
     let mut round_wall_ms = 0;
     let mut quiet = false;
     let mut it = std::env::args().skip(1);
@@ -49,6 +69,14 @@ fn parse_args() -> Args {
         match arg.as_str() {
             "--config" => config = Some(value()),
             "--control" => control = Some(value()),
+            "--resume-fleet" => resume_fleet = true,
+            "--chaos" => {
+                let raw = value();
+                chaos = Some(
+                    raw.parse::<ChaosSpec>()
+                        .unwrap_or_else(|e: String| fail(&e)),
+                );
+            }
             "--round-wall-ms" => {
                 let raw = value();
                 round_wall_ms = raw.parse().unwrap_or_else(|_| {
@@ -64,14 +92,24 @@ fn parse_args() -> Args {
     Args {
         config: config.unwrap_or_else(|| fail("--config is required")),
         control: control.unwrap_or_else(|| fail("--control is required")),
+        resume_fleet,
+        chaos,
         round_wall_ms,
         quiet,
     }
 }
 
+/// An injected daemon death: loud on stderr, exit code 3 so the harness
+/// can tell a chaos kill from a real failure.
+fn chaos_kill(round: u64, point: KillPoint) -> ! {
+    eprintln!("scrubd: chaos: killed at round {round} ({point:?})");
+    std::process::exit(3);
+}
+
 /// Writes the round's telemetry artifacts; any I/O failure is fatal (the
-/// control plane is the daemon's only output).
-fn publish(fleet: &Fleet, ctl: &ControlDir, state: FleetState) {
+/// control plane is the daemon's only output). `torn` models a writer
+/// dying mid-publish of `status.json`.
+fn publish(fleet: &Fleet, ctl: &ControlDir, state: FleetState, cmd_seq: Option<u64>, torn: bool) {
     for shard in fleet.shards() {
         let doc = fleet
             .shard_document(shard.id)
@@ -81,14 +119,35 @@ fn publish(fleet: &Fleet, ctl: &ControlDir, state: FleetState) {
     }
     ctl.write_atomic(&ctl.rollup_path(), fleet.rollup().to_json().as_bytes())
         .unwrap_or_else(|e| fail(&e));
-    ctl.write_atomic(&ctl.status_path(), status::render(fleet, state).as_bytes())
-        .unwrap_or_else(|e| fail(&e));
+    ctl.write_atomic(
+        &ctl.health_path(),
+        fleet.health_document().to_json().as_bytes(),
+    )
+    .unwrap_or_else(|e| fail(&e));
+    let rendered = status::render(fleet, state, cmd_seq);
+    if torn {
+        ctl.write_torn(&ctl.status_path(), rendered.as_bytes())
+            .unwrap_or_else(|e| fail(&e));
+    } else {
+        ctl.write_atomic(&ctl.status_path(), rendered.as_bytes())
+            .unwrap_or_else(|e| fail(&e));
+    }
 }
 
 /// Applies every pending command. Returns `true` if a stop was consumed.
-fn apply_commands(fleet: &mut Fleet, ctl: &ControlDir, quiet: bool) -> bool {
+fn apply_commands(
+    fleet: &mut Fleet,
+    ctl: &ControlDir,
+    watermark: &mut Option<u64>,
+    quiet: bool,
+) -> bool {
     let mut stop = false;
-    for cmd in ctl.take_pending().unwrap_or_else(|e| fail(&e)) {
+    let intake = ctl.take_pending(*watermark).unwrap_or_else(|e| fail(&e));
+    *watermark = intake.watermark;
+    for warning in &intake.warnings {
+        eprintln!("scrubd: {warning}");
+    }
+    for cmd in intake.commands {
         match cmd {
             Ok(Command::Migrate { shard, worker }) => match fleet.migrate(shard, worker) {
                 Ok(m) => {
@@ -109,9 +168,12 @@ fn apply_commands(fleet: &mut Fleet, ctl: &ControlDir, quiet: bool) -> bool {
             Ok(Command::Snapshot) => {
                 let ids: Vec<u32> = fleet.shards().iter().map(|s| s.id).collect();
                 for id in ids {
-                    let bytes = fleet.snapshot_shard(id).unwrap_or_else(|e| fail(&e));
-                    ctl.write_atomic(&ctl.snapshot_path(id), &bytes)
-                        .unwrap_or_else(|e| fail(&e));
+                    match fleet.snapshot_shard(id) {
+                        Ok(bytes) => ctl
+                            .write_atomic(&ctl.snapshot_path(id), &bytes)
+                            .unwrap_or_else(|e| fail(&e)),
+                        Err(e) => eprintln!("scrubd: snapshot failed: {e}"),
+                    }
                 }
                 if !quiet {
                     eprintln!("scrubd: snapshotted {} shards", fleet.shards().len());
@@ -124,6 +186,87 @@ fn apply_commands(fleet: &mut Fleet, ctl: &ControlDir, quiet: bool) -> bool {
     stop
 }
 
+/// Rebuilds the fleet from the journal and generation store.
+fn resume_fleet(
+    config: FleetConfig,
+    ctl: &ControlDir,
+    gens: &GenStore,
+    quiet: bool,
+) -> (Fleet, Option<u64>) {
+    // Tripwire for the differential harness: a deliberately broken
+    // recovery that skips journal replay and trusts snapshots alone. It
+    // resurrects quarantined shards as healthy and forgets the command
+    // watermark — the chaos campaign proves the harness catches it.
+    let skip_wal = std::env::var("SCRUBD_UNSAFE_SKIP_WAL").is_ok_and(|v| v == "1");
+    let (round, watermark, wal_health) = if skip_wal {
+        eprintln!("scrubd: UNSAFE: skipping write-ahead journal replay (tripwire mode)");
+        (u64::MAX, None, Vec::new())
+    } else {
+        let (records, dropped_tail) =
+            Wal::load(ctl.root(), config.fingerprint()).unwrap_or_else(|e| fail(&e));
+        if dropped_tail {
+            eprintln!("scrubd: journal had a torn final record; dropped it");
+        }
+        match records.last() {
+            Some(last) => {
+                let watermark = (last.seq != u64::MAX).then_some(last.seq);
+                (last.round, watermark, last.health.clone())
+            }
+            None => (0, None, Vec::new()),
+        }
+    };
+    let mut restores = Vec::with_capacity(config.shards as usize);
+    let mut max_ckpt_round = 0u64;
+    for id in 0..config.shards {
+        let health = wal_health
+            .iter()
+            .find(|(s, _)| *s == id)
+            .map_or(Health::Healthy, |(_, h)| h.clone());
+        let snapshot = gens.load(id);
+        match &snapshot {
+            Ok((gen, _)) => {
+                if *gen > 0 {
+                    eprintln!(
+                        "scrubd: shard {id}: generation 0 unreadable, recovered from \
+                         generation {gen}"
+                    );
+                }
+            }
+            Err(e) => eprintln!("scrubd: {e}; quarantining shard {id}"),
+        }
+        restores.push(ShardRestore {
+            health,
+            snapshot: snapshot.map(|(_, bytes)| bytes),
+        });
+    }
+    // Without the journal the only clock is the snapshots themselves.
+    let round = if round == u64::MAX {
+        for (id, r) in restores.iter().enumerate() {
+            if let Ok(bytes) = &r.snapshot {
+                if let Ok(sim) =
+                    scrub_core::Simulation::resume(config.shard_config(id as u32), bytes)
+                {
+                    max_ckpt_round =
+                        max_ckpt_round.max((sim.clock_s() / config.cadence_s).floor() as u64);
+                }
+            }
+        }
+        max_ckpt_round
+    } else {
+        round
+    };
+    let fleet = Fleet::resume(config, round, restores).unwrap_or_else(|e| fail(&e));
+    if !quiet {
+        eprintln!(
+            "scrubd: resumed fleet at round {} (replayed {} round(s), {} quarantined)",
+            fleet.round(),
+            fleet.stats().recovery_rounds,
+            fleet.quarantined()
+        );
+    }
+    (fleet, watermark)
+}
+
 fn main() -> ExitCode {
     let args = parse_args();
     if let Err(e) = scrub_exec::env_threads() {
@@ -134,8 +277,26 @@ fn main() -> ExitCode {
     let config: FleetConfig = text.parse().unwrap_or_else(|e: String| fail(&e));
     let ctl = ControlDir::new(&args.control);
     ctl.ensure_layout().unwrap_or_else(|e| fail(&e));
+    let gens = GenStore::new(ctl.root().join("snapshots"), config.supervisor.generations);
+    let fingerprint = config.fingerprint();
 
-    let mut fleet = Fleet::new(config);
+    let (mut fleet, mut watermark, wal) = if args.resume_fleet {
+        let (fleet, watermark) = resume_fleet(config, &ctl, &gens, args.quiet);
+        (fleet, watermark, Wal::open_existing(ctl.root()))
+    } else {
+        let fleet = Fleet::new(config);
+        let wal = Wal::create(ctl.root(), fingerprint).unwrap_or_else(|e| fail(&e.to_string()));
+        // Persist every shard's t=0 checkpoint so a crash inside the very
+        // first round still has a recovery point.
+        for shard in fleet.shards() {
+            let (bytes, _) = shard.last_good();
+            gens.persist(shard.id, bytes)
+                .unwrap_or_else(|e| fail(&e.to_string()));
+        }
+        (fleet, None, wal)
+    };
+    fleet.set_chaos(args.chaos.clone());
+
     if !args.quiet {
         eprintln!(
             "scrubd: fleet of {} banks in {} shards, horizon {}s, cadence {}s",
@@ -145,41 +306,128 @@ fn main() -> ExitCode {
             fleet.config().cadence_s
         );
     }
-    publish(&fleet, &ctl, FleetState::Running);
+    publish(&fleet, &ctl, FleetState::Running, watermark, false);
     let mut state = FleetState::Running;
     while !fleet.done() {
-        if apply_commands(&mut fleet, &ctl, args.quiet) {
+        if apply_commands(&mut fleet, &ctl, &mut watermark, args.quiet) {
             state = FleetState::Stopped;
             break;
         }
-        fleet.advance_round();
+        for event in fleet.advance_round() {
+            match event {
+                RoundEvent::Failed {
+                    shard,
+                    kind,
+                    attempts,
+                    next_retry_round,
+                } => eprintln!(
+                    "scrubd: shard {shard} failed ({kind}), attempt {attempts}; \
+                     retrying at round {next_retry_round}"
+                ),
+                RoundEvent::Recovered { shard, mttr_rounds } => {
+                    eprintln!("scrubd: shard {shard} recovered after {mttr_rounds} round(s)")
+                }
+                RoundEvent::Quarantined { shard, kind } => {
+                    eprintln!("scrubd: shard {shard} QUARANTINED ({kind})")
+                }
+            }
+        }
+        let round = fleet.round();
+        let kill_here = args
+            .chaos
+            .as_ref()
+            .and_then(|c| (c.kill_round == Some(round)).then_some(c.kill_point));
+        if kill_here == Some(KillPoint::Pre) {
+            chaos_kill(round, KillPoint::Pre);
+        }
+        // Persist the generations of every shard that sealed a new
+        // checkpoint this round.
+        let persisted_this_round: Vec<u32> = fleet
+            .shards()
+            .iter()
+            .filter(|s| s.last_good().1 == round)
+            .map(|s| s.id)
+            .collect();
+        let mid_point = (persisted_this_round.len() / 2).max(1);
+        for (i, id) in persisted_this_round.iter().enumerate() {
+            if kill_here == Some(KillPoint::Mid) && i == mid_point {
+                chaos_kill(round, KillPoint::Mid);
+            }
+            let shard = fleet.shards().iter().find(|s| s.id == *id).expect("listed");
+            gens.persist(*id, shard.last_good().0)
+                .unwrap_or_else(|e| fail(&e.to_string()));
+        }
+        if kill_here == Some(KillPoint::Mid) {
+            // Fewer shards than the midpoint: still die before the WAL
+            // record so recovery sees generations ahead of the journal.
+            chaos_kill(round, KillPoint::Mid);
+        }
+        // Chaos: rot persisted generations on disk, after the persist.
+        if let Some(chaos) = &args.chaos {
+            for (shard, gen, mode) in chaos.corrupt_gens_at(round) {
+                let path = gens.path(shard, gen);
+                if let Ok(mut bytes) = std::fs::read(&path) {
+                    chaos.damage(mode, shard, gen, &mut bytes);
+                    std::fs::write(&path, &bytes)
+                        .unwrap_or_else(|e| fail(&format!("chaos corrupt_gen: {e}")));
+                    eprintln!("scrubd: chaos: corrupted {} ({mode:?})", path.display());
+                }
+            }
+        }
+        wal.append(&RoundRecord {
+            round,
+            t_ms: (fleet.clock_s() * 1000.0).round() as u64,
+            seq: watermark.unwrap_or(u64::MAX),
+            health: fleet
+                .shards()
+                .iter()
+                .map(|s| (s.id, s.health().clone()))
+                .collect(),
+        })
+        .unwrap_or_else(|e| fail(&e.to_string()));
+        let torn = args.chaos.as_ref().is_some_and(|c| c.torn_status_at(round));
         publish(
             &fleet,
             &ctl,
             if fleet.done() {
-                FleetState::Finished
+                if fleet.quarantined() > 0 {
+                    FleetState::Degraded
+                } else {
+                    FleetState::Finished
+                }
             } else {
                 FleetState::Running
             },
+            watermark,
+            torn,
         );
+        if kill_here == Some(KillPoint::Post) {
+            chaos_kill(round, KillPoint::Post);
+        }
         if args.round_wall_ms > 0 && !fleet.done() {
             std::thread::sleep(std::time::Duration::from_millis(args.round_wall_ms));
         }
     }
     if state == FleetState::Running {
-        state = FleetState::Finished;
+        state = if fleet.quarantined() > 0 {
+            FleetState::Degraded
+        } else {
+            FleetState::Finished
+        };
     }
     // A post-horizon stop/snapshot backlog still deserves consumption so
     // `scrubctl stop` against a finished fleet is not an error.
-    apply_commands(&mut fleet, &ctl, args.quiet);
-    publish(&fleet, &ctl, state);
+    apply_commands(&mut fleet, &ctl, &mut watermark, args.quiet);
+    publish(&fleet, &ctl, state, watermark, false);
     if !args.quiet {
         eprintln!(
-            "scrubd: {} after {} rounds at t={}s ({} migrations)",
+            "scrubd: {} after {} rounds at t={}s ({} migrations, {} retries, {} quarantined)",
             state.name(),
             fleet.round(),
             fleet.clock_s(),
-            fleet.migrations()
+            fleet.migrations(),
+            fleet.stats().retries,
+            fleet.quarantined()
         );
     }
     ExitCode::SUCCESS

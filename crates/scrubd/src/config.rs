@@ -20,6 +20,14 @@
 //!
 //! [tenants]
 //! mix = alpha:rate=120,read=0.7;beta:suite=kv-cache,scale=0.5
+//!
+//! [supervisor]
+//! max-retries = 3       # failed attempts before quarantine
+//! backoff-base-rounds = 1
+//! backoff-cap-rounds = 8
+//! backoff-jitter-rounds = 1
+//! generations = 3       # rotated checkpoint generations per shard
+//! checkpoint-every-rounds = 1
 //! ```
 //!
 //! `banks` is a `u64` on purpose: a fleet of millions of banks is
@@ -30,6 +38,8 @@ use std::str::FromStr;
 
 use pcm_workloads::TenantMixSpec;
 use scrub_core::{DemandTraffic, EngineKind, PolicyKind, SimConfig};
+
+use crate::health::SupervisorConfig;
 
 /// Parsed, validated fleet configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -56,6 +66,9 @@ pub struct FleetConfig {
     pub threads: usize,
     /// The open-loop tenant mix driving demand.
     pub tenants: TenantMixSpec,
+    /// Self-healing knobs (`[supervisor]` section; defaults apply when
+    /// the section is absent).
+    pub supervisor: SupervisorConfig,
 }
 
 /// SplitMix64 finalizer: decorrelates per-shard seeds derived from the
@@ -114,6 +127,37 @@ impl FleetConfig {
         } else {
             self.threads
         }
+    }
+
+    /// Stable fingerprint over every field that changes simulation
+    /// results. The write-ahead journal pins this so `--resume-fleet`
+    /// under a different config is refused instead of silently producing
+    /// a different fleet. Thread count is deliberately excluded — it
+    /// never changes results.
+    pub fn fingerprint(&self) -> u64 {
+        let canon = format!(
+            "banks={} lpb={} shards={} seed={} horizon={} cadence={} policy={} engine={:?} \
+             tenants={:?} retries={} gens={} ckpt_every={}",
+            self.banks,
+            self.lines_per_bank,
+            self.shards,
+            self.seed,
+            self.horizon_s,
+            self.cadence_s,
+            self.policy_spec,
+            self.engine,
+            self.tenants,
+            self.supervisor.max_retries,
+            self.supervisor.generations,
+            self.supervisor.checkpoint_every_rounds,
+        );
+        let mut fp = 0xCAFE_F00D_u64;
+        for chunk in canon.as_bytes().chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            fp = splitmix64(fp ^ u64::from_le_bytes(word));
+        }
+        fp
     }
 }
 
@@ -177,6 +221,7 @@ impl FromStr for FleetConfig {
         let mut engine = EngineKind::Event;
         let mut threads: usize = 0;
         let mut mix: Option<TenantMixSpec> = None;
+        let mut supervisor = SupervisorConfig::default();
 
         for (lineno, raw) in text.lines().enumerate() {
             let line = match raw.split_once('#') {
@@ -191,7 +236,7 @@ impl FromStr for FleetConfig {
                     .strip_suffix(']')
                     .ok_or_else(|| format!("line {}: unterminated section header", lineno + 1))?;
                 match name {
-                    "fleet" | "tenants" => section = name.to_string(),
+                    "fleet" | "tenants" | "supervisor" => section = name.to_string(),
                     other => return Err(format!("line {}: unknown section [{other}]", lineno + 1)),
                 }
                 continue;
@@ -238,6 +283,38 @@ impl FromStr for FleetConfig {
                         .map_err(|_| format!("threads must be an integer, got {value:?}"))?
                 }
                 ("tenants", "mix") => mix = Some(value.parse::<TenantMixSpec>()?),
+                ("supervisor", "max-retries") => {
+                    supervisor.max_retries = value.parse().map_err(|_| {
+                        format!("max-retries must be a non-negative integer, got {value:?}")
+                    })?
+                }
+                ("supervisor", "backoff-base-rounds") => {
+                    supervisor.backoff_base_rounds = value.parse().map_err(|_| {
+                        format!("backoff-base-rounds must be a positive integer, got {value:?}")
+                    })?
+                }
+                ("supervisor", "backoff-cap-rounds") => {
+                    supervisor.backoff_cap_rounds = value.parse().map_err(|_| {
+                        format!("backoff-cap-rounds must be a positive integer, got {value:?}")
+                    })?
+                }
+                ("supervisor", "backoff-jitter-rounds") => {
+                    supervisor.backoff_jitter_rounds = value.parse().map_err(|_| {
+                        format!(
+                            "backoff-jitter-rounds must be a non-negative integer, got {value:?}"
+                        )
+                    })?
+                }
+                ("supervisor", "generations") => {
+                    supervisor.generations = value.parse().map_err(|_| {
+                        format!("generations must be a positive integer, got {value:?}")
+                    })?
+                }
+                ("supervisor", "checkpoint-every-rounds") => {
+                    supervisor.checkpoint_every_rounds = value.parse().map_err(|_| {
+                        format!("checkpoint-every-rounds must be a positive integer, got {value:?}")
+                    })?
+                }
                 (_, key) => {
                     return Err(format!(
                         "line {}: unknown key {key:?} in section [{section}]",
@@ -283,6 +360,15 @@ impl FromStr for FleetConfig {
             return Err(format!("cadence-s must be positive, got {cadence_s}"));
         }
         let policy = parse_policy(&policy_spec)?;
+        if supervisor.generations == 0 {
+            return Err("generations must be positive".to_string());
+        }
+        if supervisor.backoff_cap_rounds == 0 || supervisor.backoff_base_rounds == 0 {
+            return Err("backoff rounds must be positive".to_string());
+        }
+        if supervisor.checkpoint_every_rounds == 0 {
+            return Err("checkpoint-every-rounds must be positive".to_string());
+        }
         Ok(FleetConfig {
             banks,
             lines_per_bank,
@@ -295,6 +381,7 @@ impl FromStr for FleetConfig {
             engine,
             threads,
             tenants,
+            supervisor,
         })
     }
 }
@@ -410,6 +497,55 @@ mix = alpha:rate=40;beta:suite=kv-cache,scale=0.5
                 "error {err:?} does not mention {needle:?}"
             );
         }
+    }
+
+    #[test]
+    fn supervisor_section_defaults_and_overrides() {
+        let c: FleetConfig = GOOD.parse().expect("parses");
+        assert_eq!(c.supervisor, SupervisorConfig::default());
+
+        let text = format!(
+            "{GOOD}\n[supervisor]\nmax-retries = 1\ngenerations = 5\n\
+             backoff-cap-rounds = 2\ncheckpoint-every-rounds = 2\n"
+        );
+        let c: FleetConfig = text.parse().expect("parses");
+        assert_eq!(c.supervisor.max_retries, 1);
+        assert_eq!(c.supervisor.generations, 5);
+        assert_eq!(c.supervisor.backoff_cap_rounds, 2);
+        assert_eq!(c.supervisor.checkpoint_every_rounds, 2);
+
+        for (bad, needle) in [
+            ("generations = 0", "generations must be positive"),
+            ("backoff-base-rounds = 0", "backoff rounds"),
+            ("checkpoint-every-rounds = 0", "checkpoint-every-rounds"),
+            ("max-retries = lots", "non-negative integer"),
+        ] {
+            let text = format!("{GOOD}\n[supervisor]\n{bad}\n");
+            let err = text.parse::<FleetConfig>().expect_err(bad);
+            assert!(err.contains(needle), "{bad:?} -> {err:?}");
+        }
+    }
+
+    #[test]
+    fn fingerprint_tracks_result_affecting_fields_only() {
+        let c: FleetConfig = GOOD.parse().expect("parses");
+        assert_eq!(c.fingerprint(), c.fingerprint());
+
+        let reseeded: FleetConfig = GOOD
+            .replace("seed = 7", "seed = 8")
+            .parse()
+            .expect("parses");
+        assert_ne!(c.fingerprint(), reseeded.fingerprint());
+
+        let rethreaded: FleetConfig = GOOD
+            .replace("engine = event", "engine = event\nthreads = 3")
+            .parse()
+            .expect("parses");
+        assert_eq!(
+            c.fingerprint(),
+            rethreaded.fingerprint(),
+            "thread count never changes results, so it must not change the fingerprint"
+        );
     }
 
     #[test]

@@ -4,11 +4,24 @@
 //! `status.json`, `rollup.json`, and per-shard telemetry under `shards/`;
 //! the client drops numbered command files under `cmd/` which the daemon
 //! consumes at cadence boundaries, in sequence order. Everything is
-//! plain files written atomically (temp + rename), so a reader never
-//! observes a torn document and no sockets or daemonized IPC are needed —
-//! the protocol works identically in CI, tests, and interactive use.
+//! plain files written atomically (temp + fsync + rename + directory
+//! fsync), so a reader never observes a torn document — even across a
+//! power cut — and no sockets or daemonized IPC are needed: the protocol
+//! works identically in CI, tests, and interactive use.
+//!
+//! The command intake is hardened against the ways a file-based queue
+//! goes wrong in practice: in-flight `.tmp` files are invisible,
+//! partially-written command files (no trailing newline yet) are left
+//! for the next poll, duplicate or stale sequence numbers (a client
+//! retrying after a crash, or a replayed directory) are consumed but not
+//! re-executed, and a sequence gap is warned about loudly instead of
+//! wedging the queue. The daemon persists its high-water sequence in the
+//! write-ahead journal and publishes it in `status.json`, so both sides
+//! agree on what has already been consumed even though consumed files
+//! are deleted.
 
-use std::fs;
+use std::fs::{self, File};
+use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::str::FromStr;
 
@@ -79,6 +92,19 @@ impl FromStr for Command {
     }
 }
 
+/// What one [`ControlDir::take_pending`] poll produced.
+#[derive(Debug, Clone)]
+pub struct Intake {
+    /// Parsed commands (or per-file parse errors), in sequence order.
+    pub commands: Vec<Result<Command, String>>,
+    /// One line per anomaly: torn files left in place, duplicates
+    /// dropped, sequence gaps stepped over.
+    pub warnings: Vec<String>,
+    /// Highest sequence number consumed so far (input watermark if
+    /// nothing new arrived).
+    pub watermark: Option<u64>,
+}
+
 /// Handle to a control directory (creating the layout on demand).
 #[derive(Debug, Clone)]
 pub struct ControlDir {
@@ -115,6 +141,13 @@ impl ControlDir {
         self.root.join("rollup.json")
     }
 
+    /// Path of the supervision telemetry document (retries, quarantines,
+    /// MTTR) — kept apart from `rollup.json` so recovery bookkeeping
+    /// never perturbs the simulation roll-up's byte-identity.
+    pub fn health_path(&self) -> PathBuf {
+        self.root.join("health.json")
+    }
+
     /// Path of one shard's telemetry document.
     pub fn shard_doc_path(&self, shard: u32) -> PathBuf {
         self.root.join(format!("shards/shard-{shard:04}.json"))
@@ -125,46 +158,127 @@ impl ControlDir {
         self.root.join(format!("snapshots/shard-{shard:04}.ckpt"))
     }
 
-    /// Writes `content` to `path` atomically (temp file + rename), so a
-    /// concurrent reader sees either the old or the new document, never a
-    /// prefix.
+    /// Writes `content` to `path` atomically and durably: temp file,
+    /// fsync, rename, then fsync of the parent directory — so a
+    /// concurrent reader sees either the old or the new document (never
+    /// a prefix), and the rename itself survives a power cut.
     pub fn write_atomic(&self, path: &Path, content: &[u8]) -> Result<(), String> {
         let tmp = path.with_extension("tmp");
-        fs::write(&tmp, content).map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
-        fs::rename(&tmp, path).map_err(|e| format!("cannot move {} into place: {e}", tmp.display()))
+        let mut f =
+            File::create(&tmp).map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
+        f.write_all(content)
+            .map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
+        f.sync_all()
+            .map_err(|e| format!("cannot sync {}: {e}", tmp.display()))?;
+        drop(f);
+        fs::rename(&tmp, path)
+            .map_err(|e| format!("cannot move {} into place: {e}", tmp.display()))?;
+        if let Some(dir) = path.parent() {
+            crate::generations::sync_dir(dir)
+                .map_err(|e| format!("cannot sync {}: {e}", dir.display()))?;
+        }
+        Ok(())
+    }
+
+    /// Chaos hook: deliberately leaves a *torn* write — the first half
+    /// of `content` in `path`'s `.tmp` sibling, never renamed into
+    /// place. Models a writer dying mid-publish: readers of `path` keep
+    /// seeing the previous document, and the orphaned `.tmp` must stay
+    /// invisible to the command intake. Drives the `--chaos
+    /// torn_status=R` injection and the torn-write regression tests.
+    pub fn write_torn(&self, path: &Path, content: &[u8]) -> Result<(), String> {
+        let tmp = path.with_extension("tmp");
+        fs::write(&tmp, &content[..content.len() / 2])
+            .map_err(|e| format!("cannot write {}: {e}", tmp.display()))
     }
 
     /// Submits a command: the next free sequence number under `cmd/`.
-    pub fn submit(&self, cmd: &Command) -> Result<PathBuf, String> {
+    /// Consumed command files are deleted, so a fresh client must not
+    /// restart at zero — pass the daemon's published watermark (the
+    /// `cmd_seq` field of `status.json`) so the new file sorts after
+    /// everything already consumed.
+    pub fn submit(&self, cmd: &Command, watermark: Option<u64>) -> Result<PathBuf, String> {
         self.ensure_layout()?;
-        let seq = self
+        let after_files = self
             .list_command_files()?
             .last()
             .and_then(|p| Self::seq_of(p))
             .map_or(0, |n| n + 1);
+        let after_watermark = watermark.map_or(0, |w| w + 1);
+        let seq = after_files.max(after_watermark);
         let path = self.root.join(format!("cmd/{seq:06}.cmd"));
         self.write_atomic(&path, format!("{cmd}\n").as_bytes())?;
         Ok(path)
     }
 
-    /// Reads and *consumes* every pending command, in sequence order.
-    /// A malformed command file is an error (the daemon reports it and
-    /// keeps running; the file is consumed either way).
-    pub fn take_pending(&self) -> Result<Vec<Result<Command, String>>, String> {
+    /// Reads and *consumes* every pending command, in sequence order,
+    /// hardened against a messy queue directory:
+    ///
+    /// * in-flight `.tmp` files are never visible (extension filter);
+    /// * a file without its trailing newline is still being written —
+    ///   it is left in place for the next poll, with a warning;
+    /// * a sequence number at or below `watermark` has already been
+    ///   consumed once — the file is deleted with a one-line warning
+    ///   and **not** re-executed (duplicate / stale replay);
+    /// * a gap in the sequence is warned about and stepped over — the
+    ///   queue never wedges.
+    ///
+    /// A malformed command body is an error entry (the daemon reports it
+    /// and keeps running; the file is consumed either way).
+    pub fn take_pending(&self, watermark: Option<u64>) -> Result<Intake, String> {
         let files = self.list_command_files()?;
-        let mut out = Vec::with_capacity(files.len());
+        let mut intake = Intake {
+            commands: Vec::with_capacity(files.len()),
+            warnings: Vec::new(),
+            watermark,
+        };
         for path in files {
             let text = fs::read_to_string(&path)
                 .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            if !text.ends_with('\n') {
+                intake.warnings.push(format!(
+                    "{}: still being written (no trailing newline); leaving for next poll",
+                    path.display()
+                ));
+                continue;
+            }
             fs::remove_file(&path)
                 .map_err(|e| format!("cannot consume {}: {e}", path.display()))?;
-            out.push(
+            let seq = Self::seq_of(&path);
+            match (seq, intake.watermark) {
+                (Some(seq), Some(mark)) if seq <= mark => {
+                    intake.warnings.push(format!(
+                        "{}: stale or duplicate sequence {seq} (already consumed through \
+                         {mark}); ignoring",
+                        path.display()
+                    ));
+                    continue;
+                }
+                (Some(seq), mark) => {
+                    let expected = mark.map_or(0, |m| m + 1);
+                    if seq > expected {
+                        intake.warnings.push(format!(
+                            "{}: sequence gap — expected {expected}, found {seq}; \
+                             continuing past it",
+                            path.display()
+                        ));
+                    }
+                    intake.watermark = Some(seq);
+                }
+                (None, _) => {
+                    intake.warnings.push(format!(
+                        "{}: non-numeric command file name; treating as malformed",
+                        path.display()
+                    ));
+                }
+            }
+            intake.commands.push(
                 text.trim()
                     .parse::<Command>()
                     .map_err(|e| format!("{}: {e}", path.display())),
             );
         }
-        Ok(out)
+        Ok(intake)
     }
 
     /// Lists pending command files without consuming them.
@@ -239,17 +353,22 @@ mod tests {
     #[test]
     fn submit_and_take_preserve_sequence_order() {
         let ctl = tmp_control("seq");
-        ctl.submit(&Command::Snapshot).expect("submit");
-        ctl.submit(&Command::Migrate {
-            shard: 1,
-            worker: None,
-        })
+        ctl.submit(&Command::Snapshot, None).expect("submit");
+        ctl.submit(
+            &Command::Migrate {
+                shard: 1,
+                worker: None,
+            },
+            None,
+        )
         .expect("submit");
-        ctl.submit(&Command::Stop).expect("submit");
+        ctl.submit(&Command::Stop, None).expect("submit");
         assert_eq!(ctl.pending().expect("list").len(), 3);
-        let taken: Vec<Command> = ctl
-            .take_pending()
-            .expect("take")
+        let intake = ctl.take_pending(None).expect("take");
+        assert!(intake.warnings.is_empty(), "{:?}", intake.warnings);
+        assert_eq!(intake.watermark, Some(2));
+        let taken: Vec<Command> = intake
+            .commands
             .into_iter()
             .map(|r| r.expect("well-formed"))
             .collect();
@@ -264,7 +383,99 @@ mod tests {
                 Command::Stop
             ]
         );
-        assert!(ctl.take_pending().expect("take").is_empty(), "consumed");
+        let again = ctl.take_pending(Some(2)).expect("take");
+        assert!(again.commands.is_empty(), "consumed");
+        assert_eq!(again.watermark, Some(2));
+        let _ = fs::remove_dir_all(ctl.root());
+    }
+
+    #[test]
+    fn submit_resumes_after_the_published_watermark() {
+        let ctl = tmp_control("watermark");
+        // All earlier files were consumed (deleted); a naive client
+        // would restart at 000000 and be dropped as stale.
+        let path = ctl.submit(&Command::Snapshot, Some(6)).expect("submit");
+        assert!(path.ends_with("000007.cmd"), "{}", path.display());
+        let intake = ctl.take_pending(Some(6)).expect("take");
+        assert_eq!(intake.commands.len(), 1);
+        assert_eq!(intake.watermark, Some(7));
+        let _ = fs::remove_dir_all(ctl.root());
+    }
+
+    #[test]
+    fn stale_and_duplicate_sequences_are_dropped_with_a_warning() {
+        let ctl = tmp_control("stale");
+        ctl.ensure_layout().expect("layout");
+        ctl.write_atomic(&ctl.root().join("cmd/000002.cmd"), b"stop\n")
+            .expect("write");
+        ctl.write_atomic(&ctl.root().join("cmd/000005.cmd"), b"snapshot\n")
+            .expect("write");
+        let intake = ctl.take_pending(Some(4)).expect("take");
+        // 000002 <= watermark 4: consumed but not executed; 000005 runs.
+        assert_eq!(intake.commands.len(), 1);
+        assert_eq!(
+            intake.commands[0].as_ref().expect("well-formed"),
+            &Command::Snapshot
+        );
+        assert_eq!(intake.watermark, Some(5));
+        assert_eq!(intake.warnings.len(), 1);
+        assert!(intake.warnings[0].contains("stale or duplicate"));
+        assert!(ctl.pending().expect("list").is_empty(), "both consumed");
+        let _ = fs::remove_dir_all(ctl.root());
+    }
+
+    #[test]
+    fn in_flight_tmp_and_partial_files_are_skipped() {
+        let ctl = tmp_control("inflight");
+        ctl.ensure_layout().expect("layout");
+        // An in-flight atomic write: .tmp extension, never listed.
+        fs::write(ctl.root().join("cmd/000000.tmp"), b"sto").expect("write");
+        // A non-atomic writer mid-stream: right name, no newline yet.
+        fs::write(ctl.root().join("cmd/000001.cmd"), b"snapsho").expect("write");
+        let intake = ctl.take_pending(None).expect("take");
+        assert!(intake.commands.is_empty());
+        assert_eq!(intake.watermark, None);
+        assert_eq!(intake.warnings.len(), 1, "{:?}", intake.warnings);
+        assert!(intake.warnings[0].contains("still being written"));
+        // The partial file survives the poll; once finished it parses.
+        fs::write(ctl.root().join("cmd/000001.cmd"), b"snapshot\n").expect("write");
+        let intake = ctl.take_pending(None).expect("take");
+        assert_eq!(intake.commands.len(), 1);
+        assert_eq!(intake.watermark, Some(1));
+        let _ = fs::remove_dir_all(ctl.root());
+    }
+
+    #[test]
+    fn sequence_gaps_warn_but_do_not_wedge() {
+        let ctl = tmp_control("gap");
+        ctl.ensure_layout().expect("layout");
+        ctl.write_atomic(&ctl.root().join("cmd/000003.cmd"), b"snapshot\n")
+            .expect("write");
+        let intake = ctl.take_pending(Some(0)).expect("take");
+        assert_eq!(intake.commands.len(), 1);
+        assert_eq!(intake.watermark, Some(3));
+        assert_eq!(intake.warnings.len(), 1);
+        assert!(
+            intake.warnings[0].contains("sequence gap"),
+            "{:?}",
+            intake.warnings
+        );
+        let _ = fs::remove_dir_all(ctl.root());
+    }
+
+    #[test]
+    fn torn_write_leaves_previous_document_intact() {
+        let ctl = tmp_control("torn");
+        ctl.ensure_layout().expect("layout");
+        let path = ctl.status_path();
+        ctl.write_atomic(&path, b"{\"v\": 1}").expect("write");
+        ctl.write_torn(&path, b"{\"v\": 2, \"junk\": 123}")
+            .expect("torn write");
+        assert_eq!(fs::read_to_string(&path).expect("read"), "{\"v\": 1}");
+        assert!(path.with_extension("tmp").exists(), "torn tmp left behind");
+        // The next atomic write clobbers the torn tmp and lands cleanly.
+        ctl.write_atomic(&path, b"{\"v\": 3}").expect("write");
+        assert_eq!(fs::read_to_string(&path).expect("read"), "{\"v\": 3}");
         let _ = fs::remove_dir_all(ctl.root());
     }
 

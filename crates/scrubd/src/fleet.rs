@@ -1,6 +1,7 @@
 //! The fleet engine: many shard simulations advanced in cadence rounds
-//! over the `scrub-exec` pool, with checkpoint-backed shard migration and
-//! telemetry roll-ups.
+//! over the `scrub-exec` pool, supervised by a per-shard health state
+//! machine, with checkpoint-backed shard migration and telemetry
+//! roll-ups.
 //!
 //! A *shard* is one complete [`Simulation`] covering `banks/shards` banks
 //! under the full tenant mix at `1/shards` rate. Shards are independent
@@ -8,14 +9,28 @@
 //! results are bit-identical for every worker count — and a shard drained
 //! to a checkpoint resumes byte-identically on any other worker
 //! (migration changes *where* a shard runs, never *what* it computes).
+//!
+//! The supervisor rides on the same determinism: each round every
+//! runnable shard advances inside a panic-isolated pool job
+//! ([`scrub_exec::par_try_map_mut`]) and then seals a round checkpoint.
+//! A panic, lost worker, or corrupt checkpoint rolls the shard back to
+//! its last good checkpoint and schedules a retry after a bounded
+//! exponential backoff ([`SupervisorConfig::backoff_rounds`]); because
+//! replay is deterministic, a recovered shard re-computes the *same*
+//! rounds and the fleet roll-up converges byte-identically to an
+//! undisturbed run. A shard that exhausts its retry budget is
+//! [quarantined](Health::Quarantined): frozen at its last good state,
+//! visible everywhere, never fatal to the fleet.
 
 use pcm_memsim::MemStats;
 use scrub_core::Simulation;
-use scrub_telemetry::Document;
+use scrub_telemetry::{keys, Document};
 
+use crate::chaos::ChaosSpec;
 use crate::config::FleetConfig;
+use crate::health::{FailureKind, Health, RecoveryError};
 
-/// One shard: a simulation plus its placement bookkeeping.
+/// One shard: a simulation plus its placement and supervision state.
 #[derive(Debug)]
 pub struct Shard {
     /// Shard id, `0..config.shards`.
@@ -25,23 +40,48 @@ pub struct Shard {
     pub worker: u32,
     /// Times this shard has been drained and resumed elsewhere.
     pub migrations: u64,
-    sim: Simulation,
+    /// Supervision state (healthy / retrying / quarantined).
+    health: Health,
+    /// Last validated sealed checkpoint and the round it captured.
+    /// Failures roll back to exactly these bytes.
+    last_good: Vec<u8>,
+    /// Round `last_good` was taken at.
+    last_good_round: u64,
+    /// `None` only when quarantine left nothing to resume (every
+    /// recovery source exhausted).
+    sim: Option<Simulation>,
 }
 
 impl Shard {
-    /// Simulated time this shard has covered.
+    /// Simulated time this shard has covered (frozen while quarantined).
     pub fn clock_s(&self) -> f64 {
-        self.sim.clock_s()
+        self.sim.as_ref().map_or(0.0, Simulation::clock_s)
     }
 
-    /// Cumulative memory statistics.
+    /// Cumulative memory statistics (zeroed when no state survived).
     pub fn stats(&self) -> MemStats {
-        self.sim.memory().stats()
+        self.sim
+            .as_ref()
+            .map_or_else(MemStats::default, |s| s.memory().stats())
     }
 
     /// Per-tenant `(name, reads, writes)` delivered-op rows.
     pub fn tenant_ops(&self) -> Vec<(String, u64, u64)> {
-        self.sim.tenant_ops().unwrap_or_default()
+        self.sim
+            .as_ref()
+            .and_then(|s| s.tenant_ops())
+            .unwrap_or_default()
+    }
+
+    /// Supervision state.
+    pub fn health(&self) -> &Health {
+        &self.health
+    }
+
+    /// Last validated sealed checkpoint and the round it captured — what
+    /// the daemon persists as generation 0.
+    pub fn last_good(&self) -> (&[u8], u64) {
+        (&self.last_good, self.last_good_round)
     }
 }
 
@@ -59,32 +99,200 @@ pub struct Migration {
     pub snapshot: Vec<u8>,
 }
 
+/// What the supervisor did during one [`Fleet::advance_round`], for
+/// daemon logging and tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RoundEvent {
+    /// A shard's round attempt failed and was rolled back for retry.
+    Failed {
+        /// Which shard.
+        shard: u32,
+        /// Failure class.
+        kind: FailureKind,
+        /// Failed attempts so far.
+        attempts: u32,
+        /// Round the next retry is due.
+        next_retry_round: u64,
+    },
+    /// A retrying shard replayed back to the fleet round.
+    Recovered {
+        /// Which shard.
+        shard: u32,
+        /// Rounds from first failure to recovery (MTTR in rounds).
+        mttr_rounds: u64,
+    },
+    /// A shard exhausted its retry budget.
+    Quarantined {
+        /// Which shard.
+        shard: u32,
+        /// The failure class that exhausted the budget.
+        kind: FailureKind,
+    },
+}
+
+/// Fleet-wide supervision counters, mirrored into
+/// [`Fleet::health_document`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SupervisionStats {
+    /// Failed round attempts rolled back for retry.
+    pub retries: u64,
+    /// Shards that returned from Retrying to Healthy.
+    pub recoveries: u64,
+    /// Rounds of lost progress replayed from checkpoints (failures and
+    /// resume catch-up).
+    pub recovery_rounds: u64,
+    /// Worst observed recovery time, in rounds (first failure →
+    /// recovered).
+    pub mttr_max_rounds: u64,
+}
+
+/// How one shard comes back in [`Fleet::resume`].
+#[derive(Debug)]
+pub struct ShardRestore {
+    /// Health recorded in the write-ahead journal at the crash point.
+    pub health: Health,
+    /// The newest checkpoint generation that still validates, or the
+    /// typed exhaustion when none did.
+    pub snapshot: Result<Vec<u8>, RecoveryError>,
+}
+
 /// The whole fleet: every shard plus round bookkeeping.
 #[derive(Debug)]
 pub struct Fleet {
     config: FleetConfig,
     shards: Vec<Shard>,
     round: u64,
+    chaos: Option<ChaosSpec>,
+    stats: SupervisionStats,
+}
+
+/// One shard's pool job for a round; owns the simulation while the pool
+/// runs so a panic can only damage this shard.
+struct RoundJob {
+    idx: usize,
+    id: u32,
+    target: f64,
+    inject_panic: bool,
+    corrupt_ckpt: bool,
+    want_ckpt: bool,
+    sim: Option<Simulation>,
 }
 
 impl Fleet {
     /// Builds every shard simulation; shard `i` starts on worker
-    /// `i % pool_threads()`.
+    /// `i % pool_threads()`. Each shard's initial (t = 0) checkpoint is
+    /// taken immediately so the supervisor always has a rollback point.
     pub fn new(config: FleetConfig) -> Fleet {
         let workers = config.pool_threads() as u32;
         let shards = (0..config.shards)
-            .map(|id| Shard {
-                id,
-                worker: id % workers.max(1),
-                migrations: 0,
-                sim: Simulation::new(config.shard_config(id)),
+            .map(|id| {
+                let sim = Simulation::new(config.shard_config(id));
+                let mut sh = Shard {
+                    id,
+                    worker: id % workers.max(1),
+                    migrations: 0,
+                    health: Health::Healthy,
+                    last_good: Vec::new(),
+                    last_good_round: 0,
+                    sim: Some(sim),
+                };
+                sh.last_good = sh
+                    .sim
+                    .as_mut()
+                    .expect("fresh shard")
+                    .checkpoint()
+                    .expect("t=0 checkpoint of a fresh simulation cannot fail");
+                sh
             })
             .collect();
         Fleet {
             config,
             shards,
             round: 0,
+            chaos: None,
+            stats: SupervisionStats::default(),
         }
+    }
+
+    /// Installs a deterministic fault-injection schedule (round panics
+    /// and checkpoint corruption; daemon-level faults are handled by the
+    /// binary). `None` clears it.
+    pub fn set_chaos(&mut self, chaos: Option<ChaosSpec>) {
+        self.chaos = chaos;
+    }
+
+    /// Rebuilds a fleet from persisted state: per-shard health tokens and
+    /// the newest checkpoint generation that validated (from the
+    /// write-ahead journal and generation store). Shards behind `round`
+    /// replay forward deterministically; a shard whose every generation
+    /// was exhausted comes back as a typed quarantine, never an error.
+    pub fn resume(
+        config: FleetConfig,
+        round: u64,
+        restores: Vec<ShardRestore>,
+    ) -> Result<Fleet, String> {
+        if restores.len() != config.shards as usize {
+            return Err(format!(
+                "resume wants {} shard restores, got {}",
+                config.shards,
+                restores.len()
+            ));
+        }
+        let workers = config.pool_threads() as u32;
+        let target = (round as f64 * config.cadence_s).min(config.horizon_s);
+        let mut stats = SupervisionStats::default();
+        let mut shards = Vec::with_capacity(restores.len());
+        for (id, restore) in (0u32..).zip(restores) {
+            let shard = match restore.snapshot {
+                Ok(snapshot) => {
+                    let mut sim = Simulation::resume(config.shard_config(id), &snapshot)
+                        .map_err(|e| format!("shard {id}: cannot resume: {e}"))?;
+                    // A shard restored from an older generation (or killed
+                    // after WAL-append but before its persist) replays the
+                    // missing rounds; determinism makes the replay exact.
+                    // Retrying/quarantined shards stay frozen at their
+                    // checkpoint — the round loop owns their replay.
+                    if matches!(restore.health, Health::Healthy) && sim.clock_s() < target {
+                        let behind = ((target - sim.clock_s()) / config.cadence_s).ceil() as u64;
+                        stats.recovery_rounds += behind;
+                        sim.run_to(target);
+                    }
+                    let ckpt_round = (sim.clock_s() / config.cadence_s).floor() as u64;
+                    Shard {
+                        id,
+                        worker: id % workers.max(1),
+                        migrations: 0,
+                        health: restore.health,
+                        last_good: snapshot,
+                        last_good_round: ckpt_round.min(round),
+                        sim: Some(sim),
+                    }
+                }
+                Err(err) => {
+                    let RecoveryError::Exhausted { .. } = &err;
+                    Shard {
+                        id,
+                        worker: id % workers.max(1),
+                        migrations: 0,
+                        health: Health::Quarantined {
+                            at_round: round,
+                            kind: FailureKind::Exhausted,
+                        },
+                        last_good: Vec::new(),
+                        last_good_round: 0,
+                        sim: None,
+                    }
+                }
+            };
+            shards.push(shard);
+        }
+        Ok(Fleet {
+            config,
+            shards,
+            round,
+            chaos: None,
+            stats,
+        })
     }
 
     /// The fleet configuration.
@@ -102,38 +310,205 @@ impl Fleet {
         self.round
     }
 
-    /// Fleet simulated clock: the time every shard has covered (shards
-    /// advance in lockstep rounds, so this is any shard's clock).
-    pub fn clock_s(&self) -> f64 {
-        self.shards.first().map_or(0.0, Shard::clock_s)
+    /// Fleet-wide supervision counters.
+    pub fn stats(&self) -> &SupervisionStats {
+        &self.stats
     }
 
-    /// Whether every shard has reached the horizon.
-    pub fn done(&self) -> bool {
+    /// Shards currently quarantined.
+    pub fn quarantined(&self) -> u64 {
         self.shards
             .iter()
-            .all(|s| s.clock_s() >= self.config.horizon_s)
+            .filter(|s| s.health.is_quarantined())
+            .count() as u64
     }
 
-    /// Advances every shard to the next cadence boundary (clamped to the
-    /// horizon), fanning shards out over the pool. Shards are
-    /// independent, so results are bit-identical for every thread count.
-    pub fn advance_round(&mut self) {
+    /// Fleet simulated clock: the furthest time any shard has covered
+    /// (retrying shards lag until their replay catches up).
+    pub fn clock_s(&self) -> f64 {
+        self.shards.iter().map(Shard::clock_s).fold(0.0, f64::max)
+    }
+
+    /// Whether the fleet has nothing left to do: every shard has either
+    /// reached the horizon or been quarantined. Retrying shards keep the
+    /// fleet running until they recover or exhaust their budget.
+    pub fn done(&self) -> bool {
+        self.shards.iter().all(|s| match &s.health {
+            Health::Healthy => s.clock_s() >= self.config.horizon_s,
+            Health::Retrying { .. } => false,
+            Health::Quarantined { .. } => true,
+        })
+    }
+
+    /// Advances every runnable shard to the next cadence boundary
+    /// (clamped to the horizon), fanning shards out over the pool with
+    /// per-job panic isolation, then validates each shard's round
+    /// checkpoint. Failures roll the shard back to its last good
+    /// checkpoint and schedule a deterministic retry; determinism makes
+    /// the eventual replay byte-identical, so supervision never shows up
+    /// in the roll-up of a recovered fleet.
+    pub fn advance_round(&mut self) -> Vec<RoundEvent> {
         self.round += 1;
-        let target = (self.round as f64 * self.config.cadence_s).min(self.config.horizon_s);
+        let round = self.round;
+        let target = (round as f64 * self.config.cadence_s).min(self.config.horizon_s);
+        let want_ckpt = round.is_multiple_of(self.config.supervisor.checkpoint_every_rounds);
+
+        let mut jobs: Vec<RoundJob> = Vec::new();
+        for (idx, sh) in self.shards.iter_mut().enumerate() {
+            let runnable = match &sh.health {
+                Health::Healthy => sh.clock_s() < target,
+                Health::Retrying {
+                    next_retry_round, ..
+                } => round >= *next_retry_round,
+                Health::Quarantined { .. } => false,
+            };
+            if !runnable {
+                continue;
+            }
+            let inject_panic = self
+                .chaos
+                .as_ref()
+                .is_some_and(|c| c.panic_at(sh.id, round));
+            let corrupt_ckpt = self
+                .chaos
+                .as_ref()
+                .is_some_and(|c| c.corrupt_ckpt_at(sh.id, round));
+            jobs.push(RoundJob {
+                idx,
+                id: sh.id,
+                target,
+                inject_panic,
+                corrupt_ckpt,
+                // A retrying shard always reseals on success so its
+                // recovery point moves forward with it.
+                want_ckpt: want_ckpt || corrupt_ckpt || !matches!(sh.health, Health::Healthy),
+                sim: sh.sim.take(),
+            });
+        }
+
         let threads = self.config.pool_threads();
-        let shards = std::mem::take(&mut self.shards);
-        self.shards = scrub_exec::par_map(threads, shards, |_, mut shard| {
-            shard.sim.run_to(target);
-            shard
-        });
+        let chaos = self.chaos.clone();
+        let results = scrub_exec::par_try_map_mut(
+            threads,
+            &mut jobs,
+            |_, job| -> Result<Option<Vec<u8>>, String> {
+                if job.inject_panic {
+                    panic!("chaos: injected panic in shard {} round {round}", job.id);
+                }
+                let sim = job.sim.as_mut().expect("job owns the simulation");
+                sim.run_to(job.target);
+                if !job.want_ckpt {
+                    return Ok(None);
+                }
+                let mut sealed = sim.checkpoint().map_err(|e| e.to_string())?;
+                if job.corrupt_ckpt {
+                    if let Some(spec) = chaos.as_ref() {
+                        let at = spec.flip_offset(job.id, round, sealed.len());
+                        sealed[at] ^= 0x01;
+                    }
+                }
+                Ok(Some(sealed))
+            },
+        );
+
+        let mut events = Vec::new();
+        for (job, result) in jobs.into_iter().zip(results) {
+            let outcome: Result<Option<Vec<u8>>, FailureKind> = match result {
+                Err(scrub_exec::JobError::Panicked { .. }) => Err(FailureKind::Panic),
+                Err(scrub_exec::JobError::Lost) => Err(FailureKind::Lost),
+                Ok(Err(_ckpt_err)) => Err(FailureKind::CorruptCheckpoint),
+                Ok(Ok(maybe_sealed)) => match &maybe_sealed {
+                    Some(sealed) if scrub_checkpoint::verify(sealed).is_err() => {
+                        Err(FailureKind::CorruptCheckpoint)
+                    }
+                    _ => Ok(maybe_sealed),
+                },
+            };
+            match outcome {
+                Ok(maybe_sealed) => {
+                    let was = self.shards[job.idx].health.clone();
+                    let sh = &mut self.shards[job.idx];
+                    sh.sim = job.sim;
+                    if let Some(sealed) = maybe_sealed {
+                        sh.last_good = sealed;
+                        sh.last_good_round = round;
+                    }
+                    if let Health::Retrying { failed_round, .. } = was {
+                        let mttr = round.saturating_sub(failed_round);
+                        self.stats.recoveries += 1;
+                        self.stats.mttr_max_rounds = self.stats.mttr_max_rounds.max(mttr);
+                        self.shards[job.idx].health = Health::Healthy;
+                        events.push(RoundEvent::Recovered {
+                            shard: job.id,
+                            mttr_rounds: mttr,
+                        });
+                    }
+                }
+                Err(kind) => {
+                    // The job's simulation may be partially mutated (a
+                    // panic mid-round) — discard it and roll back.
+                    drop(job.sim);
+                    events.push(self.fail_shard(job.idx, kind));
+                }
+            }
+        }
+        events
+    }
+
+    /// Rolls shard `idx` back to its last good checkpoint and either
+    /// schedules a retry or quarantines it.
+    fn fail_shard(&mut self, idx: usize, kind: FailureKind) -> RoundEvent {
+        let round = self.round;
+        let seed = self.config.seed;
+        let sup = self.config.supervisor.clone();
+        let sh = &mut self.shards[idx];
+        self.stats.retries += 1;
+        self.stats.recovery_rounds += round.saturating_sub(sh.last_good_round);
+        let (attempts, failed_round) = match &sh.health {
+            Health::Retrying {
+                attempts,
+                failed_round,
+                ..
+            } => (*attempts + 1, *failed_round),
+            _ => (1, round),
+        };
+        // Re-arm from the last validated bytes; these were verified when
+        // sealed, so a resume failure means the budget is gone too.
+        let resumed = Simulation::resume(self.config.shard_config(sh.id), &sh.last_good);
+        match resumed {
+            Ok(sim) if attempts <= sup.max_retries => {
+                sh.sim = Some(sim);
+                let next_retry_round = round + sup.backoff_rounds(seed, sh.id, attempts);
+                sh.health = Health::Retrying {
+                    attempts,
+                    failed_round,
+                    next_retry_round,
+                    kind,
+                };
+                RoundEvent::Failed {
+                    shard: sh.id,
+                    kind,
+                    attempts,
+                    next_retry_round,
+                }
+            }
+            other => {
+                sh.sim = other.ok();
+                sh.health = Health::Quarantined {
+                    at_round: round,
+                    kind,
+                };
+                RoundEvent::Quarantined { shard: sh.id, kind }
+            }
+        }
     }
 
     /// Drains `shard` to a checkpoint and resumes it on `to_worker` (or
     /// the next worker round-robin) — the destination rebuilds the
     /// simulation from config and overlays the drained state, continuing
-    /// bit-identically. Fails on an unknown shard id or a checkpoint
-    /// error; the shard is untouched on failure.
+    /// bit-identically. Fails on an unknown shard id, a shard that is
+    /// not healthy, or a checkpoint error; the shard is untouched on
+    /// failure.
     pub fn migrate(&mut self, shard: u32, to_worker: Option<u32>) -> Result<Migration, String> {
         self.migrate_impl(shard, to_worker, false)
     }
@@ -164,20 +539,32 @@ impl Fleet {
             .iter()
             .position(|s| s.id == shard)
             .ok_or_else(|| format!("unknown shard id {shard} (fleet has {})", self.shards.len()))?;
+        if !matches!(self.shards[idx].health, Health::Healthy) {
+            return Err(format!(
+                "cannot migrate shard {shard}: shard is {}",
+                self.shards[idx].health.name()
+            ));
+        }
         let from_worker = self.shards[idx].worker;
         let to_worker = to_worker.unwrap_or((from_worker + 1) % workers.max(1));
+        let sim = self.shards[idx]
+            .sim
+            .as_mut()
+            .expect("healthy shard has state");
         let snapshot = if drop_pending {
-            self.shards[idx].sim.checkpoint_dropping_pending()
+            sim.checkpoint_dropping_pending()
         } else {
-            self.shards[idx].sim.checkpoint()
+            sim.checkpoint()
         }
         .map_err(|e| format!("cannot drain shard {shard}: {e}"))?;
         let resumed = Simulation::resume(self.config.shard_config(shard), &snapshot)
             .map_err(|e| format!("cannot resume shard {shard}: {e}"))?;
         let sh = &mut self.shards[idx];
-        sh.sim = resumed;
+        sh.sim = Some(resumed);
         sh.worker = to_worker;
         sh.migrations += 1;
+        sh.last_good = snapshot.clone();
+        sh.last_good_round = self.round;
         Ok(Migration {
             shard,
             from_worker,
@@ -187,17 +574,24 @@ impl Fleet {
     }
 
     /// Checkpoints `shard` without moving it (the `snapshot` control
-    /// verb).
+    /// verb). A quarantined shard serves its last good checkpoint.
     pub fn snapshot_shard(&mut self, shard: u32) -> Result<Vec<u8>, String> {
         let idx = self
             .shards
             .iter()
             .position(|s| s.id == shard)
             .ok_or_else(|| format!("unknown shard id {shard} (fleet has {})", self.shards.len()))?;
-        self.shards[idx]
-            .sim
-            .checkpoint()
-            .map_err(|e| format!("cannot snapshot shard {shard}: {e}"))
+        let sh = &mut self.shards[idx];
+        match (&sh.health, sh.sim.as_mut()) {
+            (Health::Healthy, Some(sim)) => sim
+                .checkpoint()
+                .map_err(|e| format!("cannot snapshot shard {shard}: {e}")),
+            (_, _) if !sh.last_good.is_empty() => Ok(sh.last_good.clone()),
+            _ => Err(format!(
+                "cannot snapshot shard {shard}: shard is {} with no recovery point",
+                sh.health.name()
+            )),
+        }
     }
 
     /// Total completed migrations across all shards.
@@ -239,11 +633,13 @@ impl Fleet {
             "fleet.clock_ms".into(),
             (sh.clock_s() * 1000.0).round() as u64,
         );
-        // Placement bookkeeping (worker, migration counts) deliberately
-        // stays out of telemetry: where a shard runs must never shape
-        // what it reports, so a migrated fleet's documents are
-        // byte-identical to a continuous run's (the differential suite
-        // relies on this).
+        // Placement and supervision bookkeeping (worker, migrations,
+        // retries, health) deliberately stay out of shard documents:
+        // where a shard runs — and whether it had to be replayed — must
+        // never shape what it reports, so a recovered fleet's documents
+        // are byte-identical to a continuous run's (the differential
+        // suite relies on this). Supervision lives in
+        // [`Fleet::health_document`] instead.
         doc.values
             .insert(format!("shard.{}.clock_s", sh.id), sh.clock_s());
         Some(doc)
@@ -251,7 +647,10 @@ impl Fleet {
 
     /// The fleet roll-up: every shard document folded through
     /// [`Document::merge_segments`] (counters sum, gauges max, shard-keyed
-    /// values coexist), plus fleet-level meta.
+    /// values coexist), plus fleet-level meta. Deliberately carries no
+    /// round number or supervision state: a recovered run may have spent
+    /// extra rounds replaying, and its roll-up must still be
+    /// byte-identical to the continuous control run.
     pub fn rollup(&self) -> Document {
         let docs: Vec<Document> = self
             .shards
@@ -263,12 +662,39 @@ impl Fleet {
             .insert("banks".into(), self.config.banks.to_string());
         doc.meta
             .insert("shards".into(), self.config.shards.to_string());
-        doc.meta.insert("round".into(), self.round.to_string());
         doc.meta
             .insert("policy".into(), self.config.policy_spec.clone());
         doc.meta
             .insert("tenants".into(), self.config.tenants.to_string());
         doc.meta.insert("shard".into(), "fleet".to_string());
+        doc
+    }
+
+    /// The supervision telemetry document (`health.json`): retry /
+    /// quarantine / recovery counters and the MTTR high-water gauge,
+    /// kept separate from [`Fleet::rollup`] so recovery bookkeeping can
+    /// never perturb the byte-identity of simulation results.
+    pub fn health_document(&self) -> Document {
+        let mut doc = Document::default();
+        doc.meta.insert("shard".into(), "supervisor".to_string());
+        doc.counters
+            .insert(keys::FLEET_RETRIES.into(), self.stats.retries);
+        doc.counters
+            .insert(keys::FLEET_QUARANTINED.into(), self.quarantined());
+        doc.counters
+            .insert(keys::FLEET_RECOVERIES.into(), self.stats.recoveries);
+        doc.counters.insert(
+            keys::FLEET_RECOVERY_ROUNDS.into(),
+            self.stats.recovery_rounds,
+        );
+        doc.gauges.insert(
+            keys::FLEET_MTTR_MS.into(),
+            (self.stats.mttr_max_rounds as f64 * self.config.cadence_s * 1000.0).round() as u64,
+        );
+        for sh in &self.shards {
+            doc.meta
+                .insert(format!("shard.{}.health", sh.id), sh.health.encode());
+        }
         doc
     }
 
@@ -364,11 +790,14 @@ mod tests {
         fleet.advance_round();
         for s in fleet.shards() {
             assert_eq!(s.clock_s(), 300.0);
+            assert_eq!(s.health().name(), "healthy");
+            assert_eq!(s.last_good().1, 1, "round checkpoint refreshed");
         }
         fleet.advance_round();
         fleet.advance_round();
         assert!(fleet.done());
         assert_eq!(fleet.round(), 3);
+        assert_eq!(*fleet.stats(), SupervisionStats::default());
     }
 
     #[test]
@@ -421,5 +850,187 @@ mod tests {
                 "open-loop delivery should track the configured rate: {row:?}"
             );
         }
+    }
+
+    #[test]
+    fn injected_panic_retries_and_converges_to_the_control_rollup() {
+        let mut control = Fleet::new(tiny_config());
+        while !control.done() {
+            control.advance_round();
+        }
+
+        let mut chaotic = Fleet::new(tiny_config());
+        chaotic.set_chaos(Some("panic_shard=1@2".parse().unwrap()));
+        let mut saw_failure = false;
+        let mut saw_recovery = false;
+        while !chaotic.done() {
+            for ev in chaotic.advance_round() {
+                match ev {
+                    RoundEvent::Failed { shard, kind, .. } => {
+                        assert_eq!(shard, 1);
+                        assert_eq!(kind, FailureKind::Panic);
+                        saw_failure = true;
+                    }
+                    RoundEvent::Recovered { shard, mttr_rounds } => {
+                        assert_eq!(shard, 1);
+                        assert!(mttr_rounds >= 1);
+                        saw_recovery = true;
+                    }
+                    RoundEvent::Quarantined { .. } => panic!("one panic must not quarantine"),
+                }
+            }
+        }
+        assert!(saw_failure && saw_recovery);
+        assert_eq!(chaotic.stats().retries, 1);
+        assert_eq!(chaotic.stats().recoveries, 1);
+        assert_eq!(chaotic.quarantined(), 0);
+        assert_eq!(
+            control.rollup().to_json(),
+            chaotic.rollup().to_json(),
+            "deterministic replay must reconverge on the control roll-up"
+        );
+    }
+
+    #[test]
+    fn persistent_panic_quarantines_without_taking_the_fleet_down() {
+        let mut fleet = Fleet::new(tiny_config());
+        // Panic window far wider than the retry budget.
+        fleet.set_chaos(Some("panic_shard=0@1:1000".parse().unwrap()));
+        let mut quarantined_at = None;
+        while !fleet.done() {
+            for ev in fleet.advance_round() {
+                if let RoundEvent::Quarantined { shard, kind } = ev {
+                    assert_eq!(shard, 0);
+                    assert_eq!(kind, FailureKind::Panic);
+                    quarantined_at = Some(fleet.round());
+                }
+            }
+            assert!(fleet.round() < 200, "fleet must terminate");
+        }
+        assert!(quarantined_at.is_some(), "budget must exhaust");
+        assert_eq!(fleet.quarantined(), 1);
+        let max_retries = fleet.config().supervisor.max_retries;
+        assert_eq!(fleet.stats().retries as u32, max_retries + 1);
+        // The healthy shards all finished.
+        for sh in fleet.shards().iter().filter(|s| s.id != 0) {
+            assert_eq!(sh.health().name(), "healthy");
+            assert!(sh.clock_s() >= fleet.config().horizon_s);
+        }
+        let health = fleet.health_document();
+        assert_eq!(health.counters[scrub_telemetry::keys::FLEET_QUARANTINED], 1);
+        assert!(health.meta["shard.0.health"].starts_with("Q@"));
+    }
+
+    #[test]
+    fn corrupt_round_checkpoint_is_caught_and_retried() {
+        let mut control = Fleet::new(tiny_config());
+        while !control.done() {
+            control.advance_round();
+        }
+        let mut fleet = Fleet::new(tiny_config());
+        fleet.set_chaos(Some("seed=3;corrupt_ckpt=2@1".parse().unwrap()));
+        let mut kinds = Vec::new();
+        while !fleet.done() {
+            for ev in fleet.advance_round() {
+                if let RoundEvent::Failed { kind, .. } = ev {
+                    kinds.push(kind);
+                }
+            }
+        }
+        assert_eq!(kinds, vec![FailureKind::CorruptCheckpoint]);
+        assert_eq!(fleet.quarantined(), 0);
+        assert_eq!(control.rollup().to_json(), fleet.rollup().to_json());
+    }
+
+    #[test]
+    fn migrate_refuses_unhealthy_shards() {
+        let mut fleet = Fleet::new(tiny_config());
+        fleet.set_chaos(Some("panic_shard=3@1:1000".parse().unwrap()));
+        fleet.advance_round();
+        let err = fleet.migrate(3, None).expect_err("shard 3 is retrying");
+        assert!(err.contains("retrying"), "{err}");
+    }
+
+    #[test]
+    fn resume_replays_lagging_shards_to_the_fleet_round() {
+        let mut control = Fleet::new(tiny_config());
+        while !control.done() {
+            control.advance_round();
+        }
+
+        // Build restore snapshots by hand: shard 0 one round behind (as
+        // if its gen0 was corrupt and recovery fell back to gen1).
+        let mut donor = Fleet::new(tiny_config());
+        donor.advance_round(); // round 1
+        let old = donor.shards()[0].last_good().0.to_vec();
+        donor.advance_round(); // round 2
+        let restores: Vec<ShardRestore> = donor
+            .shards()
+            .iter()
+            .map(|s| ShardRestore {
+                health: Health::Healthy,
+                snapshot: Ok(if s.id == 0 {
+                    old.clone()
+                } else {
+                    s.last_good().0.to_vec()
+                }),
+            })
+            .collect();
+        let mut resumed = Fleet::resume(tiny_config(), 2, restores).expect("resumes");
+        assert!(resumed.stats().recovery_rounds >= 1, "shard 0 replayed");
+        while !resumed.done() {
+            resumed.advance_round();
+        }
+        assert_eq!(
+            control.rollup().to_json(),
+            resumed.rollup().to_json(),
+            "resume from mixed generations must converge"
+        );
+    }
+
+    #[test]
+    fn resume_with_exhausted_generations_is_a_typed_quarantine() {
+        let mut donor = Fleet::new(tiny_config());
+        donor.advance_round();
+        let restores: Vec<ShardRestore> = donor
+            .shards()
+            .iter()
+            .map(|s| {
+                if s.id == 1 {
+                    ShardRestore {
+                        health: Health::Healthy,
+                        snapshot: Err(RecoveryError::Exhausted {
+                            shard: 1,
+                            tried: vec![(0, "bad CRC".into()), (1, "truncated".into())],
+                        }),
+                    }
+                } else {
+                    ShardRestore {
+                        health: Health::Healthy,
+                        snapshot: Ok(s.last_good().0.to_vec()),
+                    }
+                }
+            })
+            .collect();
+        let mut fleet = Fleet::resume(tiny_config(), 1, restores).expect("fleet survives");
+        assert_eq!(fleet.quarantined(), 1);
+        assert!(matches!(
+            fleet.shards()[1].health(),
+            Health::Quarantined {
+                kind: FailureKind::Exhausted,
+                ..
+            }
+        ));
+        while !fleet.done() {
+            fleet.advance_round();
+        }
+        // The other three shards finished; the fleet never crashed.
+        assert_eq!(fleet.quarantined(), 1);
+        let finished = fleet
+            .shards()
+            .iter()
+            .filter(|s| s.clock_s() >= fleet.config().horizon_s)
+            .count();
+        assert_eq!(finished, 3);
     }
 }

@@ -1,0 +1,188 @@
+//! Rotated on-disk checkpoint generations — the durable recovery points
+//! behind shard quarantine and `scrubd --resume-fleet`.
+//!
+//! Each shard keeps K sealed snapshots under the control directory:
+//!
+//! ```text
+//! snapshots/shard-0003.gen0.ckpt    newest (last persisted round)
+//! snapshots/shard-0003.gen1.ckpt    one persist older
+//! snapshots/shard-0003.gen2.ckpt    two persists older
+//! ```
+//!
+//! A persist rotates by rename (gen K-2 → gen K-1 … gen0 → gen1), then
+//! writes the new snapshot to a `.tmp` file, fsyncs it, renames it into
+//! `gen0`, and fsyncs the directory — so a crash at any instruction
+//! leaves either the old or the new generation set, never a half-written
+//! `gen0`. Recovery walks gen0 → gen K-1 and resumes from the first
+//! generation whose envelope still validates; bit-flips, truncations,
+//! and torn writes on newer generations land on an older one. When every
+//! generation is unreadable the walk returns
+//! [`RecoveryError::Exhausted`](crate::health::RecoveryError) naming
+//! what was wrong with each — typed data for quarantine, never a panic.
+
+use std::fs::{self, File};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use crate::health::RecoveryError;
+
+/// Handle on one fleet's generation files (all shards share the root).
+#[derive(Debug, Clone)]
+pub struct GenStore {
+    root: PathBuf,
+    generations: u32,
+}
+
+impl GenStore {
+    /// Creates a store keeping `generations` (≥ 1) snapshots per shard
+    /// under `root` (the control dir's `snapshots/`).
+    pub fn new(root: impl Into<PathBuf>, generations: u32) -> Self {
+        Self {
+            root: root.into(),
+            generations: generations.max(1),
+        }
+    }
+
+    /// Number of generations kept per shard.
+    pub fn generations(&self) -> u32 {
+        self.generations
+    }
+
+    /// Path of shard `shard`'s generation-`gen` snapshot.
+    pub fn path(&self, shard: u32, gen: u32) -> PathBuf {
+        self.root.join(format!("shard-{shard:04}.gen{gen}.ckpt"))
+    }
+
+    /// Persists `sealed` as shard `shard`'s newest generation, rotating
+    /// the existing ones back. Crash-safe: tmp write + fsync + atomic
+    /// rename + directory fsync.
+    pub fn persist(&self, shard: u32, sealed: &[u8]) -> std::io::Result<()> {
+        // Rotate oldest-first so each rename's target slot is free.
+        for gen in (0..self.generations.saturating_sub(1)).rev() {
+            let from = self.path(shard, gen);
+            if from.exists() {
+                fs::rename(&from, self.path(shard, gen + 1))?;
+            }
+        }
+        let dst = self.path(shard, 0);
+        let tmp = dst.with_extension("tmp");
+        let mut f = File::create(&tmp)?;
+        f.write_all(sealed)?;
+        f.sync_all()?;
+        drop(f);
+        fs::rename(&tmp, &dst)?;
+        sync_dir(&self.root)
+    }
+
+    /// Walks gen0 → genK-1 and returns the first generation whose sealed
+    /// envelope validates, as `(generation, bytes)`. Every failure is
+    /// recorded; if nothing validates the walk ends in
+    /// [`RecoveryError::Exhausted`].
+    pub fn load(&self, shard: u32) -> Result<(u32, Vec<u8>), RecoveryError> {
+        let mut tried = Vec::new();
+        for gen in 0..self.generations {
+            let path = self.path(shard, gen);
+            let bytes = match fs::read(&path) {
+                Ok(b) => b,
+                Err(e) => {
+                    tried.push((gen, format!("unreadable: {e}")));
+                    continue;
+                }
+            };
+            match scrub_checkpoint::verify(&bytes) {
+                Ok(()) => return Ok((gen, bytes)),
+                Err(e) => tried.push((gen, e.to_string())),
+            }
+        }
+        Err(RecoveryError::Exhausted { shard, tried })
+    }
+}
+
+/// Fsyncs a directory so a just-renamed entry survives power loss.
+pub(crate) fn sync_dir(dir: &Path) -> std::io::Result<()> {
+    File::open(dir)?.sync_all()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "scrubd-gens-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("create temp dir");
+        dir
+    }
+
+    fn sealed(tag: u8) -> Vec<u8> {
+        scrub_checkpoint::seal(vec![tag; 32])
+    }
+
+    #[test]
+    fn persist_rotates_and_load_prefers_gen0() {
+        let dir = temp_dir("rotate");
+        let store = GenStore::new(&dir, 3);
+        for tag in 1..=4u8 {
+            store.persist(7, &sealed(tag)).expect("persist");
+        }
+        // After four persists of K=3: gen0=4, gen1=3, gen2=2 (1 aged out).
+        let (gen, bytes) = store.load(7).expect("loads");
+        assert_eq!(gen, 0);
+        assert_eq!(scrub_checkpoint::open(&bytes).unwrap(), &[4u8; 32][..]);
+        assert!(!store.path(7, 0).with_extension("tmp").exists());
+        let g2 = fs::read(store.path(7, 2)).expect("gen2 exists");
+        assert_eq!(scrub_checkpoint::open(&g2).unwrap(), &[2u8; 32][..]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_newer_generations_fall_back_to_older() {
+        let dir = temp_dir("fallback");
+        let store = GenStore::new(&dir, 3);
+        for tag in 1..=3u8 {
+            store.persist(0, &sealed(tag)).expect("persist");
+        }
+        // Bit-flip gen0, truncate gen1: recovery must land on gen2.
+        let mut g0 = fs::read(store.path(0, 0)).unwrap();
+        let mid = g0.len() / 2;
+        g0[mid] ^= 0x01;
+        fs::write(store.path(0, 0), &g0).unwrap();
+        let g1 = fs::read(store.path(0, 1)).unwrap();
+        fs::write(store.path(0, 1), &g1[..g1.len() / 3]).unwrap();
+
+        let (gen, bytes) = store.load(0).expect("gen2 still good");
+        assert_eq!(gen, 2);
+        assert_eq!(scrub_checkpoint::open(&bytes).unwrap(), &[1u8; 32][..]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn all_generations_bad_is_typed_exhaustion() {
+        let dir = temp_dir("exhausted");
+        let store = GenStore::new(&dir, 2);
+        store.persist(5, &sealed(9)).expect("persist");
+        store.persist(5, &sealed(9)).expect("persist");
+        fs::write(store.path(5, 0), b"NOTACKPT").unwrap();
+        fs::write(store.path(5, 1), b"").unwrap();
+        let err = store.load(5).expect_err("nothing valid");
+        let RecoveryError::Exhausted { shard, tried } = err;
+        assert_eq!(shard, 5);
+        assert_eq!(tried.len(), 2, "every generation accounted for");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_shard_reports_every_slot_missing() {
+        let dir = temp_dir("missing");
+        let store = GenStore::new(&dir, 3);
+        let err = store.load(2).expect_err("no files at all");
+        let RecoveryError::Exhausted { tried, .. } = err;
+        assert_eq!(tried.len(), 3);
+        assert!(tried.iter().all(|(_, why)| why.contains("unreadable")));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -12,21 +12,37 @@
 //! * [`ControlDir`] / [`Command`] — the file-based control plane shared
 //!   with the `scrubctl` client (atomic status/rollup documents, numbered
 //!   command files consumed at round boundaries);
-//! * [`status`] — the `status.json` schema both sides speak.
+//! * [`status`] — the `status.json` schema both sides speak;
+//! * [`Health`] / [`SupervisorConfig`] — the per-shard self-healing state
+//!   machine (retry with bounded backoff, then quarantine);
+//! * [`GenStore`] / [`Wal`] — rotated checkpoint generations and the
+//!   write-ahead round journal behind `scrubd --resume-fleet`;
+//! * [`ChaosSpec`] — the deterministic service-fault injection schedule
+//!   behind `scrubd --chaos`.
 //!
 //! The design invariant inherited from the simulator core: *placement
-//! never changes results*. Worker counts, migrations, and
-//! drain/resume cycles are execution details; the final fleet roll-up is
-//! byte-identical to an uninterrupted run (see
-//! `tests/migration_differential.rs`).
+//! never changes results*. Worker counts, migrations, drain/resume
+//! cycles, and crash-recovery replays are execution details; the final
+//! fleet roll-up is byte-identical to an uninterrupted run (see
+//! `tests/migration_differential.rs` and `tests/chaos_recovery.rs`),
+//! and a shard that cannot be recovered surfaces as a typed, visible
+//! quarantine rather than a fleet crash.
 //!
 //! [`Document::merge_segments`]: scrub_telemetry::Document::merge_segments
 
+pub mod chaos;
 mod config;
 mod control;
 mod fleet;
+pub mod generations;
+pub mod health;
 pub mod status;
+pub mod wal;
 
+pub use chaos::{ChaosSpec, CorruptMode, KillPoint};
 pub use config::FleetConfig;
-pub use control::{Command, ControlDir};
-pub use fleet::{Fleet, Migration, Shard, TenantSlo};
+pub use control::{Command, ControlDir, Intake};
+pub use fleet::{Fleet, Migration, RoundEvent, Shard, ShardRestore, SupervisionStats, TenantSlo};
+pub use generations::GenStore;
+pub use health::{FailureKind, Health, RecoveryError, SupervisorConfig};
+pub use wal::{RoundRecord, Wal};

@@ -3,7 +3,10 @@
 //! Written atomically to `status.json` every cadence round and parsed
 //! back by `scrubctl` (which also uses it to validate commands — e.g.
 //! rejecting a migrate naming a shard the fleet does not have — without
-//! having to talk to the daemon synchronously).
+//! having to talk to the daemon synchronously). Besides the simulation
+//! view, the document carries the supervision surface: each shard's
+//! health, the fleet quarantine count, and the command-sequence
+//! watermark (`cmd_seq`) clients chain new submissions after.
 
 use scrub_telemetry::json::{self, fmt_f64, Value};
 
@@ -14,8 +17,11 @@ use crate::fleet::{Fleet, TenantSlo};
 pub enum FleetState {
     /// Rounds are still advancing.
     Running,
-    /// The horizon was reached.
+    /// The horizon was reached with every shard healthy.
     Finished,
+    /// The horizon was reached (or nothing is left to do) but at least
+    /// one shard sits in quarantine.
+    Degraded,
     /// A `stop` command ended the run early.
     Stopped,
 }
@@ -26,6 +32,7 @@ impl FleetState {
         match self {
             FleetState::Running => "running",
             FleetState::Finished => "finished",
+            FleetState::Degraded => "degraded",
             FleetState::Stopped => "stopped",
         }
     }
@@ -35,6 +42,7 @@ impl FleetState {
         match s {
             "running" => Ok(FleetState::Running),
             "finished" => Ok(FleetState::Finished),
+            "degraded" => Ok(FleetState::Degraded),
             "stopped" => Ok(FleetState::Stopped),
             other => Err(format!("unknown fleet state {other:?}")),
         }
@@ -56,6 +64,8 @@ pub struct ShardStatus {
     pub demand_ops: u64,
     /// Uncorrectable errors observed.
     pub ue: u64,
+    /// Supervision state name (`healthy` / `retrying` / `quarantined`).
+    pub health: String,
 }
 
 /// The parsed status document.
@@ -71,6 +81,11 @@ pub struct FleetStatus {
     pub horizon_s: f64,
     /// Total banks.
     pub banks: u64,
+    /// Shards currently quarantined.
+    pub quarantined: u64,
+    /// Highest command sequence consumed so far (absent until the first
+    /// command is consumed) — new submissions chain after this.
+    pub cmd_seq: Option<u64>,
     /// Policy spec string.
     pub policy: String,
     /// Tenant mix spec string.
@@ -81,8 +96,9 @@ pub struct FleetStatus {
     pub slo: Vec<TenantSlo>,
 }
 
-/// Renders the status document for a fleet in `state`.
-pub fn render(fleet: &Fleet, state: FleetState) -> String {
+/// Renders the status document for a fleet in `state`. `cmd_seq` is the
+/// daemon's command watermark (omitted until a command was consumed).
+pub fn render(fleet: &Fleet, state: FleetState, cmd_seq: Option<u64>) -> String {
     let shards = fleet
         .shards()
         .iter()
@@ -90,13 +106,14 @@ pub fn render(fleet: &Fleet, state: FleetState) -> String {
             let stats = s.stats();
             format!(
                 "    {{\"id\": {}, \"worker\": {}, \"clock_s\": {}, \"migrations\": {}, \
-                 \"demand_ops\": {}, \"ue\": {}}}",
+                 \"demand_ops\": {}, \"ue\": {}, \"health\": \"{}\"}}",
                 s.id,
                 s.worker,
                 fmt_f64(s.clock_s()),
                 s.migrations,
                 stats.demand_reads + stats.demand_writes,
-                stats.uncorrectable()
+                stats.uncorrectable(),
+                s.health().name()
             )
         })
         .collect::<Vec<_>>()
@@ -118,9 +135,11 @@ pub fn render(fleet: &Fleet, state: FleetState) -> String {
         })
         .collect::<Vec<_>>()
         .join(",\n");
+    let cmd_seq_line = cmd_seq.map_or(String::new(), |w| format!("  \"cmd_seq\": {w},\n"));
     format!(
         "{{\n  \"state\": \"{}\",\n  \"round\": {},\n  \"clock_s\": {},\n  \"horizon_s\": {},\n  \
-         \"banks\": {},\n  \"shards\": {},\n  \"policy\": \"{}\",\n  \"tenants\": \"{}\",\n  \
+         \"banks\": {},\n  \"shards\": {},\n  \"quarantined\": {},\n{}  \"policy\": \"{}\",\n  \
+         \"tenants\": \"{}\",\n  \
          \"shard_table\": [\n{}\n  ],\n  \"slo\": [\n{}\n  ]\n}}\n",
         state.name(),
         fleet.round(),
@@ -128,6 +147,8 @@ pub fn render(fleet: &Fleet, state: FleetState) -> String {
         fmt_f64(fleet.config().horizon_s),
         fleet.config().banks,
         fleet.config().shards,
+        fleet.quarantined(),
+        cmd_seq_line,
         json::escape(&fleet.config().policy_spec),
         json::escape(&fleet.config().tenants.to_string()),
         shards,
@@ -175,6 +196,11 @@ pub fn parse(text: &str) -> Result<FleetStatus, String> {
                 migrations: get("migrations")?,
                 demand_ops: get("demand_ops")?,
                 ue: get("ue")?,
+                health: row
+                    .get("health")
+                    .and_then(Value::as_str)
+                    .ok_or("shard row missing health")?
+                    .to_string(),
             })
         })
         .collect::<Result<Vec<_>, String>>()?;
@@ -219,6 +245,8 @@ pub fn parse(text: &str) -> Result<FleetStatus, String> {
         clock_s: f64_of("clock_s")?,
         horizon_s: f64_of("horizon_s")?,
         banks: u64_of("banks")?,
+        quarantined: u64_of("quarantined")?,
+        cmd_seq: v.get("cmd_seq").and_then(Value::as_u64),
         policy: str_of("policy")?,
         tenants_spec: str_of("tenants")?,
         shards,
@@ -245,14 +273,40 @@ mod tests {
     fn status_round_trips() {
         let mut fleet = tiny_fleet();
         fleet.advance_round();
-        let text = render(&fleet, FleetState::Running);
+        let text = render(&fleet, FleetState::Running, Some(4));
         let parsed = parse(&text).expect("parses");
         assert_eq!(parsed.state, FleetState::Running);
         assert_eq!(parsed.round, 1);
+        assert_eq!(parsed.quarantined, 0);
+        assert_eq!(parsed.cmd_seq, Some(4));
         assert_eq!(parsed.shards.len(), 2);
         assert_eq!(parsed.slo.len(), 1);
         assert_eq!(parsed.slo[0].name, "alpha");
         assert!(parsed.shards.iter().all(|s| s.clock_s == 300.0));
+        assert!(parsed.shards.iter().all(|s| s.health == "healthy"));
+    }
+
+    #[test]
+    fn cmd_seq_is_optional_until_first_consume() {
+        let fleet = tiny_fleet();
+        let text = render(&fleet, FleetState::Running, None);
+        let parsed = parse(&text).expect("parses");
+        assert_eq!(parsed.cmd_seq, None);
+    }
+
+    #[test]
+    fn quarantine_shows_in_state_and_rows() {
+        let mut fleet = tiny_fleet();
+        fleet.set_chaos(Some("panic_shard=1@1:1000".parse().unwrap()));
+        while !fleet.done() {
+            fleet.advance_round();
+        }
+        let text = render(&fleet, FleetState::Degraded, None);
+        let parsed = parse(&text).expect("parses");
+        assert_eq!(parsed.state, FleetState::Degraded);
+        assert_eq!(parsed.quarantined, 1);
+        assert_eq!(parsed.shards[1].health, "quarantined");
+        assert_eq!(parsed.shards[0].health, "healthy");
     }
 
     #[test]
@@ -261,7 +315,8 @@ mod tests {
         assert!(parse("not json").is_err());
         let mut fleet = tiny_fleet();
         fleet.advance_round();
-        let broken = render(&fleet, FleetState::Running).replace("\"shard_table\"", "\"nope\"");
+        let broken =
+            render(&fleet, FleetState::Running, None).replace("\"shard_table\"", "\"nope\"");
         assert!(parse(&broken).unwrap_err().contains("shard_table"));
     }
 }

@@ -1,0 +1,308 @@
+//! Write-ahead round journal — the piece that makes `scrubd
+//! --resume-fleet` byte-identical to a run that was never interrupted.
+//!
+//! Checkpoint generations capture *shard state*; the WAL captures the
+//! *fleet frame around it*: which round completed, the command-sequence
+//! watermark (so replayed command files are recognised as duplicates),
+//! and every shard's health token (so a quarantine survives a daemon
+//! restart instead of being silently retried). One line is appended and
+//! fsynced per completed round:
+//!
+//! ```text
+//! scrubd-wal v1 fp=00000000deadbeef
+//! round=1 t_ms=300000 seq=0 health=0:H,1:H crc=1a2b3c4d
+//! round=2 t_ms=600000 seq=2 health=0:H,1:R1@2+3:panic crc=5e6f7a8b
+//! ```
+//!
+//! Each record carries a CRC-32 of its own text, so a torn tail (the
+//! daemon died mid-append) is detected and dropped — recovery resumes
+//! from the last intact record. A valid line *after* a corrupt one is a
+//! different disease (silent mid-file corruption) and is refused rather
+//! than skipped. The header pins the fleet-config fingerprint; resuming
+//! under a different config is refused with a one-line error.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use pcm_ecc::Crc32;
+
+use crate::health::Health;
+
+/// Journal file name inside the control directory.
+pub const WAL_FILE: &str = "wal.log";
+
+const HEADER_PREFIX: &str = "scrubd-wal v1 fp=";
+
+/// One completed fleet round, as persisted in the journal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundRecord {
+    /// Rounds completed so far (1 after the first round).
+    pub round: u64,
+    /// Max simulated shard clock at the end of the round, in ms.
+    pub t_ms: u64,
+    /// Highest command sequence number consumed so far (`u64::MAX`
+    /// encodes "none yet").
+    pub seq: u64,
+    /// Every shard's health token, in shard-id order.
+    pub health: Vec<(u32, Health)>,
+}
+
+impl RoundRecord {
+    fn encode_body(&self) -> String {
+        let health: Vec<String> = self
+            .health
+            .iter()
+            .map(|(id, h)| format!("{id}:{}", h.encode()))
+            .collect();
+        format!(
+            "round={} t_ms={} seq={} health={}",
+            self.round,
+            self.t_ms,
+            self.seq,
+            health.join(",")
+        )
+    }
+
+    /// Full journal line including the trailing CRC (no newline).
+    pub fn encode(&self) -> String {
+        let body = self.encode_body();
+        let crc = Crc32::new().checksum_bytes(body.as_bytes());
+        format!("{body} crc={crc:08x}")
+    }
+
+    /// Parses [`RoundRecord::encode`], verifying the CRC.
+    pub fn decode(line: &str) -> Result<Self, String> {
+        let bad = |why: &str| format!("malformed WAL record ({why}): {line:?}");
+        let (body, crc_text) = line.rsplit_once(" crc=").ok_or_else(|| bad("no crc"))?;
+        let want = u32::from_str_radix(crc_text, 16).map_err(|_| bad("bad crc field"))?;
+        let got = Crc32::new().checksum_bytes(body.as_bytes());
+        if got != want {
+            return Err(bad("crc mismatch"));
+        }
+        let mut round = None;
+        let mut t_ms = None;
+        let mut seq = None;
+        let mut health = Vec::new();
+        for field in body.split(' ') {
+            let (key, value) = field.split_once('=').ok_or_else(|| bad("field"))?;
+            match key {
+                "round" => round = Some(value.parse().map_err(|_| bad("round"))?),
+                "t_ms" => t_ms = Some(value.parse().map_err(|_| bad("t_ms"))?),
+                "seq" => seq = Some(value.parse().map_err(|_| bad("seq"))?),
+                "health" => {
+                    for tok in value.split(',').filter(|t| !t.is_empty()) {
+                        let (id, h) = tok.split_once(':').ok_or_else(|| bad("health token"))?;
+                        health.push((
+                            id.parse().map_err(|_| bad("shard id"))?,
+                            Health::decode(h).map_err(|e| bad(&e))?,
+                        ));
+                    }
+                }
+                _ => return Err(bad("unknown field")),
+            }
+        }
+        Ok(RoundRecord {
+            round: round.ok_or_else(|| bad("missing round"))?,
+            t_ms: t_ms.ok_or_else(|| bad("missing t_ms"))?,
+            seq: seq.ok_or_else(|| bad("missing seq"))?,
+            health,
+        })
+    }
+}
+
+/// Append-only handle on one fleet's round journal.
+#[derive(Debug, Clone)]
+pub struct Wal {
+    path: PathBuf,
+}
+
+impl Wal {
+    /// Journal path inside `control_dir`.
+    pub fn path_in(control_dir: &Path) -> PathBuf {
+        control_dir.join(WAL_FILE)
+    }
+
+    /// Starts a fresh journal (truncating any previous one) pinned to
+    /// `fingerprint`.
+    pub fn create(control_dir: &Path, fingerprint: u64) -> std::io::Result<Self> {
+        let path = Self::path_in(control_dir);
+        let mut f = File::create(&path)?;
+        writeln!(f, "{HEADER_PREFIX}{fingerprint:016x}")?;
+        f.sync_all()?;
+        crate::generations::sync_dir(control_dir)?;
+        Ok(Self { path })
+    }
+
+    /// Opens an existing journal for further appends (after resume).
+    pub fn open_existing(control_dir: &Path) -> Self {
+        Self {
+            path: Self::path_in(control_dir),
+        }
+    }
+
+    /// Appends one round record and fsyncs before returning.
+    pub fn append(&self, record: &RoundRecord) -> std::io::Result<()> {
+        let mut f = OpenOptions::new().append(true).open(&self.path)?;
+        writeln!(f, "{}", record.encode())?;
+        f.sync_all()
+    }
+
+    /// Loads the journal, verifying the header against `fingerprint`.
+    /// Returns the intact records; a torn final line is dropped (with
+    /// `true` in the second slot so callers can log it), while corruption
+    /// *before* the tail is a hard error.
+    pub fn load(control_dir: &Path, fingerprint: u64) -> Result<(Vec<RoundRecord>, bool), String> {
+        let path = Self::path_in(control_dir);
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let mut lines = text.split_inclusive('\n');
+        let header = lines.next().unwrap_or("").trim_end_matches('\n');
+        let fp_text = header
+            .strip_prefix(HEADER_PREFIX)
+            .ok_or_else(|| format!("{} has no scrubd-wal header", path.display()))?;
+        let fp = u64::from_str_radix(fp_text, 16)
+            .map_err(|_| format!("{}: bad fingerprint in header", path.display()))?;
+        if fp != fingerprint {
+            return Err(format!(
+                "{}: journal was written by a different fleet config \
+                 (fingerprint {fp:016x}, ours {fingerprint:016x})",
+                path.display()
+            ));
+        }
+        let rest: Vec<&str> = lines.collect();
+        let mut records = Vec::new();
+        let mut dropped_tail = false;
+        for (i, raw) in rest.iter().enumerate() {
+            let is_last = i + 1 == rest.len();
+            // A record the daemon finished writing always ends in '\n'.
+            let torn_shape = !raw.ends_with('\n');
+            match RoundRecord::decode(raw.trim_end_matches('\n')) {
+                Ok(r) => {
+                    if torn_shape {
+                        // Decoded but unterminated: treat as torn anyway —
+                        // the fsync for it never completed.
+                        if is_last {
+                            dropped_tail = true;
+                            break;
+                        }
+                        return Err(format!(
+                            "{}: unterminated record before end of journal",
+                            path.display()
+                        ));
+                    }
+                    records.push(r);
+                }
+                Err(e) => {
+                    if is_last {
+                        dropped_tail = true;
+                        break;
+                    }
+                    return Err(format!("{}: {e}", path.display()));
+                }
+            }
+        }
+        Ok((records, dropped_tail))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::health::FailureKind;
+    use std::fs;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "scrubd-wal-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("create temp dir");
+        dir
+    }
+
+    fn record(round: u64) -> RoundRecord {
+        RoundRecord {
+            round,
+            t_ms: round * 300_000,
+            seq: round.wrapping_sub(1),
+            health: vec![
+                (0, Health::Healthy),
+                (
+                    1,
+                    Health::Retrying {
+                        attempts: 1,
+                        failed_round: round,
+                        next_retry_round: round + 2,
+                        kind: FailureKind::Panic,
+                    },
+                ),
+            ],
+        }
+    }
+
+    #[test]
+    fn records_round_trip_through_the_file() {
+        let dir = temp_dir("roundtrip");
+        let wal = Wal::create(&dir, 0xFEED).expect("create");
+        for r in 1..=3 {
+            wal.append(&record(r)).expect("append");
+        }
+        let (records, dropped) = Wal::load(&dir, 0xFEED).expect("load");
+        assert!(!dropped);
+        assert_eq!(records, vec![record(1), record(2), record(3)]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_not_fatal() {
+        let dir = temp_dir("torn");
+        let wal = Wal::create(&dir, 1).expect("create");
+        wal.append(&record(1)).expect("append");
+        let path = Wal::path_in(&dir);
+        let mut text = fs::read_to_string(&path).unwrap();
+        let full = record(2).encode();
+        text.push_str(&full[..full.len() / 2]); // no newline, half a record
+        fs::write(&path, text).unwrap();
+        let (records, dropped) = Wal::load(&dir, 1).expect("torn tail tolerated");
+        assert!(dropped, "tail drop must be reported");
+        assert_eq!(records, vec![record(1)]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mid_file_corruption_is_refused() {
+        let dir = temp_dir("midfile");
+        let wal = Wal::create(&dir, 1).expect("create");
+        wal.append(&record(1)).expect("append");
+        wal.append(&record(2)).expect("append");
+        let path = Wal::path_in(&dir);
+        let text = fs::read_to_string(&path).unwrap();
+        // Flip a digit inside record 1's body (not the tail record).
+        let corrupted = text.replacen("t_ms=300000", "t_ms=300001", 1);
+        assert_ne!(corrupted, text);
+        fs::write(&path, corrupted).unwrap();
+        let err = Wal::load(&dir, 1).expect_err("mid-file corruption is fatal");
+        assert!(err.contains("crc mismatch"), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fingerprint_mismatch_is_refused() {
+        let dir = temp_dir("fp");
+        Wal::create(&dir, 0xAAAA).expect("create");
+        let err = Wal::load(&dir, 0xBBBB).expect_err("wrong config");
+        assert!(err.contains("different fleet config"), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tampered_crc_fails_decode() {
+        let line = record(4).encode();
+        let tampered = line.replacen("seq=3", "seq=9", 1);
+        assert!(RoundRecord::decode(&tampered).is_err());
+        assert_eq!(RoundRecord::decode(&line).unwrap(), record(4));
+    }
+}

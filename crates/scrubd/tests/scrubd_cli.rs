@@ -169,7 +169,7 @@ fn run_fleet(tag: &str, staged: &[Command]) -> (ControlDir, Output) {
     let ctl = ControlDir::new(dir.join("ctl"));
     ctl.ensure_layout().expect("layout");
     for cmd in staged {
-        ctl.submit(cmd).expect("stage command");
+        ctl.submit(cmd, None).expect("stage command");
     }
     let out = scrubd(&[
         "--config",
@@ -257,7 +257,7 @@ fn malformed_staged_commands_are_skipped_not_fatal() {
     let conf = write_config(&dir, GOOD_CONFIG);
     let ctl = ControlDir::new(dir.join("ctl"));
     ctl.ensure_layout().expect("layout");
-    std::fs::write(ctl.root().join("cmd/000001.cmd"), "reboot the moon").expect("stage");
+    std::fs::write(ctl.root().join("cmd/000001.cmd"), "reboot the moon\n").expect("stage");
     let out = scrubd(&[
         "--config",
         conf.to_str().unwrap(),

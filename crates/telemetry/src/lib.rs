@@ -43,6 +43,31 @@ mod journal;
 pub mod json;
 mod phase;
 
+/// Canonical names for the fleet-service health counters and gauges
+/// carried in string-keyed [`Document`]s (the `scrubd` supervision layer
+/// publishes these in `health.json` and merges them through
+/// [`Document::merge_segments`], so counters sum and gauges keep their
+/// maximum across shards). Centralized here so the daemon, the client,
+/// the experiments, and CI jq assertions all agree on the spelling.
+pub mod keys {
+    /// Failed round attempts (panic or corrupt checkpoint) that entered
+    /// the retry path. Counter; sums across shards.
+    pub const FLEET_RETRIES: &str = "fleet.retries";
+    /// Shards currently quarantined after exhausting their retry budget.
+    /// Counter; sums across shards (each shard reports 0 or 1).
+    pub const FLEET_QUARANTINED: &str = "fleet.quarantined";
+    /// Successful recoveries (a retry that returned the shard to
+    /// healthy). Counter; sums across shards.
+    pub const FLEET_RECOVERIES: &str = "fleet.recoveries";
+    /// Simulated cadence rounds re-executed from a last-good checkpoint
+    /// while recovering. Counter; sums across shards.
+    pub const FLEET_RECOVERY_ROUNDS: &str = "fleet.recovery_rounds";
+    /// Worst observed time-to-recovery in simulated milliseconds (from
+    /// the round a shard failed to the round it was healthy again).
+    /// Gauge; the merged document keeps the fleet-wide maximum.
+    pub const FLEET_MTTR_MS: &str = "fleet.mttr_ms";
+}
+
 pub use counter::{Counter, Gauge};
 pub use document::{Document, PhaseRecord, SCHEMA_VERSION};
 pub use journal::{merge_journals, Event, EventClass, EventKind, Journal};
