@@ -46,5 +46,5 @@ pub use infer::{
 pub use modelcheck::{
     check, check_all, check_tripwires, CheckOutcome, ModelParams, Property, Variant, Violation,
 };
-pub use stats::{geometric_mean, improvement_ratio, percent_reduction, Summary};
+pub use stats::{event_rate, geometric_mean, improvement_ratio, percent_reduction, Summary};
 pub use table::{fmt_count, fmt_percent, fmt_ratio, Table};

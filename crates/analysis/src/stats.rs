@@ -92,6 +92,14 @@ pub fn percent_reduction(baseline: f64, new: f64) -> f64 {
 
 /// Improvement ratio `baseline / new` (e.g. 24.4 means "24.4× fewer"),
 /// saturating when `new` is zero.
+/// Event proportion `hits / (hits + misses)`, or `None` when nothing was
+/// observed — for counter-derived rates (profiler hit rates, dirty-probe
+/// fractions) where a zero denominator means "no data", not "rate zero".
+pub fn event_rate(hits: u64, misses: u64) -> Option<f64> {
+    let total = hits + misses;
+    (total > 0).then(|| hits as f64 / total as f64)
+}
+
 pub fn improvement_ratio(baseline: f64, new: f64) -> f64 {
     if new == 0.0 {
         if baseline == 0.0 {
@@ -107,6 +115,13 @@ pub fn improvement_ratio(baseline: f64, new: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn event_rate_guards_empty_denominators() {
+        assert_eq!(event_rate(0, 0), None);
+        assert_eq!(event_rate(3, 1), Some(0.75));
+        assert_eq!(event_rate(0, 5), Some(0.0));
+    }
 
     #[test]
     fn summary_basics() {

@@ -6,6 +6,7 @@ use crate::age_aware::AgeAwareScrub;
 use crate::basic::BasicScrub;
 use crate::combined::CombinedScrub;
 use crate::policy::ScrubPolicy;
+use crate::profiled::{ProfileParams, ProfiledScrub};
 use crate::threshold::ThresholdScrub;
 use crate::tour::{TourBudget, TourScrub};
 
@@ -81,6 +82,31 @@ pub enum PolicyKind {
         /// Throttled slots tolerated before a probe is forced.
         max_defer: u32,
     },
+    /// Profiling-guided budgeted tour: a bounded per-line risk table
+    /// accumulated from probe syndromes steers a hot-line interleave,
+    /// quiet-line probe stretching, and a lazy-plus write-back threshold
+    /// (extension mechanism; see [`crate::ProfiledScrub`]).
+    Profiled {
+        /// Unthrottled tour period (seconds); sets the slot cadence.
+        interval_s: f64,
+        /// Write-back threshold for profiled lines (quiet lines pay at
+        /// `theta + 1`).
+        theta: u32,
+        /// Token-bucket refill rate (IOPS shared with demand traffic).
+        iops: f64,
+        /// Token-bucket capacity (burst allowance).
+        burst: f64,
+        /// Throttled slots tolerated before a probe is forced.
+        max_defer: u32,
+        /// Risk-table capacity (entries).
+        capacity: u32,
+        /// Every `hot_stride`-th granted slot probes a hot line.
+        hot_stride: u32,
+        /// Quiet lines are probed on every `stretch`-th tour only.
+        stretch: u32,
+        /// Score at which a line joins the hot interleave.
+        risk: u32,
+    },
     /// Everything together (the paper's proposed mechanism).
     Combined {
         /// Base full-sweep interval (seconds).
@@ -104,6 +130,25 @@ impl PolicyKind {
             theta: 4,
             regions: 64,
             min_age_s: interval_s * 2.0 / 3.0,
+        }
+    }
+
+    /// The evaluation's default profiled configuration for a given base
+    /// interval: the combined scheme's θ=4, an effectively unthrottled
+    /// bucket (standalone runs; fleet shards pass a real budget), and the
+    /// default profiler knobs ([`ProfileParams::default`]).
+    pub fn profiled_default(interval_s: f64) -> Self {
+        let p = ProfileParams::default();
+        PolicyKind::Profiled {
+            interval_s,
+            theta: 4,
+            iops: 1e9,
+            burst: 64.0,
+            max_defer: 8,
+            capacity: p.capacity,
+            hot_stride: p.hot_stride,
+            stretch: p.stretch,
+            risk: p.risk,
         }
     }
 
@@ -165,6 +210,34 @@ impl PolicyKind {
                 },
                 seed,
             ))),
+            PolicyKind::Profiled {
+                interval_s,
+                theta,
+                iops,
+                burst,
+                max_defer,
+                capacity,
+                hot_stride,
+                stretch,
+                risk,
+            } => Some(Box::new(ProfiledScrub::new(
+                interval_s,
+                num_lines,
+                banks,
+                theta,
+                TourBudget {
+                    iops,
+                    burst,
+                    max_defer,
+                },
+                ProfileParams {
+                    capacity,
+                    hot_stride,
+                    stretch,
+                    risk,
+                },
+                seed,
+            ))),
             PolicyKind::Combined {
                 interval_s,
                 theta,
@@ -211,6 +284,19 @@ impl PolicyKind {
             } => format!(
                 "tour(i={interval_s}s,th={theta},iops={iops},burst={burst},defer={max_defer})"
             ),
+            PolicyKind::Profiled {
+                interval_s,
+                theta,
+                iops,
+                burst,
+                max_defer,
+                capacity,
+                hot_stride,
+                stretch,
+                risk,
+            } => format!(
+                "profiled(i={interval_s}s,th={theta},iops={iops},burst={burst},defer={max_defer},cap={capacity},stride={hot_stride},stretch={stretch},risk={risk})"
+            ),
             PolicyKind::Combined {
                 interval_s,
                 theta,
@@ -256,6 +342,7 @@ mod tests {
                 burst: 16.0,
                 max_defer: 8,
             },
+            PolicyKind::profiled_default(900.0),
             PolicyKind::combined_default(900.0),
         ];
         let names = [
@@ -265,6 +352,7 @@ mod tests {
             "adaptive",
             "budget",
             "tour",
+            "profiled",
             "combined",
         ];
         for (k, want) in kinds.iter().zip(names) {

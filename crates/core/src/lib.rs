@@ -15,6 +15,7 @@
 //! | [`AgeAwareScrub`] | skip lines too young to have drifted |
 //! | [`AdaptiveScrub`] | per-region AIMD sweep pacing |
 //! | [`CombinedScrub`] | all of the above (the paper's proposal) |
+//! | [`ProfiledScrub`] | per-line risk profiling over the budgeted tour |
 //!
 //! ## Running an experiment
 //!
@@ -44,6 +45,7 @@ mod config;
 mod engine;
 mod event;
 mod policy;
+mod profiled;
 mod report;
 mod sim;
 mod threshold;
@@ -60,6 +62,7 @@ pub use config::PolicyKind;
 pub use engine::{EngineStats, ScrubEngine};
 pub use event::{set_skewed_fast_forward_for_test, EngineKind};
 pub use policy::{BatchPlan, ScrubAction, ScrubContext, ScrubPolicy, SweepCursor};
+pub use profiled::{ProfileParams, ProfiledScrub};
 pub use report::SimReport;
 pub use sim::{DemandTraffic, SimConfig, SimConfigBuilder, Simulation};
 pub use threshold::ThresholdScrub;

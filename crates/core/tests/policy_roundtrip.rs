@@ -22,7 +22,7 @@ const BANKS: u32 = 8;
 /// Every checkpointable policy kind, parameterized enough to have
 /// non-trivial internal state.
 fn kind(index: usize) -> PolicyKind {
-    match index % 7 {
+    match index % 8 {
         0 => PolicyKind::Basic { interval_s: 600.0 },
         1 => PolicyKind::Threshold {
             interval_s: 600.0,
@@ -45,6 +45,17 @@ fn kind(index: usize) -> PolicyKind {
             iops: 0.7,
             burst: 8.0,
             max_defer: 4,
+        },
+        6 => PolicyKind::Profiled {
+            interval_s: 600.0,
+            theta: 3,
+            iops: 0.7,
+            burst: 8.0,
+            max_defer: 4,
+            capacity: 8,
+            hot_stride: 3,
+            stretch: 2,
+            risk: 2,
         },
         _ => PolicyKind::Budget {
             interval_s: 600.0,
@@ -114,7 +125,7 @@ proptest! {
     /// never-having-stopped, for every policy kind.
     #[test]
     fn every_policy_round_trips_through_save_load(
-        index in 0usize..7,
+        index in 0usize..8,
         seed in 0u64..1000,
         prefix in 1u64..160,
         suffix in 1u64..160,

@@ -36,15 +36,17 @@ mod gf;
 mod hamming;
 mod interleave;
 mod poly;
+mod rs;
 
 pub use bch::BchCode;
 pub use bits::BitBuf;
 pub use code::{
-    standard_code_ladder, ClassifyOutcome, CodeSpec, CorrectionSemantics, DecodeOutcome, LineCode,
-    LINE_DATA_BITS,
+    standard_code_ladder, symbol_occupancy_pmf, ClassifyOutcome, CodeSpec, CorrectionSemantics,
+    DecodeOutcome, LineCode, LINE_DATA_BITS,
 };
 pub use crc::Crc32;
 pub use gf::GfTable;
 pub use hamming::{Secded72, SecdedLine};
 pub use interleave::Interleaved;
 pub use poly::{BinPoly, GfPoly};
+pub use rs::RsCode;

@@ -5,7 +5,7 @@
 //! models (`CodeSpec::alias_prob`). The CRC-32 detector must catch every
 //! burst up to its 32-bit guarantee, whatever the burst's interior.
 
-use pcm_ecc::{BchCode, BitBuf, CodeSpec, Crc32, DecodeOutcome, LineCode};
+use pcm_ecc::{BchCode, BitBuf, CodeSpec, Crc32, DecodeOutcome, LineCode, RsCode};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -96,6 +96,196 @@ fn bch2_rejects_overload_patterns() {
 #[test]
 fn bch6_rejects_overload_patterns() {
     bch_overload_rejects(10, 6, 512, 400, 0xB06);
+}
+
+/// Exhaustive small-field overload sweep: RS(7,3) over GF(2^3) corrects
+/// t = 2 symbols. Every pattern of exactly 3 symbol errors — all C(7,3)
+/// position triples × all 7³ nonzero value combinations — must be
+/// rejected or alias into a *different* codeword's sphere (≤ t claimed
+/// corrections, data ≠ original). Never `Clean`, never a silent return of
+/// the original data (that would mean it corrected t+1 errors, beyond the
+/// bounded-distance radius).
+#[test]
+fn rs_small_field_overload_exhaustive() {
+    let code = RsCode::new(3, 7, 3);
+    let spec_alias = {
+        // Same combinatorial bound CodeSpec uses: correctable-coset
+        // coverage of the syndrome space.
+        let covered: f64 = (0..=2u32)
+            .map(|i| {
+                let choose = match i {
+                    0 => 1.0,
+                    1 => 7.0,
+                    _ => 21.0,
+                };
+                choose * 7f64.powi(i as i32)
+            })
+            .sum();
+        covered / 2f64.powi(12)
+    };
+    let mut rng = StdRng::seed_from_u64(0x2503);
+    for _ in 0..4 {
+        let data: Vec<u16> = (0..3).map(|_| rng.gen_range(0..8u16)).collect();
+        let clean = code.encode_symbols(&data);
+        let mut trials = 0u64;
+        let mut miscorrections = 0u64;
+        for a in 0..7usize {
+            for b in (a + 1)..7 {
+                for c in (b + 1)..7 {
+                    for va in 1..8u16 {
+                        for vb in 1..8u16 {
+                            for vc in 1..8u16 {
+                                let mut cw = clean.clone();
+                                cw[a] ^= va;
+                                cw[b] ^= vb;
+                                cw[c] ^= vc;
+                                trials += 1;
+                                match code.decode_symbols(&mut cw) {
+                                    None => {}
+                                    Some(0) => {
+                                        panic!("3 symbol errors at ({a},{b},{c}) decoded as clean")
+                                    }
+                                    Some(e) => {
+                                        assert!(e <= 2, "claimed {e} > t corrections");
+                                        assert_ne!(
+                                            &cw[4..],
+                                            &data[..],
+                                            "silently corrected t+1 errors at ({a},{b},{c})"
+                                        );
+                                        miscorrections += 1;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(trials, 35 * 343);
+        // The exhaustive miscorrection fraction must sit under the
+        // coset-coverage bound (it's a subset of the covered patterns).
+        let frac = miscorrections as f64 / trials as f64;
+        assert!(
+            frac <= spec_alias,
+            "RS(7,3): miscorrection fraction {frac:.4} exceeds alias bound {spec_alias:.4}"
+        );
+        // And it must not be vacuously zero across the board — bounded
+        // distance decoders *do* alias (sanity that the sweep has teeth).
+        assert!(miscorrections > 0, "no aliasing in 12005 overload patterns");
+    }
+}
+
+/// Exhaustive small-field positive complement: every pattern of ≤ t
+/// symbol errors on RS(7,3) must be corrected back to the original data.
+#[test]
+fn rs_small_field_corrects_all_within_t() {
+    let code = RsCode::new(3, 7, 3);
+    let mut rng = StdRng::seed_from_u64(0x2504);
+    let data: Vec<u16> = (0..3).map(|_| rng.gen_range(0..8u16)).collect();
+    let clean = code.encode_symbols(&data);
+    let mut trials = 0u64;
+    for a in 0..7usize {
+        for va in 1..8u16 {
+            let mut cw = clean.clone();
+            cw[a] ^= va;
+            assert_eq!(code.decode_symbols(&mut cw), Some(1), "single at {a}");
+            assert_eq!(&cw[4..], &data[..]);
+            trials += 1;
+            for b in (a + 1)..7 {
+                for vb in 1..8u16 {
+                    let mut cw = clean.clone();
+                    cw[a] ^= va;
+                    cw[b] ^= vb;
+                    assert_eq!(code.decode_symbols(&mut cw), Some(2), "double ({a},{b})");
+                    assert_eq!(&cw[4..], &data[..]);
+                    trials += 1;
+                }
+            }
+        }
+    }
+    assert_eq!(trials, 7 * 7 + 21 * 49);
+}
+
+/// Burst-span guarantee, mirroring the CRC sweep: RS(72,64) (t = 4 eight-
+/// bit symbols) must correct *every* contiguous burst of up to
+/// (t−1)·8 + 1 = 25 bits with arbitrary interior, at every alignment —
+/// such a span touches at most t symbols regardless of phase.
+#[test]
+fn rs_corrects_all_bursts_within_symbol_guarantee() {
+    let code = RsCode::new(8, 72, 64);
+    let mut rng = StdRng::seed_from_u64(0x2505);
+    let mut data = BitBuf::zeros(512);
+    for i in 0..512 {
+        if rng.gen_bool(0.5) {
+            data.set(i, true);
+        }
+    }
+    let clean = code.encode(&data);
+    let len = clean.len();
+    let mut checked = 0u64;
+    for burst_len in [1usize, 2, 8, 9, 17, 24, 25] {
+        for start in 0..=(len - burst_len) {
+            let mut corrupted = clean.clone();
+            corrupted.flip(start);
+            if burst_len > 1 {
+                corrupted.flip(start + burst_len - 1);
+                for i in 1..burst_len - 1 {
+                    if rng.gen_bool(0.5) {
+                        corrupted.flip(start + i);
+                    }
+                }
+            }
+            match code.decode(&mut corrupted) {
+                DecodeOutcome::Corrected { .. } => {}
+                other => panic!("RS missed a {burst_len}-bit burst at {start}: {other:?}"),
+            }
+            assert_eq!(
+                code.extract_data(&corrupted),
+                data,
+                "{burst_len}-bit burst at {start} corrected to wrong data"
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked > 3500, "sweep unexpectedly small: {checked}");
+}
+
+/// Bursts spanning more than t symbols must never decode as clean or
+/// silently restore the original data — the same no-silent-miscorrect
+/// contract the BCH overload sweep pins.
+#[test]
+fn rs_wide_bursts_never_silently_pass() {
+    let code = RsCode::new(8, 72, 64);
+    let mut rng = StdRng::seed_from_u64(0x2506);
+    let mut data = BitBuf::zeros(512);
+    for i in 0..512 {
+        if rng.gen_bool(0.5) {
+            data.set(i, true);
+        }
+    }
+    let clean = code.encode(&data);
+    let len = clean.len();
+    for _ in 0..500 {
+        // ≥ 33 bits guarantees > 4 touched symbols at any alignment; flip
+        // at least one bit in every symbol the span covers.
+        let burst_len = rng.gen_range(41..120usize);
+        let start = rng.gen_range(0..=(len - burst_len));
+        let mut corrupted = clean.clone();
+        for sym in start / 8..=(start + burst_len - 1) / 8 {
+            corrupted.flip(sym * 8 + rng.gen_range(0..8));
+        }
+        match code.decode(&mut corrupted) {
+            DecodeOutcome::Uncorrectable => {}
+            DecodeOutcome::Clean => panic!("wide burst at {start} decoded as clean"),
+            DecodeOutcome::Corrected { .. } => {
+                assert_ne!(
+                    code.extract_data(&corrupted),
+                    data,
+                    "silently corrected a {burst_len}-bit burst"
+                );
+            }
+        }
+    }
 }
 
 /// Exhaustive burst sweep: every (start, length ≤ 32) burst with random

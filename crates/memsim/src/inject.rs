@@ -391,6 +391,17 @@ impl Injector {
         bits
     }
 
+    /// The correlated-burst subset of [`Injector::extra_bits`]: bits from
+    /// the burst clause resident on `addr` at `now_s` (contiguous within
+    /// the line, unlike SEUs/intermittents). Symbol-ECC decode paths
+    /// classify these separately — a contiguous span occupies few symbols.
+    pub fn burst_bits(&self, addr: u32, last_write_s: f64, now_s: f64) -> u32 {
+        match self.burst.get(&addr) {
+            Some(&(b, at)) if at > last_write_s && at <= now_s => b,
+            _ => 0,
+        }
+    }
+
     /// Whether the campaign injects anything at runtime (vs. attach-time
     /// stuck clusters only).
     pub fn has_runtime_faults(&self) -> bool {

@@ -159,7 +159,19 @@ impl OpCtx<'_> {
             None => 0,
         };
         let persistent = persistent + injected;
-        let mut outcome = self.code.classify(persistent + transient, &mut shard.rng);
+        // Contiguous campaign bursts occupy few symbols: classify them
+        // separately so symbol codes (RS) see the correlation. For bit
+        // codes, or when no burst is resident, `classify_split` is
+        // draw-for-draw identical to plain `classify`.
+        let injected_burst = match self.injector {
+            Some(inj) => inj.burst_bits(addr, line.last_write.secs(), now.secs()),
+            None => 0,
+        };
+        let mut outcome = self.code.classify_split(
+            persistent + transient - injected_burst,
+            injected_burst,
+            &mut shard.rng,
+        );
         if outcome.is_uncorrectable() {
             if let Some(rc) = self.recovery {
                 // Retry the read with shifted drift thresholds: transient
@@ -169,7 +181,11 @@ impl OpCtx<'_> {
                 // data corruption don't benefit.
                 let drift_bits = persistent - injected - line.worn_conflict_bits as u32;
                 let recovered = sample_binomial(&mut shard.rng, drift_bits, rc.recover_prob);
-                let retry = self.code.classify(persistent - recovered, &mut shard.rng);
+                let retry = self.code.classify_split(
+                    persistent - recovered - injected_burst,
+                    injected_burst,
+                    &mut shard.rng,
+                );
                 if retry.data_intact() {
                     outcome = retry;
                     shard.stats.recovered_ue += 1;

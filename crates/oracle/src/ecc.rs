@@ -77,6 +77,75 @@ pub fn ue_probability(code: &CodeSpec, cells: u32, q: f64) -> f64 {
     total.clamp(0.0, 1.0)
 }
 
+/// Independent symbol-occupancy UE marginal: the probability that `errors`
+/// distinct bit positions, uniform over `symbols · symbol_bits` positions,
+/// occupy more than `t` symbols — i.e. defeat a bounded-distance symbol
+/// code (Reed–Solomon).
+///
+/// Computed by inclusion–exclusion over surjections —
+/// `P(M = m) = C(n,m) · Σ_j (−1)^j C(m,j) C((m−j)s, e) / C(ns, e)` —
+/// a deliberately *different* formulation from the Markov recurrence in
+/// `pcm_ecc::symbol_occupancy_pmf`, so the agreement suite cross-checks
+/// two dissimilar derivations of the same law.
+pub fn symbol_ue_given_errors(symbols: u32, symbol_bits: u32, t: u32, errors: u32) -> f64 {
+    let n = symbols as u64;
+    let s = symbol_bits as u64;
+    let e = errors as u64;
+    if e <= t as u64 {
+        return 0.0;
+    }
+    if e > (t as u64) * s {
+        return 1.0;
+    }
+    let ln_total = crate::num::ln_choose(n * s, e);
+    let mut survive = 0.0f64;
+    let m_lo = e.div_ceil(s);
+    for m in m_lo..=(t as u64).min(e) {
+        // Ways to choose e positions inside m fixed symbols hitting all m.
+        let mut surj = 0.0f64;
+        let mut sign = 1.0;
+        for j in 0..=m {
+            if (m - j) * s >= e {
+                surj += sign
+                    * (crate::num::ln_choose(m, j) + crate::num::ln_choose((m - j) * s, e)).exp();
+            }
+            sign = -sign;
+        }
+        survive += (crate::num::ln_choose(n, m) - ln_total).exp() * surj.max(0.0);
+    }
+    (1.0 - survive).clamp(0.0, 1.0)
+}
+
+/// Closed-form post-ECC UE probability for a symbol code: the line error
+/// count is `Bin(cells, q)` and each count feeds the symbol-occupancy
+/// tail [`symbol_ue_given_errors`]. This is the oracle-side twin of
+/// [`ue_probability`] over `CodeSpec::rs_line`, built entirely from this
+/// crate's own combinatorics.
+pub fn symbol_ue_tail(symbols: u32, symbol_bits: u32, t: u32, cells: u32, q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "q out of [0,1]: {q}");
+    if q == 0.0 {
+        return 0.0;
+    }
+    let n = cells as u64;
+    let mut pmf = binom_pmf(n, 0, q);
+    let mut tail_left = 1.0 - pmf;
+    let odds = q / (1.0 - q);
+    let mut total = 0.0;
+    for e in 0..=cells {
+        total += pmf * symbol_ue_given_errors(symbols, symbol_bits, t, e);
+        if tail_left < 1e-16 * total.max(1e-300) {
+            break;
+        }
+        let e = e as u64;
+        if e >= n {
+            break;
+        }
+        pmf *= (n - e) as f64 * odds / (e + 1) as f64;
+        tail_left = (tail_left - pmf).max(0.0);
+    }
+    total.clamp(0.0, 1.0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -123,6 +192,63 @@ mod tests {
             let q = i as f64 * 0.002;
             let p = ue_probability(&bch4, 288, q);
             assert!(p >= prev, "UE not monotone at q={q}");
+            prev = p;
+        }
+        assert!(prev > 0.9, "high q should make UEs near-certain: {prev}");
+    }
+
+    /// The inclusion–exclusion occupancy tail must agree with the Markov
+    /// recurrence in pcm-ecc — two independent derivations of one law.
+    #[test]
+    fn symbol_marginal_matches_ecc_recurrence() {
+        for (n, s, t) in [(72u32, 8u32, 4u32), (80, 8, 8), (7, 3, 2)] {
+            for e in 0..=(t * s + 2).min(n * s) {
+                let incl_excl = symbol_ue_given_errors(n, s, t, e);
+                let pmf = pcm_ecc::symbol_occupancy_pmf(n, s, e);
+                let survive: f64 = pmf[..=(t as usize).min(pmf.len() - 1)].iter().sum();
+                let markov = (1.0 - survive).clamp(0.0, 1.0);
+                assert!(
+                    (incl_excl - markov).abs() < 1e-9,
+                    "(n={n},s={s},t={t}) e={e}: {incl_excl} vs {markov}"
+                );
+            }
+        }
+    }
+
+    /// The full symbol tail must agree with `ue_probability` over the
+    /// equivalent `CodeSpec::rs_line` — and show the RS-vs-BCH trade: at
+    /// similar parity, BCH wins on *random* errors (bigger bit budget)
+    /// while the symbol code keeps its edge for correlated bursts (covered
+    /// by the count-level classify tests in pcm-ecc).
+    #[test]
+    fn symbol_tail_matches_codespec_path() {
+        let rs = CodeSpec::rs_line(72, 64);
+        for &q in &[1e-4, 3e-3, 0.02] {
+            let direct = ue_probability(&rs, 288, q);
+            let tail = symbol_ue_tail(72, 8, 4, 288, q);
+            assert!(
+                (tail - direct).abs() <= 1e-12 + 1e-9 * direct,
+                "q={q}: {tail:e} vs {direct:e}"
+            );
+        }
+        let bch6 = CodeSpec::bch_line(6);
+        let (rs_p, bch_p) = (
+            ue_probability(&rs, 288, 0.005),
+            ue_probability(&bch6, 288, 0.005),
+        );
+        assert!(
+            bch_p < rs_p,
+            "random-error regime: BCH-6 must beat RS-4 ({bch_p:e} vs {rs_p:e})"
+        );
+    }
+
+    #[test]
+    fn symbol_tail_monotone_in_q() {
+        let mut prev = 0.0;
+        for i in 0..=30 {
+            let q = i as f64 * 0.003;
+            let p = symbol_ue_tail(72, 8, 4, 288, q);
+            assert!(p >= prev - 1e-12, "not monotone at q={q}");
             prev = p;
         }
         assert!(prev > 0.9, "high q should make UEs near-certain: {prev}");

@@ -9,9 +9,12 @@
 //!   `erfc` — deliberately *independent* of the Chebyshev/Gauss–Hermite
 //!   machinery and lookup tables inside `pcm-model`, so the agreement
 //!   suite cross-checks two dissimilar numerical paths.
-//! - **Line-level RBER → post-ECC UE probability** for SECDED and BCH-t
-//!   ([`ue_probability`]), via exact binomial tails through the code's
-//!   combinatorial UE marginal.
+//! - **Line-level RBER → post-ECC UE probability** for SECDED, BCH-t, and
+//!   Reed–Solomon symbol codes ([`ue_probability`]), via exact binomial
+//!   tails through the code's combinatorial UE marginal; the symbol-level
+//!   tails also have an independent inclusion–exclusion derivation
+//!   ([`symbol_ue_tail`]) the agreement suite cross-checks against the
+//!   Markov recurrence in `pcm-ecc`.
 //! - **Expected scrub writes and energy** for the basic policy
 //!   ([`BasicScrubOracle`]), via an exact per-line renewal dynamic
 //!   program on the engine's replicated probe schedule.
@@ -26,5 +29,7 @@ pub mod num;
 mod scrub;
 
 pub use drift::{DriftOracle, ErrorRateGrid};
-pub use ecc::{expected_errors, line_error_pmf, ue_probability};
+pub use ecc::{
+    expected_errors, line_error_pmf, symbol_ue_given_errors, symbol_ue_tail, ue_probability,
+};
 pub use scrub::{BasicScrubOracle, ScrubPrediction};

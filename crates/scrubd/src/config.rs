@@ -192,6 +192,7 @@ fn parse_policy(s: &str) -> Result<PolicyKind, String> {
             regions: 64,
         }),
         "combined" => Ok(PolicyKind::combined_default(interval_s)),
+        "profiled" => Ok(PolicyKind::profiled_default(interval_s)),
         other => Err(format!("unknown policy {other:?}")),
     }
 }
@@ -566,6 +567,7 @@ mix = alpha:rate=40;beta:suite=kv-cache,scale=0.5
             "threshold@900",
             "age-aware@900",
             "adaptive@450",
+            "profiled@900",
         ] {
             let text = GOOD.replace("policy = combined@900", &format!("policy = {spec}"));
             let c: FleetConfig = text.parse().expect("parses");

@@ -80,11 +80,25 @@ pub enum Counter {
     BudgetForcedProbes,
     /// Complete tours (every line probed once) finished by a tour policy.
     ToursCompleted,
+    /// Probes of lines resident in the profiler's risk table at probe
+    /// time that reported a nonzero persistent error count (the profile
+    /// predicted correctly).
+    ProfilerHits,
+    /// Probes of profiled lines that came back clean (stale profile).
+    ProfilerMisses,
+    /// Risk-table evictions (lowest-score entry displaced at capacity).
+    ProfilerEvictions,
+    /// Extra probes granted to hot lines by the profiler's interleave.
+    ProfilerHotProbes,
+    /// Probes issued by a profiled policy that found at least one
+    /// persistent error (profiled or not) — the base dirty rate the
+    /// profiler's hit rate is judged against.
+    ProfilerDirtyProbes,
 }
 
 impl Counter {
     /// Every counter, in slot order.
-    pub const ALL: [Counter; 35] = [
+    pub const ALL: [Counter; 40] = [
         Counter::DemandReads,
         Counter::DemandWrites,
         Counter::ScrubProbes,
@@ -120,6 +134,11 @@ impl Counter {
         Counter::BudgetThrottled,
         Counter::BudgetForcedProbes,
         Counter::ToursCompleted,
+        Counter::ProfilerHits,
+        Counter::ProfilerMisses,
+        Counter::ProfilerEvictions,
+        Counter::ProfilerHotProbes,
+        Counter::ProfilerDirtyProbes,
     ];
 
     /// Number of counter slots.
@@ -163,6 +182,11 @@ impl Counter {
             Counter::BudgetThrottled => "budget_throttled",
             Counter::BudgetForcedProbes => "budget_forced_probes",
             Counter::ToursCompleted => "tours_completed",
+            Counter::ProfilerHits => "profiler_hits",
+            Counter::ProfilerMisses => "profiler_misses",
+            Counter::ProfilerEvictions => "profiler_evictions",
+            Counter::ProfilerHotProbes => "profiler_hot_probes",
+            Counter::ProfilerDirtyProbes => "profiler_dirty_probes",
         }
     }
 }
@@ -180,15 +204,18 @@ pub enum Gauge {
     /// Longest observed tour (in scrub slots) for a budgeted tour policy;
     /// the `ScrubProgress` bound caps this at `lines * (max_defer + 1)`.
     StarvationMaxLag,
+    /// Largest number of lines resident in a profiler's risk table.
+    ProfilerOccupancy,
 }
 
 impl Gauge {
     /// Every gauge, in slot order.
-    pub const ALL: [Gauge; 4] = [
+    pub const ALL: [Gauge; 5] = [
         Gauge::ExecJobsHighWater,
         Gauge::ExecWorkersHighWater,
         Gauge::ExecQueueDepthHighWater,
         Gauge::StarvationMaxLag,
+        Gauge::ProfilerOccupancy,
     ];
 
     /// Number of gauge slots.
@@ -201,6 +228,7 @@ impl Gauge {
             Gauge::ExecWorkersHighWater => "exec_workers_high_water",
             Gauge::ExecQueueDepthHighWater => "exec_queue_depth_high_water",
             Gauge::StarvationMaxLag => "starvation_max_lag",
+            Gauge::ProfilerOccupancy => "profiler_occupancy",
         }
     }
 }

@@ -9,7 +9,9 @@
 //! ```
 //!
 //! Policies: `none`, `basic`, `threshold`, `age-aware`, `adaptive`,
-//! `combined` (default). Workloads: the 8-name suite (see `--help`).
+//! `tour`, `profiled`, `combined` (default). Workloads: the 8-name suite
+//! (see `--help`). Codes: `secded`, `bch-1..16`, `rs:N,K` (Reed–Solomon
+//! over GF(2^8), e.g. `rs:72,64`).
 //!
 //! ## Split-horizon runs
 //!
@@ -48,11 +50,20 @@ struct Args {
     scrub_burst: f64,
     /// Throttled slots tolerated before a tour probe is forced.
     max_defer: u32,
+    /// Risk-table capacity for `--policy profiled`; `None` defaults to
+    /// `lines / 16` (min 16).
+    profile_capacity: Option<u32>,
+    /// Hot-interleave stride for `--policy profiled`.
+    profile_stride: u32,
+    /// Quiet-line tour stretch for `--policy profiled`.
+    profile_stretch: u32,
+    /// Hot-line score threshold for `--policy profiled`.
+    profile_risk: u32,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: scrubsim [--lines N] [--code secded|bch-1..bch-16] [--policy NAME]\n\
+        "usage: scrubsim [--lines N] [--code secded|bch-1..bch-16|rs:N,K] [--policy NAME]\n\
          \x20               [--workload NAME|idle] [--hours H] [--interval SECS] [--seed S]\n\
          \x20               [--threads N]   (default: $SCRUBSIM_THREADS or all cores;\n\
          \x20                                results are identical for every N)\n\
@@ -64,10 +75,15 @@ fn usage() -> ! {
          \x20               [--checkpoint-out SNAP --checkpoint-every SECS]\n\
          \x20                                run one segment, snapshot, exit (no report)\n\
          \x20               [--bench-out JSON]       write snapshot-size metrics\n\
-         \x20               [--scrub-iops N]  token-bucket budget for --policy tour\n\
+         \x20               [--scrub-iops N]  token-bucket budget for --policy tour|profiled\n\
          \x20               [--scrub-burst N] bucket capacity (default 64)\n\
          \x20               [--max-defer N]   throttled slots before a forced probe (default 8)\n\
-         policies:  none basic threshold age-aware adaptive tour combined\n\
+         \x20               [--profile-capacity N] risk-table entries for --policy profiled\n\
+         \x20                                (default lines/16)\n\
+         \x20               [--profile-stride N]   hot-line interleave stride (default 4, >= 2)\n\
+         \x20               [--profile-stretch N]  quiet-line tour stretch (default 2)\n\
+         \x20               [--profile-risk N]     hot-line score threshold (default 2)\n\
+         policies:  none basic threshold age-aware adaptive tour profiled combined\n\
          workloads: db-oltp db-olap web-serve logging stream batch kv-cache archive idle"
     );
     std::process::exit(2);
@@ -94,6 +110,18 @@ fn parse_positive_f64(flag: &str, raw: &str) -> f64 {
 fn parse_code(s: &str) -> Option<CodeSpec> {
     if s == "secded" {
         return Some(CodeSpec::secded_line());
+    }
+    if let Some(nk) = s.strip_prefix("rs:") {
+        let (n, k) = nk.split_once(',')?;
+        let n = n.trim().parse::<u32>().ok()?;
+        let k = k.trim().parse::<u32>().ok()?;
+        // Mirror CodeSpec::rs_line's panics as parse failures: a 512-bit
+        // data payload needs k = 64 byte symbols, 1 <= k < n <= 255,
+        // even parity.
+        if !(1..=255).contains(&n) || k == 0 || k >= n || (n - k) % 2 != 0 || k * 8 != 512 {
+            return None;
+        }
+        return Some(CodeSpec::rs_line(n, k));
     }
     let t = s.strip_prefix("bch-")?.parse::<u32>().ok()?;
     if (1..=16).contains(&t) {
@@ -122,6 +150,10 @@ fn parse_args() -> Args {
         scrub_iops: None,
         scrub_burst: 64.0,
         max_defer: 8,
+        profile_capacity: None,
+        profile_stride: 4,
+        profile_stretch: 2,
+        profile_risk: 2,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut it = argv.iter();
@@ -135,11 +167,14 @@ fn parse_args() -> Args {
                     _ => fail(&format!("--lines must be a positive integer, got {raw:?}")),
                 }
             }
-            "--code" => {
+            // `--ecc` is an alias kept for symmetry with experiment
+            // configs that name the knob by its subsystem.
+            "--code" | "--ecc" => {
                 let raw = value();
                 args.code = parse_code(&raw).unwrap_or_else(|| {
                     fail(&format!(
-                        "--code must be secded or bch-1..bch-16, got {raw:?}"
+                        "--code must be secded, bch-1..bch-16, or rs:N,K \
+                         (1 <= K < N <= 255, K*8 = 512 data bits, even parity), got {raw:?}"
                     ))
                 });
             }
@@ -221,6 +256,42 @@ fn parse_args() -> Args {
                     ))
                 });
             }
+            "--profile-capacity" => {
+                let raw = value();
+                match raw.parse::<u32>() {
+                    Ok(n) if n > 0 => args.profile_capacity = Some(n),
+                    _ => fail(&format!(
+                        "--profile-capacity must be a positive integer, got {raw:?}"
+                    )),
+                }
+            }
+            "--profile-stride" => {
+                let raw = value();
+                match raw.parse::<u32>() {
+                    Ok(n) if n >= 2 => args.profile_stride = n,
+                    _ => fail(&format!(
+                        "--profile-stride must be an integer >= 2, got {raw:?}"
+                    )),
+                }
+            }
+            "--profile-stretch" => {
+                let raw = value();
+                match raw.parse::<u32>() {
+                    Ok(n) if n > 0 => args.profile_stretch = n,
+                    _ => fail(&format!(
+                        "--profile-stretch must be a positive integer, got {raw:?}"
+                    )),
+                }
+            }
+            "--profile-risk" => {
+                let raw = value();
+                match raw.parse::<u32>() {
+                    Ok(n) if n > 0 => args.profile_risk = n,
+                    _ => fail(&format!(
+                        "--profile-risk must be a positive integer, got {raw:?}"
+                    )),
+                }
+            }
             _ => usage(),
         }
     }
@@ -268,6 +339,21 @@ fn main() {
             burst: args.scrub_burst,
             max_defer: args.max_defer,
         },
+        "profiled" => PolicyKind::Profiled {
+            interval_s: args.interval_s,
+            theta,
+            // Same default budget as the tour: twice the nominal slot
+            // rate, so an uncontended run never throttles.
+            iops: args
+                .scrub_iops
+                .unwrap_or(2.0 * args.lines as f64 / args.interval_s),
+            burst: args.scrub_burst,
+            max_defer: args.max_defer,
+            capacity: args.profile_capacity.unwrap_or((args.lines / 16).max(16)),
+            hot_stride: args.profile_stride,
+            stretch: args.profile_stretch,
+            risk: args.profile_risk,
+        },
         "combined" => PolicyKind::Combined {
             interval_s: args.interval_s,
             theta,
@@ -276,10 +362,18 @@ fn main() {
         },
         other => fail(&format!("unknown policy {other:?}")),
     };
-    if args.policy_name != "tour"
+    if !matches!(args.policy_name.as_str(), "tour" | "profiled")
         && (args.scrub_iops.is_some() || args.scrub_burst != 64.0 || args.max_defer != 8)
     {
-        fail("--scrub-iops/--scrub-burst/--max-defer require --policy tour");
+        fail("--scrub-iops/--scrub-burst/--max-defer require --policy tour or profiled");
+    }
+    if args.policy_name != "profiled"
+        && (args.profile_capacity.is_some()
+            || args.profile_stride != 4
+            || args.profile_stretch != 2
+            || args.profile_risk != 2)
+    {
+        fail("--profile-capacity/--profile-stride/--profile-stretch/--profile-risk require --policy profiled");
     }
     let traffic = match args.workload {
         Some(id) => DemandTraffic::suite(id),

@@ -104,6 +104,110 @@ fn unknown_policy_still_rejected_with_tour_flags_present() {
     );
 }
 
+#[test]
+fn rs_code_rejects_malformed_shapes() {
+    // Zero total symbols.
+    assert_rejected(&["--code", "rs:0,5"], "--code");
+    // k >= n (no parity at all, or negative).
+    assert_rejected(&["--ecc", "rs:80,96"], "--code");
+    assert_rejected(&["--code", "rs:72,72"], "--code");
+    // Odd parity symbol count (no integer t).
+    assert_rejected(&["--code", "rs:71,64"], "--code");
+    // Payload does not cover a 512-bit line.
+    assert_rejected(&["--code", "rs:40,32"], "--code");
+    // Symbols beyond GF(2^8)'s 255-symbol limit.
+    assert_rejected(&["--code", "rs:300,64"], "--code");
+    // Plain garbage.
+    assert_rejected(&["--code", "rs:a,b"], "--code");
+    assert_rejected(&["--ecc", "rs:"], "--code");
+}
+
+#[test]
+fn profiler_flags_reject_garbage_values() {
+    let p = ["--policy", "profiled"];
+    assert_rejected(
+        &[&p[..], &["--profile-capacity", "0"]].concat(),
+        "--profile-capacity",
+    );
+    assert_rejected(
+        &[&p[..], &["--profile-capacity", "lots"]].concat(),
+        "--profile-capacity",
+    );
+    assert_rejected(
+        &[&p[..], &["--profile-stride", "1"]].concat(),
+        "--profile-stride",
+    );
+    assert_rejected(
+        &[&p[..], &["--profile-stride", "-2"]].concat(),
+        "--profile-stride",
+    );
+    assert_rejected(
+        &[&p[..], &["--profile-stretch", "0"]].concat(),
+        "--profile-stretch",
+    );
+    assert_rejected(
+        &[&p[..], &["--profile-risk", "0"]].concat(),
+        "--profile-risk",
+    );
+    assert_rejected(
+        &[&p[..], &["--profile-risk", "high"]].concat(),
+        "--profile-risk",
+    );
+}
+
+#[test]
+fn profiler_flags_require_the_profiled_policy() {
+    for flags in [
+        vec!["--policy", "tour", "--profile-capacity", "64"],
+        vec!["--policy", "combined", "--profile-stride", "6"],
+        vec!["--policy", "basic", "--profile-stretch", "3"],
+        vec!["--policy", "threshold", "--profile-risk", "4"],
+    ] {
+        assert_rejected(&flags, "require --policy profiled");
+    }
+}
+
+/// Happy path for the new surfaces: a tiny profiled run under RS(72,64)
+/// completes and reports, proving the rejections above come from
+/// validation, not a broken policy or code path.
+#[test]
+fn valid_profiled_rs_invocation_runs() {
+    let out = scrubsim(&[
+        "--lines",
+        "256",
+        "--hours",
+        "0.1",
+        "--policy",
+        "profiled",
+        "--ecc",
+        "rs:72,64",
+        "--scrub-iops",
+        "2",
+        "--profile-capacity",
+        "32",
+        "--profile-stride",
+        "4",
+        "--profile-stretch",
+        "2",
+        "--profile-risk",
+        "2",
+        "--workload",
+        "idle",
+        "--threads",
+        "1",
+    ]);
+    assert!(
+        out.status.success(),
+        "valid profiled+rs invocation failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("profiled"),
+        "report should name the policy:\n{stdout}"
+    );
+}
+
 /// Happy path: a tiny budgeted tour run completes, prints a report, and
 /// exits 0 — proving the rejection tests fail on validation, not on some
 /// unrelated breakage.

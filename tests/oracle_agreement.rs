@@ -27,7 +27,7 @@ use pcm_model::{CellArray, DeviceConfig, DriftParams};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use scrub_oracle::num::{binom_tail_ge, binom_tail_le};
-use scrub_oracle::{ue_probability, BasicScrubOracle, DriftOracle};
+use scrub_oracle::{symbol_ue_tail, ue_probability, BasicScrubOracle, DriftOracle};
 use scrubsim::prelude::*;
 
 fn full() -> bool {
@@ -407,6 +407,262 @@ fn basic_scrub_writes_and_energy_match_renewal_model_full() {
 }
 
 // ---------------------------------------------------------------------------
+// Reed–Solomon symbol-UE tail: the surjection-counting oracle
+// (`symbol_ue_tail`) vs one simulator probe per fresh line. Same shape as
+// the bit-code UE agreement above, but the law under test is the symbol
+// occupancy distribution, not a bit-count threshold.
+// ---------------------------------------------------------------------------
+
+/// RS(72,64) over GF(2^8): 72 byte symbols, t = 4. Kept in one place so
+/// the oracle calls and the simulator config cannot drift apart.
+const RS_SYMBOLS: u32 = 72;
+const RS_SYMBOL_BITS: u32 = 8;
+
+fn rs_code() -> CodeSpec {
+    let code = CodeSpec::rs_line(72, 64);
+    assert_eq!(code.guaranteed_t(), 4, "RS(72,64) corrects 4 symbols");
+    assert_eq!(code.total_bits(), RS_SYMBOLS * RS_SYMBOL_BITS);
+    code
+}
+
+/// Probes `lines` fresh RS lines once each at an age chosen (from the
+/// oracle alone) so the symbol-UE probability is comfortably measurable.
+fn rs_ue_experiment(oracle: &DriftOracle, lines: u32, seed: u64) -> UeRun {
+    let code = rs_code();
+    let dev = DeviceConfig::default();
+    let cells = code.total_bits().div_ceil(dev.stack().bits_per_cell());
+    let t = code.guaranteed_t();
+    let age_s = [300.0, 900.0, 1800.0, 3600.0, 7200.0, 14_400.0, 28_800.0]
+        .into_iter()
+        .find(|&t_s| {
+            let p = symbol_ue_tail(
+                RS_SYMBOLS,
+                RS_SYMBOL_BITS,
+                t,
+                cells,
+                oracle.mean_cell_error_prob(t_s),
+            );
+            (0.05..=0.6).contains(&p)
+        })
+        .unwrap_or(28_800.0);
+    let mut mem = Memory::new(MemGeometry::new(lines, 4), dev, code, seed);
+    let now = SimTime::from_secs(age_s);
+    for addr in 0..lines {
+        mem.scrub_probe(LineAddr(addr), now);
+    }
+    let stats = mem.stats();
+    UeRun {
+        ue: stats.detected_ue + stats.miscorrections,
+        lines: lines as u64,
+        age_s,
+    }
+}
+
+/// Accepts iff the Wilson interval on the measured symbol-UE fraction
+/// overlaps the oracle bracket induced by the LUT error bounds.
+fn assert_rs_ue_agreement(oracle: &DriftOracle, lines: u32, label: &str) {
+    let code = rs_code();
+    let dev = DeviceConfig::default();
+    let cells = code.total_bits().div_ceil(dev.stack().bits_per_cell());
+    let t = code.guaranteed_t();
+    let run = rs_ue_experiment(oracle, lines, 0x5272 + lines as u64);
+    let (q_lo, q_hi) = oracle.mean_cell_error_bounds(run.age_s);
+    let (ue_lo, ue_hi) = (
+        symbol_ue_tail(RS_SYMBOLS, RS_SYMBOL_BITS, t, cells, q_lo),
+        symbol_ue_tail(RS_SYMBOLS, RS_SYMBOL_BITS, t, cells, q_hi),
+    );
+    let ci = wilson_interval(run.ue, run.lines, 0.01);
+    assert!(
+        ci.lo <= ue_hi && ue_lo <= ci.hi,
+        "{label}: measured symbol-UE CI [{:.4}, {:.4}] misses oracle bracket \
+         [{ue_lo:.4}, {ue_hi:.4}] at age {}s ({}/{} lines)",
+        ci.lo,
+        ci.hi,
+        run.age_s,
+        run.ue,
+        run.lines
+    );
+}
+
+#[test]
+fn post_ecc_symbol_ue_rate_matches_closed_form_rs() {
+    let oracle = DriftOracle::new(&DeviceConfig::default());
+    assert_rs_ue_agreement(&oracle, 2048, "rs72-64");
+}
+
+#[test]
+#[ignore = "full agreement suite: SCRUBSIM_FULL_TEST=1 cargo test -- --include-ignored"]
+fn post_ecc_symbol_ue_rate_matches_closed_form_rs_full() {
+    if !full() {
+        eprintln!("skipped: set SCRUBSIM_FULL_TEST=1");
+        return;
+    }
+    let oracle = DriftOracle::new(&DeviceConfig::default());
+    assert_rs_ue_agreement(&oracle, 16_384, "rs72-64-full");
+}
+
+// ---------------------------------------------------------------------------
+// Profiled-scrub cold schedule: with an ample budget and every probe
+// reporting clean, the profiled policy's probe stream is pure arithmetic
+// (tour interleaving + seeded quiet-stretch stripes). An independent
+// replay — splitmix64, origin, and phase derivations reimplemented here,
+// not imported — must reproduce it slot-for-slot.
+// ---------------------------------------------------------------------------
+
+/// Independent SplitMix64 (the same published finalizer the policy
+/// documents), deliberately *not* imported from scrub-core.
+fn replay_splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Arithmetic replay of the cold-table profiled schedule: per-bank tour
+/// interleaving from seeded origins, quiet lines due only on their
+/// phase-striped tours. `phase_seed` is the seed used for the stripe
+/// derivation (== `seed` for a faithful replay; anything else models a
+/// silently perturbed scheduler).
+fn replay_cold_schedule(
+    lines: u32,
+    banks: u32,
+    stretch: u32,
+    seed: u64,
+    phase_seed: u64,
+    slots: u64,
+) -> Vec<Option<u32>> {
+    let count = |b: u32| lines / banks + u32::from(b < lines % banks);
+    let origins: Vec<u32> = (0..banks)
+        .map(|b| {
+            (replay_splitmix64(seed ^ 0x0070_5246 ^ u64::from(b)) % u64::from(count(b))) as u32
+        })
+        .collect();
+    let mut out = Vec::with_capacity(slots as usize);
+    let (mut pos, mut tours) = (0u32, 0u64);
+    for _ in 0..slots {
+        let b = pos % banks;
+        let j = pos / banks;
+        let addr = b + ((origins[b as usize] + j) % count(b)) * banks;
+        let due = tours % u64::from(stretch);
+        pos += 1;
+        if pos == lines {
+            pos = 0;
+            tours += 1;
+        }
+        let phase =
+            replay_splitmix64(phase_seed ^ 0x7052_4f46 ^ u64::from(addr)) % u64::from(stretch);
+        out.push((stretch == 1 || phase == due).then_some(addr));
+    }
+    out
+}
+
+/// Drives a generously budgeted profiled policy through `slots`
+/// all-clean slots and returns its probe stream.
+fn drive_cold_profiled(
+    lines: u32,
+    banks: u32,
+    stretch: u32,
+    seed: u64,
+    slots: u64,
+) -> Vec<Option<u32>> {
+    use scrubsim::memsim::AccessResult;
+    use scrubsim::scrub::{ProfileParams, ProfiledScrub, ScrubAction, ScrubContext, TourBudget};
+
+    let mem = Memory::new(
+        MemGeometry::new(lines, banks),
+        DeviceConfig::default(),
+        CodeSpec::bch_line(6),
+        5,
+    );
+    let mut policy = ProfiledScrub::new(
+        600.0,
+        lines,
+        banks,
+        3,
+        // Ample budget: refill far outpaces one probe per slot, so the
+        // token bucket never throttles and the schedule is pure.
+        TourBudget {
+            iops: 50.0,
+            burst: 16.0,
+            max_defer: 4,
+        },
+        ProfileParams {
+            capacity: 16,
+            hot_stride: 4,
+            stretch,
+            risk: 2,
+        },
+        seed,
+    );
+    let clean = AccessResult {
+        outcome: ClassifyOutcome::Clean,
+        persistent_bits: 0,
+        new_ue: false,
+    };
+    (0..slots)
+        .map(|s| {
+            let ctx = ScrubContext {
+                now: SimTime::from_secs(s as f64 * 2.5),
+                mem: &mem,
+            };
+            match policy.next_action(&ctx) {
+                ScrubAction::Probe(p) => {
+                    // Clean feedback keeps the table cold: nothing is ever
+                    // inserted, so the hot interleave stays a no-op.
+                    assert!(!policy.wants_writeback(p, &clean, &ctx));
+                    Some(p.0)
+                }
+                _ => None,
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn profiled_cold_probe_schedule_matches_arithmetic_replay() {
+    for (lines, banks, stretch, seed) in [
+        (96u32, 8u32, 1u32, 0xA11CEu64),
+        (96, 8, 2, 0xB0B),
+        (97, 5, 3, 0xC0FFEE),
+        (64, 1, 2, 7),
+    ] {
+        let slots = u64::from(lines * stretch) * 3 + 17;
+        let sim = drive_cold_profiled(lines, banks, stretch, seed, slots);
+        let replay = replay_cold_schedule(lines, banks, stretch, seed, seed, slots);
+        assert_eq!(
+            sim, replay,
+            "cold profiled schedule diverged from arithmetic replay \
+             (lines {lines}, banks {banks}, stretch {stretch}, seed {seed})"
+        );
+        let probes = sim.iter().flatten().count() as u64;
+        // Each of the `3 * stretch` whole tours probes every line exactly
+        // once per stretch cycle; the +17 tail adds a bounded remainder.
+        assert!(
+            probes >= u64::from(lines) * 3 && probes <= u64::from(lines) * 3 + 17,
+            "cold probe count {probes} outside [{}, {}]",
+            lines * 3,
+            u64::from(lines) * 3 + 17
+        );
+    }
+}
+
+#[test]
+fn tripwire_perturbed_stripe_seed_fails_schedule_replay() {
+    let (lines, banks, stretch, seed) = (96u32, 8u32, 2u32, 0xB0Bu64);
+    let slots = u64::from(lines * stretch) * 3 + 17;
+    let sim = drive_cold_profiled(lines, banks, stretch, seed, slots);
+    // A scheduler whose stripe derivation silently changed (here: a
+    // different phase seed) must be caught by the slot-for-slot
+    // comparison the agreement test runs.
+    let perturbed = replay_cold_schedule(lines, banks, stretch, seed, seed ^ 1, slots);
+    assert_ne!(
+        sim, perturbed,
+        "a perturbed stripe seed reproduced the cold schedule — the \
+         replay has no teeth"
+    );
+}
+
+// ---------------------------------------------------------------------------
 // Tripwire: the suite must have teeth. A 5% perturbation of the drift
 // constant (the kind of silent regression the suite exists to catch) must
 // push predictions outside the acceptance bands.
@@ -440,6 +696,26 @@ fn tripwire_perturbed_drift_constant_fails_agreement() {
         ci.hi < ue_lo || ue_hi < ci.lo,
         "perturbed UE bracket [{ue_lo:.4}, {ue_hi:.4}] still overlaps the \
          measured CI [{:.4}, {:.4}]",
+        ci.lo,
+        ci.hi
+    );
+
+    // Same teeth for the symbol-UE path: the RS measurement's CI must
+    // exclude the perturbed oracle's bracket too.
+    let code = rs_code();
+    let cells = code.total_bits().div_ceil(dev.stack().bits_per_cell());
+    let t = code.guaranteed_t();
+    let run = rs_ue_experiment(&nominal, 2048, 0x5272 + 2048);
+    let ci = wilson_interval(run.ue, run.lines, 0.01);
+    let (q_lo, q_hi) = perturbed.mean_cell_error_bounds(run.age_s);
+    let (ue_lo, ue_hi) = (
+        symbol_ue_tail(RS_SYMBOLS, RS_SYMBOL_BITS, t, cells, q_lo),
+        symbol_ue_tail(RS_SYMBOLS, RS_SYMBOL_BITS, t, cells, q_hi),
+    );
+    assert!(
+        ci.hi < ue_lo || ue_hi < ci.lo,
+        "perturbed symbol-UE bracket [{ue_lo:.4}, {ue_hi:.4}] still \
+         overlaps the measured CI [{:.4}, {:.4}]",
         ci.lo,
         ci.hi
     );
